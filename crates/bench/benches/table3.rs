@@ -1,0 +1,45 @@
+//! Table 3: IPC without control independence.
+//!
+//! Runs every benchmark under the four trace-selection baselines —
+//! `base`, `base(ntb)`, `base(fg)`, `base(fg,ntb)` — with control
+//! independence disabled, and prints measured IPC next to the paper's
+//! Table 3 values, including the harmonic-mean row.
+
+use tp_bench::paper;
+use tp_bench::runner::run_selection;
+use tp_stats::{harmonic_mean, Table};
+use tp_trace::SelectionConfig;
+use tp_workloads::{suite, Size};
+
+fn main() {
+    let selections = [
+        SelectionConfig::base(),
+        SelectionConfig::with_ntb(),
+        SelectionConfig::with_fg(),
+        SelectionConfig::with_fg_ntb(),
+    ];
+    println!("Table 3: IPC without control independence\n");
+    let mut table = Table::new(
+        "IPC",
+        &["base", "b(ntb)", "b(fg)", "b(fg,ntb)", "paper:base", "paper:fg,ntb"],
+    );
+    let mut per_sel: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for w in suite(Size::Full) {
+        let mut row = Vec::new();
+        for (i, sel) in selections.iter().enumerate() {
+            let ipc = run_selection(&w.program, *sel).stats.ipc();
+            per_sel[i].push(ipc);
+            row.push(ipc);
+        }
+        let p = paper::lookup(&paper::TABLE3_IPC, w.name).expect("known benchmark");
+        row.push(p[0]);
+        row.push(p[3]);
+        table.row(w.name, &row);
+    }
+    let mut hm: Vec<f64> = per_sel.iter().map(|v| harmonic_mean(v.iter().copied())).collect();
+    hm.push(paper::TABLE3_HMEAN[0]);
+    hm.push(paper::TABLE3_HMEAN[3]);
+    table.row("harmonic mean", &hm);
+    println!("{table}");
+    println!("(paper columns: Table 3 of Rotenberg & Smith 1999)");
+}

@@ -1,0 +1,59 @@
+//! Table 4: impact of trace selection on trace length, trace mispredictions
+//! and trace cache misses.
+//!
+//! Runs every benchmark under the four selection baselines (no control
+//! independence) and prints, per model: average trace length, trace
+//! mispredictions per 1000 instructions (and rate), and trace cache misses
+//! per 1000 instructions (and rate) — the quantities of the paper's
+//! Table 4.
+
+use tp_bench::paper;
+use tp_bench::runner::run_selection;
+use tp_stats::Table;
+use tp_trace::SelectionConfig;
+use tp_workloads::{suite, Size};
+
+fn main() {
+    let selections = [
+        ("base", SelectionConfig::base()),
+        ("base(ntb)", SelectionConfig::with_ntb()),
+        ("base(fg)", SelectionConfig::with_fg()),
+        ("base(fg,ntb)", SelectionConfig::with_fg_ntb()),
+    ];
+    println!("Table 4: impact of trace selection (no control independence)\n");
+    for (name, sel) in selections {
+        println!("--- {name} ---");
+        let mut table = Table::new(
+            "bench",
+            &["trace len", "tr misp/1k", "tr misp %", "tc$ miss/1k", "tc$ miss %"],
+        );
+        table.precision(1);
+        for w in suite(Size::Full) {
+            let s = run_selection(&w.program, sel).stats;
+            table.row(
+                w.name,
+                &[
+                    s.avg_trace_len(),
+                    s.trace_misp_per_kilo(),
+                    s.trace_misp_rate(),
+                    s.tcache_miss_per_kilo(),
+                    s.tcache_miss_rate(),
+                ],
+            );
+        }
+        println!("{table}");
+    }
+    println!("paper reference (base): avg trace length / trace misp rate");
+    let mut table = Table::new("bench", &["paper len", "paper misp %"]);
+    table.precision(1);
+    for b in paper::BENCHMARKS {
+        table.row(
+            b,
+            &[
+                paper::lookup1(&paper::TABLE4_BASE_TRACE_LEN, b).expect("known"),
+                paper::lookup1(&paper::TABLE4_BASE_TRACE_MISP, b).expect("known"),
+            ],
+        );
+    }
+    println!("{table}");
+}

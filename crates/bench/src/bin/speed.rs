@@ -1,0 +1,26 @@
+//! Quick calibration probe: IPC and misprediction profile per workload.
+
+use std::time::Instant;
+use tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
+
+fn main() {
+    println!("{:<10} {:>9} {:>8} {:>6} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6} {:>7} {:>7}",
+        "bench", "instrs", "cycles", "ipc", "brmisp%", "trmisp%", "tc$m%", "tlen", "secs", "pred%", "fullsq", "disp");
+    for w in tp_workloads::suite(tp_workloads::Size::Full) {
+        let cfg = TraceProcessorConfig::paper(CiModel::None);
+        let mut sim = TraceProcessor::new(&w.program, cfg);
+        let t = Instant::now();
+        match sim.run(100_000_000) {
+            Ok(r) => {
+                let s = r.stats;
+                println!("{:<10} {:>9} {:>8} {:>6.2} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>6.1} {:>6.1} {:>7} {:>7}",
+                    w.name, s.retired_instrs, s.cycles, s.ipc(), s.branch_misp_rate(),
+                    s.trace_misp_rate(), s.tcache_miss_rate(), s.avg_trace_len(),
+                    t.elapsed().as_secs_f64(),
+                    100.0 * s.predicted_traces as f64 / s.retired_traces.max(1) as f64,
+                    s.full_squashes, s.dispatched_traces);
+            }
+            Err(e) => println!("{:<10} ERROR {}", w.name, &format!("{e}")[..120.min(format!("{e}").len())]),
+        }
+    }
+}

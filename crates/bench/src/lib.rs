@@ -1,0 +1,10 @@
+//! Experiment harness library: branch profiling (Table 5), shared run
+//! helpers, and paper-reference data used by the bench targets in
+//! `benches/`.
+
+pub mod paper;
+pub mod profile;
+pub mod runner;
+
+pub use profile::{profile_branches, BranchClass, BranchProfile};
+pub use runner::{run_model, run_selection, RunSummary};

@@ -1,0 +1,138 @@
+//! Reference numbers transcribed from the paper, for side-by-side
+//! comparison in the experiment reports.
+
+/// Benchmarks in the paper's order.
+pub const BENCHMARKS: [&str; 8] =
+    ["compress", "gcc", "go", "jpeg", "li", "m88ksim", "perl", "vortex"];
+
+/// Table 3: IPC without control independence —
+/// `[base, base(ntb), base(fg), base(fg,ntb)]` per benchmark.
+pub const TABLE3_IPC: [(&str, [f64; 4]); 8] = [
+    ("compress", [2.02, 1.92, 1.96, 1.92]),
+    ("gcc", [4.44, 4.51, 4.34, 4.36]),
+    ("go", [3.17, 3.20, 3.07, 3.10]),
+    ("jpeg", [7.12, 7.24, 6.96, 6.96]),
+    ("li", [4.72, 4.31, 4.72, 4.34]),
+    ("m88ksim", [5.66, 5.67, 5.61, 5.54]),
+    ("perl", [6.94, 7.07, 6.92, 6.90]),
+    ("vortex", [5.85, 5.86, 5.80, 5.79]),
+];
+
+/// Table 3's harmonic-mean row.
+pub const TABLE3_HMEAN: [f64; 4] = [4.26, 4.18, 4.17, 4.11];
+
+/// Table 4 (base selection): average trace length per benchmark.
+pub const TABLE4_BASE_TRACE_LEN: [(&str, f64); 8] = [
+    ("compress", 24.9),
+    ("gcc", 24.0),
+    ("go", 27.2),
+    ("jpeg", 31.1),
+    ("li", 19.7),
+    ("m88ksim", 24.0),
+    ("perl", 21.2),
+    ("vortex", 25.6),
+];
+
+/// Table 4 (base selection): trace misprediction rate percent.
+pub const TABLE4_BASE_TRACE_MISP: [(&str, f64); 8] = [
+    ("compress", 26.3),
+    ("gcc", 10.1),
+    ("go", 19.9),
+    ("jpeg", 9.5),
+    ("li", 9.4),
+    ("m88ksim", 3.0),
+    ("perl", 3.4),
+    ("vortex", 2.3),
+];
+
+/// Figure 10 (read off the bar chart, approximate): % IPC improvement over
+/// `base` for `[RET, MLB-RET, FG, FG+MLB-RET]`.
+pub const FIG10_IMPROVEMENT: [(&str, [f64; 4]); 8] = [
+    ("compress", [19.0, 19.0, 20.0, 22.0]),
+    ("gcc", [5.0, 7.0, 1.0, 7.0]),
+    ("go", [18.0, 21.0, -1.0, 21.0]),
+    ("jpeg", [1.0, 1.0, 23.0, 25.0]),
+    ("li", [10.0, 2.0, 0.5, 2.0]),
+    ("m88ksim", [1.0, 1.0, 5.0, 4.0]),
+    ("perl", [10.0, 11.0, 1.0, 11.0]),
+    ("vortex", [1.0, 1.0, 0.5, 1.0]),
+];
+
+/// Table 5 (selected rows): fraction of dynamic branches that are FGCI-type
+/// (region <= 32), percent.
+pub const TABLE5_FGCI_FRAC_BR: [(&str, f64); 8] = [
+    ("compress", 40.8),
+    ("gcc", 21.4),
+    ("go", 24.5),
+    ("jpeg", 22.5),
+    ("li", 10.0),
+    ("m88ksim", 33.1),
+    ("perl", 17.0),
+    ("vortex", 37.0),
+];
+
+/// Table 5: fraction of all mispredictions from FGCI-type branches, percent.
+pub const TABLE5_FGCI_FRAC_MISP: [(&str, f64); 8] = [
+    ("compress", 63.1),
+    ("gcc", 20.3),
+    ("go", 24.4),
+    ("jpeg", 60.6),
+    ("li", 3.0),
+    ("m88ksim", 65.0),
+    ("perl", 18.2),
+    ("vortex", 24.2),
+];
+
+/// Table 5: fraction of all mispredictions from backward branches, percent.
+pub const TABLE5_BACKWARD_FRAC_MISP: [(&str, f64); 8] = [
+    ("compress", 19.1),
+    ("gcc", 22.6),
+    ("go", 21.1),
+    ("jpeg", 21.7),
+    ("li", 60.9),
+    ("m88ksim", 4.3),
+    ("perl", 35.6),
+    ("vortex", 33.4),
+];
+
+/// Table 5: overall conditional branch misprediction rate, percent.
+pub const TABLE5_OVERALL_MISP: [(&str, f64); 8] = [
+    ("compress", 9.4),
+    ("gcc", 3.1),
+    ("go", 8.7),
+    ("jpeg", 5.8),
+    ("li", 3.3),
+    ("m88ksim", 0.9),
+    ("perl", 1.2),
+    ("vortex", 0.7),
+];
+
+/// Looks up a per-benchmark reference value.
+pub fn lookup<const N: usize>(table: &[(&str, [f64; N]); 8], name: &str) -> Option<[f64; N]> {
+    table.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+}
+
+/// Looks up a scalar per-benchmark reference value.
+pub fn lookup1(table: &[(&str, f64); 8], name: &str) -> Option<f64> {
+    table.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_cover_all_benchmarks() {
+        for b in BENCHMARKS {
+            assert!(lookup(&TABLE3_IPC, b).is_some());
+            assert!(lookup(&FIG10_IMPROVEMENT, b).is_some());
+            assert!(lookup1(&TABLE5_OVERALL_MISP, b).is_some());
+        }
+    }
+
+    #[test]
+    fn harmonic_mean_matches_table3_row() {
+        let hm = tp_stats::harmonic_mean(TABLE3_IPC.iter().map(|(_, v)| v[0]));
+        assert!((hm - TABLE3_HMEAN[0]).abs() < 0.05, "{hm}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Shared simulation-run helpers for the experiment harnesses.
+
+use tp_core::{CiModel, SimStats, TraceProcessor, TraceProcessorConfig};
+use tp_isa::Program;
+use tp_trace::SelectionConfig;
+
+/// A completed run's headline numbers.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSummary {
+    /// Whether the run halted (it always should).
+    pub halted: bool,
+    /// Final statistics.
+    pub stats: SimStats,
+}
+
+/// Budget applied to every experiment run (workloads halt well before it).
+pub const RUN_BUDGET: u64 = 50_000_000;
+
+/// Runs `program` under a selection-only baseline (no control independence).
+///
+/// # Panics
+///
+/// Panics if the simulator reports a deadlock (a bug, not a result).
+pub fn run_selection(program: &Program, selection: SelectionConfig) -> RunSummary {
+    let cfg = TraceProcessorConfig::baseline(selection);
+    run_with(program, cfg)
+}
+
+/// Runs `program` under a full control-independence model.
+///
+/// # Panics
+///
+/// Panics if the simulator reports a deadlock (a bug, not a result).
+pub fn run_model(program: &Program, model: CiModel) -> RunSummary {
+    let cfg = TraceProcessorConfig::paper(model);
+    run_with(program, cfg)
+}
+
+fn run_with(program: &Program, cfg: TraceProcessorConfig) -> RunSummary {
+    let mut sim = TraceProcessor::new(program, cfg);
+    let result = sim
+        .run(RUN_BUDGET)
+        .unwrap_or_else(|e| panic!("{}: {e}", program.name()));
+    RunSummary { halted: result.halted, stats: result.stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_workloads::{by_name, Size};
+
+    #[test]
+    fn baseline_and_model_runs_complete() {
+        let w = by_name("m88ksim", Size::Tiny);
+        let a = run_selection(&w.program, SelectionConfig::base());
+        assert!(a.halted);
+        let b = run_model(&w.program, CiModel::FgMlbRet);
+        assert!(b.halted);
+        assert_eq!(a.stats.retired_instrs, b.stats.retired_instrs);
+    }
+}

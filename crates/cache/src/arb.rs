@@ -1,0 +1,266 @@
+//! The address resolution buffer (ARB) — speculative memory versions.
+//!
+//! A variant of Franklin & Sohi's ARB sits in front of the data cache and
+//! keeps *speculative versions* per memory word, ordered by sequence number
+//! (program order). Loads issue speculatively — possibly before earlier
+//! stores — and receive the latest program-order-earlier version together
+//! with its sequence number, so the core can later detect that a load read
+//! the wrong version (by snooping store traffic) and selectively reissue it.
+//!
+//! Ordering is *dynamic* in a trace processor with CGCI: the logical order
+//! of processing elements changes as traces are inserted and removed from
+//! the middle of the window, so the ARB never interprets sequence handles
+//! itself — every query supplies a key function that maps a handle to its
+//! current logical position (the paper consults the linked-list control
+//! structure for exactly this translation).
+
+use std::collections::{BTreeMap, HashMap};
+
+use tp_isa::{Addr, Word};
+
+/// An opaque sequence handle identifying one memory instruction in the
+/// window (the core encodes processing element and trace slot).
+///
+/// Handles compare *by identity*; their program order is defined only by
+/// the key function supplied to [`Arb::load`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SeqHandle(pub u64);
+
+/// The value a load received and where it came from, returned by
+/// [`Arb::load`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadResult {
+    /// The loaded value.
+    pub value: Word,
+    /// The sequence handle of the store that produced the value, or `None`
+    /// when the value came from architectural (committed) memory.
+    pub source: Option<SeqHandle>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Version {
+    handle: SeqHandle,
+    value: Word,
+}
+
+/// The address resolution buffer plus the architectural memory backing it.
+///
+/// # Example
+///
+/// ```
+/// use tp_cache::{Arb, SeqHandle};
+///
+/// let mut arb = Arb::new([(0x100, 7)]);
+/// // A store at sequence 5 creates a speculative version.
+/// arb.store(0x100, SeqHandle(5), 42);
+/// // A later load (sequence 9) sees the speculative version...
+/// let r = arb.load(0x100, SeqHandle(9), |h| h.0);
+/// assert_eq!((r.value, r.source), (42, Some(SeqHandle(5))));
+/// // ...but an earlier load (sequence 3) sees architectural memory.
+/// let r = arb.load(0x100, SeqHandle(3), |h| h.0);
+/// assert_eq!((r.value, r.source), (7, None));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Arb {
+    versions: HashMap<u64, Vec<Version>>,
+    backing: HashMap<u64, Word>,
+}
+
+impl Arb {
+    /// Creates an ARB whose architectural memory is initialized from
+    /// `(byte address, word)` pairs.
+    pub fn new(data: impl IntoIterator<Item = (Addr, Word)>) -> Arb {
+        let mut backing = HashMap::new();
+        for (addr, w) in data {
+            backing.insert(addr >> 3, w);
+        }
+        Arb { versions: HashMap::new(), backing }
+    }
+
+    /// Inserts (or, for a reissued store, replaces) the speculative version
+    /// written by `handle` at `addr`.
+    pub fn store(&mut self, addr: Addr, handle: SeqHandle, value: Word) {
+        let list = self.versions.entry(addr >> 3).or_default();
+        if let Some(v) = list.iter_mut().find(|v| v.handle == handle) {
+            v.value = value;
+        } else {
+            list.push(Version { handle, value });
+        }
+    }
+
+    /// Removes the speculative version written by `handle` at `addr`
+    /// (store undo). A no-op if the version does not exist.
+    pub fn undo(&mut self, addr: Addr, handle: SeqHandle) {
+        if let Some(list) = self.versions.get_mut(&(addr >> 3)) {
+            list.retain(|v| v.handle != handle);
+            if list.is_empty() {
+                self.versions.remove(&(addr >> 3));
+            }
+        }
+    }
+
+    /// Performs a speculative load for `handle` at `addr`.
+    ///
+    /// `key` maps a handle to its current logical position; the load
+    /// receives the version with the greatest key strictly less than its
+    /// own, falling back to architectural memory.
+    pub fn load(&mut self, addr: Addr, handle: SeqHandle, key: impl Fn(SeqHandle) -> u64) -> LoadResult {
+        let my_key = key(handle);
+        let best = self
+            .versions
+            .get(&(addr >> 3))
+            .into_iter()
+            .flatten()
+            .filter(|v| key(v.handle) < my_key)
+            .max_by_key(|v| key(v.handle));
+        match best {
+            Some(v) => LoadResult { value: v.value, source: Some(v.handle) },
+            None => LoadResult { value: self.backing_word(addr), source: None },
+        }
+    }
+
+    /// Commits the speculative version written by `handle` at `addr` to
+    /// architectural memory and removes it from the speculative buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the version does not exist (retirement must only commit
+    /// stores that performed).
+    pub fn commit(&mut self, addr: Addr, handle: SeqHandle) {
+        let word = addr >> 3;
+        let list = self.versions.get_mut(&word).expect("commit of unknown store address");
+        let idx = list
+            .iter()
+            .position(|v| v.handle == handle)
+            .expect("commit of unknown store version");
+        let v = list.swap_remove(idx);
+        if list.is_empty() {
+            self.versions.remove(&word);
+        }
+        self.backing.insert(word, v.value);
+    }
+
+    /// Reads architectural memory (committed state only).
+    pub fn backing_word(&self, addr: Addr) -> Word {
+        self.backing.get(&(addr >> 3)).copied().unwrap_or(0)
+    }
+
+    /// Normalized snapshot of architectural memory: non-zero words keyed by
+    /// word index, comparable with
+    /// [`ArchState::mem`](tp_isa::func::ArchState).
+    pub fn arch_mem(&self) -> BTreeMap<u64, Word> {
+        self.backing.iter().filter(|(_, &w)| w != 0).map(|(&a, &w)| (a, w)).collect()
+    }
+
+    /// Number of speculative versions currently buffered (all addresses).
+    pub fn speculative_versions(&self) -> usize {
+        self.versions.values().map(Vec::len).sum()
+    }
+
+    /// Iterates over the handles of all speculative versions at `addr`.
+    pub fn versions_at(&self, addr: Addr) -> impl Iterator<Item = SeqHandle> + '_ {
+        self.versions.get(&(addr >> 3)).into_iter().flatten().map(|v| v.handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(h: SeqHandle) -> u64 {
+        h.0
+    }
+
+    #[test]
+    fn load_sees_latest_earlier_version() {
+        let mut arb = Arb::new([]);
+        arb.store(0x80, SeqHandle(2), 20);
+        arb.store(0x80, SeqHandle(6), 60);
+        arb.store(0x80, SeqHandle(9), 90);
+        let r = arb.load(0x80, SeqHandle(7), k);
+        assert_eq!(r, LoadResult { value: 60, source: Some(SeqHandle(6)) });
+        let r = arb.load(0x80, SeqHandle(100), k);
+        assert_eq!(r.value, 90);
+        let r = arb.load(0x80, SeqHandle(1), k);
+        assert_eq!(r, LoadResult { value: 0, source: None });
+    }
+
+    #[test]
+    fn store_undo_restores_previous_view() {
+        let mut arb = Arb::new([(0x40, 5)]);
+        arb.store(0x40, SeqHandle(3), 33);
+        assert_eq!(arb.load(0x40, SeqHandle(10), k).value, 33);
+        arb.undo(0x40, SeqHandle(3));
+        assert_eq!(arb.load(0x40, SeqHandle(10), k).value, 5);
+        // Undo of a non-existent version is a no-op.
+        arb.undo(0x40, SeqHandle(3));
+        assert_eq!(arb.speculative_versions(), 0);
+    }
+
+    #[test]
+    fn reissued_store_replaces_value_in_place() {
+        let mut arb = Arb::new([]);
+        arb.store(0x10, SeqHandle(4), 1);
+        arb.store(0x10, SeqHandle(4), 2);
+        assert_eq!(arb.speculative_versions(), 1);
+        assert_eq!(arb.load(0x10, SeqHandle(9), k).value, 2);
+    }
+
+    #[test]
+    fn commit_moves_value_to_backing() {
+        let mut arb = Arb::new([]);
+        arb.store(0x20, SeqHandle(1), 11);
+        arb.commit(0x20, SeqHandle(1));
+        assert_eq!(arb.speculative_versions(), 0);
+        assert_eq!(arb.backing_word(0x20), 11);
+        // An early load now sees committed state.
+        assert_eq!(arb.load(0x20, SeqHandle(0), k).value, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "commit of unknown store")]
+    fn commit_of_missing_version_panics() {
+        let mut arb = Arb::new([]);
+        arb.commit(0x20, SeqHandle(1));
+    }
+
+    #[test]
+    fn dynamic_reordering_respects_key_function() {
+        // Two versions whose *handle* order and *logical* order differ —
+        // as happens after CGCI inserts traces in the middle of the window.
+        let mut arb = Arb::new([]);
+        arb.store(0x8, SeqHandle(100), 1); // logically late
+        arb.store(0x8, SeqHandle(200), 2); // logically early
+        let order = |h: SeqHandle| if h.0 == 100 { 50u64 } else { 10u64 };
+        let r = arb.load(0x8, SeqHandle(300), |h| if h.0 == 300 { 40 } else { order(h) });
+        // With the custom order, version 200 (key 10) is the only one
+        // earlier than the load (key 40)... version 100 has key 50 > 40.
+        assert_eq!(r, LoadResult { value: 2, source: Some(SeqHandle(200)) });
+    }
+
+    #[test]
+    fn unaligned_addresses_share_words() {
+        let mut arb = Arb::new([]);
+        arb.store(0x101, SeqHandle(1), 9);
+        assert_eq!(arb.load(0x107, SeqHandle(2), k).value, 9);
+        assert_eq!(arb.load(0x108, SeqHandle(2), k).value, 0);
+    }
+
+    #[test]
+    fn arch_mem_omits_zero_words() {
+        let mut arb = Arb::new([(0x0, 3)]);
+        arb.store(0x0, SeqHandle(1), 0);
+        arb.commit(0x0, SeqHandle(1));
+        assert!(arb.arch_mem().is_empty());
+    }
+
+    #[test]
+    fn versions_at_lists_handles() {
+        let mut arb = Arb::new([]);
+        arb.store(0x8, SeqHandle(1), 1);
+        arb.store(0x8, SeqHandle(2), 2);
+        let mut hs: Vec<u64> = arb.versions_at(0x8).map(|h| h.0).collect();
+        hs.sort_unstable();
+        assert_eq!(hs, vec![1, 2]);
+    }
+}

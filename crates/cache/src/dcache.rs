@@ -1,0 +1,83 @@
+//! Data cache model.
+
+use crate::set_assoc::{CacheStats, SetAssocCache};
+use tp_isa::Addr;
+
+/// The data cache timing model.
+///
+/// The paper's configuration is 64 kB, 4-way, 64 B lines, 14-cycle miss
+/// penalty, 2-cycle hit access. Values are *not* stored here — the ARB and
+/// architectural memory own correctness; this model provides latency only.
+///
+/// # Example
+///
+/// ```
+/// use tp_cache::DCache;
+/// let mut dc = DCache::paper();
+/// assert_eq!(dc.access(0x100), 2 + 14); // cold miss
+/// assert_eq!(dc.access(0x108), 2);      // same 64-byte line: hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct DCache {
+    tags: SetAssocCache,
+    line_bytes: u64,
+    hit_latency: u32,
+    miss_penalty: u32,
+}
+
+impl DCache {
+    /// Creates a data cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero or the geometry is invalid.
+    pub fn new(sets: usize, ways: usize, line_bytes: u64, hit_latency: u32, miss_penalty: u32) -> DCache {
+        assert!(line_bytes > 0, "line size must be non-zero");
+        DCache { tags: SetAssocCache::new(sets, ways), line_bytes, hit_latency, miss_penalty }
+    }
+
+    /// The paper's configuration: 64 kB / 4-way / 64 B lines, 2-cycle hit,
+    /// 14-cycle miss penalty — 1024 lines as 256 sets of 4.
+    pub fn paper() -> DCache {
+        DCache::new(256, 4, 64, 2, 14)
+    }
+
+    /// Accesses the line containing `addr`, returning the total access
+    /// latency in cycles (hit latency, plus the miss penalty on a miss).
+    pub fn access(&mut self, addr: Addr) -> u32 {
+        let line = addr / self.line_bytes;
+        if self.tags.access(line) {
+            self.hit_latency
+        } else {
+            self.hit_latency + self.miss_penalty
+        }
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.tags.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_latencies() {
+        let mut dc = DCache::new(4, 1, 64, 2, 14);
+        assert_eq!(dc.access(0), 16);
+        assert_eq!(dc.access(63), 2);
+        assert_eq!(dc.access(64), 16);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut dc = DCache::paper();
+        dc.access(0);
+        dc.access(0);
+        dc.access(4096 * 64);
+        assert_eq!(dc.stats().accesses, 3);
+        assert_eq!(dc.stats().misses, 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Instruction cache model.
+
+use crate::set_assoc::{CacheStats, SetAssocCache};
+use tp_isa::Pc;
+
+/// The instruction cache: feeds trace construction at one basic block per
+/// cycle.
+///
+/// The paper's configuration is 64 kB, 4-way, 16-instruction lines, 12-cycle
+/// miss penalty. PCs are instruction indices, so a line holds
+/// `line_insts` consecutive PCs.
+///
+/// # Example
+///
+/// ```
+/// use tp_cache::ICache;
+/// let mut ic = ICache::paper();
+/// assert_eq!(ic.access(0), 12); // cold miss
+/// assert_eq!(ic.access(5), 0);  // same 16-instruction line: hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct ICache {
+    tags: SetAssocCache,
+    line_insts: u32,
+    miss_penalty: u32,
+}
+
+impl ICache {
+    /// Creates an instruction cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_insts` is zero or the geometry is invalid.
+    pub fn new(sets: usize, ways: usize, line_insts: u32, miss_penalty: u32) -> ICache {
+        assert!(line_insts > 0, "line size must be non-zero");
+        ICache { tags: SetAssocCache::new(sets, ways), line_insts, miss_penalty }
+    }
+
+    /// The paper's configuration: 64 kB / 4-way / 16-instruction (64 B)
+    /// lines / 12-cycle miss penalty. 64 kB at 4 bytes per instruction is
+    /// 1024 lines, i.e. 256 sets of 4.
+    pub fn paper() -> ICache {
+        ICache::new(256, 4, 16, 12)
+    }
+
+    /// Accesses the line containing `pc`, returning the stall penalty in
+    /// cycles (0 on a hit).
+    pub fn access(&mut self, pc: Pc) -> u32 {
+        let line = pc as u64 / self.line_insts as u64;
+        if self.tags.access(line) {
+            0
+        } else {
+            self.miss_penalty
+        }
+    }
+
+    /// Penalty charged for fetching the instruction range `[from, to]`,
+    /// accessing every line the range touches.
+    pub fn access_range(&mut self, from: Pc, to: Pc) -> u32 {
+        let mut penalty = 0;
+        let first = from as u64 / self.line_insts as u64;
+        let last = to.max(from) as u64 / self.line_insts as u64;
+        for line in first..=last {
+            if !self.tags.access(line) {
+                penalty += self.miss_penalty;
+            }
+        }
+        penalty
+    }
+
+    /// Instructions per cache line.
+    pub fn line_insts(&self) -> u32 {
+        self.line_insts
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.tags.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_granularity() {
+        let mut ic = ICache::new(4, 1, 16, 12);
+        assert_eq!(ic.access(0), 12);
+        assert_eq!(ic.access(15), 0);
+        assert_eq!(ic.access(16), 12);
+    }
+
+    #[test]
+    fn range_access_spans_lines() {
+        let mut ic = ICache::new(4, 2, 16, 12);
+        // Range 10..=20 touches lines 0 and 1, both cold.
+        assert_eq!(ic.access_range(10, 20), 24);
+        assert_eq!(ic.access_range(10, 20), 0);
+    }
+
+    #[test]
+    fn range_with_single_instruction() {
+        let mut ic = ICache::new(4, 2, 16, 12);
+        assert_eq!(ic.access_range(3, 3), 12);
+        assert_eq!(ic.access(3), 0);
+    }
+
+    #[test]
+    fn paper_geometry_has_1024_lines() {
+        let mut ic = ICache::paper();
+        // Fill 1024 distinct lines; with LRU and 256x4 geometry they all fit.
+        for line in 0..1024u32 {
+            ic.access(line * 16);
+        }
+        assert_eq!(ic.stats().misses, 1024);
+        for line in 0..1024u32 {
+            assert_eq!(ic.access(line * 16), 0, "line {line} should still be resident");
+        }
+    }
+}

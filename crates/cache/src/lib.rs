@@ -1,0 +1,22 @@
+//! Memory-hierarchy models for the trace processor: set-associative caches,
+//! the trace cache and the address resolution buffer (ARB).
+//!
+//! All structures here are *timing plus correctness* models. Tag arrays with
+//! LRU replacement provide hit/miss timing for the instruction cache, data
+//! cache and trace cache; the [`arb::Arb`] additionally owns the speculative
+//! and architectural memory *values*, because speculative memory
+//! disambiguation (loads issuing before earlier stores, store undo on
+//! squash) is a correctness-critical part of the paper's selective-recovery
+//! model.
+
+pub mod arb;
+pub mod dcache;
+pub mod icache;
+pub mod set_assoc;
+pub mod trace_cache;
+
+pub use arb::{Arb, LoadResult, SeqHandle};
+pub use dcache::DCache;
+pub use icache::ICache;
+pub use set_assoc::SetAssocCache;
+pub use trace_cache::TraceCache;

@@ -1,0 +1,166 @@
+//! A generic set-associative tag array with LRU replacement.
+
+/// A set-associative cache tag array with true-LRU replacement.
+///
+/// The cache tracks only presence (tags), not data: data correctness is
+/// handled elsewhere (the ARB and architectural memory for the data cache;
+/// the program image for the instruction cache). Lines are identified by a
+/// caller-provided line id (e.g. `addr / line_bytes`).
+///
+/// # Example
+///
+/// ```
+/// use tp_cache::SetAssocCache;
+/// let mut c = SetAssocCache::new(2, 2); // 2 sets, 2 ways
+/// assert!(!c.access(0)); // cold miss
+/// assert!(c.access(0));  // hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    lru: u64,
+}
+
+/// Hit/miss statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses (including cold misses).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; 0 when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl SetAssocCache {
+    /// Creates a cache with `sets` sets (power of two) of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> SetAssocCache {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0, "associativity must be non-zero");
+        SetAssocCache { sets: vec![Vec::new(); sets], ways, tick: 0, stats: CacheStats::default() }
+    }
+
+    /// Accesses `line_id`, returning whether it hit. On a miss the line is
+    /// filled, evicting the set's LRU way if necessary.
+    pub fn access(&mut self, line_id: u64) -> bool {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let ways = self.ways;
+        let tick = self.tick;
+        let n = self.sets.len() as u64;
+        let (set, tag) = ((line_id & (n - 1)) as usize, line_id / n);
+        let set = &mut self.sets[set];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.lru = tick;
+            return true;
+        }
+        self.stats.misses += 1;
+        if set.len() >= ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("set non-empty");
+            set.swap_remove(victim);
+        }
+        set.push(Line { tag, lru: tick });
+        false
+    }
+
+    /// Probes for `line_id` without updating LRU, filling or counting.
+    pub fn contains(&self, line_id: u64) -> bool {
+        let n = self.sets.len() as u64;
+        let (set, tag) = ((line_id & (n - 1)) as usize, line_id / n);
+        self.sets[set].iter().any(|l| l.tag == tag)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = SetAssocCache::new(4, 2);
+        assert!(!c.access(10));
+        assert!(c.access(10));
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.access(0);
+        c.access(1);
+        c.access(0); // 1 is now LRU
+        c.access(2); // evicts 1
+        assert!(c.contains(0));
+        assert!(!c.contains(1));
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.access(0); // set 0
+        c.access(1); // set 1
+        assert!(c.contains(0));
+        assert!(c.contains(1));
+        c.access(2); // set 0 again: evicts 0
+        assert!(!c.contains(0));
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn contains_does_not_mutate() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.access(4);
+        let before = c.stats();
+        assert!(c.contains(4));
+        assert!(!c.contains(6));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.access(0);
+        c.access(0);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_sets_rejected() {
+        let _ = SetAssocCache::new(3, 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! The trace cache.
+
+use std::sync::Arc;
+
+use tp_trace::{Trace, TraceId};
+
+/// Hit/miss statistics for the trace cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCacheStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Fills performed (including replacing an existing line).
+    pub fills: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Line {
+    id: TraceId,
+    trace: Arc<Trace>,
+    lru: u64,
+}
+
+/// The trace cache: low-latency, high-bandwidth storage of pre-renamed
+/// traces, indexed and tagged by full [`TraceId`] (starting PC plus embedded
+/// branch outcomes — path associativity).
+///
+/// The paper's configuration is 128 kB, 4-way, LRU, with 32-instruction
+/// lines: 1024 trace lines as 256 sets of 4.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use tp_cache::TraceCache;
+/// use tp_trace::{EndReason, Trace, TraceId};
+/// use tp_isa::Inst;
+///
+/// let id = TraceId::new(0, 0, 0);
+/// let trace = Arc::new(Trace::assemble(id, &[(0, Inst::Halt, None, false)], EndReason::Halt, None));
+/// let mut tc = TraceCache::paper();
+/// assert!(tc.lookup(id).is_none());
+/// tc.fill(trace.clone());
+/// assert!(tc.lookup(id).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceCache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    tick: u64,
+    stats: TraceCacheStats,
+}
+
+impl TraceCache {
+    /// Creates a trace cache with `sets` sets (power of two) of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> TraceCache {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0, "associativity must be non-zero");
+        TraceCache { sets: vec![Vec::new(); sets], ways, tick: 0, stats: TraceCacheStats::default() }
+    }
+
+    /// The paper's configuration: 128 kB / 4-way / 32-instruction lines —
+    /// 256 sets of 4.
+    pub fn paper() -> TraceCache {
+        TraceCache::new(256, 4)
+    }
+
+    fn set_index(&self, id: TraceId) -> usize {
+        (id.hash64() & (self.sets.len() as u64 - 1)) as usize
+    }
+
+    /// Looks up a trace by id, updating LRU and statistics.
+    pub fn lookup(&mut self, id: TraceId) -> Option<Arc<Trace>> {
+        self.tick += 1;
+        self.stats.lookups += 1;
+        let tick = self.tick;
+        let set = self.set_index(id);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.id == id) {
+            line.lru = tick;
+            return Some(line.trace.clone());
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Probes for a trace without updating LRU or statistics.
+    pub fn contains(&self, id: TraceId) -> bool {
+        let set = self.set_index(id);
+        self.sets[set].iter().any(|l| l.id == id)
+    }
+
+    /// Fills a trace, evicting the set's LRU line when full. Re-filling an
+    /// existing id replaces its trace in place.
+    pub fn fill(&mut self, trace: Arc<Trace>) {
+        self.tick += 1;
+        self.stats.fills += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let id = trace.id();
+        let set = self.set_index(id);
+        let set = &mut self.sets[set];
+        if let Some(line) = set.iter_mut().find(|l| l.id == id) {
+            line.trace = trace;
+            line.lru = tick;
+            return;
+        }
+        if set.len() >= ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("set non-empty");
+            set.swap_remove(victim);
+        }
+        set.push(Line { id, trace, lru: tick });
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TraceCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_isa::Inst;
+    use tp_trace::EndReason;
+
+    fn trace(start: u32, mask: u32, branches: u8) -> Arc<Trace> {
+        let id = TraceId::new(start, mask, branches);
+        Arc::new(Trace::assemble(id, &[(start, Inst::Nop, None, false)], EndReason::MaxLen, Some(start + 1)))
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut tc = TraceCache::new(8, 2);
+        let t = trace(5, 0, 0);
+        assert!(tc.lookup(t.id()).is_none());
+        tc.fill(t.clone());
+        let got = tc.lookup(t.id()).unwrap();
+        assert_eq!(got.id(), t.id());
+        assert_eq!(tc.stats().lookups, 2);
+        assert_eq!(tc.stats().misses, 1);
+        assert_eq!(tc.stats().fills, 1);
+    }
+
+    #[test]
+    fn path_associativity_distinguishes_same_start() {
+        // Two traces with the same start PC but different branch outcomes
+        // coexist (path associativity).
+        let mut tc = TraceCache::paper();
+        let a = trace(10, 0b0, 1);
+        let b = trace(10, 0b1, 1);
+        tc.fill(a.clone());
+        tc.fill(b.clone());
+        assert!(tc.lookup(a.id()).is_some());
+        assert!(tc.lookup(b.id()).is_some());
+    }
+
+    #[test]
+    fn refill_replaces_in_place() {
+        let mut tc = TraceCache::new(8, 2);
+        let t1 = trace(3, 0, 0);
+        tc.fill(t1.clone());
+        tc.fill(t1.clone());
+        assert_eq!(tc.stats().fills, 2);
+        assert!(tc.lookup(t1.id()).is_some());
+    }
+
+    #[test]
+    fn contains_is_side_effect_free() {
+        let mut tc = TraceCache::new(8, 2);
+        let t = trace(1, 0, 0);
+        tc.fill(t.clone());
+        let before = tc.stats();
+        assert!(tc.contains(t.id()));
+        assert!(!tc.contains(TraceId::new(2, 0, 0)));
+        assert_eq!(tc.stats(), before);
+    }
+
+    #[test]
+    fn eviction_prefers_lru() {
+        // Force traces into one set by brute-force search for colliding ids.
+        let mut tc = TraceCache::new(1, 2); // single set: everything collides
+        let a = trace(1, 0, 0);
+        let b = trace(2, 0, 0);
+        let c = trace(3, 0, 0);
+        tc.fill(a.clone());
+        tc.fill(b.clone());
+        assert!(tc.lookup(a.id()).is_some()); // b becomes LRU
+        tc.fill(c.clone());
+        assert!(tc.contains(a.id()));
+        assert!(!tc.contains(b.id()));
+        assert!(tc.contains(c.id()));
+    }
+}

@@ -1,0 +1,238 @@
+//! Trace processor configuration (the paper's Table 1).
+
+use tp_predict::TracePredictorConfig;
+use tp_trace::SelectionConfig;
+
+/// Which coarse-grain control independence heuristic the frontend uses to
+/// locate a trace-level re-convergent point (paper Section 4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CgciHeuristic {
+    /// `RET`: the trace following the nearest return-ending trace is assumed
+    /// control independent.
+    Ret,
+    /// `MLB-RET`: for mispredicted backward branches, the nearest trace
+    /// starting at the branch's not-taken target; otherwise `RET`.
+    MlbRet,
+}
+
+/// The control-independence models evaluated in the paper's Section 6.2,
+/// plus the selection-only baselines of Section 6.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CiModel {
+    /// No control independence: every misprediction squashes all younger
+    /// traces (`base` family).
+    None,
+    /// Coarse-grain only, `RET` heuristic (default trace selection).
+    Ret,
+    /// Coarse-grain only, `MLB-RET` heuristic (requires `ntb` selection).
+    MlbRet,
+    /// Fine-grain only (requires `fg` selection).
+    Fg,
+    /// Fine-grain plus coarse-grain `MLB-RET` (requires `fg` + `ntb`).
+    FgMlbRet,
+}
+
+impl CiModel {
+    /// The paper's name for this model.
+    pub fn name(self) -> &'static str {
+        match self {
+            CiModel::None => "base",
+            CiModel::Ret => "RET",
+            CiModel::MlbRet => "MLB-RET",
+            CiModel::Fg => "FG",
+            CiModel::FgMlbRet => "FG+MLB-RET",
+        }
+    }
+
+    /// The trace selection each model uses (Section 6.2 pairs each CI model
+    /// with the selection constraints that expose its re-convergent points).
+    pub fn selection(self) -> SelectionConfig {
+        match self {
+            CiModel::None | CiModel::Ret => SelectionConfig::base(),
+            CiModel::MlbRet => SelectionConfig::with_ntb(),
+            CiModel::Fg => SelectionConfig::with_fg(),
+            CiModel::FgMlbRet => SelectionConfig::with_fg_ntb(),
+        }
+    }
+}
+
+/// Full configuration of the trace processor (defaults follow Table 1).
+#[derive(Clone, Debug)]
+pub struct TraceProcessorConfig {
+    /// Number of processing elements (16).
+    pub num_pes: usize,
+    /// Issue width per PE (4).
+    pub pe_issue_width: usize,
+    /// Trace selection configuration (max trace length 32 plus the
+    /// `ntb`/`fg` constraints).
+    pub selection: SelectionConfig,
+    /// Enable fine-grain control independence recovery.
+    pub fgci: bool,
+    /// Enable coarse-grain control independence recovery with a heuristic.
+    pub cgci: Option<CgciHeuristic>,
+    /// Frontend latency in cycles from prediction to dispatch (2).
+    pub frontend_latency: u64,
+    /// Global result buses per cycle (8).
+    pub result_buses: usize,
+    /// Result buses usable by one PE per cycle (4).
+    pub result_buses_per_pe: usize,
+    /// Cache buses per cycle (8).
+    pub cache_buses: usize,
+    /// Cache buses usable by one PE per cycle (4).
+    pub cache_buses_per_pe: usize,
+    /// Extra bypass latency for inter-PE (global) values (1).
+    pub bypass_latency: u64,
+    /// Address generation latency for loads/stores (1).
+    pub agen_latency: u64,
+    /// Penalty when a load reissues due to a snoop hit (1).
+    pub load_reissue_penalty: u64,
+    /// Next-trace predictor configuration.
+    pub predictor: TracePredictorConfig,
+    /// BTB entries (16K, tagless).
+    pub btb_entries: usize,
+    /// Return address stack depth.
+    pub ras_depth: usize,
+    /// BIT entries (8K) and associativity (4).
+    pub bit_entries: usize,
+    /// BIT associativity.
+    pub bit_ways: usize,
+    /// Trace cache sets (256) and ways (4).
+    pub tcache_sets: usize,
+    /// Trace cache ways.
+    pub tcache_ways: usize,
+    /// Verify committed state against the functional oracle at every trace
+    /// retirement (slow; intended for tests).
+    pub verify_with_oracle: bool,
+    /// Abort the run if no instruction retires for this many cycles.
+    pub deadlock_cycles: u64,
+}
+
+impl TraceProcessorConfig {
+    /// The paper's Table 1 configuration with the given control-independence
+    /// model (which also fixes the trace selection constraints).
+    pub fn paper(model: CiModel) -> TraceProcessorConfig {
+        let (fgci, cgci) = match model {
+            CiModel::None => (false, None),
+            CiModel::Ret => (false, Some(CgciHeuristic::Ret)),
+            CiModel::MlbRet => (false, Some(CgciHeuristic::MlbRet)),
+            CiModel::Fg => (true, None),
+            CiModel::FgMlbRet => (true, Some(CgciHeuristic::MlbRet)),
+        };
+        TraceProcessorConfig {
+            num_pes: 16,
+            pe_issue_width: 4,
+            selection: model.selection(),
+            fgci,
+            cgci,
+            frontend_latency: 2,
+            result_buses: 8,
+            result_buses_per_pe: 4,
+            cache_buses: 8,
+            cache_buses_per_pe: 4,
+            bypass_latency: 1,
+            agen_latency: 1,
+            load_reissue_penalty: 1,
+            predictor: TracePredictorConfig::paper(),
+            btb_entries: 16 * 1024,
+            ras_depth: 64,
+            bit_entries: 8192,
+            bit_ways: 4,
+            tcache_sets: 256,
+            tcache_ways: 4,
+            verify_with_oracle: false,
+            deadlock_cycles: 50_000,
+        }
+    }
+
+    /// A selection-only baseline (`base`, `base(ntb)`, `base(fg)`,
+    /// `base(fg,ntb)`): no control independence, custom selection.
+    pub fn baseline(selection: SelectionConfig) -> TraceProcessorConfig {
+        TraceProcessorConfig { selection, ..TraceProcessorConfig::paper(CiModel::None) }
+    }
+
+    /// A small configuration (4 PEs, length-8 traces, tiny predictor) for
+    /// fast unit tests.
+    pub fn small(model: CiModel) -> TraceProcessorConfig {
+        let mut c = TraceProcessorConfig::paper(model);
+        c.num_pes = 4;
+        c.selection.max_len = 8;
+        c.predictor = TracePredictorConfig::tiny();
+        c.btb_entries = 256;
+        c.tcache_sets = 16;
+        c.deadlock_cycles = 20_000;
+        c
+    }
+
+    /// Enables per-trace verification against the functional oracle.
+    pub fn with_oracle(mut self) -> TraceProcessorConfig {
+        self.verify_with_oracle = true;
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's requirements are violated (e.g. FGCI without
+    /// `fg` selection, MLB-RET without `ntb` selection, zero sizes).
+    pub fn validate(&self) {
+        assert!(self.num_pes >= 2, "need at least two PEs");
+        assert!(self.pe_issue_width >= 1, "issue width must be non-zero");
+        if self.fgci {
+            assert!(self.selection.fg, "FGCI recovery requires fg trace selection");
+        }
+        if self.cgci == Some(CgciHeuristic::MlbRet) {
+            assert!(self.selection.ntb, "MLB-RET requires ntb trace selection to expose loop exits");
+        }
+        assert!(self.result_buses_per_pe <= self.result_buses);
+        assert!(self.cache_buses_per_pe <= self.cache_buses);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_models_pick_matching_selection() {
+        assert!(!TraceProcessorConfig::paper(CiModel::Ret).selection.ntb);
+        assert!(TraceProcessorConfig::paper(CiModel::MlbRet).selection.ntb);
+        assert!(TraceProcessorConfig::paper(CiModel::Fg).selection.fg);
+        let c = TraceProcessorConfig::paper(CiModel::FgMlbRet);
+        assert!(c.selection.fg && c.selection.ntb);
+        c.validate();
+    }
+
+    #[test]
+    fn model_names_match_paper() {
+        assert_eq!(CiModel::None.name(), "base");
+        assert_eq!(CiModel::Ret.name(), "RET");
+        assert_eq!(CiModel::MlbRet.name(), "MLB-RET");
+        assert_eq!(CiModel::Fg.name(), "FG");
+        assert_eq!(CiModel::FgMlbRet.name(), "FG+MLB-RET");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires fg")]
+    fn fgci_without_fg_selection_is_invalid() {
+        let mut c = TraceProcessorConfig::paper(CiModel::Fg);
+        c.selection.fg = false;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "requires ntb")]
+    fn mlb_without_ntb_selection_is_invalid() {
+        let mut c = TraceProcessorConfig::paper(CiModel::MlbRet);
+        c.selection.ntb = false;
+        c.validate();
+    }
+
+    #[test]
+    fn baseline_has_no_ci() {
+        let c = TraceProcessorConfig::baseline(SelectionConfig::with_fg_ntb());
+        assert!(!c.fgci);
+        assert!(c.cgci.is_none());
+        c.validate();
+    }
+}

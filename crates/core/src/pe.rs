@@ -1,0 +1,281 @@
+//! Processing elements and their instruction slots.
+
+use std::sync::Arc;
+
+use tp_isa::{Addr, Pc, Word};
+use tp_predict::TraceHistory;
+use tp_trace::{Trace, TraceInst};
+
+use crate::physreg::{PhysRegId, RenameMap};
+
+/// Execution state of one instruction slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotState {
+    /// Not issued (or selectively reissued): waiting for operands and an
+    /// issue port.
+    Waiting,
+    /// Issued; completes at the contained cycle.
+    Executing { done_at: u64 },
+    /// Load/store after address generation, waiting for a cache bus.
+    WaitingBus { since: u64 },
+    /// Load/store granted a bus, accessing memory.
+    MemAccess { done_at: u64 },
+    /// Completed (may still reissue if an input value changes).
+    Done,
+}
+
+/// A misprediction discovered by executing a slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Conditional branch resolved against its embedded outcome.
+    CondBranch {
+        /// The actual outcome.
+        actual: bool,
+    },
+    /// Trace-ending indirect transfer resolved to a different target than
+    /// the dispatched/predicted successor.
+    Indirect {
+        /// The actual target (`None` when it leaves the program image —
+        /// possible only on wrong paths).
+        actual: Option<Pc>,
+    },
+}
+
+/// One instruction slot in a PE.
+#[derive(Clone, Debug)]
+pub struct Slot {
+    /// The trace instruction occupying the slot.
+    pub ti: TraceInst,
+    /// Resolved source physical registers.
+    pub srcs: [Option<PhysRegId>; 2],
+    /// Destination physical register.
+    pub dest: Option<PhysRegId>,
+    /// Whether the destination is a trace live-out (its value crosses PEs
+    /// via a global result bus).
+    pub is_liveout: bool,
+    /// Execution state.
+    pub state: SlotState,
+    /// A new input arrived while in flight / after completion: reissue.
+    pub pending_reissue: bool,
+    /// The slot must not issue before this cycle (load snoop penalty).
+    pub not_before: u64,
+    /// Latest computed destination value.
+    pub value: Word,
+    /// Whether `value` has been produced at least once.
+    pub has_value: bool,
+    /// Latest computed branch outcome.
+    pub outcome: Option<bool>,
+    /// Latest computed indirect target.
+    pub indirect_target: Option<Word>,
+    /// Effective address currently held in the ARB for a performed store, or
+    /// the address the last load read from.
+    pub mem_addr: Option<Addr>,
+    /// For loads: the sequence handle of the store that supplied the data
+    /// (`None` = architectural memory).
+    pub load_src: Option<u64>,
+    /// For stores: whether a version is currently in the ARB.
+    pub store_performed: bool,
+    /// Unresolved misprediction discovered by this slot.
+    pub fault: Option<Fault>,
+    /// How many times the slot issued (statistics).
+    pub issues: u32,
+    /// Set when a repair replaced this slot's embedded outcome (the slot's
+    /// original prediction was wrong); counted at retirement.
+    pub was_mispredicted: bool,
+}
+
+impl Slot {
+    /// Creates a fresh slot for `ti` (operands bound later by rename).
+    pub fn new(ti: TraceInst) -> Slot {
+        Slot {
+            ti,
+            srcs: [None; 2],
+            dest: None,
+            is_liveout: false,
+            state: SlotState::Waiting,
+            pending_reissue: false,
+            not_before: 0,
+            value: 0,
+            has_value: false,
+            outcome: None,
+            indirect_target: None,
+            mem_addr: None,
+            load_src: None,
+            store_performed: false,
+            fault: None,
+            issues: 0,
+            was_mispredicted: false,
+        }
+    }
+
+    /// Whether the slot has finished (and no reissue is pending).
+    pub fn is_complete(&self) -> bool {
+        self.state == SlotState::Done && !self.pending_reissue && self.fault.is_none()
+    }
+
+    /// Marks the slot for selective reissue: back to `Waiting` if it already
+    /// completed, or flagged to requeue on completion if in flight.
+    pub fn mark_reissue(&mut self, not_before: u64) {
+        self.not_before = self.not_before.max(not_before);
+        match self.state {
+            SlotState::Done => {
+                self.state = SlotState::Waiting;
+                self.pending_reissue = false;
+            }
+            SlotState::Waiting => {}
+            _ => self.pending_reissue = true,
+        }
+    }
+}
+
+/// Why a PE's trace was fetched (statistics and predictor training).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchSource {
+    /// Predicted by the next-trace predictor and found in the trace cache.
+    PredictedHit,
+    /// Predicted by the next-trace predictor, constructed on a trace cache
+    /// miss.
+    PredictedMiss,
+    /// No prediction: constructed from the fall-through PC with the BTB.
+    Fallback,
+}
+
+/// A processing element: holds one trace and its execution state.
+#[derive(Clone, Debug)]
+pub struct Pe {
+    /// Whether a trace currently occupies the PE.
+    pub occupied: bool,
+    /// Generation counter, bumped on every (re)allocation; stale references
+    /// (bus queues, reader lists) are validated against it.
+    pub gen: u64,
+    /// The trace (kept in sync with repairs).
+    pub trace: Arc<Trace>,
+    /// Instruction slots, one per trace instruction.
+    pub slots: Vec<Slot>,
+    /// Rename map checkpoint *before* this trace.
+    pub map_before: RenameMap,
+    /// Rename map *after* this trace (before = after of the previous PE).
+    pub map_after: RenameMap,
+    /// Speculative fetch history checkpoint taken before this trace was
+    /// predicted (restored on recovery).
+    pub hist_before: TraceHistory,
+    /// How the trace entered the window.
+    pub source: FetchSource,
+    /// Times the trace was repaired in place (committed-path trace
+    /// mispredictions when it retires).
+    pub repairs: u32,
+    /// Cycle the trace was dispatched.
+    pub dispatched_at: u64,
+}
+
+impl Pe {
+    /// Creates an empty PE (placeholder trace replaced at first dispatch).
+    pub fn empty(hist: TraceHistory) -> Pe {
+        use tp_isa::Inst;
+        use tp_trace::{EndReason, TraceId};
+        let dummy = Arc::new(Trace::assemble(
+            TraceId::new(0, 0, 0),
+            &[(0, Inst::Nop, None, false)],
+            EndReason::MaxLen,
+            Some(0),
+        ));
+        Pe {
+            occupied: false,
+            gen: 0,
+            trace: dummy,
+            slots: Vec::new(),
+            map_before: [PhysRegId::ZERO; tp_isa::Reg::COUNT],
+            map_after: [PhysRegId::ZERO; tp_isa::Reg::COUNT],
+            hist_before: hist,
+            source: FetchSource::Fallback,
+            repairs: 0,
+            dispatched_at: 0,
+        }
+    }
+
+    /// Index of the oldest slot holding an unresolved fault.
+    pub fn first_fault(&self) -> Option<usize> {
+        self.slots.iter().position(|s| s.fault.is_some())
+    }
+
+    /// Whether every slot has completed (trace is ready to retire, pending
+    /// the logical-order checks done by the core).
+    pub fn all_complete(&self) -> bool {
+        self.slots.iter().all(Slot::is_complete)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_isa::{AluOp, Inst, Reg};
+    use tp_trace::OperandRef;
+
+    fn ti(inst: Inst) -> TraceInst {
+        TraceInst {
+            pc: 0,
+            inst,
+            embedded_taken: None,
+            srcs: [None, None],
+            dest: inst.dest(),
+            fgci_covered: false,
+        }
+    }
+
+    #[test]
+    fn fresh_slot_is_waiting() {
+        let s = Slot::new(ti(Inst::Nop));
+        assert_eq!(s.state, SlotState::Waiting);
+        assert!(!s.is_complete());
+    }
+
+    #[test]
+    fn mark_reissue_from_done_requeues() {
+        let mut s = Slot::new(ti(Inst::Nop));
+        s.state = SlotState::Done;
+        s.mark_reissue(5);
+        assert_eq!(s.state, SlotState::Waiting);
+        assert!(!s.pending_reissue);
+        assert_eq!(s.not_before, 5);
+    }
+
+    #[test]
+    fn mark_reissue_in_flight_sets_flag() {
+        let mut s = Slot::new(ti(Inst::Nop));
+        s.state = SlotState::Executing { done_at: 9 };
+        s.mark_reissue(3);
+        assert_eq!(s.state, SlotState::Executing { done_at: 9 });
+        assert!(s.pending_reissue);
+    }
+
+    #[test]
+    fn completion_requires_no_fault_and_no_reissue() {
+        let mut s = Slot::new(ti(Inst::Nop));
+        s.state = SlotState::Done;
+        assert!(s.is_complete());
+        s.fault = Some(Fault::CondBranch { actual: true });
+        assert!(!s.is_complete());
+        s.fault = None;
+        s.pending_reissue = true;
+        assert!(!s.is_complete());
+    }
+
+    #[test]
+    fn pe_first_fault_finds_oldest() {
+        let mut pe = Pe::empty(TraceHistory::new(4));
+        pe.slots = vec![Slot::new(ti(Inst::Nop)), Slot::new(ti(Inst::Nop)), Slot::new(ti(Inst::Nop))];
+        assert_eq!(pe.first_fault(), None);
+        pe.slots[2].fault = Some(Fault::CondBranch { actual: false });
+        pe.slots[1].fault = Some(Fault::CondBranch { actual: true });
+        assert_eq!(pe.first_fault(), Some(1));
+    }
+
+    #[test]
+    fn operand_ref_metadata_survives_in_slot() {
+        let inst = Inst::Alu { op: AluOp::Add, rd: Reg::new(1), rs: Reg::new(2), rt: Reg::new(3) };
+        let mut t = ti(inst);
+        t.srcs = [Some((Reg::new(2), OperandRef::LiveIn(Reg::new(2)))), Some((Reg::new(3), OperandRef::Local(0)))];
+        let s = Slot::new(t);
+        assert_eq!(s.ti.srcs[1], Some((Reg::new(3), OperandRef::Local(0))));
+    }
+}

@@ -1,0 +1,300 @@
+//! Linked-list management of processing elements.
+//!
+//! With coarse-grain control independence, the logical (program) order of
+//! PEs can no longer be inferred from head/tail pointers and physical
+//! order: traces are inserted and removed from the *middle* of the window.
+//! The paper's control structure is "a small table indexed by physical PE
+//! number, with each entry containing three fields: logical PE number and
+//! pointers to the previous and next PEs", plus head/tail pointers — which
+//! is exactly what this module implements. The logical-number field exists
+//! solely to translate physical sequence numbers for memory disambiguation.
+
+/// The PE linked-list control structure.
+#[derive(Clone, Debug)]
+pub struct PeList {
+    next: Vec<Option<usize>>,
+    prev: Vec<Option<usize>>,
+    logical: Vec<u64>,
+    in_list: Vec<bool>,
+    head: Option<usize>,
+    tail: Option<usize>,
+    len: usize,
+}
+
+impl PeList {
+    /// Creates an empty list over `num_pes` physical PEs.
+    pub fn new(num_pes: usize) -> PeList {
+        PeList {
+            next: vec![None; num_pes],
+            prev: vec![None; num_pes],
+            logical: vec![0; num_pes],
+            in_list: vec![false; num_pes],
+            head: None,
+            tail: None,
+            len: 0,
+        }
+    }
+
+    /// The oldest PE.
+    pub fn head(&self) -> Option<usize> {
+        self.head
+    }
+
+    /// The youngest (most speculative) PE.
+    pub fn tail(&self) -> Option<usize> {
+        self.tail
+    }
+
+    /// Number of PEs currently in the list.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `pe` is currently in the list.
+    pub fn contains(&self, pe: usize) -> bool {
+        self.in_list[pe]
+    }
+
+    /// The PE after `pe` in logical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not in the list.
+    pub fn next(&self, pe: usize) -> Option<usize> {
+        assert!(self.in_list[pe], "PE {pe} not in list");
+        self.next[pe]
+    }
+
+    /// The PE before `pe` in logical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not in the list.
+    pub fn prev(&self, pe: usize) -> Option<usize> {
+        assert!(self.in_list[pe], "PE {pe} not in list");
+        self.prev[pe]
+    }
+
+    /// The logical number of `pe` — its position in program order. Used to
+    /// translate physical sequence numbers for the ARB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not in the list.
+    pub fn logical(&self, pe: usize) -> u64 {
+        assert!(self.in_list[pe], "PE {pe} not in list");
+        self.logical[pe]
+    }
+
+    /// Appends `pe` at the tail (normal dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is already in the list.
+    pub fn push_tail(&mut self, pe: usize) {
+        assert!(!self.in_list[pe], "PE {pe} already in list");
+        self.prev[pe] = self.tail;
+        self.next[pe] = None;
+        if let Some(t) = self.tail {
+            self.next[t] = Some(pe);
+        } else {
+            self.head = Some(pe);
+        }
+        self.tail = Some(pe);
+        self.in_list[pe] = true;
+        self.len += 1;
+        self.renumber();
+    }
+
+    /// Inserts `pe` immediately before `before` (CGCI insertion of a
+    /// control-dependent trace in the middle of the window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is already in the list or `before` is not.
+    pub fn insert_before(&mut self, pe: usize, before: usize) {
+        assert!(!self.in_list[pe], "PE {pe} already in list");
+        assert!(self.in_list[before], "PE {before} not in list");
+        let p = self.prev[before];
+        self.prev[pe] = p;
+        self.next[pe] = Some(before);
+        self.prev[before] = Some(pe);
+        match p {
+            Some(p) => self.next[p] = Some(pe),
+            None => self.head = Some(pe),
+        }
+        self.in_list[pe] = true;
+        self.len += 1;
+        self.renumber();
+    }
+
+    /// Removes `pe` (retirement at the head, or a squash anywhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not in the list.
+    pub fn remove(&mut self, pe: usize) {
+        assert!(self.in_list[pe], "PE {pe} not in list");
+        let (p, n) = (self.prev[pe], self.next[pe]);
+        match p {
+            Some(p) => self.next[p] = n,
+            None => self.head = n,
+        }
+        match n {
+            Some(n) => self.prev[n] = p,
+            None => self.tail = p,
+        }
+        self.in_list[pe] = false;
+        self.prev[pe] = None;
+        self.next[pe] = None;
+        self.len -= 1;
+        self.renumber();
+    }
+
+    /// PEs in logical (program) order, oldest first.
+    pub fn iter(&self) -> PeListIter<'_> {
+        PeListIter { list: self, cur: self.head }
+    }
+
+    /// PEs strictly after `pe`, in logical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not in the list.
+    pub fn iter_after(&self, pe: usize) -> PeListIter<'_> {
+        assert!(self.in_list[pe], "PE {pe} not in list");
+        PeListIter { list: self, cur: self.next[pe] }
+    }
+
+    fn renumber(&mut self) {
+        let mut n = 0;
+        let mut cur = self.head;
+        while let Some(pe) = cur {
+            self.logical[pe] = n;
+            n += 1;
+            cur = self.next[pe];
+        }
+    }
+}
+
+/// Iterator over PEs in logical order (see [`PeList::iter`]).
+#[derive(Clone, Debug)]
+pub struct PeListIter<'a> {
+    list: &'a PeList,
+    cur: Option<usize>,
+}
+
+impl Iterator for PeListIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let pe = self.cur?;
+        self.cur = self.list.next[pe];
+        Some(pe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order(list: &PeList) -> Vec<usize> {
+        list.iter().collect()
+    }
+
+    #[test]
+    fn push_and_remove_fifo() {
+        let mut l = PeList::new(4);
+        assert!(l.is_empty());
+        l.push_tail(2);
+        l.push_tail(0);
+        l.push_tail(3);
+        assert_eq!(order(&l), vec![2, 0, 3]);
+        assert_eq!(l.head(), Some(2));
+        assert_eq!(l.tail(), Some(3));
+        assert_eq!(l.logical(0), 1);
+        l.remove(2); // retire head
+        assert_eq!(order(&l), vec![0, 3]);
+        assert_eq!(l.logical(0), 0);
+        assert_eq!(l.logical(3), 1);
+    }
+
+    #[test]
+    fn insert_before_middle_and_head() {
+        let mut l = PeList::new(5);
+        l.push_tail(0);
+        l.push_tail(1);
+        l.insert_before(2, 1);
+        assert_eq!(order(&l), vec![0, 2, 1]);
+        l.insert_before(3, 0);
+        assert_eq!(order(&l), vec![3, 0, 2, 1]);
+        assert_eq!(l.head(), Some(3));
+        assert_eq!(l.logical(1), 3);
+    }
+
+    #[test]
+    fn remove_middle_relinks() {
+        let mut l = PeList::new(4);
+        l.push_tail(0);
+        l.push_tail(1);
+        l.push_tail(2);
+        l.remove(1);
+        assert_eq!(order(&l), vec![0, 2]);
+        assert_eq!(l.next(0), Some(2));
+        assert_eq!(l.prev(2), Some(0));
+        assert!(!l.contains(1));
+    }
+
+    #[test]
+    fn remove_tail_updates_tail() {
+        let mut l = PeList::new(3);
+        l.push_tail(0);
+        l.push_tail(1);
+        l.remove(1);
+        assert_eq!(l.tail(), Some(0));
+        l.push_tail(2);
+        assert_eq!(order(&l), vec![0, 2]);
+    }
+
+    #[test]
+    fn iter_after_skips_older() {
+        let mut l = PeList::new(4);
+        for pe in [3, 1, 0, 2] {
+            l.push_tail(pe);
+        }
+        let after: Vec<usize> = l.iter_after(1).collect();
+        assert_eq!(after, vec![0, 2]);
+    }
+
+    #[test]
+    fn logical_numbers_track_insertions() {
+        let mut l = PeList::new(4);
+        l.push_tail(0);
+        l.push_tail(1);
+        // Insert 2 between them: sequence numbers must re-translate.
+        l.insert_before(2, 1);
+        assert_eq!(l.logical(0), 0);
+        assert_eq!(l.logical(2), 1);
+        assert_eq!(l.logical(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in list")]
+    fn double_insert_panics() {
+        let mut l = PeList::new(2);
+        l.push_tail(0);
+        l.push_tail(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in list")]
+    fn remove_absent_panics() {
+        let mut l = PeList::new(2);
+        l.remove(0);
+    }
+}

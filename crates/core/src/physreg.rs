@@ -1,0 +1,194 @@
+//! Physical registers and the global register file.
+//!
+//! Every dispatched instruction with a destination allocates a fresh
+//! physical register. Registers are never recycled within a run: selective
+//! reissue and control-independent traces may read a value long after the
+//! producing trace retired or was repaired, and an arena makes all such
+//! reads trivially safe. (The paper's hardware sizes its register file
+//! conventionally; register-file capacity is not one of the evaluated
+//! bottlenecks, so the model spends memory to buy correctness.)
+
+use tp_isa::Word;
+
+/// Identifies a physical register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysRegId(pub u32);
+
+impl PhysRegId {
+    /// The constant-zero register: always ready, value 0, visible to every
+    /// PE at every cycle (architectural `r0` renames here).
+    pub const ZERO: PhysRegId = PhysRegId(0);
+}
+
+/// One physical register's state.
+#[derive(Clone, Copy, Debug)]
+pub struct PhysReg {
+    /// Current value (meaningful once `ready`).
+    pub value: Word,
+    /// Whether a value has been produced at all.
+    pub ready: bool,
+    /// Cycle from which the producing PE may consume the value.
+    pub local_ready_at: u64,
+    /// Cycle from which other PEs may consume the value (set when a global
+    /// result bus was granted, plus the extra bypass latency).
+    pub global_ready_at: u64,
+    /// The PE that produced (or will produce) the value.
+    pub producer_pe: Option<u8>,
+}
+
+/// A rename map: architectural register index to physical register.
+pub type RenameMap = [PhysRegId; tp_isa::Reg::COUNT];
+
+/// Returns the initial rename map, with every architectural register mapped
+/// to the architectural-state register allocated at simulator start.
+pub fn initial_map(arch_regs: &[PhysRegId; tp_isa::Reg::COUNT]) -> RenameMap {
+    *arch_regs
+}
+
+/// The grow-only physical register file.
+#[derive(Clone, Debug)]
+pub struct PhysRegFile {
+    regs: Vec<PhysReg>,
+}
+
+impl PhysRegFile {
+    /// Creates the file containing only the constant-zero register.
+    pub fn new() -> PhysRegFile {
+        PhysRegFile {
+            regs: vec![PhysReg {
+                value: 0,
+                ready: true,
+                local_ready_at: 0,
+                global_ready_at: 0,
+                producer_pe: None,
+            }],
+        }
+    }
+
+    /// Allocates a fresh, not-yet-ready register owned by `producer_pe`.
+    pub fn alloc(&mut self, producer_pe: Option<u8>) -> PhysRegId {
+        let id = PhysRegId(self.regs.len() as u32);
+        self.regs.push(PhysReg {
+            value: 0,
+            ready: false,
+            local_ready_at: u64::MAX,
+            global_ready_at: u64::MAX,
+            producer_pe,
+        });
+        id
+    }
+
+    /// Allocates a register that is immediately ready with `value` and
+    /// globally visible (used for initial architectural state).
+    pub fn alloc_ready(&mut self, value: Word) -> PhysRegId {
+        let id = PhysRegId(self.regs.len() as u32);
+        self.regs.push(PhysReg {
+            value,
+            ready: true,
+            local_ready_at: 0,
+            global_ready_at: 0,
+            producer_pe: None,
+        });
+        id
+    }
+
+    /// Immutable access.
+    #[inline]
+    pub fn get(&self, id: PhysRegId) -> &PhysReg {
+        &self.regs[id.0 as usize]
+    }
+
+    /// Mutable access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when attempting to mutate the constant-zero register.
+    #[inline]
+    pub fn get_mut(&mut self, id: PhysRegId) -> &mut PhysReg {
+        assert!(id != PhysRegId::ZERO, "the zero register is immutable");
+        &mut self.regs[id.0 as usize]
+    }
+
+    /// Whether `id`'s value may be consumed by `reader_pe` at cycle `now`.
+    #[inline]
+    pub fn readable_by(&self, id: PhysRegId, reader_pe: u8, now: u64) -> bool {
+        let r = self.get(id);
+        if !r.ready {
+            return false;
+        }
+        if r.producer_pe == Some(reader_pe) {
+            now >= r.local_ready_at
+        } else {
+            now >= r.global_ready_at
+        }
+    }
+
+    /// Number of registers allocated so far.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Never empty (the zero register always exists).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Default for PhysRegFile {
+    fn default() -> PhysRegFile {
+        PhysRegFile::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_is_always_readable() {
+        let f = PhysRegFile::new();
+        assert!(f.readable_by(PhysRegId::ZERO, 0, 0));
+        assert!(f.readable_by(PhysRegId::ZERO, 7, 123456));
+        assert_eq!(f.get(PhysRegId::ZERO).value, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "immutable")]
+    fn zero_register_cannot_be_written() {
+        let mut f = PhysRegFile::new();
+        f.get_mut(PhysRegId::ZERO).value = 5;
+    }
+
+    #[test]
+    fn fresh_registers_are_not_ready() {
+        let mut f = PhysRegFile::new();
+        let p = f.alloc(Some(2));
+        assert!(!f.readable_by(p, 2, 100));
+    }
+
+    #[test]
+    fn local_vs_global_visibility() {
+        let mut f = PhysRegFile::new();
+        let p = f.alloc(Some(1));
+        {
+            let r = f.get_mut(p);
+            r.value = 9;
+            r.ready = true;
+            r.local_ready_at = 10;
+            r.global_ready_at = 12;
+        }
+        // Producer PE 1 sees it from cycle 10; PE 2 only from cycle 12.
+        assert!(!f.readable_by(p, 1, 9));
+        assert!(f.readable_by(p, 1, 10));
+        assert!(!f.readable_by(p, 2, 11));
+        assert!(f.readable_by(p, 2, 12));
+    }
+
+    #[test]
+    fn alloc_ready_is_globally_visible() {
+        let mut f = PhysRegFile::new();
+        let p = f.alloc_ready(-3);
+        assert!(f.readable_by(p, 5, 0));
+        assert_eq!(f.get(p).value, -3);
+    }
+}

@@ -1,0 +1,2240 @@
+//! The cycle-level trace processor simulator.
+//!
+//! See the crate-level docs for the big picture. The simulator advances one
+//! cycle at a time through seven phases:
+//!
+//! 1. **complete** — finish in-flight instructions, publish values, verify
+//!    branch outcomes and indirect targets (registering faults);
+//! 2. **retire** — commit the head trace when every slot has completed;
+//! 3. **recovery** — start/apply misprediction recoveries (oldest first),
+//!    including FGCI/CGCI preservation decisions and squashes;
+//! 4. **fetch** — predict the next trace, probe the trace cache, construct
+//!    missing traces through the instruction cache;
+//! 5. **dispatch** — rename and allocate one trace per cycle to a PE (or run
+//!    one step of a re-dispatch pass — the dispatch bus is shared);
+//! 6. **issue** — select up to four ready instructions per PE and begin
+//!    execution (values are computed here: the simulator is
+//!    execution-driven, wrong paths execute for real);
+//! 7. **buses** — arbitrate the shared cache buses (ARB/data cache access,
+//!    store snooping) and global result buses (inter-PE value bypass).
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use tp_cache::{Arb, DCache, ICache, SeqHandle, TraceCache};
+use tp_isa::func::{effective_address, ArchState, Machine};
+use tp_isa::{Addr, Inst, Pc, Program, Reg, Word};
+use tp_predict::{Btb, NextTracePredictor, Ras, TraceHistory};
+use tp_trace::{Bit, EndReason, OperandRef, OutcomeSource, Selector, Trace, TraceId};
+
+use crate::config::{CgciHeuristic, TraceProcessorConfig};
+use crate::pe::{Fault, FetchSource, Pe, Slot, SlotState};
+use crate::pe_list::PeList;
+use crate::physreg::{PhysRegFile, PhysRegId, RenameMap};
+use crate::stats::SimStats;
+
+/// Errors terminating a simulation abnormally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// No instruction retired for the configured number of cycles.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Human-readable window dump.
+        detail: String,
+    },
+    /// Committed state diverged from the functional oracle
+    /// (only with [`TraceProcessorConfig::verify_with_oracle`]).
+    OracleMismatch {
+        /// Cycle of the divergence.
+        cycle: u64,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, detail } => {
+                write!(f, "deadlock at cycle {cycle}: {detail}")
+            }
+            SimError::OracleMismatch { cycle, detail } => {
+                write!(f, "oracle mismatch at cycle {cycle}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of [`TraceProcessor::run`].
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Whether the program executed its `Halt`.
+    pub halted: bool,
+    /// Statistics at the end of the run.
+    pub stats: SimStats,
+}
+
+/// What PC the frontend expects to fetch next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ExpectedNext {
+    /// Certain: a static fall-through or a resolved indirect target. A
+    /// next-trace prediction that contradicts it is discarded.
+    Known(Pc),
+    /// A RAS/BTB guess after an unresolved indirect transfer. Used as the
+    /// fallback sequencing point, but the next-trace predictor wins when it
+    /// has an opinion (predicting through returns is its whole point).
+    Predicted(Pc),
+    /// Unknown until recovery or an indirect resolution redirects fetch.
+    Stalled,
+}
+
+/// Frontend mode: normal tail dispatch, or CGCI insertion before a
+/// preserved control-independent trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FetchMode {
+    Normal,
+    CgciInsert { before: usize, before_gen: u64, reconv_start: Pc, inserted: usize },
+}
+
+/// A trace fetched but not yet dispatched (an outstanding trace buffer).
+#[derive(Clone, Debug)]
+struct Pending {
+    trace: Arc<Trace>,
+    ready_at: u64,
+    hist_before: TraceHistory,
+    source: FetchSource,
+}
+
+/// Recovery plan decided at fault detection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RecoveryPlan {
+    Fgci,
+    Cgci,
+    Full,
+}
+
+/// An in-progress branch-misprediction recovery.
+#[derive(Clone, Debug)]
+struct Recovery {
+    pe: usize,
+    gen: u64,
+    slot: usize,
+    repaired: Arc<Trace>,
+    ready_at: u64,
+    plan: RecoveryPlan,
+}
+
+/// A re-dispatch pass over preserved (control independent) traces.
+#[derive(Clone, Debug)]
+struct RedispatchPass {
+    queue: VecDeque<usize>,
+    rolling: TraceHistory,
+    origin: &'static str,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BusReq {
+    pe: usize,
+    gen: u64,
+    slot: usize,
+    since: u64,
+}
+
+/// The trace processor simulator.
+///
+/// See the [crate-level example](crate) for typical use.
+pub struct TraceProcessor<'p> {
+    program: &'p Program,
+    cfg: TraceProcessorConfig,
+    // Substrates.
+    selector: Selector,
+    bit: Bit,
+    btb: Btb,
+    ras: Ras,
+    predictor: NextTracePredictor,
+    tcache: TraceCache,
+    icache: ICache,
+    dcache: DCache,
+    arb: Arb,
+    // Window.
+    pes: Vec<Pe>,
+    list: PeList,
+    pregs: PhysRegFile,
+    readers: HashMap<PhysRegId, Vec<(usize, u64, usize)>>,
+    current_map: RenameMap,
+    /// Architectural rename map of *retired* state: the physical register
+    /// holding each architectural register's committed value.
+    retired_map: RenameMap,
+    // Frontend.
+    fetch_hist: TraceHistory,
+    retire_hist: TraceHistory,
+    fetch_queue: VecDeque<Pending>,
+    expected: ExpectedNext,
+    mode: FetchMode,
+    construction_busy_until: u64,
+    recovery: Option<Recovery>,
+    redispatch: Option<RedispatchPass>,
+    // Buses.
+    cache_bus_queue: VecDeque<BusReq>,
+    result_bus_queue: VecDeque<BusReq>,
+    // Architectural state.
+    arch_regs: [Word; Reg::COUNT],
+    oracle: Option<Machine<'p>>,
+    // Time.
+    now: u64,
+    last_retire_cycle: u64,
+    halted: bool,
+    stats: SimStats,
+}
+
+impl<'p> TraceProcessor<'p> {
+    /// Creates a simulator for `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`TraceProcessorConfig::validate`]).
+    pub fn new(program: &'p Program, cfg: TraceProcessorConfig) -> TraceProcessor<'p> {
+        cfg.validate();
+        let mut pregs = PhysRegFile::new();
+        // Architectural registers start as ready physical registers.
+        let mut arch_map = [PhysRegId::ZERO; Reg::COUNT];
+        for r in Reg::all().skip(1) {
+            arch_map[r.index()] = pregs.alloc_ready(0);
+        }
+        let hist = TraceHistory::new(cfg.predictor.path_depth);
+        let pes = (0..cfg.num_pes).map(|_| Pe::empty(hist.clone())).collect();
+        let oracle = cfg.verify_with_oracle.then(|| Machine::new(program));
+        TraceProcessor {
+            program,
+            selector: Selector::new(cfg.selection),
+            bit: Bit::new(cfg.bit_entries, cfg.bit_ways),
+            btb: Btb::new(cfg.btb_entries),
+            ras: Ras::new(cfg.ras_depth),
+            predictor: NextTracePredictor::new(cfg.predictor),
+            tcache: TraceCache::new(cfg.tcache_sets, cfg.tcache_ways),
+            icache: ICache::paper(),
+            dcache: DCache::paper(),
+            arb: Arb::new(program.data()),
+            pes,
+            list: PeList::new(cfg.num_pes),
+            pregs,
+            readers: HashMap::new(),
+            current_map: arch_map,
+            retired_map: arch_map,
+            fetch_hist: hist.clone(),
+            retire_hist: hist,
+            fetch_queue: VecDeque::new(),
+            expected: ExpectedNext::Known(program.entry()),
+            mode: FetchMode::Normal,
+            construction_busy_until: 0,
+            recovery: None,
+            redispatch: None,
+            cache_bus_queue: VecDeque::new(),
+            result_bus_queue: VecDeque::new(),
+            arch_regs: [0; Reg::COUNT],
+            oracle,
+            now: 0,
+            last_retire_cycle: 0,
+            halted: false,
+            stats: SimStats::default(),
+            cfg,
+        }
+    }
+
+    /// The simulator's configuration.
+    pub fn config(&self) -> &TraceProcessorConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Committed architectural state (registers plus memory), normalized for
+    /// comparison with [`Machine::arch_state`].
+    pub fn arch_state(&self) -> ArchState {
+        ArchState { regs: self.arch_regs, mem: self.arb.arch_mem() }
+    }
+
+    /// Whether the program's `Halt` has retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Runs until the program halts or `max_instrs` instructions retire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if no instruction retires for the
+    /// configured watchdog window, or [`SimError::OracleMismatch`] when
+    /// oracle verification is enabled and committed state diverges.
+    pub fn run(&mut self, max_instrs: u64) -> Result<RunResult, SimError> {
+        while !self.halted && self.stats.retired_instrs < max_instrs {
+            self.step_cycle()?;
+            if self.now - self.last_retire_cycle > self.cfg.deadlock_cycles {
+                return Err(SimError::Deadlock { cycle: self.now, detail: self.dump_window() });
+            }
+        }
+        Ok(RunResult { halted: self.halted, stats: self.stats })
+    }
+
+    /// Advances the simulation by one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OracleMismatch`] under oracle verification.
+    pub fn step_cycle(&mut self) -> Result<(), SimError> {
+        self.complete_stage();
+        self.paranoid_check("complete");
+        self.retire_stage()?;
+        self.paranoid_check("retire");
+        self.recovery_stage();
+        self.paranoid_check("recovery");
+        self.fetch_stage();
+        self.paranoid_check("fetch");
+        self.dispatch_stage();
+        self.paranoid_check("dispatch");
+        self.issue_stage();
+        self.bus_stage();
+        self.now += 1;
+        self.stats.cycles = self.now;
+        Ok(())
+    }
+
+    /// Window-wide rename invariant: a trace's `map_before` must never
+    /// reference a physical register produced by that trace or any younger
+    /// trace. Gated behind `TP_PARANOID` because it is O(window^2).
+    fn paranoid_check(&self, stage: &str) {
+        if !std::env::var("TP_PARANOID").is_ok() {
+            return;
+        }
+        let order: Vec<usize> = self.list.iter().collect();
+        for (qi, &q) in order.iter().enumerate() {
+            for r in Reg::all().skip(1) {
+                let preg = self.pes[q].map_before[r.index()];
+                for &younger in &order[qi..] {
+                    for (si, sl) in self.pes[younger].slots.iter().enumerate() {
+                        if sl.dest == Some(preg) {
+                            panic!(
+                                "cycle {} after {stage}: pe{q} map_before[{r}] = {preg:?} \
+                                 is produced by pe{younger} slot {si} (not older)\n{}",
+                                self.now,
+                                self.dump_window()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers.
+
+    fn handle(pe: usize, slot: usize) -> SeqHandle {
+        SeqHandle(((pe as u64) << 8) | slot as u64)
+    }
+
+    /// Logical memory-order key of a sequence handle, derived from the PE
+    /// linked list (the paper's physical-to-logical translation). Handles
+    /// whose PE has left the window (a retired store that supplied a load's
+    /// data, or a squashed store whose undo-triggered reissue has not run
+    /// yet) rank as architectural memory — older than everything live.
+    fn seq_key(&self, h: SeqHandle) -> u64 {
+        let pe = (h.0 >> 8) as usize;
+        let slot = h.0 & 0xff;
+        if !self.list.contains(pe) {
+            return 0;
+        }
+        // +1 so that key 0 is reserved for "architectural memory".
+        ((self.list.logical(pe) + 1) << 8) | slot
+    }
+
+    fn dump_window(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(s, "mode={:?} recovery={:?} expected={:?} queue={} ", self.mode, self.recovery.as_ref().map(|r| (r.pe, r.slot, r.ready_at)), self.expected, self.fetch_queue.len());
+        for pe in self.list.iter() {
+            let p = &self.pes[pe];
+            let waiting = p.slots.iter().filter(|s| s.state == SlotState::Waiting).count();
+            let done = p.slots.iter().filter(|s| s.state == SlotState::Done).count();
+            let _ = write!(
+                s,
+                "| pe{pe} {} len={} done={done} waiting={waiting} fault={:?} ",
+                p.trace.id(),
+                p.slots.len(),
+                p.first_fault()
+            );
+            for (i, sl) in p.slots.iter().enumerate() {
+                if sl.state != SlotState::Done || sl.pending_reissue {
+                    let vals: Vec<(u32, Word, bool)> = sl
+                        .srcs
+                        .iter()
+                        .flatten()
+                        .map(|&pp| {
+                            let r = self.pregs.get(pp);
+                            (pp.0, r.value, r.ready)
+                        })
+                        .collect();
+                    let _ = write!(
+                        s,
+                        "[slot {i} {:?} state={:?} pr={} nb={} iss={} srcs={vals:?}] ",
+                        sl.ti.inst, sl.state, sl.pending_reissue, sl.not_before, sl.issues
+                    );
+                }
+            }
+        }
+        s
+    }
+
+    fn register_reader(&mut self, preg: PhysRegId, pe: usize, slot: usize) {
+        if preg == PhysRegId::ZERO {
+            return;
+        }
+        let gen = self.pes[pe].gen;
+        self.readers.entry(preg).or_default().push((pe, gen, slot));
+    }
+
+    /// Marks every live consumer of `preg` for selective reissue.
+    fn propagate_value_change(&mut self, preg: PhysRegId, not_before: u64) {
+        let Some(list) = self.readers.get_mut(&preg) else { return };
+        let entries = std::mem::take(list);
+        let mut kept = Vec::with_capacity(entries.len());
+        for (pe, gen, slot) in entries {
+            let p = &mut self.pes[pe];
+            if p.occupied && p.gen == gen && slot < p.slots.len() {
+                // Only reissue if this slot still actually reads the preg.
+                if p.slots[slot].srcs.iter().flatten().any(|&s| s == preg) {
+                    p.slots[slot].mark_reissue(not_before);
+                    kept.push((pe, gen, slot));
+                }
+            }
+        }
+        *self.readers.entry(preg).or_default() = kept;
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 1: completion.
+
+    fn complete_stage(&mut self) {
+        let now = self.now;
+        for pe in 0..self.pes.len() {
+            if !self.pes[pe].occupied {
+                continue;
+            }
+            for slot in 0..self.pes[pe].slots.len() {
+                let done_at = match self.pes[pe].slots[slot].state {
+                    SlotState::Executing { done_at } | SlotState::MemAccess { done_at } => done_at,
+                    _ => continue,
+                };
+                if done_at > now {
+                    continue;
+                }
+                self.complete_slot(pe, slot);
+            }
+        }
+    }
+
+    fn complete_slot(&mut self, pe: usize, slot: usize) {
+        let now = self.now;
+        {
+            let s = &mut self.pes[pe].slots[slot];
+            if s.pending_reissue {
+                // A newer input arrived while in flight: discard and requeue.
+                s.pending_reissue = false;
+                s.state = SlotState::Waiting;
+                return;
+            }
+            s.state = SlotState::Done;
+        }
+        // Publish the destination value.
+        let (dest, value, is_liveout) = {
+            let s = &self.pes[pe].slots[slot];
+            (s.dest, s.value, s.is_liveout)
+        };
+        if let Some(d) = dest {
+            let (first_production, value_changed) = {
+                let r = self.pregs.get_mut(d);
+                let first = !r.ready;
+                let changed = r.ready && r.value != value;
+                r.value = value;
+                r.ready = true;
+                r.local_ready_at = now;
+                // Live-out values re-arm global visibility and (re)request a
+                // result bus; local values are never read by other PEs.
+                r.global_ready_at = if is_liveout { u64::MAX } else { now };
+                (first, changed)
+            };
+            if is_liveout {
+                self.result_bus_queue.push_back(BusReq { pe, gen: self.pes[pe].gen, slot, since: now });
+            }
+            if !first_production && value_changed {
+                self.propagate_value_change(d, now + 1);
+            }
+        }
+        self.pes[pe].slots[slot].has_value = true;
+        // Verify control instructions.
+        let inst = self.pes[pe].slots[slot].ti.inst;
+        if inst.is_cond_branch() {
+            let s = &mut self.pes[pe].slots[slot];
+            let actual = s.outcome.expect("branch executed");
+            s.fault = if Some(actual) != s.ti.embedded_taken {
+                Some(Fault::CondBranch { actual })
+            } else {
+                None
+            };
+        } else if inst.is_indirect() {
+            self.verify_indirect(pe, slot);
+        }
+    }
+
+    /// Verifies a trace-ending indirect transfer against its successor.
+    fn verify_indirect(&mut self, pe: usize, slot: usize) {
+        let raw = self.pes[pe].slots[slot].indirect_target.expect("indirect executed");
+        let actual: Option<Pc> = if raw >= 0 && self.program.contains(raw as Pc) {
+            Some(raw as Pc)
+        } else {
+            None
+        };
+        let pc = self.pes[pe].slots[slot].ti.pc;
+        if let Some(t) = actual {
+            self.btb.update_indirect(pc, t);
+        }
+        debug_assert_eq!(slot, self.pes[pe].slots.len() - 1, "indirect must end its trace");
+        match self.list.next(pe) {
+            Some(succ) => {
+                let ok = Some(self.pes[succ].trace.id().start()) == actual;
+                self.pes[pe].slots[slot].fault =
+                    if ok { None } else { Some(Fault::Indirect { actual }) };
+            }
+            None => {
+                // This PE is the tail: redirect pending fetches if needed.
+                self.pes[pe].slots[slot].fault = None;
+                let front_start = self.fetch_queue.front().map(|p| p.trace.id().start());
+                match (front_start, actual) {
+                    (Some(f), Some(t)) if f == t => {}
+                    (Some(_), t) => {
+                        // Mispredicted successor still in the fetch queue.
+                        self.stats.trace_mispredictions += 1;
+                        self.fetch_queue.clear();
+                        self.fetch_hist = self.rebuild_history();
+                        self.expected = match t {
+                            Some(t) => ExpectedNext::Known(t),
+                            None => ExpectedNext::Stalled,
+                        };
+                    }
+                    (None, Some(t)) => {
+                        if self.expected != ExpectedNext::Known(t) {
+                            self.expected = ExpectedNext::Known(t);
+                        }
+                    }
+                    (None, None) => self.expected = ExpectedNext::Stalled,
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the speculative fetch history as of the end of the current
+    /// window: the tail trace's checkpointed history plus the tail itself.
+    /// (Using the checkpoints keeps histories at full path depth — a
+    /// history built from the surviving window alone would be shorter than
+    /// the retirement-side training contexts, and the path-based predictor
+    /// would tag-miss after every squash.)
+    fn rebuild_history(&self) -> TraceHistory {
+        match self.list.tail() {
+            Some(t) => {
+                let mut h = self.pes[t].hist_before.clone();
+                h.push(self.pes[t].trace.id());
+                h
+            }
+            None => self.retire_hist.clone(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 2: retirement.
+
+    fn retire_stage(&mut self) -> Result<(), SimError> {
+        let Some(head) = self.list.head() else { return Ok(()) };
+        self.reground_head(head);
+        let p = &self.pes[head];
+        if !p.occupied || !p.all_complete() {
+            return Ok(());
+        }
+        // A head targeted by an in-flight recovery cannot retire.
+        if let Some(rec) = &self.recovery {
+            if rec.pe == head {
+                return Ok(());
+            }
+        }
+        // A head awaiting a re-dispatch pass cannot retire.
+        if let Some(pass) = &self.redispatch {
+            if pass.queue.contains(&head) {
+                return Ok(());
+            }
+        }
+        // The preserved CI trace cannot retire while CGCI insertion is
+        // still placing control-dependent traces before it.
+        if let FetchMode::CgciInsert { before, .. } = self.mode {
+            if before == head {
+                return Ok(());
+            }
+        }
+        // Safety net: the head must be followed by a consistent successor.
+        // An abandoned CGCI insertion (e.g. preempted by a younger recovery)
+        // can leave a stale boundary in the window; discovering it here
+        // squashes the inconsistent tail and refetches.
+        if let Some(next) = self.list.next(head) {
+            let start = self.pes[next].trace.id().start();
+            if !self.successor_consistent(head, start) {
+                self.stats.full_squashes += 1;
+                let victims: Vec<usize> = self.list.iter_after(head).collect();
+                for v in victims {
+                    self.squash_pe(v);
+                }
+                self.fetch_queue.clear();
+                self.redispatch = None;
+                self.mode = FetchMode::Normal;
+                self.fetch_hist = self.rebuild_history();
+                self.current_map = self.pes[head].map_after;
+                self.expected = self.expected_after_pe(head);
+                return Ok(());
+            }
+        }
+        self.retire_pe(head)
+    }
+
+    /// The head trace has nothing older than retired state: every live-in
+    /// must be bound to the retired architectural registers. Recovery corner
+    /// cases (e.g. a CGCI insertion abandoned after its control-dependent
+    /// traces were squashed) can leave stale bindings; re-grounding the head
+    /// restores them and selectively reissues affected instructions —
+    /// without it the head could wait forever on a squashed producer.
+    fn reground_head(&mut self, head: usize) {
+        if !self.pes[head].occupied {
+            return;
+        }
+        let retired_map = self.retired_map;
+        let gen = self.pes[head].gen;
+        let now = self.now;
+        let mut rebound: Vec<(PhysRegId, usize)> = Vec::new();
+        {
+            let slots = &mut self.pes[head].slots;
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let tis = slot.ti.srcs;
+                for (k, &(_, oref)) in tis.iter().flatten().enumerate() {
+                    if let OperandRef::LiveIn(r) = oref {
+                        if r.is_zero() {
+                            continue;
+                        }
+                        let want = retired_map[r.index()];
+                        if slot.srcs[k] != Some(want) {
+                            slot.srcs[k] = Some(want);
+                            slot.mark_reissue(now + 1);
+                            rebound.push((want, i));
+                        }
+                    }
+                }
+            }
+        }
+        if rebound.is_empty() {
+            return;
+        }
+        self.stats.head_rebinds += rebound.len() as u64;
+        for (preg, i) in rebound {
+            self.readers.entry(preg).or_default().push((head, gen, i));
+        }
+        // The map chain after the head starts from its (possibly corrected)
+        // map; recompute map_before/map_after so later re-dispatch passes
+        // chain correctly.
+        let trace = self.pes[head].trace.clone();
+        let mut map_before = self.pes[head].map_before;
+        for r in trace.live_ins() {
+            map_before[r.index()] = retired_map[r.index()];
+        }
+        self.pes[head].map_before = map_before;
+        let mut map_after = map_before;
+        for r in trace.live_outs() {
+            let w = trace.last_writer(*r).expect("live-out has a writer");
+            map_after[r.index()] =
+                self.pes[head].slots[w].dest.expect("writer has a destination");
+        }
+        self.pes[head].map_after = map_after;
+    }
+
+    fn retire_pe(&mut self, pe: usize) -> Result<(), SimError> {
+        let trace = self.pes[pe].trace.clone();
+        // Commit in slot order: registers then stores.
+        for slot in 0..self.pes[pe].slots.len() {
+            let (dest_arch, value, is_store, addr, outcome, pc, inst) = {
+                let s = &self.pes[pe].slots[slot];
+                (s.ti.dest, s.value, matches!(s.ti.inst, Inst::Store { .. }), s.mem_addr, s.outcome, s.ti.pc, s.ti.inst)
+            };
+            if let Some(r) = dest_arch {
+                self.arch_regs[r.index()] = value;
+                let preg = self.pes[pe].slots[slot].dest.expect("dest register allocated");
+                self.retired_map[r.index()] = preg;
+            }
+            if is_store {
+                let addr = addr.expect("completed store has an address");
+                self.arb.commit(addr, Self::handle(pe, slot));
+            }
+            if inst.is_cond_branch() {
+                let taken = outcome.expect("completed branch has an outcome");
+                self.btb.update_cond(pc, taken);
+                self.stats.retired_cond_branches += 1;
+                if self.pes[pe].slots[slot].was_mispredicted {
+                    self.stats.retired_cond_mispredicts += 1;
+                }
+            }
+            // Oracle verification, one instruction at a time.
+            if let Some(oracle) = &mut self.oracle {
+                let step = oracle.step().map_err(|e| SimError::OracleMismatch {
+                    cycle: self.now,
+                    detail: format!("oracle left program: {e}"),
+                })?;
+                if step.pc != pc {
+                    return Err(SimError::OracleMismatch {
+                        cycle: self.now,
+                        detail: format!(
+                            "retired pc {pc} but oracle executed pc {} (trace {})",
+                            step.pc,
+                            trace.id()
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(oracle) = &self.oracle {
+            for r in Reg::all() {
+                if oracle.reg(r) != self.arch_regs[r.index()] {
+                    return Err(SimError::OracleMismatch {
+                        cycle: self.now,
+                        detail: format!(
+                            "after trace {}: {r} committed {} but oracle has {}",
+                            trace.id(),
+                            self.arch_regs[r.index()],
+                            oracle.reg(r)
+                        ),
+                    });
+                }
+            }
+        }
+        // Train the trace-level predictor with the canonical (actual) trace.
+        self.predictor.train(&self.retire_hist, trace.id());
+        self.retire_hist.push(trace.id());
+        self.tcache.fill(trace.clone());
+        // Statistics.
+        self.stats.retired_traces += 1;
+        self.stats.retired_instrs += self.pes[pe].slots.len() as u64;
+        if self.pes[pe].source != FetchSource::Fallback {
+            self.stats.predicted_traces += 1;
+        }
+        if self.pes[pe].repairs > 0 {
+            self.stats.trace_mispredictions += 1;
+        }
+        self.last_retire_cycle = self.now;
+        if trace.end() == EndReason::Halt {
+            self.halted = true;
+        }
+        // Retirement writes values back to the global register file: they
+        // become visible to every PE even if a result-bus grant was still
+        // pending (the grant request dies with the generation bump below).
+        for slot in 0..self.pes[pe].slots.len() {
+            if let Some(d) = self.pes[pe].slots[slot].dest {
+                let now = self.now;
+                let r = self.pregs.get_mut(d);
+                r.global_ready_at = r.global_ready_at.min(now);
+                r.local_ready_at = r.local_ready_at.min(now);
+            }
+        }
+        // Free the PE.
+        self.list.remove(pe);
+        self.pes[pe].occupied = false;
+        self.pes[pe].gen += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 3: recovery.
+
+    /// `(a_pe, a_slot)` strictly older than `(b_pe, b_slot)` in program
+    /// order?
+    fn older(&self, a: (usize, usize), b: (usize, usize)) -> bool {
+        if a.0 == b.0 {
+            return a.1 < b.1;
+        }
+        self.list.logical(a.0) < self.list.logical(b.0)
+    }
+
+    fn oldest_fault(&self) -> Option<(usize, usize)> {
+        for pe in self.list.iter() {
+            if let Some(slot) = self.pes[pe].first_fault() {
+                return Some((pe, slot));
+            }
+        }
+        None
+    }
+
+    fn recovery_stage(&mut self) {
+        // Validate the active recovery (its PE may have been squashed by an
+        // older recovery preempting it).
+        if let Some(rec) = &self.recovery {
+            let p = &self.pes[rec.pe];
+            if !p.occupied || p.gen != rec.gen || !self.list.contains(rec.pe) {
+                self.recovery = None;
+            }
+        }
+        let oldest = self.oldest_fault();
+        match (&self.recovery, oldest) {
+            (Some(rec), Some(f)) if self.older(f, (rec.pe, rec.slot)) => {
+                // An older fault preempts the in-flight recovery.
+                self.recovery = None;
+                self.start_recovery(f.0, f.1);
+            }
+            (Some(_), _) => {
+                let rec = self.recovery.clone().expect("checked above");
+                if self.now >= rec.ready_at {
+                    self.recovery = None;
+                    self.apply_recovery(rec);
+                }
+            }
+            (None, Some(f)) => self.start_recovery(f.0, f.1),
+            (None, None) => {}
+        }
+    }
+
+    fn start_recovery(&mut self, pe: usize, slot: usize) {
+        let fault = self.pes[pe].slots[slot].fault.expect("fault present");
+        match fault {
+            Fault::Indirect { actual } => {
+                // The trace itself is correct; its successors are not.
+                // Squash everything younger and redirect fetch.
+                self.stats.trace_mispredictions += 1;
+                self.stats.full_squashes += 1;
+                let victims: Vec<usize> = self.list.iter_after(pe).collect();
+                for v in victims {
+                    self.squash_pe(v);
+                }
+                self.fetch_queue.clear();
+                self.redispatch = None;
+                self.mode = FetchMode::Normal;
+                self.pes[pe].slots[slot].fault = None;
+                self.fetch_hist = self.rebuild_history();
+                self.current_map = self.pes[pe].map_after;
+                self.expected = match actual {
+                    Some(t) => ExpectedNext::Known(t),
+                    None => ExpectedNext::Stalled,
+                };
+            }
+            Fault::CondBranch { actual } => {
+                self.pes[pe].slots[slot].was_mispredicted = true;
+                let repaired = self.repair_trace(pe, slot, actual);
+                // Construction timing: refetch the repaired suffix through
+                // the instruction cache, one basic block per cycle.
+                let cycles = self.construction_cycles(&repaired, slot);
+                let ready_at = self.now.max(self.construction_busy_until) + cycles as u64;
+                self.construction_busy_until = ready_at;
+                // Decide the recovery plan now; squash at detection.
+                let covered = self.cfg.fgci && self.pes[pe].slots[slot].ti.fgci_covered;
+                let plan = if covered {
+                    RecoveryPlan::Fgci
+                } else if let Some(reconv) = self.find_reconv(pe, slot) {
+                    self.stats.cgci_attempts += 1;
+                    // Squash strictly between the faulting PE and the first
+                    // control independent trace.
+                    let victims: Vec<usize> =
+                        self.list.iter_after(pe).take_while(|&q| q != reconv).collect();
+                    for v in victims {
+                        self.squash_pe(v);
+                    }
+                    self.fetch_queue.clear();
+                    self.redispatch = None;
+                    let gen = self.pes[reconv].gen;
+                    self.mode = FetchMode::CgciInsert {
+                        before: reconv,
+                        before_gen: gen,
+                        reconv_start: self.pes[reconv].trace.id().start(),
+                        inserted: 0,
+                    };
+                    RecoveryPlan::Cgci
+                } else {
+                    self.stats.full_squashes += 1;
+                    let victims: Vec<usize> = self.list.iter_after(pe).collect();
+                    for v in victims {
+                        self.squash_pe(v);
+                    }
+                    self.fetch_queue.clear();
+                    self.redispatch = None;
+                    self.mode = FetchMode::Normal;
+                    RecoveryPlan::Full
+                };
+                if plan == RecoveryPlan::Fgci {
+                    // FGCI leaves the window untouched, but pending fetches
+                    // were predicted under a stale history.
+                    self.fetch_queue.clear();
+                }
+                let gen = self.pes[pe].gen;
+                self.recovery = Some(Recovery { pe, gen, slot, repaired, ready_at, plan });
+            }
+        }
+    }
+
+    /// Locates the first assumed control-independent trace after `pe` using
+    /// the configured CGCI heuristic.
+    fn find_reconv(&self, pe: usize, slot: usize) -> Option<usize> {
+        let heuristic = self.cfg.cgci?;
+        let ti = &self.pes[pe].slots[slot].ti;
+        if heuristic == CgciHeuristic::MlbRet && ti.inst.is_backward_branch(ti.pc) {
+            // MLB: nearest trace starting at the branch's not-taken target.
+            let target = ti.pc + 1;
+            if let Some(q) =
+                self.list.iter_after(pe).find(|&q| self.pes[q].trace.id().start() == target)
+            {
+                return Some(q);
+            }
+        }
+        // RET: the trace following the nearest return-ending trace.
+        let ret_pe = self.list.iter_after(pe).find(|&q| self.pes[q].trace.ends_in_return())?;
+        self.list.next(ret_pe)
+    }
+
+    /// Re-selects the faulting trace with the branch's actual outcome
+    /// (prefix outcomes embedded, suffix outcomes from the BTB).
+    fn repair_trace(&mut self, pe: usize, slot: usize, actual: bool) -> Arc<Trace> {
+        let trace = self.pes[pe].trace.clone();
+        let fault_branch_idx =
+            trace.insts()[..slot].iter().filter(|ti| ti.inst.is_cond_branch()).count() as u8;
+        let id = trace.id();
+        struct RepairOutcomes<'a> {
+            id: TraceId,
+            fault_idx: u8,
+            actual: bool,
+            btb: &'a Btb,
+        }
+        impl OutcomeSource for RepairOutcomes<'_> {
+            fn cond_outcome(&mut self, index: u8, pc: Pc, _inst: Inst) -> bool {
+                match index.cmp(&self.fault_idx) {
+                    std::cmp::Ordering::Less => self.id.outcome(index),
+                    std::cmp::Ordering::Equal => self.actual,
+                    std::cmp::Ordering::Greater => self.btb.predict_cond(pc),
+                }
+            }
+            fn indirect_target(&mut self, pc: Pc, _inst: Inst) -> Option<Pc> {
+                self.btb.predict_indirect(pc)
+            }
+        }
+        // Split field borrows: the selector reads the BTB while mutating
+        // the BIT.
+        let selector = self.selector;
+        let (program, bit, btb) = (self.program, &mut self.bit, &self.btb);
+        let mut outcomes = RepairOutcomes { id, fault_idx: fault_branch_idx, actual, btb };
+        let sel = selector.select(program, id.start(), bit, &mut outcomes);
+        self.stats.bit_miss_handlers += sel.stats.bit_misses as u64;
+        self.stats.bit_miss_cycles += sel.stats.bit_miss_cycles as u64;
+        Arc::new(sel.trace)
+    }
+
+    /// Construction-engine latency to (re)build `trace` starting at
+    /// `from_slot`: one cycle per basic block plus instruction cache miss
+    /// penalties.
+    fn construction_cycles(&mut self, trace: &Trace, from_slot: usize) -> u32 {
+        let insts = &trace.insts()[from_slot.min(trace.len().saturating_sub(1))..];
+        if insts.is_empty() {
+            return 1;
+        }
+        let mut cycles = 0u32;
+        let mut seg_start = insts[0].pc;
+        let mut prev = insts[0].pc;
+        for ti in &insts[1..] {
+            if ti.pc != prev + 1 {
+                cycles += 1 + self.icache.access_range(seg_start, prev);
+                seg_start = ti.pc;
+            }
+            prev = ti.pc;
+        }
+        cycles += 1 + self.icache.access_range(seg_start, prev);
+        cycles
+    }
+
+    fn apply_recovery(&mut self, rec: Recovery) {
+        let pe = rec.pe;
+        // Abandon if the fault has vanished (outcome flipped back by a
+        // selective reissue before the repair finished): re-verification at
+        // the slot's next completion decides what happens next. The squashes
+        // performed at detection stand — refetch proceeds normally.
+        if self.pes[pe].slots.get(rec.slot).map_or(true, |s| s.fault.is_none()) {
+            if let FetchMode::CgciInsert { .. } = self.mode {
+                self.mode = FetchMode::Normal;
+            }
+            // An in-flight re-dispatch pass owns the map/history chain; it
+            // restores fetch state itself when it completes.
+            if self.redispatch.is_none() {
+                self.fetch_hist = self.rebuild_history();
+                self.current_map =
+                    self.pes[self.list.tail().expect("window non-empty")].map_after;
+                self.expected = self.expected_after_tail();
+            }
+            return;
+        }
+        // Replace the faulting PE's trace with the repaired one (prefix
+        // slots keep their state; suffix slots are squashed and replaced).
+        self.pes[pe].repairs += 1;
+        self.replace_trace(pe, rec.slot, rec.repaired.clone());
+        match rec.plan {
+            RecoveryPlan::Fgci => {
+                self.stats.fgci_recoveries += 1;
+                let preserved: Vec<usize> = self.list.iter_after(pe).collect();
+                self.stats.preserved_traces += preserved.len() as u64;
+                self.begin_redispatch(pe, preserved);
+            }
+            RecoveryPlan::Cgci => {
+                // Fetch will insert correct control-dependent traces before
+                // the preserved trace; re-dispatch happens at re-convergence.
+                let mut h = self.pes[pe].hist_before.clone();
+                h.push(rec.repaired.id());
+                self.redispatch = None;
+                self.fetch_hist = h;
+                self.current_map = self.pes[pe].map_after;
+                self.expected = self.expected_after_pe(pe);
+            }
+            RecoveryPlan::Full => {
+                let mut h = self.pes[pe].hist_before.clone();
+                h.push(rec.repaired.id());
+                self.redispatch = None;
+                self.fetch_hist = h;
+                self.current_map = self.pes[pe].map_after;
+                self.expected = self.expected_after_pe(pe);
+            }
+        }
+    }
+
+    /// Expected fetch PC following the trace in `pe`.
+    fn expected_after_pe(&self, pe: usize) -> ExpectedNext {
+        let trace = &self.pes[pe].trace;
+        match trace.end() {
+            EndReason::MaxLen | EndReason::Ntb => {
+                ExpectedNext::Known(trace.next_pc().expect("static end has next"))
+            }
+            EndReason::Indirect => {
+                let last = self.pes[pe].slots.len() - 1;
+                let s = &self.pes[pe].slots[last];
+                if s.state == SlotState::Done {
+                    match s.indirect_target {
+                        Some(t) if t >= 0 && self.program.contains(t as Pc) => {
+                            ExpectedNext::Known(t as Pc)
+                        }
+                        _ => ExpectedNext::Stalled,
+                    }
+                } else {
+                    match trace.next_pc() {
+                        Some(t) => ExpectedNext::Predicted(t),
+                        None => ExpectedNext::Stalled,
+                    }
+                }
+            }
+            EndReason::Halt | EndReason::OutOfProgram => ExpectedNext::Stalled,
+        }
+    }
+
+    fn expected_after_tail(&self) -> ExpectedNext {
+        match self.list.tail() {
+            Some(t) => self.expected_after_pe(t),
+            None => ExpectedNext::Stalled,
+        }
+    }
+
+    /// Starts a re-dispatch pass over the given preserved traces (in logical
+    /// order), which updates their live-in renames one trace per cycle.
+    /// Always replaces any pass already in flight: the new recovery's map
+    /// chain supersedes the old one.
+    fn begin_redispatch(&mut self, repaired_pe: usize, preserved: Vec<usize>) {
+        let mut rolling = self.pes[repaired_pe].hist_before.clone();
+        rolling.push(self.pes[repaired_pe].trace.id());
+        self.current_map = self.pes[repaired_pe].map_after;
+        if preserved.is_empty() {
+            self.redispatch = None;
+            self.fetch_hist = rolling;
+            self.expected = self.expected_after_pe(repaired_pe);
+            self.mode = FetchMode::Normal;
+            return;
+        }
+        self.redispatch =
+            Some(RedispatchPass { queue: preserved.into(), rolling, origin: "fgci" });
+        self.mode = FetchMode::Normal;
+    }
+
+    /// Replaces the trace in `pe` from `keep_upto` (inclusive prefix bound)
+    /// with `repaired`: prefix slots keep state, suffix slots are squashed
+    /// and freshly renamed. Re-registers readers under a new generation.
+    fn replace_trace(&mut self, pe: usize, fault_slot: usize, repaired: Arc<Trace>) {
+        let old_len = self.pes[pe].slots.len();
+        let prefix_len = (fault_slot + 1).min(repaired.len());
+        debug_assert!(fault_slot < old_len);
+        // Undo stores in the squashed suffix.
+        for slot in prefix_len..old_len {
+            self.undo_store_if_performed(pe, slot);
+        }
+        self.pes[pe].gen += 1;
+        let map_before = self.pes[pe].map_before;
+        let mut slots = std::mem::take(&mut self.pes[pe].slots);
+        slots.truncate(prefix_len);
+        // Refresh prefix metadata from the repaired trace (same
+        // instructions; embedded outcomes/coverage may differ).
+        for (i, s) in slots.iter_mut().enumerate() {
+            let new_ti = repaired.insts()[i];
+            debug_assert_eq!(s.ti.inst, new_ti.inst, "repair changed a prefix instruction");
+            let was_misp = s.was_mispredicted;
+            s.ti = new_ti;
+            s.was_mispredicted = was_misp;
+            // Re-verify the (former) fault branch against its new embedded
+            // outcome.
+            if new_ti.inst.is_cond_branch() && s.state == SlotState::Done {
+                s.fault = match s.outcome {
+                    Some(actual) if Some(actual) != new_ti.embedded_taken => {
+                        Some(Fault::CondBranch { actual })
+                    }
+                    _ => None,
+                };
+            }
+        }
+        // Fresh suffix slots.
+        for i in prefix_len..repaired.len() {
+            slots.push(Slot::new(repaired.insts()[i]));
+        }
+        // Rebind all sources and (re)allocate suffix destinations.
+        for i in 0..slots.len() {
+            let ti = slots[i].ti;
+            let mut srcs = [None; 2];
+            for (k, &(r, oref)) in ti.srcs.iter().flatten().enumerate() {
+                let preg = match oref {
+                    OperandRef::LiveIn(lr) if lr.is_zero() => PhysRegId::ZERO,
+                    OperandRef::LiveIn(lr) => map_before[lr.index()],
+                    OperandRef::Local(j) => {
+                        let _ = r;
+                        slots[j as usize].dest.expect("local producer has a destination")
+                    }
+                };
+                srcs[k] = Some(preg);
+            }
+            slots[i].srcs = srcs;
+            if i >= prefix_len {
+                slots[i].dest = ti.dest.map(|_| self.pregs.alloc(Some(pe as u8)));
+            }
+            let is_liveout = match ti.dest {
+                Some(d) => repaired.last_writer(d) == Some(i),
+                None => false,
+            };
+            let was_liveout = slots[i].is_liveout;
+            slots[i].is_liveout = is_liveout;
+            // A prefix slot promoted to live-out after completion must still
+            // broadcast its value to other PEs.
+            if i < prefix_len
+                && is_liveout
+                && !was_liveout
+                && slots[i].state == SlotState::Done
+                && slots[i].dest.is_some()
+            {
+                let d = slots[i].dest.expect("checked");
+                self.pregs.get_mut(d).global_ready_at = u64::MAX;
+            }
+        }
+        self.pes[pe].slots = slots;
+        self.pes[pe].trace = repaired.clone();
+        // Recompute map_after.
+        let mut map_after = map_before;
+        for r in repaired.live_outs() {
+            let w = repaired.last_writer(*r).expect("live-out has a writer");
+            map_after[r.index()] = self.pes[pe].slots[w].dest.expect("writer has a destination");
+        }
+        self.pes[pe].map_after = map_after;
+        // Re-register readers and re-request buses under the new generation.
+        for i in 0..self.pes[pe].slots.len() {
+            for k in 0..2 {
+                if let Some(preg) = self.pes[pe].slots[i].srcs[k] {
+                    self.register_reader(preg, pe, i);
+                }
+            }
+            let s = &self.pes[pe].slots[i];
+            if s.is_liveout && s.state == SlotState::Done {
+                if let Some(d) = s.dest {
+                    if self.pregs.get(d).global_ready_at == u64::MAX {
+                        self.result_bus_queue.push_back(BusReq {
+                            pe,
+                            gen: self.pes[pe].gen,
+                            slot: i,
+                            since: self.now,
+                        });
+                    }
+                }
+            }
+        }
+        // In-flight prefix mem operations keep their bus requests (now
+        // stale-generation): requeue any that were pending.
+        for i in 0..prefix_len.min(self.pes[pe].slots.len()) {
+            if let SlotState::WaitingBus { since } = self.pes[pe].slots[i].state {
+                self.cache_bus_queue.push_back(BusReq { pe, gen: self.pes[pe].gen, slot: i, since });
+            }
+        }
+        // Fill the (possibly wrong-path) repaired trace into the trace cache
+        // speculatively, as trace buffers do.
+        self.tcache.fill(repaired);
+    }
+
+    fn undo_store_if_performed(&mut self, pe: usize, slot: usize) {
+        let (performed, addr) = {
+            let s = &self.pes[pe].slots[slot];
+            (s.store_performed, s.mem_addr)
+        };
+        if !performed {
+            return;
+        }
+        let addr = addr.expect("performed store has an address");
+        let h = Self::handle(pe, slot);
+        self.arb.undo(addr, h);
+        self.pes[pe].slots[slot].store_performed = false;
+        self.snoop_undo(addr, h, pe);
+    }
+
+    fn squash_pe(&mut self, pe: usize) {
+        for slot in 0..self.pes[pe].slots.len() {
+            self.undo_store_if_performed(pe, slot);
+        }
+        self.pes[pe].occupied = false;
+        self.pes[pe].gen += 1;
+        self.pes[pe].slots.clear();
+        self.list.remove(pe);
+        self.stats.squashed_traces += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 4: fetch.
+
+    fn fetch_stage(&mut self) {
+        if self.halted || self.recovery.is_some() || self.redispatch.is_some() {
+            return;
+        }
+        if self.fetch_queue.len() >= self.cfg.num_pes {
+            return;
+        }
+        // Validate CGCI insertion mode.
+        if let FetchMode::CgciInsert { before, before_gen, .. } = self.mode {
+            if !self.pes[before].occupied
+                || self.pes[before].gen != before_gen
+                || !self.list.contains(before)
+            {
+                self.mode = FetchMode::Normal;
+                self.fetch_hist = self.rebuild_history();
+                self.expected = self.expected_after_tail();
+            }
+        }
+        // A stalled fetch re-derives its expectation from the window every
+        // cycle: an indirect transfer at the effective tail may have
+        // resolved since the stall began (this also lets CGCI re-convergence
+        // be detected when the last control-dependent trace ends in an
+        // indirect transfer).
+        if self.expected == ExpectedNext::Stalled && self.fetch_queue.is_empty() {
+            let effective_tail = match self.mode {
+                FetchMode::CgciInsert { before, .. } => self.list.prev(before),
+                FetchMode::Normal => self.list.tail(),
+            };
+            if let Some(t) = effective_tail {
+                self.expected = self.expected_after_pe(t);
+            }
+        }
+        // Resolve the expected PC.
+        let (expected_pc, expected_certain) = match self.expected {
+            ExpectedNext::Known(pc) => (Some(pc), true),
+            ExpectedNext::Predicted(pc) => (Some(pc), false),
+            ExpectedNext::Stalled => (None, false),
+        };
+        let hist_before = self.fetch_hist.clone();
+        let prediction = self.predictor.predict(&self.fetch_hist);
+        // Enforce statically-certain boundaries: a prediction contradicting
+        // the known fall-through PC is discarded in favour of sequencing.
+        // After an unresolved indirect the next-trace predictor wins.
+        let prediction = match (prediction, expected_pc) {
+            (Some(id), Some(e)) if expected_certain && id.start() != e => None,
+            (p, _) => p,
+        };
+        let start = match prediction.map(|id| id.start()).or(expected_pc) {
+            Some(s) if self.program.contains(s) => s,
+            _ => return, // fetch stalled
+        };
+        // CGCI re-convergence detection: the next trace prediction matches
+        // the preserved control-independent trace.
+        if let FetchMode::CgciInsert { before, reconv_start, .. } = self.mode {
+            if start == reconv_start {
+                self.stats.cgci_reconverged += 1;
+                let preserved: Vec<usize> = {
+                    let mut v = vec![before];
+                    v.extend(self.list.iter_after(before));
+                    v
+                };
+                self.stats.preserved_traces += preserved.len() as u64;
+                let repaired_pred =
+                    self.list.prev(before).expect("faulting trace precedes the preserved trace");
+                self.begin_redispatch_from_map(preserved, repaired_pred);
+                self.mode = FetchMode::Normal;
+                return;
+            }
+        }
+        // Obtain the trace: trace cache, or construction.
+        let (trace, ready_at, source) = match prediction {
+            Some(id) => {
+                self.stats.tcache_lookups += 1;
+                match self.tcache.lookup(id) {
+                    Some(t) => (t, self.now + self.cfg.frontend_latency, FetchSource::PredictedHit),
+                    None => {
+                        self.stats.tcache_misses += 1;
+                        let (t, cycles) = self.construct_trace(start, Some(id));
+                        let ready =
+                            self.now.max(self.construction_busy_until) + cycles as u64
+                                + self.cfg.frontend_latency;
+                        self.construction_busy_until = ready;
+                        (t, ready, FetchSource::PredictedMiss)
+                    }
+                }
+            }
+            None => {
+                let (t, cycles) = self.construct_trace(start, None);
+                let ready = self.now.max(self.construction_busy_until) + cycles as u64
+                    + self.cfg.frontend_latency;
+                self.construction_busy_until = ready;
+                (t, ready, FetchSource::Fallback)
+            }
+        };
+        // Speculatively maintain the RAS and compute the next expected PC.
+        self.expected = self.advance_ras_and_expected(&trace);
+        self.fetch_hist.push(trace.id());
+        self.fetch_queue.push_back(Pending { trace, ready_at, hist_before, source });
+    }
+
+    /// Constructs a trace at `start` through the instruction cache, driven
+    /// by the predicted id's outcomes (falling back to the BTB) or by the
+    /// BTB alone. Returns the trace and the construction latency.
+    fn construct_trace(&mut self, start: Pc, id: Option<TraceId>) -> (Arc<Trace>, u32) {
+        struct ConstructOutcomes<'a> {
+            id: Option<TraceId>,
+            btb: &'a Btb,
+            ras_top: Option<Pc>,
+        }
+        impl OutcomeSource for ConstructOutcomes<'_> {
+            fn cond_outcome(&mut self, index: u8, pc: Pc, _inst: Inst) -> bool {
+                match self.id {
+                    Some(id) if index < id.branches() => id.outcome(index),
+                    _ => self.btb.predict_cond(pc),
+                }
+            }
+            fn indirect_target(&mut self, pc: Pc, inst: Inst) -> Option<Pc> {
+                if inst.is_return() {
+                    self.ras_top
+                } else {
+                    self.btb.predict_indirect(pc)
+                }
+            }
+        }
+        let selector = self.selector;
+        let (program, bit, btb) = (self.program, &mut self.bit, &self.btb);
+        let mut outcomes = ConstructOutcomes { id, btb, ras_top: self.ras.top() };
+        let sel = selector.select(program, start, bit, &mut outcomes);
+        self.stats.bit_miss_handlers += sel.stats.bit_misses as u64;
+        self.stats.bit_miss_cycles += sel.stats.bit_miss_cycles as u64;
+        let trace = Arc::new(sel.trace);
+        let cycles = self.construction_cycles(&trace, 0) + sel.stats.bit_miss_cycles;
+        self.tcache.fill(trace.clone());
+        (trace, cycles)
+    }
+
+    /// Walks a fetched trace's calls/returns through the RAS and returns the
+    /// expected next fetch PC.
+    fn advance_ras_and_expected(&mut self, trace: &Trace) -> ExpectedNext {
+        let mut ret_target = None;
+        for ti in trace.insts() {
+            match ti.inst {
+                Inst::Call { .. } | Inst::CallIndirect { .. } => self.ras.push(ti.pc + 1),
+                Inst::Ret => ret_target = self.ras.pop(),
+                _ => {}
+            }
+        }
+        match trace.end() {
+            EndReason::MaxLen | EndReason::Ntb => {
+                ExpectedNext::Known(trace.next_pc().expect("static end has next"))
+            }
+            EndReason::Indirect => {
+                let last = trace.insts().last().expect("non-empty");
+                let target = if last.inst.is_return() { ret_target } else { trace.next_pc() };
+                match target {
+                    Some(t) if self.program.contains(t) => ExpectedNext::Predicted(t),
+                    _ => ExpectedNext::Stalled,
+                }
+            }
+            EndReason::Halt | EndReason::OutOfProgram => ExpectedNext::Stalled,
+        }
+    }
+
+    /// Starts the CGCI re-dispatch pass: `preserved` traces re-rename from
+    /// the map after `pred` (the last inserted control-dependent trace or
+    /// the repaired trace itself).
+    fn begin_redispatch_from_map(&mut self, preserved: Vec<usize>, pred: usize) {
+        let mut rolling = self.pes[pred].hist_before.clone();
+        rolling.push(self.pes[pred].trace.id());
+        self.current_map = self.pes[pred].map_after;
+        self.redispatch = Some(RedispatchPass { queue: preserved.into(), rolling, origin: "cgci" });
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 5: dispatch (shared bus with re-dispatch passes).
+
+    fn dispatch_stage(&mut self) {
+        if self.halted {
+            return;
+        }
+        // Re-dispatch passes own the dispatch bus.
+        if self.redispatch.is_some() {
+            self.redispatch_step();
+            return;
+        }
+        let Some(front) = self.fetch_queue.front() else { return };
+        if self.now < front.ready_at {
+            return;
+        }
+        // Pick the PE: insertion point (CGCI) or tail.
+        let insert_before = match self.mode {
+            FetchMode::CgciInsert { before, before_gen, .. } => {
+                if !self.pes[before].occupied
+                    || self.pes[before].gen != before_gen
+                    || !self.list.contains(before)
+                {
+                    self.mode = FetchMode::Normal;
+                    None
+                } else {
+                    Some(before)
+                }
+            }
+            FetchMode::Normal => None,
+        };
+        // Consistency: the front trace must follow the current predecessor.
+        let pred = match insert_before {
+            Some(b) => self.list.prev(b),
+            None => self.list.tail(),
+        };
+        if let Some(pred) = pred {
+            if !self.successor_consistent(pred, front.trace.id().start()) {
+                // The window changed under the queue (recovery): refetch.
+                self.fetch_queue.clear();
+                self.fetch_hist = self.rebuild_history();
+                self.expected = self.expected_after_tail();
+                return;
+            }
+        }
+        // Find a free PE.
+        let free = (0..self.cfg.num_pes).find(|&i| !self.pes[i].occupied);
+        let pe = match free {
+            Some(pe) => pe,
+            None => {
+                match self.mode {
+                    FetchMode::CgciInsert { before, .. } => {
+                        // Reclaim the most speculative PE for the insertion.
+                        let tail = self.list.tail().expect("window full implies non-empty");
+                        if tail == before {
+                            // The preserved trace itself must go: CGCI
+                            // degenerates to a full squash.
+                            self.squash_pe(tail);
+                            self.stats.tail_reclaims += 1;
+                            self.mode = FetchMode::Normal;
+                        } else {
+                            self.squash_pe(tail);
+                            self.stats.tail_reclaims += 1;
+                        }
+                        return; // dispatch next cycle
+                    }
+                    FetchMode::Normal => return, // window full: stall
+                }
+            }
+        };
+        let pending = self.fetch_queue.pop_front().expect("checked front");
+        if let FetchMode::CgciInsert { ref mut inserted, .. } = self.mode {
+            *inserted += 1;
+        }
+        self.dispatch_trace(pe, pending, insert_before);
+    }
+
+    /// Whether a trace starting at `start` is a consistent successor of the
+    /// trace in `pred`.
+    fn successor_consistent(&self, pred: usize, start: Pc) -> bool {
+        let t = &self.pes[pred].trace;
+        match t.end() {
+            EndReason::MaxLen | EndReason::Ntb => t.next_pc() == Some(start),
+            EndReason::Indirect => {
+                let last = self.pes[pred].slots.len() - 1;
+                let s = &self.pes[pred].slots[last];
+                if s.state == SlotState::Done && !s.pending_reissue {
+                    s.indirect_target == Some(start as Word)
+                } else {
+                    true // unresolved: dispatch speculatively
+                }
+            }
+            EndReason::Halt | EndReason::OutOfProgram => false,
+        }
+    }
+
+    fn dispatch_trace(&mut self, pe: usize, pending: Pending, insert_before: Option<usize>) {
+        let trace = pending.trace;
+        let map_before = self.current_map;
+        self.pes[pe].gen += 1;
+        let gen = self.pes[pe].gen;
+        let mut slots: Vec<Slot> = Vec::with_capacity(trace.len());
+        for (i, ti) in trace.insts().iter().enumerate() {
+            let mut slot = Slot::new(*ti);
+            for (k, &(_, oref)) in ti.srcs.iter().flatten().enumerate() {
+                let preg = match oref {
+                    OperandRef::LiveIn(r) if r.is_zero() => PhysRegId::ZERO,
+                    OperandRef::LiveIn(r) => map_before[r.index()],
+                    OperandRef::Local(j) => {
+                        slots[j as usize].dest.expect("local producer has a destination")
+                    }
+                };
+                slot.srcs[k] = Some(preg);
+            }
+            if ti.dest.is_some() {
+                slot.dest = Some(self.pregs.alloc(Some(pe as u8)));
+            }
+            slot.is_liveout = match ti.dest {
+                Some(d) => trace.last_writer(d) == Some(i),
+                None => false,
+            };
+            slots.push(slot);
+        }
+        let mut map_after = map_before;
+        for r in trace.live_outs() {
+            let w = trace.last_writer(*r).expect("live-out has a writer");
+            map_after[r.index()] = slots[w].dest.expect("writer has a destination");
+        }
+        // Register readers.
+        for (i, slot) in slots.iter().enumerate() {
+            for preg in slot.srcs.iter().flatten() {
+                if *preg != PhysRegId::ZERO {
+                    self.readers.entry(*preg).or_default().push((pe, gen, i));
+                }
+            }
+        }
+        let p = &mut self.pes[pe];
+        p.occupied = true;
+        p.trace = trace;
+        p.slots = slots;
+        p.map_before = map_before;
+        p.map_after = map_after;
+        p.hist_before = pending.hist_before;
+        p.source = pending.source;
+        p.repairs = 0;
+        p.dispatched_at = self.now;
+        self.current_map = map_after;
+        match insert_before {
+            Some(b) => self.list.insert_before(pe, b),
+            None => self.list.push_tail(pe),
+        }
+        self.stats.dispatched_traces += 1;
+    }
+
+    /// One step of a re-dispatch pass: update one preserved trace's live-in
+    /// renames; only instructions with changed source names reissue.
+    fn redispatch_step(&mut self) {
+        let (pe, mut rolling, empty_after, origin) = {
+            let Some(pass) = &mut self.redispatch else { return };
+            let Some(pe) = pass.queue.pop_front() else {
+                self.redispatch = None;
+                return;
+            };
+            (pe, pass.rolling.clone(), pass.queue.is_empty(), pass.origin)
+        };
+        if !self.pes[pe].occupied || !self.list.contains(pe) {
+            // Squashed while queued (e.g. tail reclamation): skip.
+            if empty_after {
+                self.finish_redispatch(rolling);
+            }
+            return;
+        }
+        let map_before = self.current_map;
+        let gen = self.pes[pe].gen;
+        let now = self.now;
+        let trace = self.pes[pe].trace.clone();
+        let mut new_readers: Vec<(PhysRegId, usize)> = Vec::new();
+        {
+            let slots = &mut self.pes[pe].slots;
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let mut changed = false;
+                for (k, &(_, oref)) in slot.ti.srcs.iter().flatten().enumerate() {
+                    if let OperandRef::LiveIn(r) = oref {
+                        if r.is_zero() {
+                            continue;
+                        }
+                        let new_preg = map_before[r.index()];
+                        // A re-dispatch must never bind a slot to its own
+                        // destination: live-outs keep their mappings, so the
+                        // chain map can only hold strictly older registers.
+                        assert!(
+                            slot.dest != Some(new_preg),
+                            "redispatch({origin}) bound slot {i} of pe {pe} to its own destination"
+                        );
+                        if slot.srcs[k] != Some(new_preg) {
+                            slot.srcs[k] = Some(new_preg);
+                            changed = true;
+                            new_readers.push((new_preg, i));
+                        }
+                    }
+                }
+                if changed {
+                    slot.mark_reissue(now + 1);
+                }
+            }
+        }
+        for (preg, i) in new_readers {
+            self.readers.entry(preg).or_default().push((pe, gen, i));
+        }
+        // Live-outs keep their physical registers; the map is re-asserted.
+        self.pes[pe].map_before = map_before;
+        let mut map_after = map_before;
+        for r in trace.live_outs() {
+            let w = trace.last_writer(*r).expect("live-out has a writer");
+            map_after[r.index()] = self.pes[pe].slots[w].dest.expect("writer has a destination");
+        }
+        self.pes[pe].map_after = map_after;
+        self.current_map = map_after;
+        self.pes[pe].hist_before = rolling.clone();
+        rolling.push(trace.id());
+        self.stats.redispatched_traces += 1;
+        if empty_after {
+            self.finish_redispatch(rolling);
+        } else if let Some(pass) = self.redispatch.as_mut() {
+            pass.rolling = rolling;
+        }
+    }
+
+    fn finish_redispatch(&mut self, rolling: TraceHistory) {
+        self.redispatch = None;
+        self.fetch_hist = rolling;
+        self.expected = self.expected_after_tail();
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 6: issue.
+
+    fn issue_stage(&mut self) {
+        let now = self.now;
+        let pes: Vec<usize> = self.list.iter().collect();
+        for pe in pes {
+            let mut issued = 0;
+            for slot in 0..self.pes[pe].slots.len() {
+                if issued >= self.cfg.pe_issue_width {
+                    break;
+                }
+                let ready = {
+                    let s = &self.pes[pe].slots[slot];
+                    s.state == SlotState::Waiting
+                        && s.not_before <= now
+                        && s.srcs.iter().flatten().all(|&p| {
+                            self.pregs.readable_by(p, pe as u8, now)
+                        })
+                };
+                if !ready {
+                    continue;
+                }
+                self.issue_slot(pe, slot);
+                issued += 1;
+            }
+        }
+    }
+
+    fn issue_slot(&mut self, pe: usize, slot: usize) {
+        let now = self.now;
+        let gen = self.pes[pe].gen;
+        let (inst, src_vals) = {
+            let s = &self.pes[pe].slots[slot];
+            let vals: Vec<Word> =
+                s.srcs.iter().flatten().map(|&p| self.pregs.get(p).value).collect();
+            (s.ti.inst, vals)
+        };
+        let a = src_vals.first().copied().unwrap_or(0);
+        let b = src_vals.get(1).copied().unwrap_or(0);
+        let s = &mut self.pes[pe].slots[slot];
+        s.issues += 1;
+        self.stats.issue_events += 1;
+        if s.issues > 1 {
+            self.stats.reissue_events += 1;
+        }
+        match inst {
+            Inst::Alu { op, .. } => {
+                s.value = op.apply(a, b);
+                s.state = SlotState::Executing { done_at: now + op.latency() as u64 };
+            }
+            Inst::AluImm { op, imm, .. } => {
+                s.value = op.apply(a, imm as Word);
+                s.state = SlotState::Executing { done_at: now + op.latency() as u64 };
+            }
+            Inst::Load { offset, .. } => {
+                s.value = 0;
+                s.state = SlotState::WaitingBus { since: now + self.cfg.agen_latency };
+                let ea = effective_address(a, offset);
+                s.indirect_target = Some(ea as Word); // staging for bus grant
+                self.cache_bus_queue.push_back(BusReq {
+                    pe,
+                    gen,
+                    slot,
+                    since: now + self.cfg.agen_latency,
+                });
+            }
+            Inst::Store { offset, .. } => {
+                // srcs order is [base, data].
+                let ea = effective_address(a, offset);
+                s.value = b;
+                s.indirect_target = Some(ea as Word);
+                s.state = SlotState::WaitingBus { since: now + self.cfg.agen_latency };
+                self.cache_bus_queue.push_back(BusReq {
+                    pe,
+                    gen,
+                    slot,
+                    since: now + self.cfg.agen_latency,
+                });
+            }
+            Inst::Branch { cond, .. } => {
+                s.outcome = Some(cond.eval(a, b));
+                s.state = SlotState::Executing { done_at: now + 1 };
+            }
+            Inst::Jump { .. } | Inst::Nop | Inst::Halt => {
+                s.state = SlotState::Executing { done_at: now + 1 };
+            }
+            Inst::Call { .. } => {
+                s.value = s.ti.pc as Word + 1;
+                s.state = SlotState::Executing { done_at: now + 1 };
+            }
+            Inst::CallIndirect { .. } => {
+                s.value = s.ti.pc as Word + 1;
+                s.indirect_target = Some(a);
+                s.state = SlotState::Executing { done_at: now + 1 };
+            }
+            Inst::JumpIndirect { .. } | Inst::Ret => {
+                s.indirect_target = Some(a);
+                s.state = SlotState::Executing { done_at: now + 1 };
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stage 7: buses.
+
+    fn bus_stage(&mut self) {
+        self.grant_cache_buses();
+        self.grant_result_buses();
+    }
+
+    fn grant_cache_buses(&mut self) {
+        let now = self.now;
+        let mut granted_total = 0;
+        let mut granted_per_pe = vec![0usize; self.cfg.num_pes];
+        let mut requeue: VecDeque<BusReq> = VecDeque::new();
+        while let Some(req) = self.cache_bus_queue.pop_front() {
+            if granted_total >= self.cfg.cache_buses {
+                requeue.push_back(req);
+                // Keep draining to preserve order of the remaining queue.
+                while let Some(r) = self.cache_bus_queue.pop_front() {
+                    requeue.push_back(r);
+                }
+                break;
+            }
+            // Validate.
+            let valid = {
+                let p = &self.pes[req.pe];
+                p.occupied
+                    && p.gen == req.gen
+                    && req.slot < p.slots.len()
+                    && matches!(p.slots[req.slot].state, SlotState::WaitingBus { .. })
+                    && self.list.contains(req.pe)
+            };
+            if !valid {
+                continue; // dropped (squashed or replaced)
+            }
+            if req.since > now {
+                requeue.push_back(req);
+                continue;
+            }
+            if granted_per_pe[req.pe] >= self.cfg.cache_buses_per_pe {
+                requeue.push_back(req);
+                continue;
+            }
+            granted_total += 1;
+            granted_per_pe[req.pe] += 1;
+            self.perform_mem_access(req.pe, req.slot);
+        }
+        self.cache_bus_queue = requeue;
+    }
+
+    fn perform_mem_access(&mut self, pe: usize, slot: usize) {
+        let now = self.now;
+        let h = Self::handle(pe, slot);
+        let (inst, ea, data) = {
+            let s = &self.pes[pe].slots[slot];
+            let ea = s.indirect_target.expect("agen ran") as Addr;
+            (s.ti.inst, ea, s.value)
+        };
+        match inst {
+            Inst::Load { .. } => {
+                let latency = self.dcache.access(ea);
+                // Split field borrows: the ARB is mutated while the logical
+                // order comes from the PE list.
+                let list = &self.list;
+                let result = self.arb.load(ea, h, |sh: SeqHandle| {
+                    let pe = (sh.0 >> 8) as usize;
+                    if !list.contains(pe) {
+                        return 0;
+                    }
+                    ((list.logical(pe) + 1) << 8) | (sh.0 & 0xff)
+                });
+                let s = &mut self.pes[pe].slots[slot];
+                s.value = result.value;
+                s.load_src = result.source.map(|sh| sh.0);
+                s.mem_addr = Some(ea);
+                s.state = SlotState::MemAccess { done_at: now + latency as u64 };
+            }
+            Inst::Store { .. } => {
+                let _ = self.dcache.access(ea);
+                let (old_performed, old_addr, old_value) = {
+                    let s = &self.pes[pe].slots[slot];
+                    (s.store_performed, s.mem_addr, s.has_value.then_some(s.value))
+                };
+                let _ = old_value;
+                // A reissued store that moved must undo its old version.
+                if old_performed {
+                    if let Some(old) = old_addr {
+                        if old >> 3 != ea >> 3 {
+                            self.arb.undo(old, h);
+                            self.snoop_undo(old, h, pe);
+                        }
+                    }
+                }
+                self.arb.store(ea, h, data);
+                {
+                    let s = &mut self.pes[pe].slots[slot];
+                    s.store_performed = true;
+                    s.mem_addr = Some(ea);
+                    s.state = SlotState::MemAccess { done_at: now + 1 };
+                }
+                self.snoop_store(ea, h, data, pe);
+            }
+            _ => unreachable!("only memory ops use cache buses"),
+        }
+    }
+
+    /// Loads snoop store traffic: a load must reissue if the store is
+    /// program-order earlier than the load but later than the load's data
+    /// source, or if it *is* the load's data source and the value changed.
+    fn snoop_store(&mut self, addr: Addr, store_h: SeqHandle, value: Word, store_pe: usize) {
+        let word = addr >> 3;
+        let store_key = self.seq_key(store_h);
+        let penalty = self.cfg.load_reissue_penalty;
+        let now = self.now;
+        let mut reissues: Vec<(usize, usize)> = Vec::new();
+        for pe in self.list.iter() {
+            for (i, s) in self.pes[pe].slots.iter().enumerate() {
+                if !matches!(s.ti.inst, Inst::Load { .. }) {
+                    continue;
+                }
+                let Some(la) = s.mem_addr else { continue };
+                if la >> 3 != word {
+                    continue;
+                }
+                // Only loads that already sampled memory can be victims.
+                if !matches!(s.state, SlotState::MemAccess { .. } | SlotState::Done) {
+                    continue;
+                }
+                let load_key = self.seq_key(Self::handle(pe, i));
+                if store_key >= load_key {
+                    continue; // store is later in program order
+                }
+                let must_reissue = match s.load_src {
+                    Some(src) if src == store_h.0 => {
+                        // Same source store re-executed: reissue if the value
+                        // it previously supplied could differ. (The ARB has
+                        // already been updated; conservatively reissue.)
+                        let _ = value;
+                        true
+                    }
+                    Some(src) => self.seq_key(SeqHandle(src)) < store_key,
+                    None => true, // loaded from architectural memory
+                };
+                if must_reissue {
+                    reissues.push((pe, i));
+                }
+            }
+        }
+        let _ = store_pe;
+        for (pe, i) in reissues {
+            self.stats.load_snoop_reissues += 1;
+            self.pes[pe].slots[i].mark_reissue(now + penalty);
+        }
+    }
+
+    /// Loads snoop store-undo traffic: any load whose data came from the
+    /// undone store must reissue.
+    fn snoop_undo(&mut self, addr: Addr, store_h: SeqHandle, skip_pe: usize) {
+        let word = addr >> 3;
+        let penalty = self.cfg.load_reissue_penalty;
+        let now = self.now;
+        let mut reissues: Vec<(usize, usize)> = Vec::new();
+        for pe in self.list.iter() {
+            if pe == skip_pe {
+                continue;
+            }
+            for (i, s) in self.pes[pe].slots.iter().enumerate() {
+                if !matches!(s.ti.inst, Inst::Load { .. }) {
+                    continue;
+                }
+                if s.mem_addr.map(|a| a >> 3) != Some(word) {
+                    continue;
+                }
+                if s.load_src == Some(store_h.0) {
+                    reissues.push((pe, i));
+                }
+            }
+        }
+        for (pe, i) in reissues {
+            self.stats.load_snoop_reissues += 1;
+            self.pes[pe].slots[i].mark_reissue(now + penalty);
+        }
+    }
+
+    fn grant_result_buses(&mut self) {
+        let now = self.now;
+        let mut granted_total = 0;
+        let mut granted_per_pe = vec![0usize; self.cfg.num_pes];
+        let mut requeue: VecDeque<BusReq> = VecDeque::new();
+        while let Some(req) = self.result_bus_queue.pop_front() {
+            if granted_total >= self.cfg.result_buses {
+                requeue.push_back(req);
+                while let Some(r) = self.result_bus_queue.pop_front() {
+                    requeue.push_back(r);
+                }
+                break;
+            }
+            let valid = {
+                let p = &self.pes[req.pe];
+                p.occupied
+                    && p.gen == req.gen
+                    && req.slot < p.slots.len()
+                    && p.slots[req.slot].is_liveout
+                    && p.slots[req.slot].dest.is_some()
+            };
+            if !valid {
+                continue;
+            }
+            if req.since > now {
+                requeue.push_back(req);
+                continue;
+            }
+            if granted_per_pe[req.pe] >= self.cfg.result_buses_per_pe {
+                requeue.push_back(req);
+                continue;
+            }
+            granted_total += 1;
+            granted_per_pe[req.pe] += 1;
+            let dest = self.pes[req.pe].slots[req.slot].dest.expect("validated");
+            let r = self.pregs.get_mut(dest);
+            if r.ready && r.global_ready_at == u64::MAX {
+                r.global_ready_at = now + self.cfg.bypass_latency;
+            }
+        }
+        self.result_bus_queue = requeue;
+    }
+}
+
+impl fmt::Debug for TraceProcessor<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceProcessor")
+            .field("cycle", &self.now)
+            .field("halted", &self.halted)
+            .field("window", &self.list.len())
+            .field("retired", &self.stats.retired_instrs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CiModel;
+    use tp_isa::asm::Asm;
+    use tp_isa::func::Machine;
+    use tp_isa::synth::{self, SynthConfig};
+    use tp_isa::{AluOp, Cond};
+
+    const ALL_MODELS: [CiModel; 5] =
+        [CiModel::None, CiModel::Ret, CiModel::MlbRet, CiModel::Fg, CiModel::FgMlbRet];
+
+    fn run_verified(program: &Program, model: CiModel) -> RunResult {
+        let cfg = TraceProcessorConfig::paper(model).with_oracle();
+        let mut sim = TraceProcessor::new(program, cfg);
+        let result = sim.run(5_000_000).unwrap_or_else(|e| panic!("{}: {e}", program.name()));
+        assert!(result.halted, "{} did not halt under {model:?}", program.name());
+        // Cross-check final architectural state against the oracle.
+        let mut oracle = Machine::new(program);
+        oracle.run(u64::MAX).expect("oracle runs");
+        assert_eq!(sim.arch_state(), oracle.arch_state(), "{} state mismatch", program.name());
+        assert_eq!(result.stats.retired_instrs, oracle.retired(), "{} retired-count mismatch", program.name());
+        result
+    }
+
+    fn straightline_program() -> Program {
+        let mut a = Asm::new("straight");
+        let (r1, r2, r3) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        a.li(r1, 5);
+        a.li(r2, 7);
+        a.alu(AluOp::Mul, r3, r1, r2);
+        a.li(r1, 0x200);
+        a.store(r3, r1, 0);
+        a.load(r2, r1, 0);
+        a.addi(r2, r2, 1);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    fn counted_loop_program(n: i32) -> Program {
+        let mut a = Asm::new("loop");
+        let (r1, r2) = (Reg::new(1), Reg::new(2));
+        a.li(r1, n);
+        a.li(r2, 0);
+        a.label("top");
+        a.addi(r2, r2, 3);
+        a.addi(r1, r1, -1);
+        a.branch(Cond::Gt, r1, Reg::ZERO, "top");
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    /// Data-dependent hammocks inside a loop: heavy FGCI territory.
+    fn hammock_loop_program() -> Program {
+        let mut a = Asm::new("hammocks");
+        let (r1, r2, r3, r4, r5) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4), Reg::new(5));
+        a.li64(r5, tp_isa::DATA_BASE as i64);
+        a.li(r1, 200); // iterations
+        a.li(r2, 0);
+        a.label("top");
+        // Load pseudo-random word and branch on it.
+        a.alui(AluOp::And, r3, r1, 63);
+        a.alui(AluOp::Shl, r3, r3, 3);
+        a.add(r3, r3, r5);
+        a.load(r4, r3, 0);
+        a.branch(Cond::Lt, r4, Reg::ZERO, "else");
+        a.addi(r2, r2, 1);
+        a.jump("join");
+        a.label("else");
+        a.addi(r2, r2, 2);
+        a.addi(r2, r2, 3);
+        a.label("join");
+        a.addi(r1, r1, -1);
+        a.branch(Cond::Gt, r1, Reg::ZERO, "top");
+        a.store(r2, r5, 0);
+        a.halt();
+        // Pseudo-random data.
+        let mut x: i64 = 0x1234_5678;
+        for i in 0..64u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            a.data_word(tp_isa::DATA_BASE + 8 * i, x >> 13);
+        }
+        a.assemble().unwrap()
+    }
+
+    /// Short loops with data-dependent trip counts inside an outer loop:
+    /// heavy MLB territory.
+    fn unpredictable_loops_program() -> Program {
+        let mut a = Asm::new("mlb");
+        let (r1, r2, r3, r4, r5) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4), Reg::new(5));
+        a.li64(r5, tp_isa::DATA_BASE as i64);
+        a.li(r1, 150);
+        a.li(r2, 0);
+        a.label("outer");
+        a.alui(AluOp::And, r3, r1, 31);
+        a.alui(AluOp::Shl, r3, r3, 3);
+        a.add(r3, r3, r5);
+        a.load(r4, r3, 0);
+        a.alui(AluOp::And, r4, r4, 3);
+        a.addi(r4, r4, 1); // inner trip 1..=4
+        a.label("inner");
+        a.addi(r2, r2, 1);
+        a.addi(r4, r4, -1);
+        a.branch(Cond::Gt, r4, Reg::ZERO, "inner");
+        // Control independent work after the loop exit.
+        a.addi(r2, r2, 10);
+        a.alui(AluOp::Xor, r2, r2, 5);
+        a.addi(r1, r1, -1);
+        a.branch(Cond::Gt, r1, Reg::ZERO, "outer");
+        a.store(r2, r5, 8);
+        a.halt();
+        let mut x: i64 = 99;
+        for i in 0..32u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            a.data_word(tp_isa::DATA_BASE + 8 * i, (x >> 7).abs());
+        }
+        a.assemble().unwrap()
+    }
+
+    /// Function calls with a data-dependent branch inside the caller: RET
+    /// territory (re-convergence at the return target).
+    fn call_heavy_program() -> Program {
+        let mut a = Asm::new("calls");
+        let (r1, r2, r3, r4, r5) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4), Reg::new(5));
+        a.li64(Reg::SP, tp_isa::STACK_BASE as i64);
+        a.li64(r5, tp_isa::DATA_BASE as i64);
+        a.li(r1, 120);
+        a.li(r2, 0);
+        a.label("top");
+        a.alui(AluOp::And, r3, r1, 15);
+        a.alui(AluOp::Shl, r3, r3, 3);
+        a.add(r3, r3, r5);
+        a.load(r4, r3, 0);
+        a.call("f");
+        a.addi(r2, r2, 1);
+        a.addi(r1, r1, -1);
+        a.branch(Cond::Gt, r1, Reg::ZERO, "top");
+        a.store(r2, r5, 16);
+        a.halt();
+        a.label("f");
+        // Unpredictable branch inside the function; both paths return.
+        a.branch(Cond::Lt, r4, Reg::ZERO, "neg");
+        a.addi(r2, r2, 2);
+        a.ret();
+        a.label("neg");
+        a.addi(r2, r2, 5);
+        a.addi(r2, r2, 7);
+        a.ret();
+        let mut x: i64 = 7;
+        for i in 0..16u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            a.data_word(tp_isa::DATA_BASE + 8 * i, x >> 3);
+        }
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn straightline_commits_correctly() {
+        for model in ALL_MODELS {
+            let r = run_verified(&straightline_program(), model);
+            assert_eq!(r.stats.retired_instrs, 8);
+        }
+    }
+
+    #[test]
+    fn counted_loop_all_models() {
+        for model in ALL_MODELS {
+            let r = run_verified(&counted_loop_program(300), model);
+            assert!(r.stats.ipc() > 0.3, "{model:?} ipc {}", r.stats.ipc());
+        }
+    }
+
+    #[test]
+    fn hammock_loop_all_models() {
+        for model in ALL_MODELS {
+            run_verified(&hammock_loop_program(), model);
+        }
+    }
+
+    #[test]
+    fn fgci_recoveries_trigger_on_hammocks() {
+        let p = hammock_loop_program();
+        let cfg = TraceProcessorConfig::paper(CiModel::Fg).with_oracle();
+        let mut sim = TraceProcessor::new(&p, cfg);
+        sim.run(5_000_000).unwrap();
+        assert!(sim.stats().fgci_recoveries > 0, "expected FGCI recoveries: {:?}", sim.stats());
+    }
+
+    #[test]
+    fn mlb_recoveries_trigger_on_unpredictable_loops() {
+        let p = unpredictable_loops_program();
+        let cfg = TraceProcessorConfig::paper(CiModel::MlbRet).with_oracle();
+        let mut sim = TraceProcessor::new(&p, cfg);
+        sim.run(5_000_000).unwrap();
+        assert!(sim.stats().cgci_attempts > 0, "expected CGCI attempts: {:?}", sim.stats());
+        assert!(sim.stats().cgci_reconverged > 0, "expected reconvergence: {:?}", sim.stats());
+    }
+
+    #[test]
+    fn unpredictable_loops_all_models() {
+        for model in ALL_MODELS {
+            run_verified(&unpredictable_loops_program(), model);
+        }
+    }
+
+    #[test]
+    fn ret_recoveries_trigger_on_calls() {
+        let p = call_heavy_program();
+        let cfg = TraceProcessorConfig::paper(CiModel::Ret).with_oracle();
+        let mut sim = TraceProcessor::new(&p, cfg);
+        sim.run(5_000_000).unwrap();
+        assert!(sim.stats().cgci_attempts > 0, "expected CGCI attempts: {:?}", sim.stats());
+    }
+
+    #[test]
+    fn call_heavy_all_models() {
+        for model in ALL_MODELS {
+            run_verified(&call_heavy_program(), model);
+        }
+    }
+
+    #[test]
+    fn synthetic_programs_match_oracle_small() {
+        let cfg = SynthConfig::small();
+        for seed in 0..6 {
+            let p = synth::generate(&cfg, seed);
+            for model in ALL_MODELS {
+                run_verified(&p, model);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_programs_match_oracle_default() {
+        let cfg = SynthConfig::default();
+        for seed in 100..104 {
+            let p = synth::generate(&cfg, seed);
+            for model in ALL_MODELS {
+                run_verified(&p, model);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let p = hammock_loop_program();
+        let cfg = TraceProcessorConfig::paper(CiModel::FgMlbRet);
+        let mut sim = TraceProcessor::new(&p, cfg);
+        let r = sim.run(5_000_000).unwrap();
+        let s = r.stats;
+        assert!(s.retired_traces > 0);
+        assert!(s.avg_trace_len() > 1.0);
+        assert!(s.dispatched_traces >= s.retired_traces);
+        assert!(s.issue_events >= s.retired_instrs);
+        assert!(s.cycles > 0);
+        assert!(s.retired_cond_branches > 0);
+    }
+
+    #[test]
+    fn small_config_works() {
+        for model in ALL_MODELS {
+            let cfg = TraceProcessorConfig::small(model).with_oracle();
+            let p = counted_loop_program(50);
+            let mut sim = TraceProcessor::new(&p, cfg);
+            let r = sim.run(1_000_000).unwrap();
+            assert!(r.halted);
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! The functional (architectural) simulator.
+//!
+//! [`Machine`] executes a [`Program`] one instruction at a time with exact
+//! architectural semantics. It is the golden reference: the trace processor
+//! in `tp-core` must commit exactly the state this machine produces, no
+//! matter how much misspeculation and selective reissue happened along the
+//! way. It is also used by the Table 5 profiling harness, which replays the
+//! dynamic instruction stream through a branch predictor.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use crate::{Addr, Inst, Pc, Program, Reg, Word};
+
+/// Error produced when execution leaves the program image.
+///
+/// This can only happen through a dynamically-computed control transfer
+/// (indirect jump/call or return) whose register operand does not hold a
+/// valid instruction address, or by falling through the last instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PcOutOfRange {
+    /// The invalid program counter.
+    pub pc: Pc,
+}
+
+impl fmt::Display for PcOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "execution reached invalid pc {}", self.pc)
+    }
+}
+
+impl std::error::Error for PcOutOfRange {}
+
+/// The record of one executed instruction, as returned by [`Machine::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// PC of the executed instruction.
+    pub pc: Pc,
+    /// The executed instruction.
+    pub inst: Inst,
+    /// PC of the next instruction (equal to `pc` for `Halt`).
+    pub next_pc: Pc,
+    /// For conditional branches, whether the branch was taken.
+    pub taken: Option<bool>,
+    /// For loads and stores, the effective byte address.
+    pub ea: Option<Addr>,
+    /// Whether the machine halted on this step.
+    pub halted: bool,
+}
+
+/// Summary of a [`Machine::run`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Number of instructions retired by this call.
+    pub retired: u64,
+    /// Whether the program reached `Halt`.
+    pub halted: bool,
+}
+
+/// A normalized snapshot of architectural state.
+///
+/// Zero-valued memory words are omitted so that sparse representations from
+/// different simulators compare equal (uninitialized memory reads as zero,
+/// which makes a stored zero indistinguishable from an untouched word).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArchState {
+    /// Register file contents.
+    pub regs: [Word; Reg::COUNT],
+    /// Non-zero memory words, keyed by word index (`addr >> 3`).
+    pub mem: BTreeMap<u64, Word>,
+}
+
+/// The functional simulator.
+///
+/// # Example
+///
+/// ```
+/// use tp_isa::{asm::Asm, func::Machine, Reg};
+/// let mut a = Asm::new("store42");
+/// a.li(Reg::new(1), 42);
+/// a.li(Reg::new(2), 0x100);
+/// a.store(Reg::new(1), Reg::new(2), 0);
+/// a.halt();
+/// let p = a.assemble()?;
+/// let mut m = Machine::new(&p);
+/// let summary = m.run(100).expect("in range");
+/// assert!(summary.halted);
+/// assert_eq!(m.mem_word(0x100), 42);
+/// # Ok::<(), tp_isa::asm::AsmError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Machine<'p> {
+    program: &'p Program,
+    regs: [Word; Reg::COUNT],
+    mem: HashMap<u64, Word>,
+    pc: Pc,
+    halted: bool,
+    retired: u64,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine at the program's entry point with the initial data
+    /// image loaded.
+    pub fn new(program: &'p Program) -> Machine<'p> {
+        let mut mem = HashMap::new();
+        for (addr, word) in program.data() {
+            mem.insert(addr >> 3, word);
+        }
+        Machine {
+            program,
+            regs: [0; Reg::COUNT],
+            mem,
+            pc: program.entry(),
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> Pc {
+        self.pc
+    }
+
+    /// Whether the machine has executed a `Halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Total instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Reads an architectural register.
+    pub fn reg(&self, r: Reg) -> Word {
+        self.regs[r.index()]
+    }
+
+    /// Reads the memory word containing byte address `addr` (0 if untouched).
+    pub fn mem_word(&self, addr: Addr) -> Word {
+        self.mem.get(&(addr >> 3)).copied().unwrap_or(0)
+    }
+
+    /// Takes a normalized snapshot of the architectural state.
+    pub fn arch_state(&self) -> ArchState {
+        ArchState {
+            regs: self.regs,
+            mem: self.mem.iter().filter(|(_, &w)| w != 0).map(|(&a, &w)| (a, w)).collect(),
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Stepping a halted machine returns the same `Halt` record again without
+    /// retiring anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcOutOfRange`] if the current PC is outside the program.
+    pub fn step(&mut self) -> Result<Step, PcOutOfRange> {
+        let pc = self.pc;
+        let inst = self.program.fetch(pc).ok_or(PcOutOfRange { pc })?;
+        if self.halted {
+            return Ok(Step { pc, inst, next_pc: pc, taken: None, ea: None, halted: true });
+        }
+        self.retired += 1;
+        let mut taken = None;
+        let mut ea = None;
+        let mut next_pc = pc.wrapping_add(1);
+        match inst {
+            Inst::Alu { op, rd, rs, rt } => {
+                let v = op.apply(self.read(rs), self.read(rt));
+                self.write(rd, v);
+            }
+            Inst::AluImm { op, rd, rs, imm } => {
+                let v = op.apply(self.read(rs), imm as Word);
+                self.write(rd, v);
+            }
+            Inst::Load { rd, base, offset } => {
+                let addr = effective_address(self.read(base), offset);
+                ea = Some(addr);
+                let v = self.mem.get(&(addr >> 3)).copied().unwrap_or(0);
+                self.write(rd, v);
+            }
+            Inst::Store { rs, base, offset } => {
+                let addr = effective_address(self.read(base), offset);
+                ea = Some(addr);
+                let v = self.read(rs);
+                self.mem.insert(addr >> 3, v);
+            }
+            Inst::Branch { cond, rs, rt, target } => {
+                let t = cond.eval(self.read(rs), self.read(rt));
+                taken = Some(t);
+                if t {
+                    next_pc = target;
+                }
+            }
+            Inst::Jump { target } => next_pc = target,
+            Inst::Call { target } => {
+                self.write(Reg::RA, pc as Word + 1);
+                next_pc = target;
+            }
+            Inst::CallIndirect { rs } => {
+                let t = self.read(rs);
+                self.write(Reg::RA, pc as Word + 1);
+                next_pc = t as Pc;
+            }
+            Inst::JumpIndirect { rs } => next_pc = self.read(rs) as Pc,
+            Inst::Ret => next_pc = self.read(Reg::RA) as Pc,
+            Inst::Halt => {
+                self.halted = true;
+                next_pc = pc;
+            }
+            Inst::Nop => {}
+        }
+        self.pc = next_pc;
+        Ok(Step { pc, inst, next_pc, taken, ea, halted: self.halted })
+    }
+
+    /// Runs for at most `budget` instructions or until `Halt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcOutOfRange`] if execution leaves the program image.
+    pub fn run(&mut self, budget: u64) -> Result<RunSummary, PcOutOfRange> {
+        let start = self.retired;
+        while !self.halted && self.retired - start < budget {
+            self.step()?;
+        }
+        Ok(RunSummary { retired: self.retired - start, halted: self.halted })
+    }
+
+    #[inline]
+    fn read(&self, r: Reg) -> Word {
+        self.regs[r.index()]
+    }
+
+    #[inline]
+    fn write(&mut self, r: Reg, v: Word) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+}
+
+/// Computes the effective byte address of a memory access.
+///
+/// Address arithmetic wraps, keeping wrong-path execution total.
+#[inline]
+pub fn effective_address(base: Word, offset: i32) -> Addr {
+    base.wrapping_add(offset as Word) as Addr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::{AluOp, Cond};
+
+    fn run_program(build: impl FnOnce(&mut Asm)) -> Machine<'static> {
+        let mut a = Asm::new("t");
+        build(&mut a);
+        let p = Box::leak(Box::new(a.assemble().unwrap()));
+        let mut m = Machine::new(p);
+        m.run(100_000).unwrap();
+        m
+    }
+
+    #[test]
+    fn r0_reads_zero_and_ignores_writes() {
+        let m = run_program(|a| {
+            a.li(Reg::ZERO, 55);
+            a.alui(AluOp::Add, Reg::new(1), Reg::ZERO, 7);
+            a.halt();
+        });
+        assert_eq!(m.reg(Reg::ZERO), 0);
+        assert_eq!(m.reg(Reg::new(1)), 7);
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip() {
+        let m = run_program(|a| {
+            a.li(Reg::new(1), 0x200);
+            a.li(Reg::new(2), -77);
+            a.store(Reg::new(2), Reg::new(1), 8);
+            a.load(Reg::new(3), Reg::new(1), 8);
+            a.halt();
+        });
+        assert_eq!(m.reg(Reg::new(3)), -77);
+        assert_eq!(m.mem_word(0x208), -77);
+    }
+
+    #[test]
+    fn unaligned_access_hits_containing_word() {
+        let m = run_program(|a| {
+            a.li(Reg::new(1), 0x203); // not 8-aligned
+            a.li(Reg::new(2), 5);
+            a.store(Reg::new(2), Reg::new(1), 0);
+            a.load(Reg::new(3), Reg::ZERO, 0x200);
+            a.halt();
+        });
+        assert_eq!(m.reg(Reg::new(3)), 5);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let m = run_program(|a| {
+            a.call("f");
+            a.li(Reg::new(2), 2);
+            a.halt();
+            a.label("f");
+            a.li(Reg::new(1), 1);
+            a.ret();
+        });
+        assert_eq!(m.reg(Reg::new(1)), 1);
+        assert_eq!(m.reg(Reg::new(2)), 2);
+    }
+
+    #[test]
+    fn indirect_jump_through_data_table() {
+        let m = run_program(|a| {
+            a.load(Reg::new(1), Reg::ZERO, 0x100);
+            a.jump_indirect(Reg::new(1));
+            a.li(Reg::new(2), 111); // skipped
+            a.label("tgt");
+            a.li(Reg::new(3), 7);
+            a.halt();
+            a.data_label(0x100, "tgt");
+        });
+        assert_eq!(m.reg(Reg::new(2)), 0);
+        assert_eq!(m.reg(Reg::new(3)), 7);
+    }
+
+    #[test]
+    fn branch_taken_and_not_taken_steps() {
+        let mut a = Asm::new("t");
+        a.li(Reg::new(1), 1);
+        a.branch(Cond::Eq, Reg::new(1), Reg::ZERO, "skip"); // not taken
+        a.branch(Cond::Ne, Reg::new(1), Reg::ZERO, "skip"); // taken
+        a.nop();
+        a.label("skip");
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p);
+        m.step().unwrap();
+        let s1 = m.step().unwrap();
+        assert_eq!(s1.taken, Some(false));
+        assert_eq!(s1.next_pc, 2);
+        let s2 = m.step().unwrap();
+        assert_eq!(s2.taken, Some(true));
+        assert_eq!(s2.next_pc, 4);
+    }
+
+    #[test]
+    fn halt_is_sticky() {
+        let mut a = Asm::new("t");
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p);
+        let s = m.step().unwrap();
+        assert!(s.halted);
+        assert_eq!(m.retired(), 1);
+        let s2 = m.step().unwrap();
+        assert!(s2.halted);
+        assert_eq!(m.retired(), 1); // no further retirement
+    }
+
+    #[test]
+    fn run_budget_stops_infinite_loop() {
+        let mut a = Asm::new("t");
+        a.label("top");
+        a.jump("top");
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p);
+        let summary = m.run(500).unwrap();
+        assert_eq!(summary.retired, 500);
+        assert!(!summary.halted);
+    }
+
+    #[test]
+    fn bad_indirect_target_reports_out_of_range() {
+        let mut a = Asm::new("t");
+        a.li(Reg::new(1), 999);
+        a.jump_indirect(Reg::new(1));
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p);
+        m.step().unwrap();
+        m.step().unwrap();
+        assert_eq!(m.step(), Err(PcOutOfRange { pc: 999 }));
+    }
+
+    #[test]
+    fn arch_state_omits_zero_words() {
+        let m = run_program(|a| {
+            a.li(Reg::new(1), 0x300);
+            a.store(Reg::ZERO, Reg::new(1), 0); // stores zero
+            a.li(Reg::new(2), 9);
+            a.store(Reg::new(2), Reg::new(1), 8);
+            a.halt();
+        });
+        let st = m.arch_state();
+        assert!(!st.mem.contains_key(&(0x300 >> 3)));
+        assert_eq!(st.mem.get(&(0x308 >> 3)), Some(&9));
+    }
+
+    #[test]
+    fn initial_data_image_is_loaded() {
+        let mut a = Asm::new("t");
+        a.load(Reg::new(1), Reg::ZERO, 0x100);
+        a.halt();
+        a.data_word(0x100, 1234);
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(10).unwrap();
+        assert_eq!(m.reg(Reg::new(1)), 1234);
+    }
+}

@@ -1,0 +1,66 @@
+//! Instruction set architecture for the trace processor reproduction.
+//!
+//! The paper evaluated SPEC95 binaries compiled for the SimpleScalar PISA
+//! instruction set. This crate provides the equivalent substrate built from
+//! scratch: a small, regular RISC ISA together with
+//!
+//! * an [`asm::Asm`] assembler with labels (used by `tp-workloads` to write
+//!   the synthetic benchmark kernels),
+//! * a [`func::Machine`] functional (architectural) simulator that serves as
+//!   the golden reference for the cycle-level trace processor in `tp-core`,
+//! * a [`synth`] structured random-program generator used by property tests.
+//!
+//! Programs are word-indexed: a [`Pc`] is an index into [`Program::insts`],
+//! and every instruction occupies one slot. Memory is an array of 64-bit
+//! words addressed by byte addresses; loads and stores access the aligned
+//! word containing the effective address, which keeps execution *total* —
+//! wrong-path instructions in the timing simulator execute with garbage
+//! values and must never fault.
+//!
+//! # Example
+//!
+//! ```
+//! use tp_isa::{asm::Asm, func::Machine, Cond, Reg};
+//!
+//! let mut a = Asm::new("double-loop");
+//! let (r1, r2) = (Reg::new(1), Reg::new(2));
+//! a.li(r1, 0); // accumulator
+//! a.li(r2, 5); // trip count
+//! a.label("loop");
+//! a.addi(r1, r1, 3);
+//! a.addi(r2, r2, -1);
+//! a.branch(Cond::Gt, r2, Reg::ZERO, "loop");
+//! a.halt();
+//! let program = a.assemble().expect("valid program");
+//!
+//! let mut m = Machine::new(&program);
+//! m.run(1_000).expect("program runs to completion");
+//! assert_eq!(m.reg(r1), 15);
+//! ```
+
+pub mod asm;
+pub mod func;
+pub mod inst;
+pub mod program;
+pub mod reg;
+pub mod synth;
+
+pub use inst::{AluOp, Cond, Inst};
+pub use program::{Program, ProgramError};
+pub use reg::Reg;
+
+/// A program counter: an index into [`Program::insts`].
+pub type Pc = u32;
+
+/// An architectural 64-bit integer value.
+pub type Word = i64;
+
+/// A byte address. Loads/stores access the aligned 8-byte word containing
+/// the address (i.e. the word with index `addr >> 3`).
+pub type Addr = u64;
+
+/// Base byte address used by convention for workload data segments.
+pub const DATA_BASE: Addr = 0x1_0000;
+
+/// Base byte address used by convention for the software stack.
+pub const STACK_BASE: Addr = 0x8_0000;

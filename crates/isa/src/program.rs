@@ -1,0 +1,248 @@
+//! Programs: instruction images plus initial data.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Addr, Inst, Pc, Word};
+
+/// A complete executable program: an instruction image, an entry point and an
+/// initial data image.
+///
+/// Programs are produced by the [`asm::Asm`](crate::asm::Asm) assembler (or
+/// the [`synth`](crate::synth) generator) and consumed by both the functional
+/// simulator and the trace processor. [`Program::validate`] checks the static
+/// well-formedness invariants that the rest of the system relies on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+    entry: Pc,
+    data: BTreeMap<Addr, Word>,
+}
+
+/// Error returned when a [`Program`] fails validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// The entry point is out of range.
+    EntryOutOfRange { entry: Pc, len: usize },
+    /// A direct control transfer targets a PC outside the program.
+    TargetOutOfRange { pc: Pc, target: Pc, len: usize },
+    /// The program exceeds the maximum supported size (2^24 instructions).
+    TooLarge { len: usize },
+    /// A data-image address is not 8-byte aligned.
+    UnalignedData { addr: Addr },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProgramError::Empty => write!(f, "program has no instructions"),
+            ProgramError::EntryOutOfRange { entry, len } => {
+                write!(f, "entry point {entry} out of range for program of {len} instructions")
+            }
+            ProgramError::TargetOutOfRange { pc, target, len } => {
+                write!(f, "instruction at {pc} targets {target}, out of range for {len} instructions")
+            }
+            ProgramError::TooLarge { len } => write!(f, "program of {len} instructions is too large"),
+            ProgramError::UnalignedData { addr } => {
+                write!(f, "data image address {addr:#x} is not 8-byte aligned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Maximum supported program size in instructions.
+    pub const MAX_LEN: usize = 1 << 24;
+
+    /// Creates and validates a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if the program is empty, too large, has an
+    /// out-of-range entry point or direct branch target, or has an unaligned
+    /// data-image address.
+    pub fn new(
+        name: impl Into<String>,
+        insts: Vec<Inst>,
+        entry: Pc,
+        data: impl IntoIterator<Item = (Addr, Word)>,
+    ) -> Result<Program, ProgramError> {
+        let program = Program {
+            name: name.into(),
+            insts,
+            entry,
+            data: data.into_iter().collect(),
+        };
+        program.validate()?;
+        Ok(program)
+    }
+
+    fn validate(&self) -> Result<(), ProgramError> {
+        let len = self.insts.len();
+        if len == 0 {
+            return Err(ProgramError::Empty);
+        }
+        if len > Program::MAX_LEN {
+            return Err(ProgramError::TooLarge { len });
+        }
+        if self.entry as usize >= len {
+            return Err(ProgramError::EntryOutOfRange { entry: self.entry, len });
+        }
+        for (pc, inst) in self.insts.iter().enumerate() {
+            let target = match *inst {
+                Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Call { target } => target,
+                _ => continue,
+            };
+            if target as usize >= len {
+                return Err(ProgramError::TargetOutOfRange { pc: pc as Pc, target, len });
+            }
+        }
+        for (&addr, _) in &self.data {
+            if addr % 8 != 0 {
+                return Err(ProgramError::UnalignedData { addr });
+            }
+        }
+        Ok(())
+    }
+
+    /// The program's name (used in reports and error messages).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction image.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions (never true for a validated
+    /// program).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The entry point.
+    pub fn entry(&self) -> Pc {
+        self.entry
+    }
+
+    /// The initial data image as `(byte address, word)` pairs.
+    pub fn data(&self) -> impl Iterator<Item = (Addr, Word)> + '_ {
+        self.data.iter().map(|(&a, &w)| (a, w))
+    }
+
+    /// Fetches the instruction at `pc`, or `None` when out of range.
+    ///
+    /// The timing simulator treats out-of-range fetches (which can only occur
+    /// on mispredicted paths through indirect jumps) as fetch stalls.
+    #[inline]
+    pub fn fetch(&self, pc: Pc) -> Option<Inst> {
+        self.insts.get(pc as usize).copied()
+    }
+
+    /// Whether `pc` is a valid instruction address.
+    #[inline]
+    pub fn contains(&self, pc: Pc) -> bool {
+        (pc as usize) < self.insts.len()
+    }
+
+    /// Counts the static conditional branches in the program.
+    pub fn static_cond_branches(&self) -> usize {
+        self.insts.iter().filter(|i| i.is_cond_branch()).count()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} (entry @{}, {} instructions)", self.name, self.entry, self.len())?;
+        for (pc, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{pc:6}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Cond, Reg};
+
+    fn nop_program(n: usize) -> Vec<Inst> {
+        let mut v = vec![Inst::Nop; n];
+        if n > 0 {
+            v[n - 1] = Inst::Halt;
+        }
+        v
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        assert_eq!(Program::new("t", vec![], 0, []), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn entry_out_of_range_is_rejected() {
+        let err = Program::new("t", nop_program(3), 3, []).unwrap_err();
+        assert!(matches!(err, ProgramError::EntryOutOfRange { entry: 3, len: 3 }));
+    }
+
+    #[test]
+    fn branch_target_out_of_range_is_rejected() {
+        let insts = vec![
+            Inst::Branch { cond: Cond::Eq, rs: Reg::ZERO, rt: Reg::ZERO, target: 9 },
+            Inst::Halt,
+        ];
+        let err = Program::new("t", insts, 0, []).unwrap_err();
+        assert!(matches!(err, ProgramError::TargetOutOfRange { pc: 0, target: 9, .. }));
+    }
+
+    #[test]
+    fn unaligned_data_is_rejected() {
+        let err = Program::new("t", nop_program(1), 0, [(3u64, 7i64)]).unwrap_err();
+        assert!(matches!(err, ProgramError::UnalignedData { addr: 3 }));
+    }
+
+    #[test]
+    fn valid_program_roundtrips_accessors() {
+        let insts = vec![
+            Inst::AluImm { op: AluOp::Add, rd: Reg::new(1), rs: Reg::ZERO, imm: 7 },
+            Inst::Halt,
+        ];
+        let p = Program::new("t", insts.clone(), 0, [(8u64, 42i64)]).unwrap();
+        assert_eq!(p.name(), "t");
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.entry(), 0);
+        assert_eq!(p.insts(), &insts[..]);
+        assert_eq!(p.fetch(0), Some(insts[0]));
+        assert_eq!(p.fetch(2), None);
+        assert!(p.contains(1));
+        assert!(!p.contains(2));
+        assert_eq!(p.data().collect::<Vec<_>>(), vec![(8, 42)]);
+        assert_eq!(p.static_cond_branches(), 0);
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let p = Program::new("t", nop_program(2), 0, []).unwrap();
+        let s = p.to_string();
+        assert!(s.contains("program t"));
+        assert!(s.contains("halt"));
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(ProgramError::Empty.to_string().contains("no instructions"));
+        assert!(ProgramError::UnalignedData { addr: 3 }.to_string().contains("aligned"));
+    }
+}

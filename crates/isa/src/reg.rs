@@ -1,0 +1,115 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// An architectural register, `r0`..`r31`.
+///
+/// `r0` is hardwired to zero (writes are discarded), matching the MIPS
+/// convention used by the paper's SimpleScalar substrate. `r31` is the link
+/// register written by [`Inst::Call`](crate::Inst::Call) and read by
+/// [`Inst::Ret`](crate::Inst::Ret); `r30` is reserved by convention for the
+/// software stack pointer.
+///
+/// # Example
+///
+/// ```
+/// use tp_isa::Reg;
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(r.to_string(), "r5");
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+
+    /// The link register `r31`, written by calls and read by returns.
+    pub const RA: Reg = Reg(31);
+
+    /// The stack pointer register `r30` (software convention).
+    pub const SP: Reg = Reg(30);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub const fn new(index: u8) -> Reg {
+        assert!((index as usize) < Reg::COUNT, "register index out of range");
+        Reg(index)
+    }
+
+    /// The register's index, `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register `r0`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 architectural registers.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Reg::COUNT as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_have_expected_indices() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::RA.index(), 31);
+        assert_eq!(Reg::SP.index(), 30);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        assert_eq!(regs[0], Reg::ZERO);
+        assert_eq!(regs[31], Reg::RA);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_formats_with_r_prefix() {
+        assert_eq!(Reg::new(17).to_string(), "r17");
+        assert_eq!(format!("{:?}", Reg::new(3)), "r3");
+    }
+}

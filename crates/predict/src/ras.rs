@@ -1,0 +1,128 @@
+//! Return address stack.
+
+use tp_isa::Pc;
+
+/// A bounded return address stack used by trace construction to predict
+/// return targets.
+///
+/// The stack is circular: pushing beyond capacity overwrites the oldest
+/// entry, and popping an empty stack returns `None` — both behaviours of a
+/// real hardware RAS. [`Ras::snapshot`]/[`Ras::restore`] support recovery.
+///
+/// # Example
+///
+/// ```
+/// use tp_predict::Ras;
+/// let mut ras = Ras::new(8);
+/// ras.push(10);
+/// ras.push(20);
+/// assert_eq!(ras.pop(), Some(20));
+/// assert_eq!(ras.pop(), Some(10));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ras {
+    entries: Vec<Pc>,
+    capacity: usize,
+}
+
+impl Ras {
+    /// Creates a RAS with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Ras {
+        assert!(capacity > 0, "RAS capacity must be non-zero");
+        Ras { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Pushes a return address, evicting the oldest entry when full.
+    pub fn push(&mut self, pc: Pc) {
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(pc);
+    }
+
+    /// Pops the most recent return address.
+    pub fn pop(&mut self) -> Option<Pc> {
+        self.entries.pop()
+    }
+
+    /// Peeks at the most recent return address without popping.
+    pub fn top(&self) -> Option<Pc> {
+        self.entries.last().copied()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Takes a copy of the stack for later [`Ras::restore`].
+    pub fn snapshot(&self) -> Ras {
+        self.clone()
+    }
+
+    /// Restores a previously snapshotted state.
+    pub fn restore(&mut self, snapshot: &Ras) {
+        self.entries.clone_from(&snapshot.entries);
+        self.capacity = snapshot.capacity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = Ras::new(4);
+        for pc in [1, 2, 3] {
+            ras.push(pc);
+        }
+        assert_eq!(ras.top(), Some(3));
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), Some(1));
+        assert!(ras.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut ras = Ras::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.len(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut ras = Ras::new(4);
+        ras.push(7);
+        let snap = ras.snapshot();
+        ras.push(8);
+        ras.pop();
+        ras.pop();
+        assert!(ras.is_empty());
+        ras.restore(&snap);
+        assert_eq!(ras.top(), Some(7));
+        assert_eq!(ras.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = Ras::new(0);
+    }
+}

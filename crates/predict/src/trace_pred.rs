@@ -1,0 +1,359 @@
+//! The hybrid path-based next-trace predictor (Jacobson et al. 1997).
+
+use tp_trace::TraceId;
+
+/// Configuration of the next-trace predictor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TracePredictorConfig {
+    /// log2 of the number of entries in each component table (the paper uses
+    /// 2^16-entry tables).
+    pub index_bits: u32,
+    /// Path history depth of the path-based component (the paper uses 8).
+    pub path_depth: usize,
+    /// Confidence threshold at or above which the path-based component's
+    /// prediction is preferred over the simple component's.
+    pub confidence_threshold: u8,
+}
+
+impl Default for TracePredictorConfig {
+    fn default() -> TracePredictorConfig {
+        TracePredictorConfig::paper()
+    }
+}
+
+impl TracePredictorConfig {
+    /// The paper's configuration: two 2^16-entry tables, 8-deep path
+    /// history.
+    pub fn paper() -> TracePredictorConfig {
+        TracePredictorConfig { index_bits: 16, path_depth: 8, confidence_threshold: 1 }
+    }
+
+    /// A small configuration for tests.
+    pub fn tiny() -> TracePredictorConfig {
+        TracePredictorConfig { index_bits: 8, path_depth: 4, confidence_threshold: 1 }
+    }
+}
+
+/// A rolling history of recently committed (or speculatively fetched) trace
+/// ids.
+///
+/// Histories are plain values so the trace processor can checkpoint one per
+/// dispatched trace and restore it on misprediction recovery.
+///
+/// # Example
+///
+/// ```
+/// use tp_predict::TraceHistory;
+/// use tp_trace::TraceId;
+/// let mut h = TraceHistory::new(4);
+/// h.push(TraceId::new(10, 0, 0));
+/// h.push(TraceId::new(20, 1, 1));
+/// assert_eq!(h.last(), Some(TraceId::new(20, 1, 1)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceHistory {
+    ids: Vec<TraceId>,
+    depth: usize,
+}
+
+impl TraceHistory {
+    /// Creates an empty history with the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> TraceHistory {
+        assert!(depth > 0, "history depth must be non-zero");
+        TraceHistory { ids: Vec::with_capacity(depth), depth }
+    }
+
+    /// Appends a trace id, discarding the oldest beyond the depth.
+    pub fn push(&mut self, id: TraceId) {
+        if self.ids.len() == self.depth {
+            self.ids.remove(0);
+        }
+        self.ids.push(id);
+    }
+
+    /// The most recent trace id.
+    pub fn last(&self) -> Option<TraceId> {
+        self.ids.last().copied()
+    }
+
+    /// Number of ids currently recorded.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether no ids have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Hash of the full path history.
+    fn path_hash(&self) -> u64 {
+        let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+        for id in &self.ids {
+            h = h.rotate_left(7) ^ id.hash64();
+        }
+        h
+    }
+
+    /// Hash of the most recent id only.
+    fn last_hash(&self) -> u64 {
+        self.ids.last().map_or(0x1234_5678_9abc_def0, |id| id.hash64())
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    tag: u16,
+    pred: TraceId,
+    confidence: u8,
+}
+
+#[derive(Clone, Debug)]
+struct Component {
+    entries: Vec<Option<Entry>>,
+    mask: u64,
+}
+
+impl Component {
+    fn new(index_bits: u32) -> Component {
+        let n = 1usize << index_bits;
+        Component { entries: vec![None; n], mask: n as u64 - 1 }
+    }
+
+    fn probe(&self, hash: u64) -> Option<Entry> {
+        let idx = (hash & self.mask) as usize;
+        let tag = (hash >> 16) as u16;
+        self.entries[idx].filter(|e| e.tag == tag)
+    }
+
+    fn train(&mut self, hash: u64, actual: TraceId) {
+        let idx = (hash & self.mask) as usize;
+        let tag = (hash >> 16) as u16;
+        match &mut self.entries[idx] {
+            Some(e) if e.tag == tag => {
+                if e.pred == actual {
+                    e.confidence = (e.confidence + 1).min(3);
+                } else if e.confidence > 0 {
+                    e.confidence -= 1;
+                } else {
+                    e.pred = actual;
+                    e.confidence = 1;
+                }
+            }
+            slot => {
+                *slot = Some(Entry { tag, pred: actual, confidence: 1 });
+            }
+        }
+    }
+}
+
+/// Statistics for the next-trace predictor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TracePredictorStats {
+    /// Predictions requested.
+    pub predictions: u64,
+    /// Requests for which neither component had a (tag-matching) entry.
+    pub no_prediction: u64,
+    /// Training updates applied.
+    pub updates: u64,
+}
+
+/// The hybrid next-trace predictor.
+///
+/// The path-based component indexes a 2^16-entry table with a hash of the
+/// last eight trace ids; the simple component uses only the last id. The
+/// path-based prediction is used when it tag-matches with sufficient
+/// confidence, otherwise the simple component's, otherwise there is no
+/// prediction and the frontend falls back to instruction-level sequencing
+/// with the BTB.
+///
+/// # Example
+///
+/// ```
+/// use tp_predict::{NextTracePredictor, TraceHistory, TracePredictorConfig};
+/// use tp_trace::TraceId;
+///
+/// let mut pred = NextTracePredictor::new(TracePredictorConfig::paper());
+/// let mut h = TraceHistory::new(8);
+/// let (a, b) = (TraceId::new(0, 0, 0), TraceId::new(32, 3, 2));
+///
+/// // Train "after a comes b" a few times.
+/// for _ in 0..3 {
+///     let mut ctx = h.clone();
+///     ctx.push(a);
+///     pred.train(&ctx, b);
+/// }
+/// let mut ctx = h.clone();
+/// ctx.push(a);
+/// assert_eq!(pred.predict(&ctx), Some(b));
+/// ```
+#[derive(Clone, Debug)]
+pub struct NextTracePredictor {
+    config: TracePredictorConfig,
+    path: Component,
+    simple: Component,
+    stats: TracePredictorStats,
+}
+
+impl NextTracePredictor {
+    /// Creates a predictor.
+    pub fn new(config: TracePredictorConfig) -> NextTracePredictor {
+        NextTracePredictor {
+            config,
+            path: Component::new(config.index_bits),
+            simple: Component::new(config.index_bits),
+            stats: TracePredictorStats::default(),
+        }
+    }
+
+    /// The predictor's configuration.
+    pub fn config(&self) -> TracePredictorConfig {
+        self.config
+    }
+
+    /// Predicts the next trace id given the current (speculative) history.
+    pub fn predict(&mut self, history: &TraceHistory) -> Option<TraceId> {
+        self.stats.predictions += 1;
+        let path_entry = self.path.probe(history.path_hash());
+        let simple_entry = self.simple.probe(history.last_hash());
+        let pred = match (path_entry, simple_entry) {
+            (Some(p), _) if p.confidence >= self.config.confidence_threshold => Some(p.pred),
+            (_, Some(s)) => Some(s.pred),
+            (Some(p), None) => Some(p.pred),
+            (None, None) => None,
+        };
+        if pred.is_none() {
+            self.stats.no_prediction += 1;
+        }
+        pred
+    }
+
+    /// Trains both components: `history` is the (retirement-side) history
+    /// *before* the trace, `actual` the trace id that actually followed.
+    pub fn train(&mut self, history: &TraceHistory, actual: TraceId) {
+        self.stats.updates += 1;
+        self.path.train(history.path_hash(), actual);
+        self.simple.train(history.last_hash(), actual);
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TracePredictorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(start: u32) -> TraceId {
+        TraceId::new(start, 0, 0)
+    }
+
+    #[test]
+    fn empty_history_has_no_prediction_initially() {
+        let mut p = NextTracePredictor::new(TracePredictorConfig::tiny());
+        let h = TraceHistory::new(4);
+        assert_eq!(p.predict(&h), None);
+        assert_eq!(p.stats().no_prediction, 1);
+    }
+
+    #[test]
+    fn learns_a_simple_sequence() {
+        let mut p = NextTracePredictor::new(TracePredictorConfig::paper());
+        let seq = [id(0), id(32), id(64), id(96)];
+        let mut h = TraceHistory::new(8);
+        // Two training passes over the cyclic sequence.
+        for _ in 0..2 {
+            for w in 0..seq.len() {
+                let next = seq[(w + 1) % seq.len()];
+                h.push(seq[w]);
+                p.train(&h, next);
+            }
+        }
+        // Now every step is predicted correctly.
+        for w in 0..seq.len() {
+            h.push(seq[w]);
+            assert_eq!(p.predict(&h), Some(seq[(w + 1) % seq.len()]), "step {w}");
+        }
+    }
+
+    #[test]
+    fn path_component_disambiguates_by_context() {
+        // The same last trace B is followed by C after (A,B) but by D after
+        // (X,B): only path context can get both right.
+        let mut p = NextTracePredictor::new(TracePredictorConfig::paper());
+        let (a, b, c, d, x) = (id(1), id(2), id(3), id(4), id(5));
+        for _ in 0..8 {
+            let mut h = TraceHistory::new(8);
+            h.push(a);
+            h.push(b);
+            p.train(&h, c);
+            let mut h = TraceHistory::new(8);
+            h.push(x);
+            h.push(b);
+            p.train(&h, d);
+        }
+        let mut h = TraceHistory::new(8);
+        h.push(a);
+        h.push(b);
+        assert_eq!(p.predict(&h), Some(c));
+        let mut h = TraceHistory::new(8);
+        h.push(x);
+        h.push(b);
+        assert_eq!(p.predict(&h), Some(d));
+    }
+
+    #[test]
+    fn counter_replacement_needs_two_strikes() {
+        let mut p = NextTracePredictor::new(TracePredictorConfig::tiny());
+        let mut h = TraceHistory::new(4);
+        h.push(id(7));
+        p.train(&h, id(100));
+        p.train(&h, id(100)); // confidence 2
+        p.train(&h, id(200)); // confidence 1, still predicts 100
+        assert_eq!(p.predict(&h), Some(id(100)));
+        p.train(&h, id(200)); // confidence 0
+        p.train(&h, id(200)); // replaced
+        assert_eq!(p.predict(&h), Some(id(200)));
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut h = TraceHistory::new(2);
+        h.push(id(1));
+        h.push(id(2));
+        h.push(id(3));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.last(), Some(id(3)));
+    }
+
+    #[test]
+    fn histories_checkpoint_by_clone() {
+        let mut h = TraceHistory::new(4);
+        h.push(id(1));
+        let snap = h.clone();
+        h.push(id(2));
+        assert_ne!(h, snap);
+        let h = snap;
+        assert_eq!(h.last(), Some(id(1)));
+    }
+
+    #[test]
+    fn distinct_histories_usually_map_to_distinct_indices() {
+        // Smoke-test the hash spread: 64 distinct histories should not all
+        // collide in a 256-entry table.
+        let mut hashes = std::collections::HashSet::new();
+        for i in 0..64u32 {
+            let mut h = TraceHistory::new(4);
+            h.push(id(i));
+            h.push(id(i * 7 + 1));
+            hashes.insert(h.path_hash() & 0xff);
+        }
+        assert!(hashes.len() > 32, "path hash spreads poorly: {}", hashes.len());
+    }
+}

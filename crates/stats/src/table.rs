@@ -1,0 +1,143 @@
+//! A fixed-width plain-text table printer for experiment reports.
+
+use std::fmt;
+
+/// A simple left-labelled, right-aligned table, rendered with `Display`.
+///
+/// # Example
+///
+/// ```
+/// use tp_stats::Table;
+/// let mut t = Table::new("IPC", &["base", "ntb"]);
+/// t.row("compress", &[2.02, 1.92]);
+/// t.row("gcc", &[4.44, 4.51]);
+/// let s = t.to_string();
+/// assert!(s.contains("compress"));
+/// assert!(s.contains("2.02"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    corner: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<String>)>,
+    precision: usize,
+}
+
+impl Table {
+    /// Creates a table with a corner label and column headers.
+    pub fn new(corner: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            corner: corner.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            precision: 2,
+        }
+    }
+
+    /// Sets the number of decimal places used by [`Table::row`] (default 2).
+    pub fn precision(&mut self, digits: usize) -> &mut Table {
+        self.precision = digits;
+        self
+    }
+
+    /// Appends a row of numeric cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the number of columns.
+    pub fn row(&mut self, label: impl Into<String>, values: &[f64]) -> &mut Table {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        let cells = values.iter().map(|v| format!("{v:.prec$}", prec = self.precision)).collect();
+        self.rows.push((label.into(), cells));
+        self
+    }
+
+    /// Appends a row of pre-formatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells differs from the number of columns.
+    pub fn row_text(&mut self, label: impl Into<String>, cells: &[String]) -> &mut Table {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), cells.to_vec()));
+        self
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([self.corner.len()])
+            .max()
+            .unwrap_or(0);
+        let col_ws: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                self.rows
+                    .iter()
+                    .map(|(_, cells)| cells[i].len())
+                    .chain([c.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        write!(f, "{:<label_w$}", self.corner)?;
+        for (c, w) in self.columns.iter().zip(&col_ws) {
+            write!(f, "  {c:>w$}")?;
+        }
+        writeln!(f)?;
+        let total = label_w + col_ws.iter().map(|w| w + 2).sum::<usize>();
+        writeln!(f, "{}", "-".repeat(total))?;
+        for (label, cells) in &self.rows {
+            write!(f, "{label:<label_w$}")?;
+            for (cell, w) in cells.iter().zip(&col_ws) {
+                write!(f, "  {cell:>w$}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("bench", &["a", "bb"]);
+        t.row("x", &[1.0, 2.5]);
+        t.row("longer", &[10.25, 0.125]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("bench"));
+        assert!(lines[2].starts_with("x"));
+        assert!(s.contains("10.25"));
+        // default precision 2
+        assert!(s.contains("0.12")); // round-half-to-even
+    }
+
+    #[test]
+    fn custom_precision_and_text_rows() {
+        let mut t = Table::new("", &["v"]);
+        t.precision(1);
+        t.row("a", &[0.55]);
+        t.row_text("b", &["n/a".to_string()]);
+        let s = t.to_string();
+        assert!(s.contains("0.6"));
+        assert!(s.contains("n/a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row("x", &[1.0]);
+    }
+}

@@ -1,0 +1,192 @@
+//! The branch information table (BIT).
+//!
+//! The BIT caches the FGCI-algorithm's result per forward conditional
+//! branch: whether the branch has an embeddable region, the region's dynamic
+//! size and the re-convergent point. All forward conditional branches
+//! allocate entries — embeddable or not — because trace selection needs the
+//! determination either way (paper Section 3.1). The paper's configuration
+//! is an 8K-entry, 4-way set-associative table.
+
+use crate::fgci::RegionInfo;
+use tp_isa::Pc;
+
+#[derive(Clone, Debug)]
+struct Entry {
+    tag: u64,
+    info: RegionInfo,
+    lru: u64,
+}
+
+/// Statistics kept by the BIT.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BitStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that missed (requiring the FGCI-algorithm miss handler).
+    pub misses: u64,
+}
+
+/// A set-associative branch information table.
+///
+/// # Example
+///
+/// ```
+/// use tp_trace::{Bit, RegionInfo};
+/// let mut bit = Bit::new(8192, 4);
+/// assert_eq!(bit.lookup(100), None);
+/// bit.insert(100, RegionInfo::not_embeddable(5));
+/// assert!(bit.lookup(100).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Bit {
+    sets: Vec<Vec<Entry>>,
+    ways: usize,
+    tick: u64,
+    stats: BitStats,
+}
+
+impl Bit {
+    /// Creates a BIT with `entries` total entries and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power-of-two multiple of `ways`, or if
+    /// either is zero.
+    pub fn new(entries: usize, ways: usize) -> Bit {
+        assert!(entries > 0 && ways > 0, "BIT geometry must be non-zero");
+        assert!(entries % ways == 0, "entries must be a multiple of ways");
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "BIT set count must be a power of two");
+        Bit { sets: vec![Vec::new(); sets], ways, tick: 0, stats: BitStats::default() }
+    }
+
+    /// The paper's configuration: 8K entries, 4-way.
+    pub fn paper() -> Bit {
+        Bit::new(8192, 4)
+    }
+
+    fn set_and_tag(&self, pc: Pc) -> (usize, u64) {
+        let sets = self.sets.len() as u64;
+        ((pc as u64 & (sets - 1)) as usize, pc as u64 / sets)
+    }
+
+    /// Looks up the cached analysis for the branch at `pc`, updating LRU and
+    /// statistics.
+    pub fn lookup(&mut self, pc: Pc) -> Option<RegionInfo> {
+        self.stats.lookups += 1;
+        self.tick += 1;
+        let (set, tag) = self.set_and_tag(pc);
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.tag == tag) {
+            e.lru = self.tick;
+            return Some(e.info);
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Inserts (or replaces) the analysis for the branch at `pc`, evicting
+    /// the least recently used way when the set is full.
+    pub fn insert(&mut self, pc: Pc, info: RegionInfo) {
+        self.tick += 1;
+        let ways = self.ways;
+        let tick = self.tick;
+        let (set, tag) = self.set_and_tag(pc);
+        let set = &mut self.sets[set];
+        if let Some(e) = set.iter_mut().find(|e| e.tag == tag) {
+            e.info = info;
+            e.lru = tick;
+            return;
+        }
+        if set.len() >= ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("set is non-empty");
+            set.swap_remove(victim);
+        }
+        set.push(Entry { tag, info, lru: tick });
+    }
+
+    /// Lookup statistics.
+    pub fn stats(&self) -> BitStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(n: u32) -> RegionInfo {
+        RegionInfo {
+            embeddable: true,
+            region_size: n,
+            reconv_pc: n,
+            static_size: n,
+            cond_branches: 1,
+            scan_cycles: n,
+        }
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut bit = Bit::new(64, 4);
+        assert_eq!(bit.lookup(5), None);
+        bit.insert(5, info(3));
+        assert_eq!(bit.lookup(5), Some(info(3)));
+        assert_eq!(bit.stats().lookups, 2);
+        assert_eq!(bit.stats().misses, 1);
+    }
+
+    #[test]
+    fn distinct_pcs_mapping_to_same_set_coexist_up_to_ways() {
+        let mut bit = Bit::new(16, 4); // 4 sets
+        // PCs 0, 4, 8, 12 all map to set 0.
+        for i in 0..4u32 {
+            bit.insert(i * 4, info(i + 1));
+        }
+        for i in 0..4u32 {
+            assert_eq!(bit.lookup(i * 4), Some(info(i + 1)));
+        }
+    }
+
+    #[test]
+    fn lru_eviction_removes_coldest() {
+        let mut bit = Bit::new(16, 4); // 4 sets, set 0 holds pcs = 0 mod 4
+        for i in 0..4u32 {
+            bit.insert(i * 4, info(i + 1));
+        }
+        // Touch everything except pc 4.
+        assert!(bit.lookup(0).is_some());
+        assert!(bit.lookup(8).is_some());
+        assert!(bit.lookup(12).is_some());
+        // A fifth entry in set 0 evicts pc 4.
+        bit.insert(16, info(9));
+        assert_eq!(bit.lookup(4), None);
+        assert!(bit.lookup(0).is_some());
+        assert!(bit.lookup(16).is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut bit = Bit::new(16, 4);
+        bit.insert(0, info(1));
+        bit.insert(0, info(2));
+        assert_eq!(bit.lookup(0), Some(info(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Bit::new(12, 4);
+    }
+
+    #[test]
+    fn paper_geometry() {
+        let mut bit = Bit::paper();
+        bit.insert(123456, info(7));
+        assert_eq!(bit.lookup(123456), Some(info(7)));
+    }
+}

@@ -1,0 +1,489 @@
+//! The hardware FGCI-algorithm (paper Section 3.1).
+//!
+//! Given a forward conditional branch, the algorithm serially scans the
+//! static code after the branch — a single pass, one instruction per cycle
+//! in hardware — propagating longest-path lengths along control-flow edges.
+//! Each instruction is a node whose value is `max(incoming edge values) + 1`;
+//! branch taken-edges are held in a small associative array of
+//! `(target, path length)` pairs; the *most distant* taken target seen so far
+//! is the candidate re-convergent point, detected when the scan reaches it.
+//!
+//! The branch is **not** an FGCI candidate if, before re-convergence, the
+//! scan encounters a backward branch, a call, an indirect branch (or halt),
+//! if any computed path length exceeds the maximum trace length, or if the
+//! edge array overflows (a hardware capacity limit, 4–8 entries in the
+//! paper).
+
+use tp_isa::{Inst, Pc, Program};
+
+/// Result of analyzing one forward conditional branch.
+///
+/// This is what a branch information table (BIT) entry caches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// Whether the branch has an embeddable region (is an FGCI candidate).
+    pub embeddable: bool,
+    /// The *dynamic region size*: the longest control-dependent path through
+    /// the region, in instructions, **including** the branch itself. Trace
+    /// selection pads every selected path to this length. Zero when not
+    /// embeddable.
+    pub region_size: u32,
+    /// The re-convergent PC closing the region (the most distant taken
+    /// target). Zero when not embeddable.
+    pub reconv_pc: Pc,
+    /// The *static region size*: the number of static instructions spanned
+    /// by the region, `reconv_pc - branch_pc` (Table 5 reports this next to
+    /// the dynamic size).
+    pub static_size: u32,
+    /// Number of conditional branches enclosed in the region, including the
+    /// region-opening branch (Table 5's "# cond. br. in reg.").
+    pub cond_branches: u32,
+    /// Number of instructions scanned (the hardware scans one instruction
+    /// per cycle, so this is also the BIT miss-handler latency in cycles).
+    pub scan_cycles: u32,
+}
+
+impl RegionInfo {
+    /// The canonical "not embeddable" record (still cached in the BIT so the
+    /// analysis is not re-run).
+    pub fn not_embeddable(scan_cycles: u32) -> RegionInfo {
+        RegionInfo {
+            embeddable: false,
+            region_size: 0,
+            reconv_pc: 0,
+            static_size: 0,
+            cond_branches: 0,
+            scan_cycles,
+        }
+    }
+}
+
+/// Maximum live edges the hardware associative array holds (paper: "a 4- to
+/// 8-entry associative array for edges").
+pub const EDGE_CAPACITY: usize = 8;
+
+/// Runs the FGCI-algorithm for the forward conditional branch at `branch_pc`.
+///
+/// `max_len` is the maximum trace length: regions whose longest path exceeds
+/// it are rejected (pass a large value to classify regions for Table 5's
+/// `>32` row).
+///
+/// Returns [`RegionInfo::not_embeddable`] when the instruction at
+/// `branch_pc` is not a forward conditional branch or when any failure
+/// condition triggers.
+///
+/// # Example
+///
+/// ```
+/// use tp_isa::{asm::Asm, Cond, Reg};
+/// use tp_trace::analyze_region;
+///
+/// // if (r1 == 0) { r2 += 1 } else { r2 += 2; r2 += 3 }
+/// let mut a = Asm::new("hammock");
+/// a.branch(Cond::Ne, Reg::new(1), Reg::ZERO, "else");
+/// a.addi(Reg::new(2), Reg::new(2), 1);
+/// a.jump("end");
+/// a.label("else");
+/// a.addi(Reg::new(2), Reg::new(2), 2);
+/// a.addi(Reg::new(2), Reg::new(2), 3);
+/// a.label("end");
+/// a.halt();
+/// let p = a.assemble()?;
+///
+/// let info = analyze_region(&p, 0, 32);
+/// assert!(info.embeddable);
+/// assert_eq!(info.reconv_pc, 5);
+/// // Longest path: branch, addi, addi = 3 instructions.
+/// assert_eq!(info.region_size, 3);
+/// # Ok::<(), tp_isa::asm::AsmError>(())
+/// ```
+pub fn analyze_region(program: &Program, branch_pc: Pc, max_len: u32) -> RegionInfo {
+    let branch_target = match program.fetch(branch_pc) {
+        Some(Inst::Branch { target, .. }) if target > branch_pc => target,
+        _ => return RegionInfo::not_embeddable(1),
+    };
+
+    // Live edges: (target_pc, longest path length reaching that edge).
+    let mut edges: Vec<(Pc, u32)> = Vec::with_capacity(EDGE_CAPACITY);
+    let mut most_distant = branch_target;
+    let mut cond_branches: u32 = 1; // the region-opening branch itself
+    let mut scanned: u32 = 1;
+
+    // The branch node's value is 1 (the branch itself); both its outgoing
+    // edges (taken and fall-through) carry that value.
+    edges.push((branch_target, 1));
+    // `seq` models the implicit sequential edge between adjacent
+    // instructions: None when the previous instruction cannot fall through.
+    let mut seq: Option<u32> = Some(1);
+
+    let mut pc = branch_pc + 1;
+    loop {
+        scanned += 1;
+        // Collect incoming edges for this node: the sequential edge plus any
+        // recorded branch-target edges, which are consumed (freeing array
+        // entries, as the hardware does).
+        let mut incoming = seq;
+        edges.retain(|&(t, len)| {
+            if t == pc {
+                incoming = Some(incoming.map_or(len, |v| v.max(len)));
+                false
+            } else {
+                true
+            }
+        });
+
+        if pc == most_distant {
+            // Re-convergence: every path through the region meets here.
+            let region_size = match incoming {
+                Some(v) => v,
+                None => return RegionInfo::not_embeddable(scanned),
+            };
+            if region_size > max_len {
+                return RegionInfo::not_embeddable(scanned);
+            }
+            return RegionInfo {
+                embeddable: true,
+                region_size,
+                reconv_pc: pc,
+                static_size: pc - branch_pc,
+                cond_branches,
+                scan_cycles: scanned,
+            };
+        }
+
+        let inst = match program.fetch(pc) {
+            Some(i) => i,
+            None => return RegionInfo::not_embeddable(scanned),
+        };
+
+        // The node's value: longest path reaching it, plus itself. Dead
+        // slots (no incoming edge — code after an unconditional jump that
+        // nothing branches to) propagate nothing but are still scanned, and
+        // still trigger the failure conditions a serial hardware scan would
+        // hit.
+        let value = incoming.map(|v| v + 1);
+        if let Some(v) = value {
+            if v > max_len {
+                return RegionInfo::not_embeddable(scanned);
+            }
+        }
+
+        match inst {
+            Inst::Branch { target, .. } => {
+                if target <= pc {
+                    // Backward branch inside the region: failure.
+                    return RegionInfo::not_embeddable(scanned);
+                }
+                cond_branches += 1;
+                if let Some(v) = value {
+                    if !record_edge(&mut edges, target, v) {
+                        return RegionInfo::not_embeddable(scanned);
+                    }
+                    most_distant = most_distant.max(target);
+                }
+                seq = value;
+            }
+            Inst::Jump { target } => {
+                if target <= pc {
+                    return RegionInfo::not_embeddable(scanned);
+                }
+                if let Some(v) = value {
+                    if !record_edge(&mut edges, target, v) {
+                        return RegionInfo::not_embeddable(scanned);
+                    }
+                    most_distant = most_distant.max(target);
+                }
+                seq = None; // no fall-through
+            }
+            Inst::Call { .. } | Inst::CallIndirect { .. } | Inst::JumpIndirect { .. } | Inst::Ret | Inst::Halt => {
+                // Calls, indirect branches and halts end the analysis.
+                return RegionInfo::not_embeddable(scanned);
+            }
+            _ => {
+                seq = value;
+            }
+        }
+        pc += 1;
+    }
+}
+
+/// Records a taken edge, merging with an existing edge to the same target
+/// (keeping the max path length). Returns `false` on capacity overflow.
+fn record_edge(edges: &mut Vec<(Pc, u32)>, target: Pc, len: u32) -> bool {
+    if let Some(e) = edges.iter_mut().find(|(t, _)| *t == target) {
+        e.1 = e.1.max(len);
+        return true;
+    }
+    if edges.len() >= EDGE_CAPACITY {
+        return false;
+    }
+    edges.push((target, len));
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_isa::{asm::Asm, Cond, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// Builds the example CFG of the paper's Figure 7:
+    /// A(1 branch) -> {B(5) -> {C(2)|D(2)} -> F(1) | E(3) -> {F(1)|G(6)}} -> H(6).
+    /// Longest control-dependent path: A,E,G = 1+3+6 = 10.
+    fn figure7() -> tp_isa::Program {
+        let mut a = Asm::new("fig7");
+        // A: the region-opening branch (1 instruction).
+        a.branch(Cond::Eq, r(1), Reg::ZERO, "E"); // A -> E (taken) or B (fall)
+        // B: 5 instructions, ending in a branch to D.
+        for _ in 0..4 {
+            a.addi(r(2), r(2), 1);
+        }
+        a.branch(Cond::Eq, r(2), Reg::ZERO, "D");
+        // C: 2 instructions, then jump to F.
+        a.addi(r(3), r(3), 1);
+        a.jump("F");
+        // D: 2 instructions, falls into F.
+        a.label("D");
+        a.addi(r(3), r(3), 2);
+        a.addi(r(3), r(3), 3);
+        a.jump("F");
+        // E: 3 instructions ending in a branch to G (else fall to F).
+        a.label("E");
+        a.addi(r(4), r(4), 1);
+        a.addi(r(4), r(4), 2);
+        a.branch(Cond::Ne, r(4), Reg::ZERO, "G");
+        // F: 1 instruction, jump to H.
+        a.label("F");
+        a.jump("H");
+        // G: 6 instructions, falls into H.
+        a.label("G");
+        for _ in 0..6 {
+            a.addi(r(5), r(5), 1);
+        }
+        // H: re-convergent point.
+        a.label("H");
+        for _ in 0..6 {
+            a.addi(r(6), r(6), 1);
+        }
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn figure7_region_matches_paper() {
+        let p = figure7();
+        let info = analyze_region(&p, 0, 16);
+        assert!(info.embeddable);
+        // Longest path A(1) + E(3) + G(6) = 10, as in the paper.
+        assert_eq!(info.region_size, 10);
+        // Three conditional branches enclosed: in A, B and E.
+        assert_eq!(info.cond_branches, 3);
+        // The re-convergent point is the start of H (pc 21 in this layout).
+        assert_eq!(info.reconv_pc, 21);
+        assert_eq!(info.static_size, 21);
+    }
+
+    #[test]
+    fn region_too_long_is_rejected() {
+        let p = figure7();
+        let info = analyze_region(&p, 0, 9); // longest path is 10
+        assert!(!info.embeddable);
+    }
+
+    #[test]
+    fn simple_if_then() {
+        // branch over a single instruction.
+        let mut a = Asm::new("ifthen");
+        a.branch(Cond::Eq, r(1), Reg::ZERO, "end");
+        a.addi(r(2), r(2), 1);
+        a.label("end");
+        a.halt();
+        let p = a.assemble().unwrap();
+        let info = analyze_region(&p, 0, 32);
+        assert!(info.embeddable);
+        assert_eq!(info.region_size, 2); // branch + addi
+        assert_eq!(info.reconv_pc, 2);
+        assert_eq!(info.static_size, 2);
+        assert_eq!(info.cond_branches, 1);
+    }
+
+    #[test]
+    fn branch_to_next_instruction_is_trivial_region() {
+        let mut a = Asm::new("triv");
+        a.branch(Cond::Eq, r(1), Reg::ZERO, "next");
+        a.label("next");
+        a.halt();
+        let p = a.assemble().unwrap();
+        let info = analyze_region(&p, 0, 32);
+        assert!(info.embeddable);
+        assert_eq!(info.region_size, 1);
+        assert_eq!(info.reconv_pc, 1);
+    }
+
+    #[test]
+    fn call_in_region_rejects() {
+        let mut a = Asm::new("call");
+        a.branch(Cond::Eq, r(1), Reg::ZERO, "end");
+        a.call("f");
+        a.label("end");
+        a.halt();
+        a.label("f");
+        a.ret();
+        let p = a.assemble().unwrap();
+        assert!(!analyze_region(&p, 0, 32).embeddable);
+    }
+
+    #[test]
+    fn backward_branch_in_region_rejects() {
+        let mut a = Asm::new("loop");
+        a.branch(Cond::Eq, r(1), Reg::ZERO, "end");
+        a.label("top");
+        a.addi(r(2), r(2), -1);
+        a.branch(Cond::Gt, r(2), Reg::ZERO, "top");
+        a.label("end");
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert!(!analyze_region(&p, 0, 32).embeddable);
+    }
+
+    #[test]
+    fn indirect_and_halt_reject() {
+        let mut a = Asm::new("ind");
+        a.branch(Cond::Eq, r(1), Reg::ZERO, "end");
+        a.jump_indirect(r(5));
+        a.label("end");
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert!(!analyze_region(&p, 0, 32).embeddable);
+
+        let mut a = Asm::new("halt");
+        a.branch(Cond::Eq, r(1), Reg::ZERO, "end");
+        a.halt();
+        a.label("end");
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert!(!analyze_region(&p, 0, 32).embeddable);
+    }
+
+    #[test]
+    fn backward_branch_itself_is_not_analyzed() {
+        let mut a = Asm::new("bw");
+        a.label("top");
+        a.addi(r(1), r(1), -1);
+        a.branch(Cond::Gt, r(1), Reg::ZERO, "top");
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert!(!analyze_region(&p, 1, 32).embeddable);
+        // Non-branch PCs are not analyzed either.
+        assert!(!analyze_region(&p, 0, 32).embeddable);
+    }
+
+    #[test]
+    fn nested_hammocks_compute_longest_path() {
+        // if a { if b { x1 } else { x1; x2 } } else { y1 }  -> longest = 4.
+        let mut a = Asm::new("nested");
+        a.branch(Cond::Eq, r(1), Reg::ZERO, "else_outer"); // 1
+        a.branch(Cond::Eq, r(2), Reg::ZERO, "else_inner"); // 2
+        a.addi(r(3), r(3), 1); // then_inner (3)
+        a.jump("end"); // 4 (jump doesn't add path beyond)
+        a.label("else_inner");
+        a.addi(r(3), r(3), 2); // 3
+        a.addi(r(3), r(3), 3); // 4
+        a.jump("end");
+        a.label("else_outer");
+        a.addi(r(4), r(4), 1);
+        a.label("end");
+        a.halt();
+        let p = a.assemble().unwrap();
+        let info = analyze_region(&p, 0, 32);
+        assert!(info.embeddable);
+        // Longest: branch(1) + inner branch(2) + addi(3) + addi(4) + jump(5).
+        assert_eq!(info.region_size, 5);
+        assert_eq!(info.cond_branches, 2);
+    }
+
+    #[test]
+    fn edge_capacity_overflow_rejects() {
+        // A chain of many forward branches, each to a distinct far target,
+        // keeps > EDGE_CAPACITY live edges.
+        let mut a = Asm::new("many");
+        let n = EDGE_CAPACITY + 3;
+        for i in 0..n {
+            a.branch(Cond::Eq, r(1), Reg::ZERO, format!("t{i}"));
+        }
+        for i in 0..n {
+            a.label(format!("t{i}"));
+            a.nop();
+        }
+        a.label("end");
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert!(!analyze_region(&p, 0, 1024).embeddable);
+    }
+
+    #[test]
+    fn matches_graph_longest_path_oracle_on_random_hammocks() {
+        // Cross-check region_size against a brute-force DAG longest-path
+        // computation for a family of generated nested hammocks.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for case in 0..40 {
+            let mut a = Asm::new(format!("h{case}"));
+            emit_hammock(&mut a, &mut rng, 0);
+            a.label("END");
+            a.halt();
+            let p = a.assemble().unwrap();
+            let info = analyze_region(&p, 0, 4096);
+            if !info.embeddable {
+                continue; // capacity overflow cases are allowed to bail
+            }
+            let oracle = longest_path(&p, 0, info.reconv_pc);
+            assert_eq!(info.region_size, oracle, "case {case}\n{p}");
+        }
+
+        fn emit_hammock(a: &mut Asm, rng: &mut StdRng, depth: usize) {
+            let else_l = a.fresh_label("e");
+            let end_l = a.fresh_label("n");
+            a.branch(Cond::Eq, Reg::new(1), Reg::ZERO, else_l.clone());
+            emit_body(a, rng, depth);
+            a.jump(end_l.clone());
+            a.label(else_l);
+            emit_body(a, rng, depth);
+            a.label(end_l);
+        }
+
+        fn emit_body(a: &mut Asm, rng: &mut StdRng, depth: usize) {
+            for _ in 0..rng.gen_range(0..3) {
+                a.addi(Reg::new(2), Reg::new(2), 1);
+            }
+            if depth < 2 && rng.gen_bool(0.5) {
+                emit_hammock(a, rng, depth + 1);
+            }
+            for _ in 0..rng.gen_range(0..2) {
+                a.addi(Reg::new(3), Reg::new(3), 1);
+            }
+        }
+
+        /// Brute-force longest path (in instructions, inclusive of `from`,
+        /// exclusive of `to`) over the forward-only CFG.
+        fn longest_path(p: &tp_isa::Program, from: Pc, to: Pc) -> u32 {
+            fn go(p: &tp_isa::Program, pc: Pc, to: Pc) -> u32 {
+                if pc == to {
+                    return 0;
+                }
+                match p.fetch(pc).unwrap() {
+                    Inst::Branch { target, .. } => {
+                        1 + go(p, pc + 1, to).max(go(p, target, to))
+                    }
+                    Inst::Jump { target } => 1 + go(p, target, to),
+                    _ => 1 + go(p, pc + 1, to),
+                }
+            }
+            go(p, from, to)
+        }
+    }
+}

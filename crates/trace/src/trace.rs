@@ -1,0 +1,400 @@
+//! The [`Trace`] type: the fundamental unit of control flow in a trace
+//! processor.
+
+use std::fmt;
+
+use tp_isa::{Inst, Pc, Reg};
+
+/// Identifies a trace: its starting PC plus the embedded outcomes of its
+/// conditional branches, in fetch order.
+///
+/// This is exactly the information a next-trace prediction carries in the
+/// paper ("starting PC and branch outcomes"): it fully determines the
+/// instruction sequence of the trace under a fixed selection algorithm.
+///
+/// # Example
+///
+/// ```
+/// use tp_trace::TraceId;
+/// let id = TraceId::new(64, 0b101, 3); // starts at 64, outcomes T,NT,T
+/// assert_eq!(id.start(), 64);
+/// assert_eq!(id.outcome(0), true);
+/// assert_eq!(id.outcome(1), false);
+/// assert_eq!(id.outcome(2), true);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId {
+    start: Pc,
+    mask: u32,
+    branches: u8,
+}
+
+impl TraceId {
+    /// Creates a trace id from a start PC, an outcome bitmask (bit `i` is the
+    /// outcome of the `i`-th conditional branch) and the number of embedded
+    /// conditional branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches > 32`.
+    pub fn new(start: Pc, mask: u32, branches: u8) -> TraceId {
+        assert!(branches <= 32, "a trace embeds at most 32 conditional branches");
+        let mask = if branches == 32 { mask } else { mask & ((1u32 << branches) - 1) };
+        TraceId { start, mask, branches }
+    }
+
+    /// The trace's starting PC.
+    pub fn start(self) -> Pc {
+        self.start
+    }
+
+    /// The embedded-outcome bitmask.
+    pub fn mask(self) -> u32 {
+        self.mask
+    }
+
+    /// Number of embedded conditional branches.
+    pub fn branches(self) -> u8 {
+        self.branches
+    }
+
+    /// The embedded outcome of the `i`-th conditional branch.
+    ///
+    /// Branches beyond [`TraceId::branches`] report `false` (not taken),
+    /// which lets predicted ids drive selection past their recorded depth.
+    pub fn outcome(self, i: u8) -> bool {
+        i < 32 && (self.mask >> i) & 1 == 1
+    }
+
+    /// A stable 64-bit hash of the id, used for predictor/cache indexing.
+    pub fn hash64(self) -> u64 {
+        // A small xorshift-multiply mix; determinism matters (same inputs on
+        // every run), cryptographic quality does not.
+        let mut x = (self.start as u64) << 40 ^ (self.mask as u64) << 8 ^ self.branches as u64;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        x ^ (x >> 33)
+    }
+}
+
+impl fmt::Debug for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T@{}", self.start)?;
+        if self.branches > 0 {
+            write!(f, ":")?;
+            for i in 0..self.branches {
+                write!(f, "{}", if self.outcome(i) { 'T' } else { 'N' })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Where an instruction operand's value comes from, as pre-computed by trace
+/// construction ("intra-trace values are pre-renamed in the trace cache").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OperandRef {
+    /// The value is live-in to the trace: produced by an older trace (or
+    /// architectural state) for the given architectural register.
+    LiveIn(Reg),
+    /// The value is produced inside the trace by the instruction at the
+    /// given trace slot index.
+    Local(u8),
+}
+
+/// One instruction within a trace, with its pre-renamed operands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceInst {
+    /// The instruction's PC.
+    pub pc: Pc,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// For conditional branches, the embedded (predicted) outcome.
+    pub embedded_taken: Option<bool>,
+    /// Pre-renamed sources: `(architectural register, where its value comes
+    /// from)`, in the order reported by [`Inst::sources`].
+    pub srcs: [Option<(Reg, OperandRef)>; 2],
+    /// Destination architectural register, if any.
+    pub dest: Option<Reg>,
+    /// Whether this instruction lies inside an active FGCI padding region
+    /// (including the region-opening branch itself). Mispredictions of
+    /// covered conditional branches are repairable with fine-grain control
+    /// independence: the repaired trace is guaranteed to end at the same
+    /// point.
+    pub fgci_covered: bool,
+}
+
+/// Why trace selection terminated a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EndReason {
+    /// Reached the maximum trace length.
+    MaxLen,
+    /// Ended at an indirect control transfer (jump indirect, call indirect,
+    /// or return) — default selection.
+    Indirect,
+    /// Ended at a predicted not-taken backward branch — `ntb` selection,
+    /// exposing a loop exit as a global re-convergent point.
+    Ntb,
+    /// Ended at a `Halt`.
+    Halt,
+    /// Ended because the next PC left the program image (wrong-path
+    /// construction only).
+    OutOfProgram,
+}
+
+/// A constructed trace: instructions plus the metadata the trace cache
+/// stores (pre-renames, live-ins/live-outs, end reason, fall-out PC).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    id: TraceId,
+    insts: Vec<TraceInst>,
+    end: EndReason,
+    next_pc: Option<Pc>,
+    live_ins: Vec<Reg>,
+    live_outs: Vec<Reg>,
+}
+
+impl Trace {
+    /// Assembles a trace from raw per-instruction records, computing
+    /// pre-renames and live-in/live-out sets.
+    ///
+    /// `raw` carries `(pc, inst, embedded_taken, fgci_covered)` per
+    /// instruction; `next_pc` is the PC the trace falls out to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is empty or longer than 256 instructions.
+    pub fn assemble(
+        id: TraceId,
+        raw: &[(Pc, Inst, Option<bool>, bool)],
+        end: EndReason,
+        next_pc: Option<Pc>,
+    ) -> Trace {
+        assert!(!raw.is_empty(), "a trace holds at least one instruction");
+        assert!(raw.len() <= 256, "trace too long");
+        let mut last_writer: [Option<u8>; Reg::COUNT] = [None; Reg::COUNT];
+        let mut live_ins: Vec<Reg> = Vec::new();
+        let mut insts: Vec<TraceInst> = Vec::with_capacity(raw.len());
+        for (slot, &(pc, inst, embedded_taken, fgci_covered)) in raw.iter().enumerate() {
+            let mut srcs = [None; 2];
+            for (i, r) in inst.sources().iter().enumerate() {
+                let op = if r.is_zero() {
+                    // r0 always reads zero: model as a live-in of r0, which
+                    // renames to the constant-zero physical register.
+                    OperandRef::LiveIn(Reg::ZERO)
+                } else {
+                    match last_writer[r.index()] {
+                        Some(s) => OperandRef::Local(s),
+                        None => {
+                            if !live_ins.contains(&r) {
+                                live_ins.push(r);
+                            }
+                            OperandRef::LiveIn(r)
+                        }
+                    }
+                };
+                srcs[i] = Some((r, op));
+            }
+            let dest = inst.dest();
+            if let Some(d) = dest {
+                last_writer[d.index()] = Some(slot as u8);
+            }
+            insts.push(TraceInst { pc, inst, embedded_taken, srcs, dest, fgci_covered });
+        }
+        let live_outs: Vec<Reg> =
+            Reg::all().filter(|r| last_writer[r.index()].is_some()).collect();
+        Trace { id, insts, end, next_pc, live_ins, live_outs }
+    }
+
+    /// The trace's identifier.
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    /// The trace's instructions, in fetch order.
+    pub fn insts(&self) -> &[TraceInst] {
+        &self.insts
+    }
+
+    /// Number of instructions in the trace.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace is empty (never true).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Why selection terminated the trace.
+    pub fn end(&self) -> EndReason {
+        self.end
+    }
+
+    /// The PC control falls out to after the trace, when known at
+    /// construction time. `None` for halt-ending traces, traces that ran off
+    /// the program image on a wrong path, and indirect-ending traces whose
+    /// target could not be predicted.
+    pub fn next_pc(&self) -> Option<Pc> {
+        self.next_pc
+    }
+
+    /// Architectural registers read before being written inside the trace.
+    pub fn live_ins(&self) -> &[Reg] {
+        &self.live_ins
+    }
+
+    /// Architectural registers written by the trace (each register's last
+    /// writer defines the trace's live-out value).
+    pub fn live_outs(&self) -> &[Reg] {
+        &self.live_outs
+    }
+
+    /// Slot index of the last writer of `r` inside the trace, if any.
+    pub fn last_writer(&self, r: Reg) -> Option<usize> {
+        self.insts.iter().rposition(|ti| ti.dest == Some(r))
+    }
+
+    /// Whether the trace's final instruction is a return (needed by the RET
+    /// CGCI heuristic).
+    pub fn ends_in_return(&self) -> bool {
+        self.insts.last().is_some_and(|ti| ti.inst.is_return())
+    }
+
+    /// Iterates over `(slot, &TraceInst)` for the trace's conditional
+    /// branches.
+    pub fn cond_branches(&self) -> impl Iterator<Item = (usize, &TraceInst)> {
+        self.insts.iter().enumerate().filter(|(_, ti)| ti.inst.is_cond_branch())
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let next = match self.next_pc {
+            Some(pc) => format!("@{pc}"),
+            None => "?".to_string(),
+        };
+        writeln!(f, "trace {} ({} insts, end {:?}, next {next})", self.id, self.len(), self.end)?;
+        for (i, ti) in self.insts.iter().enumerate() {
+            let cover = if ti.fgci_covered { " [fg]" } else { "" };
+            let emb = match ti.embedded_taken {
+                Some(true) => " (T)",
+                Some(false) => " (N)",
+                None => "",
+            };
+            writeln!(f, "  {i:3} @{:5} {}{emb}{cover}", ti.pc, ti.inst)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_isa::{AluOp, Cond};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn trace_id_masks_extra_bits() {
+        let id = TraceId::new(10, 0xff, 3);
+        assert_eq!(id.mask(), 0b111);
+        assert!(!id.outcome(3));
+        assert!(!id.outcome(40));
+    }
+
+    #[test]
+    fn trace_id_debug_format() {
+        let id = TraceId::new(5, 0b01, 2);
+        assert_eq!(format!("{id:?}"), "T@5:TN");
+        assert_eq!(TraceId::new(5, 0, 0).to_string(), "T@5");
+    }
+
+    #[test]
+    fn trace_id_hash_is_deterministic_and_spreads() {
+        let a = TraceId::new(1, 0, 0).hash64();
+        let b = TraceId::new(1, 0, 0).hash64();
+        let c = TraceId::new(2, 0, 0).hash64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32")]
+    fn trace_id_rejects_too_many_branches() {
+        let _ = TraceId::new(0, 0, 33);
+    }
+
+    #[test]
+    fn assemble_computes_pre_renames() {
+        // slot0: r1 = r2 + 1   (r2 live-in)
+        // slot1: r3 = r1 + r2  (r1 local from slot0, r2 live-in)
+        // slot2: r1 = r3 + 2   (r3 local from slot1)
+        let raw = vec![
+            (0, Inst::AluImm { op: AluOp::Add, rd: r(1), rs: r(2), imm: 1 }, None, false),
+            (1, Inst::Alu { op: AluOp::Add, rd: r(3), rs: r(1), rt: r(2) }, None, false),
+            (2, Inst::AluImm { op: AluOp::Add, rd: r(1), rs: r(3), imm: 2 }, None, false),
+        ];
+        let t = Trace::assemble(TraceId::new(0, 0, 0), &raw, EndReason::MaxLen, Some(3));
+        assert_eq!(t.live_ins(), &[r(2)]);
+        assert_eq!(t.live_outs(), &[r(1), r(3)]);
+        assert_eq!(t.insts()[0].srcs[0], Some((r(2), OperandRef::LiveIn(r(2)))));
+        assert_eq!(t.insts()[1].srcs[0], Some((r(1), OperandRef::Local(0))));
+        assert_eq!(t.insts()[1].srcs[1], Some((r(2), OperandRef::LiveIn(r(2)))));
+        assert_eq!(t.insts()[2].srcs[0], Some((r(3), OperandRef::Local(1))));
+        assert_eq!(t.last_writer(r(1)), Some(2));
+        assert_eq!(t.last_writer(r(3)), Some(1));
+        assert_eq!(t.last_writer(r(9)), None);
+    }
+
+    #[test]
+    fn r0_sources_are_zero_live_ins() {
+        let raw = vec![(0, Inst::AluImm { op: AluOp::Add, rd: r(1), rs: Reg::ZERO, imm: 7 }, None, false)];
+        let t = Trace::assemble(TraceId::new(0, 0, 0), &raw, EndReason::Halt, None);
+        assert_eq!(t.insts()[0].srcs[0], Some((Reg::ZERO, OperandRef::LiveIn(Reg::ZERO))));
+        // r0 never appears in the live-in set proper.
+        assert!(t.live_ins().is_empty());
+    }
+
+    #[test]
+    fn ends_in_return_detects_ret() {
+        let raw = vec![(0, Inst::Ret, None, false)];
+        let t = Trace::assemble(TraceId::new(0, 0, 0), &raw, EndReason::Indirect, Some(0));
+        assert!(t.ends_in_return());
+    }
+
+    #[test]
+    fn cond_branches_iterates_branch_slots() {
+        let raw = vec![
+            (0, Inst::Nop, None, false),
+            (1, Inst::Branch { cond: Cond::Eq, rs: r(1), rt: r(2), target: 5 }, Some(true), false),
+            (2, Inst::Nop, None, false),
+        ];
+        let t = Trace::assemble(TraceId::new(0, 1, 1), &raw, EndReason::MaxLen, Some(3));
+        let brs: Vec<usize> = t.cond_branches().map(|(i, _)| i).collect();
+        assert_eq!(brs, vec![1]);
+        assert_eq!(t.insts()[1].embedded_taken, Some(true));
+    }
+
+    #[test]
+    fn display_shows_coverage_and_outcomes() {
+        let raw = vec![
+            (0, Inst::Branch { cond: Cond::Eq, rs: r(1), rt: r(2), target: 2 }, Some(false), true),
+            (1, Inst::Nop, None, true),
+        ];
+        let t = Trace::assemble(TraceId::new(0, 0, 1), &raw, EndReason::MaxLen, Some(2));
+        let s = t.to_string();
+        assert!(s.contains("[fg]"));
+        assert!(s.contains("(N)"));
+    }
+}

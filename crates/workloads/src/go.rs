@@ -1,0 +1,124 @@
+//! `go`: board evaluation with deep data-dependent conditionals.
+//!
+//! SPEC95 `go` is the least predictable integer benchmark (Table 5: 8.7%
+//! overall misprediction rate, spread across FGCI regions, other forward
+//! branches and backward branches alike). This kernel evaluates random
+//! "board" positions through a three-level nest of comparisons between
+//! board values — every level close to 50/50 — plus a periodic helper call.
+
+use tp_isa::asm::Asm;
+use tp_isa::{AluOp, Cond, Program, Reg};
+
+use crate::common::{self, emit_indexed_load, emit_prologue, emit_random_words, regs};
+
+const BOARD_WORDS: usize = 64;
+
+/// Builds the kernel (`2 * iters` evaluations).
+pub fn build(iters: u32) -> Program {
+    let mut a = Asm::new("go");
+    let mut rng = common::rng(0x60);
+    emit_prologue(&mut a);
+
+    let (x, y, z, tmp, score) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4), Reg::new(5));
+    let lcg = Reg::new(6);
+
+    a.li(score, 0);
+    a.li(lcg, 12345);
+    a.li64(regs::OUTER, 2 * iters as i64);
+    a.label("eval");
+
+    // Advance a linear congruential generator once per evaluation and draw
+    // three board samples from different bit fields: every position is
+    // fresh (as in real game trees) and the three loads are independent.
+    a.alui(AluOp::Mul, lcg, lcg, 1103515245);
+    a.alui(AluOp::Add, lcg, lcg, 12345);
+    a.alui(AluOp::Shr, tmp, lcg, 8);
+    emit_indexed_load(&mut a, x, regs::DATA, tmp, BOARD_WORDS as i32 - 1, tmp);
+    a.alui(AluOp::Shr, tmp, lcg, 16);
+    emit_indexed_load(&mut a, y, regs::DATA, tmp, BOARD_WORDS as i32 - 1, tmp);
+    a.alui(AluOp::Shr, tmp, lcg, 24);
+    emit_indexed_load(&mut a, z, regs::DATA, tmp, BOARD_WORDS as i32 - 1, tmp);
+
+    // Level 1: compare two board values (≈70/30) — go's signature
+    // hard-to-predict branch.
+    a.addi(tmp, y, 260);
+    a.branch(Cond::Lt, x, tmp, "l1_else");
+    // Level 2 (then side): biased ~80% taken.
+    a.addi(tmp, z, 350);
+    a.branch(Cond::Lt, y, tmp, "l2a_else");
+    a.alu(AluOp::Add, score, score, x);
+    a.addi(tmp, z, 400);
+    a.branch(Cond::Lt, x, tmp, "l3_else");
+    a.addi(score, score, 1);
+    a.jump("join");
+    a.label("l3_else");
+    a.addi(score, score, 2);
+    a.jump("join");
+    a.label("l2a_else");
+    a.alu(AluOp::Sub, score, score, y);
+    a.addi(score, score, 3);
+    a.jump("join");
+    // Level 2 (else side).
+    a.label("l1_else");
+    a.addi(tmp, z, 350);
+    a.branch(Cond::Lt, x, tmp, "l2b_else");
+    a.alu(AluOp::Xor, score, score, z);
+    a.addi(score, score, 4);
+    a.jump("join");
+    a.label("l2b_else");
+    a.alu(AluOp::Add, score, score, z);
+    a.alu(AluOp::Sub, score, score, x);
+    a.label("join");
+
+    // Every 8th evaluation calls the territory counter.
+    a.alui(AluOp::And, tmp, regs::OUTER, 7);
+    a.branch(Cond::Ne, tmp, Reg::ZERO, "no_call");
+    a.call("territory");
+    a.label("no_call");
+
+    a.addi(regs::OUTER, regs::OUTER, -1);
+    a.branch(Cond::Gt, regs::OUTER, Reg::ZERO, "eval");
+    a.store(score, regs::OUT, 0);
+    a.halt();
+
+    // Helper with its own unpredictable hammock.
+    a.label("territory");
+    a.alui(AluOp::And, tmp, score, 1);
+    a.branch(Cond::Eq, tmp, Reg::ZERO, "terr_even");
+    a.alui(AluOp::Shr, tmp, score, 1);
+    a.alu(AluOp::Add, score, score, tmp);
+    a.ret();
+    a.label("terr_even");
+    a.alui(AluOp::Xor, score, score, 0x33);
+    a.ret();
+
+    emit_random_words(&mut a, &mut rng, common::DATA_REGION, BOARD_WORDS, -500, 500);
+    a.assemble().expect("go kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_isa::func::Machine;
+
+    #[test]
+    fn halts() {
+        let p = build(50);
+        let mut m = Machine::new(&p);
+        let s = m.run(2_000_000).unwrap();
+        assert!(s.halted);
+        assert!(s.retired > 1_500);
+    }
+
+    #[test]
+    fn has_deep_branch_nest() {
+        let p = build(5);
+        // 1 loop branch + 5 nest branches + call gate + helper = 8.
+        assert!(p.static_cond_branches() >= 7);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(build(9), build(9));
+    }
+}

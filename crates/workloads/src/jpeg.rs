@@ -1,0 +1,156 @@
+//! `jpeg`: block transform with counted loops and a large clamp region.
+//!
+//! SPEC95 `ijpeg` is loop-dominated (Table 5: half of all dynamic branches
+//! are backward, but they are predictable counted loops) and its FGCI
+//! regions are *large* (dynamic region size ≈ 32) — saturating clamps and
+//! range checks on pixel data. FGCI covers over 60% of its mispredictions.
+//! This kernel processes 8-element blocks in a doubly-nested counted loop
+//! whose body ends in a wide three-way clamp hammock over quasi-random
+//! values.
+
+use tp_isa::asm::Asm;
+use tp_isa::{AluOp, Cond, Program, Reg};
+
+use crate::common::{self, emit_prologue, emit_random_words, regs};
+
+const BLOCK_WORDS: usize = 128;
+
+/// Builds the kernel (`iters / 2 + 1` block passes of 8 elements each).
+pub fn build(iters: u32) -> Program {
+    let mut a = Asm::new("jpeg");
+    let mut rng = common::rng(0x77E6);
+    emit_prologue(&mut a);
+
+    let (v, coef, tmp, acc) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+
+    a.li(acc, 0);
+    a.li64(regs::OUTER, (iters / 2 + 1) as i64);
+    a.label("block");
+    a.li(regs::INNER, 8);
+    a.label("elem");
+
+    // v = block[(outer*8 + inner) & 127] * coef >> 2
+    a.alui(AluOp::Shl, tmp, regs::OUTER, 3);
+    a.alu(AluOp::Add, tmp, tmp, regs::INNER);
+    a.alui(AluOp::And, tmp, tmp, BLOCK_WORDS as i32 - 1);
+    a.alui(AluOp::Shl, tmp, tmp, 3);
+    a.alu(AluOp::Add, tmp, tmp, regs::DATA);
+    a.load(v, tmp, 0);
+    a.alui(AluOp::And, coef, regs::INNER, 7);
+    a.addi(coef, coef, 1);
+    a.alu(AluOp::Mul, v, v, coef);
+    a.alui(AluOp::Shr, v, v, 2);
+
+    // Wide clamp region: if v > 255 {saturate high: 8 ops} else if v < 0
+    // {saturate low: 8 ops} else {pass: 4 ops} — a single FGCI region with
+    // two branches and a large dynamic size.
+    a.li(tmp, 255);
+    a.branch(Cond::Le, v, tmp, "not_high");
+    a.li(v, 255);
+    a.addi(acc, acc, 1);
+    a.alui(AluOp::Xor, acc, acc, 1);
+    a.alui(AluOp::Or, acc, acc, 2);
+    a.addi(acc, acc, 1);
+    a.alui(AluOp::And, acc, acc, 0xffff);
+    a.addi(acc, acc, 1);
+    a.jump("clamped");
+    a.label("not_high");
+    a.branch(Cond::Ge, v, Reg::ZERO, "in_range");
+    a.li(v, 0);
+    a.addi(acc, acc, 2);
+    a.alui(AluOp::Xor, acc, acc, 2);
+    a.alui(AluOp::Or, acc, acc, 4);
+    a.addi(acc, acc, 2);
+    a.alui(AluOp::And, acc, acc, 0xffff);
+    a.addi(acc, acc, 2);
+    a.jump("clamped");
+    a.label("in_range");
+    a.alu(AluOp::Add, acc, acc, v);
+    a.alui(AluOp::Shr, tmp, v, 4);
+    a.alu(AluOp::Xor, acc, acc, tmp);
+    a.label("clamped");
+
+    // Store the element, then write an evolved value back into the block so
+    // the next pass sees fresh data (clamp outcomes never become periodic).
+    a.alui(AluOp::And, tmp, regs::INNER, 7);
+    a.alui(AluOp::Shl, tmp, tmp, 3);
+    a.alu(AluOp::Add, tmp, tmp, regs::OUT);
+    a.store(v, tmp, 0);
+    // Evolved value: in-range most of the time; roughly 1 element in 16
+    // becomes a large outlier (branchless select via Slt masks), so the
+    // clamp branches mispredict at a jpeg-like rate.
+    a.alui(AluOp::Mul, tmp, acc, 37);
+    a.alu(AluOp::Xor, tmp, tmp, acc);
+    {
+        let is0 = coef; // reuse coef as scratch; re-derived next iteration
+        // is0 = 1 when (tmp & 31) == 0: roughly one element in 32 becomes a
+        // saturating outlier; everything else stays safely in range.
+        a.alui(AluOp::And, v, tmp, 31);
+        a.li(is0, 1);
+        a.alu(AluOp::Slt, v, v, is0);
+        // outlier magnitude: +4000, or -4000 when bit 4 of tmp is set.
+        a.alui(AluOp::Shr, is0, tmp, 4);
+        a.alui(AluOp::And, is0, is0, 1);
+        a.alui(AluOp::Mul, is0, is0, 8000);
+        a.li64(Reg::new(7), 4000);
+        a.alu(AluOp::Sub, is0, Reg::new(7), is0);
+        a.alu(AluOp::Mul, v, v, is0);
+        // base value 40..103: in range after the coef multiply and shift.
+        a.alui(AluOp::And, tmp, tmp, 63);
+        a.addi(tmp, tmp, 40);
+        a.alu(AluOp::Add, tmp, tmp, v);
+    }
+    a.alui(AluOp::Shl, v, regs::OUTER, 3);
+    a.alu(AluOp::Add, v, v, regs::INNER);
+    a.alui(AluOp::And, v, v, BLOCK_WORDS as i32 - 1);
+    a.alui(AluOp::Shl, v, v, 3);
+    a.alu(AluOp::Add, v, v, regs::DATA);
+    a.store(tmp, v, 0);
+    a.addi(regs::INNER, regs::INNER, -1);
+    a.branch(Cond::Gt, regs::INNER, Reg::ZERO, "elem");
+    a.addi(regs::OUTER, regs::OUTER, -1);
+    a.branch(Cond::Gt, regs::OUTER, Reg::ZERO, "block");
+    a.store(acc, regs::OUT, 64);
+    a.halt();
+
+    // Values straddling the clamp range so both saturations occur
+    // unpredictably.
+    emit_random_words(&mut a, &mut rng, common::DATA_REGION, BLOCK_WORDS, -400, 900);
+    a.assemble().expect("jpeg kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_isa::func::Machine;
+
+    #[test]
+    fn halts_and_clamps() {
+        let p = build(40);
+        let mut m = Machine::new(&p);
+        let s = m.run(2_000_000).unwrap();
+        assert!(s.halted);
+        // Every stored element is within [0, 255].
+        for i in 0..8u64 {
+            let v = m.mem_word(common::OUT_REGION + 8 * i);
+            assert!((0..=255).contains(&v), "element {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn loop_dominated_branch_mix() {
+        let p = build(5);
+        let backward = p
+            .insts()
+            .iter()
+            .enumerate()
+            .filter(|(pc, i)| i.is_backward_branch(*pc as u32))
+            .count();
+        assert_eq!(backward, 2, "two counted loops");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(build(11), build(11));
+    }
+}

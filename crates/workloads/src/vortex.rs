@@ -1,0 +1,103 @@
+//! `vortex`: record validation with predictable error checks.
+//!
+//! SPEC95 `vortex` is an object database with the *lowest* misprediction
+//! rate of the suite (0.7%): long sequences of validation branches that
+//! essentially never fire, regular helper calls, and sizeable FGCI regions
+//! that are almost always correctly predicted. This kernel validates and
+//! copies synthetic records; its error-check branches are never taken, a
+//! periodic maintenance path provides the few mispredictions.
+
+use tp_isa::asm::Asm;
+use tp_isa::{AluOp, Cond, Program, Reg};
+
+use crate::common::{self, emit_indexed_load, emit_prologue, emit_random_words, regs};
+
+const RECORDS: usize = 128;
+
+/// Builds the kernel (`2 * iters` record operations).
+pub fn build(iters: u32) -> Program {
+    let mut a = Asm::new("vortex");
+    let mut rng = common::rng(0x50EE);
+    emit_prologue(&mut a);
+
+    let (f1, f2, tmp, acc) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+
+    a.li(acc, 0);
+    a.li64(regs::OUTER, 2 * iters as i64);
+    a.label("record");
+
+    // Load two fields of the current record.
+    emit_indexed_load(&mut a, f1, regs::DATA, regs::OUTER, RECORDS as i32 - 1, tmp);
+    a.alui(AluOp::Add, tmp, regs::OUTER, 1);
+    emit_indexed_load(&mut a, f2, regs::DATA, tmp, RECORDS as i32 - 1, tmp);
+
+    // Validation: error paths never taken (fields are bounded by
+    // construction) — classic vortex-style predictable checks.
+    a.li(tmp, 1_000_000);
+    a.branch(Cond::Ge, f1, tmp, "error");
+    a.branch(Cond::Ge, f2, tmp, "error");
+    a.branch(Cond::Lt, f1, Reg::ZERO, "error");
+    a.branch(Cond::Lt, f2, Reg::ZERO, "error");
+
+    // Copy/update through a helper call.
+    a.call("update");
+
+    // Periodic maintenance: every 32nd record takes a longer path — the
+    // main (rare) misprediction source.
+    a.alui(AluOp::And, tmp, regs::OUTER, 31);
+    a.branch(Cond::Ne, tmp, Reg::ZERO, "no_maint");
+    a.alui(AluOp::Shr, tmp, acc, 3);
+    a.alu(AluOp::Xor, acc, acc, tmp);
+    a.addi(acc, acc, 13);
+    a.alui(AluOp::And, acc, acc, 0xfffff);
+    a.label("no_maint");
+
+    a.addi(regs::OUTER, regs::OUTER, -1);
+    a.branch(Cond::Gt, regs::OUTER, Reg::ZERO, "record");
+    a.store(acc, regs::OUT, 0);
+    a.halt();
+
+    // Error path: unreachable by construction, still present statically.
+    a.label("error");
+    a.li(acc, -1);
+    a.store(acc, regs::OUT, 8);
+    a.halt();
+
+    a.label("update");
+    a.alu(AluOp::Add, acc, acc, f1);
+    a.alu(AluOp::Sub, acc, acc, f2);
+    a.alui(AluOp::And, tmp, regs::OUTER, 63);
+    a.alui(AluOp::Shl, tmp, tmp, 3);
+    a.alu(AluOp::Add, tmp, tmp, regs::OUT);
+    a.store(acc, tmp, 256);
+    a.ret();
+
+    emit_random_words(&mut a, &mut rng, common::DATA_REGION, RECORDS, 0, 999_999);
+    a.assemble().expect("vortex kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_isa::func::Machine;
+
+    #[test]
+    fn halts_without_taking_error_paths() {
+        let p = build(50);
+        let mut m = Machine::new(&p);
+        let s = m.run(2_000_000).unwrap();
+        assert!(s.halted);
+        assert_eq!(m.mem_word(common::OUT_REGION + 8), 0, "error path never taken");
+    }
+
+    #[test]
+    fn validation_is_check_heavy() {
+        let p = build(5);
+        assert!(p.static_cond_branches() >= 6);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(build(5), build(5));
+    }
+}

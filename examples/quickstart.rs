@@ -1,0 +1,53 @@
+//! Quickstart: build a tiny program, run it through the trace processor,
+//! and inspect the committed state and statistics.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use trace_processor::{
+    tp_core::{CiModel, TraceProcessor, TraceProcessorConfig},
+    tp_isa::{asm::Asm, func::Machine, Cond, Reg},
+};
+
+fn main() {
+    // A small kernel: sum a counted loop with an unpredictable hammock.
+    let mut a = Asm::new("quickstart");
+    let (r1, r2, r3) = (Reg::new(1), Reg::new(2), Reg::new(3));
+    a.li(r1, 500); // loop counter
+    a.li(r2, 0); // accumulator
+    a.label("top");
+    a.alui(trace_processor::tp_isa::AluOp::Mul, r3, r1, 0x9E37_79B9u32 as i32);
+    a.alui(trace_processor::tp_isa::AluOp::And, r3, r3, 1);
+    a.branch(Cond::Eq, r3, Reg::ZERO, "even");
+    a.addi(r2, r2, 3);
+    a.jump("join");
+    a.label("even");
+    a.addi(r2, r2, 5);
+    a.label("join");
+    a.addi(r1, r1, -1);
+    a.branch(Cond::Gt, r1, Reg::ZERO, "top");
+    a.halt();
+    let program = a.assemble().expect("valid program");
+
+    // The paper's Table 1 configuration with full control independence.
+    let config = TraceProcessorConfig::paper(CiModel::FgMlbRet);
+    let mut sim = TraceProcessor::new(&program, config);
+    let result = sim.run(10_000_000).expect("no deadlock");
+    assert!(result.halted);
+
+    // The committed state matches the architectural (functional) simulator.
+    let mut oracle = Machine::new(&program);
+    oracle.run(u64::MAX).expect("oracle runs");
+    assert_eq!(sim.arch_state(), oracle.arch_state());
+
+    let s = result.stats;
+    println!("retired {} instructions in {} cycles (IPC {:.2})", s.retired_instrs, s.cycles, s.ipc());
+    println!("traces: {} retired, avg length {:.1}", s.retired_traces, s.avg_trace_len());
+    println!(
+        "branch mispredictions: {:.1}% | FGCI recoveries: {} | CGCI: {}/{}",
+        s.branch_misp_rate(),
+        s.fgci_recoveries,
+        s.cgci_reconverged,
+        s.cgci_attempts
+    );
+    println!("accumulator r2 = {}", oracle.reg(r2));
+}

@@ -1,0 +1,76 @@
+//! Property test for the paper's central trace-selection claim: with `fg`
+//! selection, every path through an embeddable region ends the trace at the
+//! same instruction (trace-level re-convergence), no matter which branch
+//! outcomes are predicted.
+
+use proptest::prelude::*;
+use trace_processor::tp_isa::{asm::Asm, AluOp, Cond, Reg};
+use trace_processor::tp_trace::{analyze_region, Bit, SelectionConfig, Selector};
+
+/// Builds a random nested hammock followed by a tail, returning the program.
+fn hammock_program(spec: &[u8]) -> trace_processor::tp_isa::Program {
+    fn emit(a: &mut Asm, spec: &[u8], at: &mut usize, depth: usize) {
+        let take = |at: &mut usize| {
+            let v = spec.get(*at).copied().unwrap_or(0);
+            *at += 1;
+            v
+        };
+        let else_l = a.fresh_label("e");
+        let end_l = a.fresh_label("n");
+        a.branch(Cond::Eq, Reg::new(1), Reg::ZERO, else_l.clone());
+        for _ in 0..take(at) % 3 {
+            a.addi(Reg::new(2), Reg::new(2), 1);
+        }
+        if depth < 2 && take(at) % 2 == 0 {
+            emit(a, spec, at, depth + 1);
+        }
+        a.jump(end_l.clone());
+        a.label(else_l);
+        for _ in 0..take(at) % 4 {
+            a.alui(AluOp::Xor, Reg::new(3), Reg::new(3), 5);
+        }
+        a.label(end_l);
+    }
+    let mut a = Asm::new("prop-hammock");
+    let mut at = 0;
+    emit(&mut a, spec, &mut at, 0);
+    for _ in 0..6 {
+        a.addi(Reg::new(4), Reg::new(4), 1);
+    }
+    a.halt();
+    a.assemble().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fg_selection_reconverges_for_every_outcome_pattern(
+        spec in proptest::collection::vec(any::<u8>(), 1..12),
+        outcomes in any::<u32>(),
+    ) {
+        let program = hammock_program(&spec);
+        let info = analyze_region(&program, 0, 32);
+        prop_assume!(info.embeddable);
+
+        let selector = Selector::new(SelectionConfig::with_fg());
+        let mut bit = Bit::paper();
+        // Reference: all branches not taken.
+        let reference = selector.select_with(&program, 0, &mut bit, |_, _, _| false, |_, _| None);
+        // Any outcome pattern must end the trace at the same place.
+        let sel = selector.select_with(
+            &program,
+            0,
+            &mut bit,
+            |i, _, _| (outcomes >> (i % 32)) & 1 == 1,
+            |_, _| None,
+        );
+        prop_assert_eq!(sel.trace.next_pc(), reference.trace.next_pc());
+        prop_assert_eq!(
+            sel.trace.insts().last().map(|t| t.pc),
+            reference.trace.insts().last().map(|t| t.pc)
+        );
+        // And the trace-level accrued length never exceeds the maximum.
+        prop_assert!(sel.trace.len() <= 32);
+    }
+}
