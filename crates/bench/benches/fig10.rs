@@ -35,7 +35,10 @@ fn main() {
         table.row(w.name, &row);
     }
     println!("{table}");
-    println!("average improvement, FG+MLB-RET : {:+.1}% (paper: ~10%)", mean(fg_mlb.iter().copied()));
+    println!(
+        "average improvement, FG+MLB-RET : {:+.1}% (paper: ~10%)",
+        mean(fg_mlb.iter().copied())
+    );
     println!(
         "average improvement, best model : {:+.1}% (paper: 13%, range 2%..25%)",
         mean(best.iter().copied())

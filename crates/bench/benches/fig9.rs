@@ -17,9 +17,18 @@ fn main() {
     for w in suite(Size::Full) {
         let base = run_selection(&w.program, SelectionConfig::base()).stats.ipc();
         let row = [
-            improvement_pct(run_selection(&w.program, SelectionConfig::with_ntb()).stats.ipc(), base),
-            improvement_pct(run_selection(&w.program, SelectionConfig::with_fg()).stats.ipc(), base),
-            improvement_pct(run_selection(&w.program, SelectionConfig::with_fg_ntb()).stats.ipc(), base),
+            improvement_pct(
+                run_selection(&w.program, SelectionConfig::with_ntb()).stats.ipc(),
+                base,
+            ),
+            improvement_pct(
+                run_selection(&w.program, SelectionConfig::with_fg()).stats.ipc(),
+                base,
+            ),
+            improvement_pct(
+                run_selection(&w.program, SelectionConfig::with_fg_ntb()).stats.ipc(),
+                base,
+            ),
         ];
         table.row(w.name, &row);
     }

@@ -1,14 +1,33 @@
-//! Criterion micro-benchmarks: component throughput (FGCI-algorithm scan,
-//! next-trace predictor, trace selection) and whole-simulator speed.
+//! Micro-benchmarks: component throughput (FGCI-algorithm scan, next-trace
+//! predictor, trace selection) and whole-simulator speed.
+//!
+//! A plain `harness = false` timing harness (the offline build cannot fetch
+//! `criterion`): each benchmark warms up once, then reports the best of
+//! several timed batches in ns/op.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
+
 use tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
 use tp_predict::{NextTracePredictor, TraceHistory, TracePredictorConfig};
 use tp_trace::{analyze_region, Bit, SelectionConfig, Selector, TraceId};
 use tp_workloads::{by_name, Size};
 
-fn bench_fgci_algorithm(c: &mut Criterion) {
+/// Times `f` over `iters` calls per batch, best of `batches`, in ns/op.
+fn bench(name: &str, iters: u32, batches: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..batches {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    println!("{name:<28} {best:>12.0} ns/op");
+}
+
+fn bench_fgci_algorithm() {
     let w = by_name("gcc", Size::Tiny);
     let branches: Vec<u32> = w
         .program
@@ -18,16 +37,14 @@ fn bench_fgci_algorithm(c: &mut Criterion) {
         .filter(|(pc, i)| i.is_forward_branch(*pc as u32))
         .map(|(pc, _)| pc as u32)
         .collect();
-    c.bench_function("fgci_algorithm_scan", |b| {
-        b.iter(|| {
-            for &pc in &branches {
-                black_box(analyze_region(&w.program, pc, 32));
-            }
-        })
+    bench("fgci_algorithm_scan", 100, 5, || {
+        for &pc in &branches {
+            black_box(analyze_region(&w.program, pc, 32));
+        }
     });
 }
 
-fn bench_trace_predictor(c: &mut Criterion) {
+fn bench_trace_predictor() {
     let mut pred = NextTracePredictor::new(TracePredictorConfig::paper());
     let ids: Vec<TraceId> = (0..64).map(|i| TraceId::new(i * 32, i, 5)).collect();
     let mut hist = TraceHistory::new(8);
@@ -35,45 +52,37 @@ fn bench_trace_predictor(c: &mut Criterion) {
         hist.push(w[0]);
         pred.train(&hist, w[1]);
     }
-    c.bench_function("next_trace_predict", |b| {
-        b.iter(|| {
-            for id in &ids {
-                hist.push(*id);
-                black_box(pred.predict(&hist));
-            }
-        })
+    bench("next_trace_predict", 1000, 5, || {
+        for id in &ids {
+            hist.push(*id);
+            black_box(pred.predict(&hist));
+        }
     });
 }
 
-fn bench_trace_selection(c: &mut Criterion) {
+fn bench_trace_selection() {
     let w = by_name("compress", Size::Tiny);
     let selector = Selector::new(SelectionConfig::with_fg_ntb());
     let mut bit = Bit::paper();
-    c.bench_function("trace_selection_fg_ntb", |b| {
-        b.iter(|| {
-            let sel = selector.select_with(&w.program, 0, &mut bit, |_, _, _| true, |_, _| None);
-            black_box(sel.trace.len())
-        })
+    bench("trace_selection_fg_ntb", 1000, 5, || {
+        let sel = selector.select_with(&w.program, 0, &mut bit, |_, _, _| true, |_, _| None);
+        black_box(sel.trace.len());
     });
 }
 
-fn bench_simulator_throughput(c: &mut Criterion) {
+fn bench_simulator_throughput() {
     let w = by_name("compress", Size::Small);
-    c.bench_function("simulate_compress_small", |b| {
-        b.iter(|| {
-            let cfg = TraceProcessorConfig::paper(CiModel::FgMlbRet);
-            let mut sim = TraceProcessor::new(&w.program, cfg);
-            let r = sim.run(10_000_000).expect("runs");
-            black_box(r.stats.retired_instrs)
-        })
+    bench("simulate_compress_small", 1, 3, || {
+        let cfg = TraceProcessorConfig::paper(CiModel::FgMlbRet);
+        let mut sim = TraceProcessor::new(&w.program, cfg);
+        let r = sim.run(10_000_000).expect("runs");
+        black_box(r.stats.retired_instrs);
     });
 }
 
-criterion_group!(
-    benches,
-    bench_fgci_algorithm,
-    bench_trace_predictor,
-    bench_trace_selection,
-    bench_simulator_throughput
-);
-criterion_main!(benches);
+fn main() {
+    bench_fgci_algorithm();
+    bench_trace_predictor();
+    bench_trace_selection();
+    bench_simulator_throughput();
+}

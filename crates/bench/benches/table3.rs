@@ -19,10 +19,8 @@ fn main() {
         SelectionConfig::with_fg_ntb(),
     ];
     println!("Table 3: IPC without control independence\n");
-    let mut table = Table::new(
-        "IPC",
-        &["base", "b(ntb)", "b(fg)", "b(fg,ntb)", "paper:base", "paper:fg,ntb"],
-    );
+    let mut table =
+        Table::new("IPC", &["base", "b(ntb)", "b(fg)", "b(fg,ntb)", "paper:base", "paper:fg,ntb"]);
     let mut per_sel: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for w in suite(Size::Full) {
         let mut row = Vec::new();

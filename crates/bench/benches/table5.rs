@@ -26,8 +26,8 @@ fn main() {
     let mut table = Table::new(
         "bench",
         &[
-            "fgci%br", "fgci%mp", ">32%br", "fwd%br", "fwd%mp", "bwd%br", "bwd%mp",
-            "dynreg", "statreg", "br/reg", "misp%", "mp/1k",
+            "fgci%br", "fgci%mp", ">32%br", "fwd%br", "fwd%mp", "bwd%br", "bwd%mp", "dynreg",
+            "statreg", "br/reg", "misp%", "mp/1k",
         ],
     );
     table.precision(1);

@@ -7,9 +7,14 @@ fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "compress".into());
     let w = tp_workloads::by_name(&name, tp_workloads::Size::Full);
     let base = tp_bench::run_selection(&w.program, SelectionConfig::base()).stats;
-    println!("base: ipc {:.2} brmisp {:.1}% trmisp {:.1}% fullsq {} len {:.1}",
-        base.ipc(), base.branch_misp_rate(), base.trace_misp_rate(),
-        base.full_squashes, base.avg_trace_len());
+    println!(
+        "base: ipc {:.2} brmisp {:.1}% trmisp {:.1}% fullsq {} len {:.1}",
+        base.ipc(),
+        base.branch_misp_rate(),
+        base.trace_misp_rate(),
+        base.full_squashes,
+        base.avg_trace_len()
+    );
     for m in [CiModel::Ret, CiModel::MlbRet, CiModel::Fg, CiModel::FgMlbRet] {
         let s = tp_bench::run_model(&w.program, m).stats;
         println!("{:>10}: ipc {:.2} ({:+.1}%) brmisp {:.1}% cgci {}/{} fgci {} fullsq {} reclaims {} redisp {} rebinds {} reissue {}",

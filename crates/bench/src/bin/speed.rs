@@ -4,8 +4,21 @@ use std::time::Instant;
 use tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
 
 fn main() {
-    println!("{:<10} {:>9} {:>8} {:>6} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6} {:>7} {:>7}",
-        "bench", "instrs", "cycles", "ipc", "brmisp%", "trmisp%", "tc$m%", "tlen", "secs", "pred%", "fullsq", "disp");
+    println!(
+        "{:<10} {:>9} {:>8} {:>6} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6} {:>7} {:>7}",
+        "bench",
+        "instrs",
+        "cycles",
+        "ipc",
+        "brmisp%",
+        "trmisp%",
+        "tc$m%",
+        "tlen",
+        "secs",
+        "pred%",
+        "fullsq",
+        "disp"
+    );
     for w in tp_workloads::suite(tp_workloads::Size::Full) {
         let cfg = TraceProcessorConfig::paper(CiModel::None);
         let mut sim = TraceProcessor::new(&w.program, cfg);
@@ -20,7 +33,11 @@ fn main() {
                     100.0 * s.predicted_traces as f64 / s.retired_traces.max(1) as f64,
                     s.full_squashes, s.dispatched_traces);
             }
-            Err(e) => println!("{:<10} ERROR {}", w.name, &format!("{e}")[..120.min(format!("{e}").len())]),
+            Err(e) => println!(
+                "{:<10} ERROR {}",
+                w.name,
+                &format!("{e}")[..120.min(format!("{e}").len())]
+            ),
         }
     }
 }

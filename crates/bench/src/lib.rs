@@ -5,6 +5,10 @@
 pub mod paper;
 pub mod profile;
 pub mod runner;
+pub mod sweep;
 
 pub use profile::{profile_branches, BranchClass, BranchProfile};
 pub use runner::{run_model, run_selection, RunSummary};
+pub use sweep::{
+    run_sweep_parallel, run_sweep_sequential, run_sweep_with_threads, SweepJob, SweepResult,
+};

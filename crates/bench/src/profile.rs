@@ -41,8 +41,12 @@ pub enum BranchClass {
 
 impl BranchClass {
     /// All classes in Table 5 order.
-    pub const ALL: [BranchClass; 4] =
-        [BranchClass::FgciSmall, BranchClass::FgciLarge, BranchClass::OtherForward, BranchClass::Backward];
+    pub const ALL: [BranchClass; 4] = [
+        BranchClass::FgciSmall,
+        BranchClass::FgciLarge,
+        BranchClass::OtherForward,
+        BranchClass::Backward,
+    ];
 
     /// The paper's row label.
     pub fn label(self) -> &'static str {
@@ -126,7 +130,8 @@ impl BranchProfile {
 
     /// Average dynamic region size over FGCI-branch executions.
     pub fn avg_dyn_region(&self) -> f64 {
-        let n = self.class(BranchClass::FgciSmall).branches + self.class(BranchClass::FgciLarge).branches;
+        let n = self.class(BranchClass::FgciSmall).branches
+            + self.class(BranchClass::FgciLarge).branches;
         if n == 0 {
             0.0
         } else {
@@ -136,7 +141,8 @@ impl BranchProfile {
 
     /// Average static region size over FGCI-branch executions.
     pub fn avg_static_region(&self) -> f64 {
-        let n = self.class(BranchClass::FgciSmall).branches + self.class(BranchClass::FgciLarge).branches;
+        let n = self.class(BranchClass::FgciSmall).branches
+            + self.class(BranchClass::FgciLarge).branches;
         if n == 0 {
             0.0
         } else {
@@ -146,7 +152,8 @@ impl BranchProfile {
 
     /// Average number of conditional branches per FGCI region.
     pub fn avg_region_branches(&self) -> f64 {
-        let n = self.class(BranchClass::FgciSmall).branches + self.class(BranchClass::FgciLarge).branches;
+        let n = self.class(BranchClass::FgciSmall).branches
+            + self.class(BranchClass::FgciLarge).branches;
         if n == 0 {
             0.0
         } else {
@@ -193,16 +200,14 @@ pub fn profile_branches(program: &Program, budget: u64) -> BranchProfile {
         let predicted = predictor.predict(pc);
         predictor.update(pc, taken);
         let mispredicted = predicted != taken;
-        let info = *regions
-            .entry(pc)
-            .or_insert_with(|| {
-                if step.inst.is_forward_branch(pc) {
-                    let info = analyze_region(program, pc, CLASSIFY_CAP);
-                    info.embeddable.then_some(info)
-                } else {
-                    None
-                }
-            });
+        let info = *regions.entry(pc).or_insert_with(|| {
+            if step.inst.is_forward_branch(pc) {
+                let info = analyze_region(program, pc, CLASSIFY_CAP);
+                info.embeddable.then_some(info)
+            } else {
+                None
+            }
+        });
         let class = if step.inst.is_backward_branch(pc) {
             BranchClass::Backward
         } else {

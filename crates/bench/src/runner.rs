@@ -36,11 +36,9 @@ pub fn run_model(program: &Program, model: CiModel) -> RunSummary {
     run_with(program, cfg)
 }
 
-fn run_with(program: &Program, cfg: TraceProcessorConfig) -> RunSummary {
+pub(crate) fn run_with(program: &Program, cfg: TraceProcessorConfig) -> RunSummary {
     let mut sim = TraceProcessor::new(program, cfg);
-    let result = sim
-        .run(RUN_BUDGET)
-        .unwrap_or_else(|e| panic!("{}: {e}", program.name()));
+    let result = sim.run(RUN_BUDGET).unwrap_or_else(|e| panic!("{}: {e}", program.name()));
     RunSummary { halted: result.halted, stats: result.stats }
 }
 

@@ -104,7 +104,12 @@ impl Arb {
     /// `key` maps a handle to its current logical position; the load
     /// receives the version with the greatest key strictly less than its
     /// own, falling back to architectural memory.
-    pub fn load(&mut self, addr: Addr, handle: SeqHandle, key: impl Fn(SeqHandle) -> u64) -> LoadResult {
+    pub fn load(
+        &mut self,
+        addr: Addr,
+        handle: SeqHandle,
+        key: impl Fn(SeqHandle) -> u64,
+    ) -> LoadResult {
         let my_key = key(handle);
         let best = self
             .versions
@@ -129,10 +134,8 @@ impl Arb {
     pub fn commit(&mut self, addr: Addr, handle: SeqHandle) {
         let word = addr >> 3;
         let list = self.versions.get_mut(&word).expect("commit of unknown store address");
-        let idx = list
-            .iter()
-            .position(|v| v.handle == handle)
-            .expect("commit of unknown store version");
+        let idx =
+            list.iter().position(|v| v.handle == handle).expect("commit of unknown store version");
         let v = list.swap_remove(idx);
         if list.is_empty() {
             self.versions.remove(&word);

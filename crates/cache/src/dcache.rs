@@ -31,7 +31,13 @@ impl DCache {
     /// # Panics
     ///
     /// Panics if `line_bytes` is zero or the geometry is invalid.
-    pub fn new(sets: usize, ways: usize, line_bytes: u64, hit_latency: u32, miss_penalty: u32) -> DCache {
+    pub fn new(
+        sets: usize,
+        ways: usize,
+        line_bytes: u64,
+        hit_latency: u32,
+        miss_penalty: u32,
+    ) -> DCache {
         assert!(line_bytes > 0, "line size must be non-zero");
         DCache { tags: SetAssocCache::new(sets, ways), line_bytes, hit_latency, miss_penalty }
     }

@@ -61,7 +61,12 @@ impl TraceCache {
     pub fn new(sets: usize, ways: usize) -> TraceCache {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(ways > 0, "associativity must be non-zero");
-        TraceCache { sets: vec![Vec::new(); sets], ways, tick: 0, stats: TraceCacheStats::default() }
+        TraceCache {
+            sets: vec![Vec::new(); sets],
+            ways,
+            tick: 0,
+            stats: TraceCacheStats::default(),
+        }
     }
 
     /// The paper's configuration: 128 kB / 4-way / 32-instruction lines —
@@ -135,7 +140,12 @@ mod tests {
 
     fn trace(start: u32, mask: u32, branches: u8) -> Arc<Trace> {
         let id = TraceId::new(start, mask, branches);
-        Arc::new(Trace::assemble(id, &[(start, Inst::Nop, None, false)], EndReason::MaxLen, Some(start + 1)))
+        Arc::new(Trace::assemble(
+            id,
+            &[(start, Inst::Nop, None, false)],
+            EndReason::MaxLen,
+            Some(start + 1),
+        ))
     }
 
     #[test]

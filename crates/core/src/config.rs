@@ -182,7 +182,10 @@ impl TraceProcessorConfig {
             assert!(self.selection.fg, "FGCI recovery requires fg trace selection");
         }
         if self.cgci == Some(CgciHeuristic::MlbRet) {
-            assert!(self.selection.ntb, "MLB-RET requires ntb trace selection to expose loop exits");
+            assert!(
+                self.selection.ntb,
+                "MLB-RET requires ntb trace selection to expose loop exits"
+            );
         }
         assert!(self.result_buses_per_pe <= self.result_buses);
         assert!(self.cache_buses_per_pe <= self.cache_buses);

@@ -263,7 +263,8 @@ mod tests {
     #[test]
     fn pe_first_fault_finds_oldest() {
         let mut pe = Pe::empty(TraceHistory::new(4));
-        pe.slots = vec![Slot::new(ti(Inst::Nop)), Slot::new(ti(Inst::Nop)), Slot::new(ti(Inst::Nop))];
+        pe.slots =
+            vec![Slot::new(ti(Inst::Nop)), Slot::new(ti(Inst::Nop)), Slot::new(ti(Inst::Nop))];
         assert_eq!(pe.first_fault(), None);
         pe.slots[2].fault = Some(Fault::CondBranch { actual: false });
         pe.slots[1].fault = Some(Fault::CondBranch { actual: true });
@@ -274,7 +275,10 @@ mod tests {
     fn operand_ref_metadata_survives_in_slot() {
         let inst = Inst::Alu { op: AluOp::Add, rd: Reg::new(1), rs: Reg::new(2), rt: Reg::new(3) };
         let mut t = ti(inst);
-        t.srcs = [Some((Reg::new(2), OperandRef::LiveIn(Reg::new(2)))), Some((Reg::new(3), OperandRef::Local(0)))];
+        t.srcs = [
+            Some((Reg::new(2), OperandRef::LiveIn(Reg::new(2)))),
+            Some((Reg::new(3), OperandRef::Local(0))),
+        ];
         let s = Slot::new(t);
         assert_eq!(s.ti.srcs[1], Some((Reg::new(3), OperandRef::Local(0))));
     }

@@ -283,6 +283,111 @@ mod tests {
         assert_eq!(l.logical(1), 2);
     }
 
+    /// Checks every structural invariant of the list: forward/backward link
+    /// agreement, head/tail endpoints, membership flags, length, and dense
+    /// logical numbering in walk order.
+    fn assert_invariants(l: &PeList, expected_order: &[usize]) {
+        assert_eq!(order(l), expected_order, "forward walk order");
+        assert_eq!(l.len(), expected_order.len());
+        assert_eq!(l.is_empty(), expected_order.is_empty());
+        assert_eq!(l.head(), expected_order.first().copied(), "head pointer");
+        assert_eq!(l.tail(), expected_order.last().copied(), "tail pointer");
+        // Backward walk from the tail must visit the same PEs reversed.
+        let mut back = Vec::new();
+        let mut cur = l.tail();
+        while let Some(pe) = cur {
+            back.push(pe);
+            cur = l.prev(pe);
+        }
+        back.reverse();
+        assert_eq!(back, expected_order, "backward walk order");
+        for (i, &pe) in expected_order.iter().enumerate() {
+            assert!(l.contains(pe));
+            assert_eq!(l.logical(pe), i as u64, "logical number of PE {pe}");
+            assert_eq!(l.prev(pe), (i > 0).then(|| expected_order[i - 1]));
+            assert_eq!(l.next(pe), expected_order.get(i + 1).copied());
+        }
+    }
+
+    /// CGCI recovery inserts control-dependent traces in the *middle* of the
+    /// window, between the repaired branch trace and the preserved
+    /// control-independent trace. The links on both sides, the endpoints,
+    /// and the logical numbering must all survive repeated insertion.
+    #[test]
+    fn cgci_mid_window_insertion_preserves_invariants() {
+        let mut l = PeList::new(6);
+        // Window: [0] (faulting branch trace) -> [1, 2] (preserved CI).
+        l.push_tail(0);
+        l.push_tail(1);
+        l.push_tail(2);
+        assert_invariants(&l, &[0, 1, 2]);
+        // Insert two control-dependent traces before the preserved trace 1,
+        // i.e. between two traces that both stay in the window.
+        l.insert_before(3, 1);
+        assert_invariants(&l, &[0, 3, 1, 2]);
+        l.insert_before(4, 1);
+        assert_invariants(&l, &[0, 3, 4, 1, 2]);
+        // The preserved suffix keeps its relative order, renumbered.
+        assert_eq!(l.logical(1), 3);
+        assert_eq!(l.logical(2), 4);
+        // Retiring the head (oldest) leaves the inserted traces intact.
+        l.remove(0);
+        assert_invariants(&l, &[3, 4, 1, 2]);
+    }
+
+    /// A full squash after a mispredicted branch removes every PE younger
+    /// than the branch (mid-window *and* tail removals), leaving the branch
+    /// as the new tail with links and numbering intact — including when the
+    /// squash victims were themselves CGCI mid-window insertions.
+    #[test]
+    fn squash_to_branch_preserves_invariants() {
+        let mut l = PeList::new(6);
+        for pe in [0, 1, 2, 3] {
+            l.push_tail(pe);
+        }
+        // A CGCI insertion that will be caught in the squash shadow.
+        l.insert_before(4, 2);
+        assert_invariants(&l, &[0, 1, 4, 2, 3]);
+        // Branch in PE 1 mispredicts without a re-convergent point: squash
+        // everything younger (the simulator removes them in logical order).
+        let victims: Vec<usize> = l.iter_after(1).collect();
+        assert_eq!(victims, vec![4, 2, 3]);
+        for v in victims {
+            l.remove(v);
+        }
+        assert_invariants(&l, &[0, 1]);
+        assert_eq!(l.tail(), Some(1), "branch PE becomes the tail");
+        // The freed PEs are immediately reusable at any position.
+        l.push_tail(2);
+        l.insert_before(3, 2);
+        assert_invariants(&l, &[0, 1, 3, 2]);
+    }
+
+    /// Alternating insertion and squash cycles (the steady state of CGCI
+    /// recovery under pressure) never corrupt the structure.
+    #[test]
+    fn repeated_insert_squash_cycles_stay_consistent() {
+        let mut l = PeList::new(4);
+        l.push_tail(0);
+        l.push_tail(1);
+        let mut expected = vec![0, 1];
+        for round in 0..50usize {
+            // Insert a "control-dependent" trace before the youngest
+            // preserved PE, using whichever PE index is free.
+            let free = (0..4).find(|&pe| !l.contains(pe)).expect("a PE is free");
+            let before = *expected.last().expect("non-empty");
+            l.insert_before(free, before);
+            expected.insert(expected.len() - 1, free);
+            assert_invariants(&l, &expected);
+            // Every other round, squash the tail (reclamation) or the
+            // inserted PE (abandoned insertion).
+            let victim = if round % 2 == 0 { *expected.last().expect("non-empty") } else { free };
+            l.remove(victim);
+            expected.retain(|&pe| pe != victim);
+            assert_invariants(&l, &expected);
+        }
+    }
+
     #[test]
     #[should_panic(expected = "already in list")]
     fn double_insert_panics() {

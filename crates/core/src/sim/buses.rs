@@ -1,0 +1,244 @@
+//! Pipeline stage 7: **buses** — shared cache buses, the ARB, and global
+//! result buses.
+//!
+//! Implements the shared interconnect (§2) and the data-speculation side of
+//! selective recovery (§5): cache-bus grants perform the actual memory
+//! accesses — loads read the youngest older version from the address
+//! resolution buffer (using the PE list's physical-to-logical translation
+//! for memory ordering), stores insert speculative versions and *snoop*
+//! every live load on the same word so that memory-order violations trigger
+//! selective reissue rather than a squash. Result-bus grants make live-out
+//! values globally visible to other PEs after the bypass latency. Both
+//! arbiters are bounded per cycle and per PE, preserving request order.
+//!
+//! **Mutates:** the bus request queues, slot state/values, the ARB and data
+//! cache, physical-register global visibility, and snoop-reissue
+//! statistics.
+
+use super::*;
+use tp_isa::{Addr, Inst};
+
+impl TraceProcessor<'_> {
+    pub(super) fn bus_stage(&mut self, ctx: &CycleCtx) {
+        self.grant_cache_buses(ctx);
+        self.grant_result_buses(ctx);
+    }
+
+    fn grant_cache_buses(&mut self, ctx: &CycleCtx) {
+        let now = ctx.now;
+        let mut granted_total = 0;
+        let mut granted_per_pe = vec![0usize; self.cfg.num_pes];
+        let mut requeue: VecDeque<BusReq> = VecDeque::new();
+        while let Some(req) = self.cache_bus_queue.pop_front() {
+            if granted_total >= self.cfg.cache_buses {
+                requeue.push_back(req);
+                // Keep draining to preserve order of the remaining queue.
+                while let Some(r) = self.cache_bus_queue.pop_front() {
+                    requeue.push_back(r);
+                }
+                break;
+            }
+            // Validate.
+            let valid = {
+                let p = &self.pes[req.pe];
+                p.occupied
+                    && p.gen == req.gen
+                    && req.slot < p.slots.len()
+                    && matches!(p.slots[req.slot].state, SlotState::WaitingBus { .. })
+                    && self.list.contains(req.pe)
+            };
+            if !valid {
+                continue; // dropped (squashed or replaced)
+            }
+            if req.since > now {
+                requeue.push_back(req);
+                continue;
+            }
+            if granted_per_pe[req.pe] >= self.cfg.cache_buses_per_pe {
+                requeue.push_back(req);
+                continue;
+            }
+            granted_total += 1;
+            granted_per_pe[req.pe] += 1;
+            self.perform_mem_access(req.pe, req.slot);
+        }
+        self.cache_bus_queue = requeue;
+    }
+
+    fn perform_mem_access(&mut self, pe: usize, slot: usize) {
+        let now = self.now;
+        let h = Self::handle(pe, slot);
+        let (inst, ea, data) = {
+            let s = &self.pes[pe].slots[slot];
+            let ea = s.indirect_target.expect("agen ran") as Addr;
+            (s.ti.inst, ea, s.value)
+        };
+        match inst {
+            Inst::Load { .. } => {
+                let latency = self.dcache.access(ea);
+                // Split field borrows: the ARB is mutated while the logical
+                // order comes from the PE list.
+                let list = &self.list;
+                let result = self.arb.load(ea, h, |sh: SeqHandle| {
+                    let pe = (sh.0 >> 8) as usize;
+                    if !list.contains(pe) {
+                        return 0;
+                    }
+                    ((list.logical(pe) + 1) << 8) | (sh.0 & 0xff)
+                });
+                let s = &mut self.pes[pe].slots[slot];
+                s.value = result.value;
+                s.load_src = result.source.map(|sh| sh.0);
+                s.mem_addr = Some(ea);
+                s.state = SlotState::MemAccess { done_at: now + latency as u64 };
+            }
+            Inst::Store { .. } => {
+                let _ = self.dcache.access(ea);
+                let (old_performed, old_addr, old_value) = {
+                    let s = &self.pes[pe].slots[slot];
+                    (s.store_performed, s.mem_addr, s.has_value.then_some(s.value))
+                };
+                let _ = old_value;
+                // A reissued store that moved must undo its old version.
+                if old_performed {
+                    if let Some(old) = old_addr {
+                        if old >> 3 != ea >> 3 {
+                            self.arb.undo(old, h);
+                            self.snoop_undo(old, h, pe);
+                        }
+                    }
+                }
+                self.arb.store(ea, h, data);
+                {
+                    let s = &mut self.pes[pe].slots[slot];
+                    s.store_performed = true;
+                    s.mem_addr = Some(ea);
+                    s.state = SlotState::MemAccess { done_at: now + 1 };
+                }
+                self.snoop_store(ea, h, data, pe);
+            }
+            _ => unreachable!("only memory ops use cache buses"),
+        }
+    }
+
+    /// Loads snoop store traffic: a load must reissue if the store is
+    /// program-order earlier than the load but later than the load's data
+    /// source, or if it *is* the load's data source and the value changed.
+    fn snoop_store(&mut self, addr: Addr, store_h: SeqHandle, value: Word, store_pe: usize) {
+        let word = addr >> 3;
+        let store_key = self.seq_key(store_h);
+        let penalty = self.cfg.load_reissue_penalty;
+        let now = self.now;
+        let mut reissues: Vec<(usize, usize)> = Vec::new();
+        for pe in self.list.iter() {
+            for (i, s) in self.pes[pe].slots.iter().enumerate() {
+                if !matches!(s.ti.inst, Inst::Load { .. }) {
+                    continue;
+                }
+                let Some(la) = s.mem_addr else { continue };
+                if la >> 3 != word {
+                    continue;
+                }
+                // Only loads that already sampled memory can be victims.
+                if !matches!(s.state, SlotState::MemAccess { .. } | SlotState::Done) {
+                    continue;
+                }
+                let load_key = self.seq_key(Self::handle(pe, i));
+                if store_key >= load_key {
+                    continue; // store is later in program order
+                }
+                let must_reissue = match s.load_src {
+                    Some(src) if src == store_h.0 => {
+                        // Same source store re-executed: reissue if the value
+                        // it previously supplied could differ. (The ARB has
+                        // already been updated; conservatively reissue.)
+                        let _ = value;
+                        true
+                    }
+                    Some(src) => self.seq_key(SeqHandle(src)) < store_key,
+                    None => true, // loaded from architectural memory
+                };
+                if must_reissue {
+                    reissues.push((pe, i));
+                }
+            }
+        }
+        let _ = store_pe;
+        for (pe, i) in reissues {
+            self.stats.load_snoop_reissues += 1;
+            self.pes[pe].slots[i].mark_reissue(now + penalty);
+        }
+    }
+
+    /// Loads snoop store-undo traffic: any load whose data came from the
+    /// undone store must reissue.
+    pub(super) fn snoop_undo(&mut self, addr: Addr, store_h: SeqHandle, skip_pe: usize) {
+        let word = addr >> 3;
+        let penalty = self.cfg.load_reissue_penalty;
+        let now = self.now;
+        let mut reissues: Vec<(usize, usize)> = Vec::new();
+        for pe in self.list.iter() {
+            if pe == skip_pe {
+                continue;
+            }
+            for (i, s) in self.pes[pe].slots.iter().enumerate() {
+                if !matches!(s.ti.inst, Inst::Load { .. }) {
+                    continue;
+                }
+                if s.mem_addr.map(|a| a >> 3) != Some(word) {
+                    continue;
+                }
+                if s.load_src == Some(store_h.0) {
+                    reissues.push((pe, i));
+                }
+            }
+        }
+        for (pe, i) in reissues {
+            self.stats.load_snoop_reissues += 1;
+            self.pes[pe].slots[i].mark_reissue(now + penalty);
+        }
+    }
+
+    fn grant_result_buses(&mut self, ctx: &CycleCtx) {
+        let now = ctx.now;
+        let mut granted_total = 0;
+        let mut granted_per_pe = vec![0usize; self.cfg.num_pes];
+        let mut requeue: VecDeque<BusReq> = VecDeque::new();
+        while let Some(req) = self.result_bus_queue.pop_front() {
+            if granted_total >= self.cfg.result_buses {
+                requeue.push_back(req);
+                while let Some(r) = self.result_bus_queue.pop_front() {
+                    requeue.push_back(r);
+                }
+                break;
+            }
+            let valid = {
+                let p = &self.pes[req.pe];
+                p.occupied
+                    && p.gen == req.gen
+                    && req.slot < p.slots.len()
+                    && p.slots[req.slot].is_liveout
+                    && p.slots[req.slot].dest.is_some()
+            };
+            if !valid {
+                continue;
+            }
+            if req.since > now {
+                requeue.push_back(req);
+                continue;
+            }
+            if granted_per_pe[req.pe] >= self.cfg.result_buses_per_pe {
+                requeue.push_back(req);
+                continue;
+            }
+            granted_total += 1;
+            granted_per_pe[req.pe] += 1;
+            let dest = self.pes[req.pe].slots[req.slot].dest.expect("validated");
+            let r = self.pregs.get_mut(dest);
+            if r.ready && r.global_ready_at == u64::MAX {
+                r.global_ready_at = now + self.cfg.bypass_latency;
+            }
+        }
+        self.result_bus_queue = requeue;
+    }
+}

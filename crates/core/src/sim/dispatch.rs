@@ -1,0 +1,180 @@
+//! Pipeline stage 5: **dispatch** — rename a fetched trace and allocate it
+//! to a processing element.
+//!
+//! Implements trace dispatch (§2): one trace per cycle leaves the fetch
+//! queue, its live-ins are renamed through the current speculative map, its
+//! live-outs are allocated fresh physical registers, and it is appended at
+//! the tail of the PE list — or, during CGCI insertion (§4), linked into
+//! the *middle* of the window immediately before the preserved
+//! control-independent trace. When the window is full during insertion,
+//! the most speculative tail PE is reclaimed (squashed) to make room. The
+//! dispatch bus is shared with re-dispatch passes
+//! ([`redispatch`](super::redispatch)), which take priority.
+//!
+//! **Mutates:** the fetch queue/mode, the target PE (slots, rename maps,
+//! generation), the PE list, the speculative rename-map chain, reader
+//! registrations, the physical register file (allocations), and statistics.
+
+use super::*;
+use crate::pe::Slot;
+use tp_trace::OperandRef;
+
+impl TraceProcessor<'_> {
+    pub(super) fn dispatch_stage(&mut self, ctx: &CycleCtx) {
+        if self.halted {
+            return;
+        }
+        // Re-dispatch passes own the dispatch bus.
+        if self.redispatch.is_some() {
+            self.redispatch_step(ctx);
+            return;
+        }
+        let Some(front) = self.fetch_queue.front() else { return };
+        if ctx.now < front.ready_at {
+            return;
+        }
+        // Pick the PE: insertion point (CGCI) or tail.
+        let insert_before = match self.mode {
+            FetchMode::CgciInsert { before, before_gen, .. } => {
+                if !self.pes[before].occupied
+                    || self.pes[before].gen != before_gen
+                    || !self.list.contains(before)
+                {
+                    self.mode = FetchMode::Normal;
+                    None
+                } else {
+                    Some(before)
+                }
+            }
+            FetchMode::Normal => None,
+        };
+        // Consistency: the front trace must follow the current predecessor.
+        let pred = match insert_before {
+            Some(b) => self.list.prev(b),
+            None => self.list.tail(),
+        };
+        if let Some(pred) = pred {
+            if !self.successor_consistent(pred, front.trace.id().start()) {
+                // The window changed under the queue (recovery): refetch.
+                self.fetch_queue.clear();
+                self.fetch_hist = self.rebuild_history();
+                self.expected = self.expected_after_tail();
+                return;
+            }
+        }
+        // Find a free PE.
+        let free = (0..self.cfg.num_pes).find(|&i| !self.pes[i].occupied);
+        let pe = match free {
+            Some(pe) => pe,
+            None => {
+                match self.mode {
+                    FetchMode::CgciInsert { before, .. } => {
+                        // Reclaim the most speculative PE for the insertion.
+                        let tail = self.list.tail().expect("window full implies non-empty");
+                        if tail == before {
+                            // The preserved trace itself must go: CGCI
+                            // degenerates to a full squash.
+                            self.squash_pe(tail);
+                            self.stats.tail_reclaims += 1;
+                            self.mode = FetchMode::Normal;
+                        } else {
+                            self.squash_pe(tail);
+                            self.stats.tail_reclaims += 1;
+                        }
+                        return; // dispatch next cycle
+                    }
+                    FetchMode::Normal => return, // window full: stall
+                }
+            }
+        };
+        let pending = self.fetch_queue.pop_front().expect("checked front");
+        if let FetchMode::CgciInsert { ref mut inserted, .. } = self.mode {
+            *inserted += 1;
+        }
+        self.dispatch_trace(pe, pending, insert_before, ctx);
+    }
+
+    /// Whether a trace starting at `start` is a consistent successor of the
+    /// trace in `pred`. (Also used by retirement's stale-boundary safety
+    /// net.)
+    pub(super) fn successor_consistent(&self, pred: usize, start: Pc) -> bool {
+        let t = &self.pes[pred].trace;
+        match t.end() {
+            EndReason::MaxLen | EndReason::Ntb => t.next_pc() == Some(start),
+            EndReason::Indirect => {
+                let last = self.pes[pred].slots.len() - 1;
+                let s = &self.pes[pred].slots[last];
+                if s.state == SlotState::Done && !s.pending_reissue {
+                    s.indirect_target == Some(start as Word)
+                } else {
+                    true // unresolved: dispatch speculatively
+                }
+            }
+            EndReason::Halt | EndReason::OutOfProgram => false,
+        }
+    }
+
+    fn dispatch_trace(
+        &mut self,
+        pe: usize,
+        pending: Pending,
+        insert_before: Option<usize>,
+        ctx: &CycleCtx,
+    ) {
+        let trace = pending.trace;
+        let map_before = self.current_map;
+        self.pes[pe].gen += 1;
+        let gen = self.pes[pe].gen;
+        let mut slots: Vec<Slot> = Vec::with_capacity(trace.len());
+        for (i, ti) in trace.insts().iter().enumerate() {
+            let mut slot = Slot::new(*ti);
+            for (k, &(_, oref)) in ti.srcs.iter().flatten().enumerate() {
+                let preg = match oref {
+                    OperandRef::LiveIn(r) if r.is_zero() => PhysRegId::ZERO,
+                    OperandRef::LiveIn(r) => map_before[r.index()],
+                    OperandRef::Local(j) => {
+                        slots[j as usize].dest.expect("local producer has a destination")
+                    }
+                };
+                slot.srcs[k] = Some(preg);
+            }
+            if ti.dest.is_some() {
+                slot.dest = Some(self.pregs.alloc(Some(pe as u8)));
+            }
+            slot.is_liveout = match ti.dest {
+                Some(d) => trace.last_writer(d) == Some(i),
+                None => false,
+            };
+            slots.push(slot);
+        }
+        let mut map_after = map_before;
+        for r in trace.live_outs() {
+            let w = trace.last_writer(*r).expect("live-out has a writer");
+            map_after[r.index()] = slots[w].dest.expect("writer has a destination");
+        }
+        // Register readers.
+        for (i, slot) in slots.iter().enumerate() {
+            for preg in slot.srcs.iter().flatten() {
+                if *preg != PhysRegId::ZERO {
+                    self.readers.entry(*preg).or_default().push((pe, gen, i));
+                }
+            }
+        }
+        let p = &mut self.pes[pe];
+        p.occupied = true;
+        p.trace = trace;
+        p.slots = slots;
+        p.map_before = map_before;
+        p.map_after = map_after;
+        p.hist_before = pending.hist_before;
+        p.source = pending.source;
+        p.repairs = 0;
+        p.dispatched_at = ctx.now;
+        self.current_map = map_after;
+        match insert_before {
+            Some(b) => self.list.insert_before(pe, b),
+            None => self.list.push_tail(pe),
+        }
+        self.stats.dispatched_traces += 1;
+    }
+}

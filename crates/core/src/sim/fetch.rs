@@ -1,0 +1,211 @@
+//! Pipeline stage 4: **fetch** — trace prediction, the trace cache, and
+//! the construction engine.
+//!
+//! Implements the trace-processor frontend (§2): the path-based next-trace
+//! predictor proposes a trace id, the trace cache is probed for it, and on
+//! a miss the trace is constructed through the instruction cache (one basic
+//! block per cycle, modelled by `construction_cycles`) using the predicted
+//! outcomes — or the BTB/RAS alone when the predictor has no opinion.
+//! Statically-certain successor PCs override contradicting predictions.
+//! During CGCI insertion (§4) this stage also performs re-convergence
+//! detection: when the next predicted trace matches the preserved
+//! control-independent trace, insertion ends and the re-dispatch pass over
+//! the preserved suffix begins.
+//!
+//! **Mutates:** the fetch queue/history/expectation/mode, the RAS
+//! (speculative call/return walk), the trace cache and BIT (construction
+//! fills), the construction-engine busy horizon, and — at re-convergence —
+//! the re-dispatch pass and rename-map chain.
+
+use super::*;
+use tp_isa::Inst;
+use tp_trace::{OutcomeSource, TraceId};
+
+impl TraceProcessor<'_> {
+    pub(super) fn fetch_stage(&mut self, ctx: &CycleCtx) {
+        if self.halted || self.recovery.is_some() || self.redispatch.is_some() {
+            return;
+        }
+        if self.fetch_queue.len() >= self.cfg.num_pes {
+            return;
+        }
+        // Validate CGCI insertion mode.
+        if let FetchMode::CgciInsert { before, before_gen, .. } = self.mode {
+            if !self.pes[before].occupied
+                || self.pes[before].gen != before_gen
+                || !self.list.contains(before)
+            {
+                self.mode = FetchMode::Normal;
+                self.fetch_hist = self.rebuild_history();
+                self.expected = self.expected_after_tail();
+            }
+        }
+        // A stalled fetch re-derives its expectation from the window every
+        // cycle: an indirect transfer at the effective tail may have
+        // resolved since the stall began (this also lets CGCI re-convergence
+        // be detected when the last control-dependent trace ends in an
+        // indirect transfer).
+        if self.expected == ExpectedNext::Stalled && self.fetch_queue.is_empty() {
+            let effective_tail = match self.mode {
+                FetchMode::CgciInsert { before, .. } => self.list.prev(before),
+                FetchMode::Normal => self.list.tail(),
+            };
+            if let Some(t) = effective_tail {
+                self.expected = self.expected_after_pe(t);
+            }
+        }
+        // Resolve the expected PC.
+        let (expected_pc, expected_certain) = match self.expected {
+            ExpectedNext::Known(pc) => (Some(pc), true),
+            ExpectedNext::Predicted(pc) => (Some(pc), false),
+            ExpectedNext::Stalled => (None, false),
+        };
+        let hist_before = self.fetch_hist.clone();
+        let prediction = self.predictor.predict(&self.fetch_hist);
+        // Enforce statically-certain boundaries: a prediction contradicting
+        // the known fall-through PC is discarded in favour of sequencing.
+        // After an unresolved indirect the next-trace predictor wins.
+        let prediction = match (prediction, expected_pc) {
+            (Some(id), Some(e)) if expected_certain && id.start() != e => None,
+            (p, _) => p,
+        };
+        let start = match prediction.map(|id| id.start()).or(expected_pc) {
+            Some(s) if self.program.contains(s) => s,
+            _ => return, // fetch stalled
+        };
+        // CGCI re-convergence detection: the next trace prediction matches
+        // the preserved control-independent trace.
+        if let FetchMode::CgciInsert { before, reconv_start, .. } = self.mode {
+            if start == reconv_start {
+                self.stats.cgci_reconverged += 1;
+                let preserved: Vec<usize> = {
+                    let mut v = vec![before];
+                    v.extend(self.list.iter_after(before));
+                    v
+                };
+                self.stats.preserved_traces += preserved.len() as u64;
+                let repaired_pred =
+                    self.list.prev(before).expect("faulting trace precedes the preserved trace");
+                self.begin_redispatch_from_map(preserved, repaired_pred);
+                self.mode = FetchMode::Normal;
+                return;
+            }
+        }
+        // Obtain the trace: trace cache, or construction.
+        let now = ctx.now;
+        let (trace, ready_at, source) = match prediction {
+            Some(id) => {
+                self.stats.tcache_lookups += 1;
+                match self.tcache.lookup(id) {
+                    Some(t) => (t, now + self.cfg.frontend_latency, FetchSource::PredictedHit),
+                    None => {
+                        self.stats.tcache_misses += 1;
+                        let (t, cycles) = self.construct_trace(start, Some(id));
+                        let ready = now.max(self.construction_busy_until)
+                            + cycles as u64
+                            + self.cfg.frontend_latency;
+                        self.construction_busy_until = ready;
+                        (t, ready, FetchSource::PredictedMiss)
+                    }
+                }
+            }
+            None => {
+                let (t, cycles) = self.construct_trace(start, None);
+                let ready = now.max(self.construction_busy_until)
+                    + cycles as u64
+                    + self.cfg.frontend_latency;
+                self.construction_busy_until = ready;
+                (t, ready, FetchSource::Fallback)
+            }
+        };
+        // Speculatively maintain the RAS and compute the next expected PC.
+        self.expected = self.advance_ras_and_expected(&trace);
+        self.fetch_hist.push(trace.id());
+        self.fetch_queue.push_back(Pending { trace, ready_at, hist_before, source });
+    }
+
+    /// Constructs a trace at `start` through the instruction cache, driven
+    /// by the predicted id's outcomes (falling back to the BTB) or by the
+    /// BTB alone. Returns the trace and the construction latency.
+    fn construct_trace(&mut self, start: Pc, id: Option<TraceId>) -> (Arc<Trace>, u32) {
+        struct ConstructOutcomes<'a> {
+            id: Option<TraceId>,
+            btb: &'a Btb,
+            ras_top: Option<Pc>,
+        }
+        impl OutcomeSource for ConstructOutcomes<'_> {
+            fn cond_outcome(&mut self, index: u8, pc: Pc, _inst: Inst) -> bool {
+                match self.id {
+                    Some(id) if index < id.branches() => id.outcome(index),
+                    _ => self.btb.predict_cond(pc),
+                }
+            }
+            fn indirect_target(&mut self, pc: Pc, inst: Inst) -> Option<Pc> {
+                if inst.is_return() {
+                    self.ras_top
+                } else {
+                    self.btb.predict_indirect(pc)
+                }
+            }
+        }
+        let selector = self.selector;
+        let (program, bit, btb) = (self.program, &mut self.bit, &self.btb);
+        let mut outcomes = ConstructOutcomes { id, btb, ras_top: self.ras.top() };
+        let sel = selector.select(program, start, bit, &mut outcomes);
+        self.stats.bit_miss_handlers += sel.stats.bit_misses as u64;
+        self.stats.bit_miss_cycles += sel.stats.bit_miss_cycles as u64;
+        let trace = Arc::new(sel.trace);
+        let cycles = self.construction_cycles(&trace, 0) + sel.stats.bit_miss_cycles;
+        self.tcache.fill(trace.clone());
+        (trace, cycles)
+    }
+
+    /// Construction-engine latency to (re)build `trace` starting at
+    /// `from_slot`: one cycle per basic block plus instruction cache miss
+    /// penalties. (Also used by recovery to time trace repair.)
+    pub(super) fn construction_cycles(&mut self, trace: &Trace, from_slot: usize) -> u32 {
+        let insts = &trace.insts()[from_slot.min(trace.len().saturating_sub(1))..];
+        if insts.is_empty() {
+            return 1;
+        }
+        let mut cycles = 0u32;
+        let mut seg_start = insts[0].pc;
+        let mut prev = insts[0].pc;
+        for ti in &insts[1..] {
+            if ti.pc != prev + 1 {
+                cycles += 1 + self.icache.access_range(seg_start, prev);
+                seg_start = ti.pc;
+            }
+            prev = ti.pc;
+        }
+        cycles += 1 + self.icache.access_range(seg_start, prev);
+        cycles
+    }
+
+    /// Walks a fetched trace's calls/returns through the RAS and returns the
+    /// expected next fetch PC.
+    fn advance_ras_and_expected(&mut self, trace: &Trace) -> ExpectedNext {
+        let mut ret_target = None;
+        for ti in trace.insts() {
+            match ti.inst {
+                Inst::Call { .. } | Inst::CallIndirect { .. } => self.ras.push(ti.pc + 1),
+                Inst::Ret => ret_target = self.ras.pop(),
+                _ => {}
+            }
+        }
+        match trace.end() {
+            EndReason::MaxLen | EndReason::Ntb => {
+                ExpectedNext::Known(trace.next_pc().expect("static end has next"))
+            }
+            EndReason::Indirect => {
+                let last = trace.insts().last().expect("non-empty");
+                let target = if last.inst.is_return() { ret_target } else { trace.next_pc() };
+                match target {
+                    Some(t) if self.program.contains(t) => ExpectedNext::Predicted(t),
+                    _ => ExpectedNext::Stalled,
+                }
+            }
+            EndReason::Halt | EndReason::OutOfProgram => ExpectedNext::Stalled,
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Pipeline stage 6: **issue** — select ready instructions and execute
+//! them.
+//!
+//! Implements the per-PE issue logic (§2): each PE independently selects up
+//! to `pe_issue_width` waiting instructions whose source physical registers
+//! are readable (locally bypassed within the producing PE, or globally
+//! visible after a result-bus broadcast) and begins execution. Because the
+//! simulator is execution-driven, values are computed *here*, with
+//! whatever operand values are currently visible — wrong-path and
+//! stale-input execution happen for real and are corrected by selective
+//! reissue. Memory operations perform address generation and then queue for
+//! a shared cache bus ([`buses`](super::buses)) rather than completing
+//! directly.
+//!
+//! **Mutates:** slot state/values/outcomes, the cache-bus request queue,
+//! and issue/reissue statistics.
+
+use super::*;
+use tp_isa::func::effective_address;
+use tp_isa::Inst;
+
+impl TraceProcessor<'_> {
+    pub(super) fn issue_stage(&mut self, ctx: &CycleCtx) {
+        let now = ctx.now;
+        let pes: Vec<usize> = self.list.iter().collect();
+        for pe in pes {
+            let mut issued = 0;
+            for slot in 0..self.pes[pe].slots.len() {
+                if issued >= self.cfg.pe_issue_width {
+                    break;
+                }
+                let ready = {
+                    let s = &self.pes[pe].slots[slot];
+                    s.state == SlotState::Waiting
+                        && s.not_before <= now
+                        && s.srcs
+                            .iter()
+                            .flatten()
+                            .all(|&p| self.pregs.readable_by(p, pe as u8, now))
+                };
+                if !ready {
+                    continue;
+                }
+                self.issue_slot(pe, slot);
+                issued += 1;
+            }
+        }
+    }
+
+    fn issue_slot(&mut self, pe: usize, slot: usize) {
+        let now = self.now;
+        let gen = self.pes[pe].gen;
+        let (inst, src_vals) = {
+            let s = &self.pes[pe].slots[slot];
+            let vals: Vec<Word> =
+                s.srcs.iter().flatten().map(|&p| self.pregs.get(p).value).collect();
+            (s.ti.inst, vals)
+        };
+        let a = src_vals.first().copied().unwrap_or(0);
+        let b = src_vals.get(1).copied().unwrap_or(0);
+        let s = &mut self.pes[pe].slots[slot];
+        s.issues += 1;
+        self.stats.issue_events += 1;
+        if s.issues > 1 {
+            self.stats.reissue_events += 1;
+        }
+        match inst {
+            Inst::Alu { op, .. } => {
+                s.value = op.apply(a, b);
+                s.state = SlotState::Executing { done_at: now + op.latency() as u64 };
+            }
+            Inst::AluImm { op, imm, .. } => {
+                s.value = op.apply(a, imm as Word);
+                s.state = SlotState::Executing { done_at: now + op.latency() as u64 };
+            }
+            Inst::Load { offset, .. } => {
+                s.value = 0;
+                s.state = SlotState::WaitingBus { since: now + self.cfg.agen_latency };
+                let ea = effective_address(a, offset);
+                s.indirect_target = Some(ea as Word); // staging for bus grant
+                self.cache_bus_queue.push_back(BusReq {
+                    pe,
+                    gen,
+                    slot,
+                    since: now + self.cfg.agen_latency,
+                });
+            }
+            Inst::Store { offset, .. } => {
+                // srcs order is [base, data].
+                let ea = effective_address(a, offset);
+                s.value = b;
+                s.indirect_target = Some(ea as Word);
+                s.state = SlotState::WaitingBus { since: now + self.cfg.agen_latency };
+                self.cache_bus_queue.push_back(BusReq {
+                    pe,
+                    gen,
+                    slot,
+                    since: now + self.cfg.agen_latency,
+                });
+            }
+            Inst::Branch { cond, .. } => {
+                s.outcome = Some(cond.eval(a, b));
+                s.state = SlotState::Executing { done_at: now + 1 };
+            }
+            Inst::Jump { .. } | Inst::Nop | Inst::Halt => {
+                s.state = SlotState::Executing { done_at: now + 1 };
+            }
+            Inst::Call { .. } => {
+                s.value = s.ti.pc as Word + 1;
+                s.state = SlotState::Executing { done_at: now + 1 };
+            }
+            Inst::CallIndirect { .. } => {
+                s.value = s.ti.pc as Word + 1;
+                s.indirect_target = Some(a);
+                s.state = SlotState::Executing { done_at: now + 1 };
+            }
+            Inst::JumpIndirect { .. } | Inst::Ret => {
+                s.indirect_target = Some(a);
+                s.state = SlotState::Executing { done_at: now + 1 };
+            }
+        }
+    }
+}

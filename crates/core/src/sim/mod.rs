@@ -1,0 +1,525 @@
+//! The cycle-level trace processor simulator.
+//!
+//! See the crate-level docs for the big picture. The simulator advances one
+//! cycle at a time through seven phases, each implemented in its own
+//! submodule (one file per pipeline stage):
+//!
+//! 1. [`complete`] — finish in-flight instructions, publish values, verify
+//!    branch outcomes and indirect targets (registering faults);
+//! 2. [`retire`] — commit the head trace when every slot has completed;
+//! 3. [`recovery`] — start/apply misprediction recoveries (oldest first),
+//!    including FGCI/CGCI preservation decisions and squashes;
+//! 4. [`fetch`] — predict the next trace, probe the trace cache, construct
+//!    missing traces through the instruction cache;
+//! 5. [`dispatch`] — rename and allocate one trace per cycle to a PE (or run
+//!    one step of a re-dispatch pass — the dispatch bus is shared; the pass
+//!    itself lives in [`redispatch`]);
+//! 6. [`issue`] — select up to four ready instructions per PE and begin
+//!    execution (values are computed here: the simulator is
+//!    execution-driven, wrong paths execute for real);
+//! 7. [`buses`] — arbitrate the shared cache buses (ARB/data cache access,
+//!    store snooping) and global result buses (inter-PE value bypass).
+//!
+//! This module owns [`TraceProcessor`], its public API ([`RunResult`],
+//! [`SimError`]), all cross-stage bookkeeping state, and the per-cycle
+//! [`CycleCtx`] handed to each stage by [`TraceProcessor::step_cycle`].
+
+mod buses;
+mod complete;
+mod dispatch;
+mod fetch;
+mod issue;
+mod recovery;
+mod redispatch;
+mod retire;
+
+#[cfg(test)]
+mod tests;
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use tp_cache::{Arb, DCache, ICache, SeqHandle, TraceCache};
+use tp_isa::func::{ArchState, Machine};
+use tp_isa::{Pc, Program, Reg, Word};
+use tp_predict::{Btb, NextTracePredictor, Ras, TraceHistory};
+use tp_trace::{Bit, EndReason, Selector, Trace};
+
+use crate::config::TraceProcessorConfig;
+use crate::pe::{FetchSource, Pe, SlotState};
+use crate::pe_list::PeList;
+use crate::physreg::{PhysRegFile, PhysRegId, RenameMap};
+use crate::stats::SimStats;
+
+/// Errors terminating a simulation abnormally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// No instruction retired for the configured number of cycles.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Human-readable window dump.
+        detail: String,
+    },
+    /// Committed state diverged from the functional oracle
+    /// (only with [`TraceProcessorConfig::verify_with_oracle`]).
+    OracleMismatch {
+        /// Cycle of the divergence.
+        cycle: u64,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, detail } => {
+                write!(f, "deadlock at cycle {cycle}: {detail}")
+            }
+            SimError::OracleMismatch { cycle, detail } => {
+                write!(f, "oracle mismatch at cycle {cycle}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of [`TraceProcessor::run`].
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Whether the program executed its `Halt`.
+    pub halted: bool,
+    /// Statistics at the end of the run.
+    pub stats: SimStats,
+}
+
+/// Per-cycle context handed to every pipeline stage by
+/// [`TraceProcessor::step_cycle`]. The simulated clock only advances
+/// between cycles, so stages read the cycle number from here rather than
+/// re-deriving it from mutable simulator state.
+#[derive(Clone, Copy, Debug)]
+struct CycleCtx {
+    /// The current cycle.
+    now: u64,
+}
+
+/// What PC the frontend expects to fetch next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ExpectedNext {
+    /// Certain: a static fall-through or a resolved indirect target. A
+    /// next-trace prediction that contradicts it is discarded.
+    Known(Pc),
+    /// A RAS/BTB guess after an unresolved indirect transfer. Used as the
+    /// fallback sequencing point, but the next-trace predictor wins when it
+    /// has an opinion (predicting through returns is its whole point).
+    Predicted(Pc),
+    /// Unknown until recovery or an indirect resolution redirects fetch.
+    Stalled,
+}
+
+/// Frontend mode: normal tail dispatch, or CGCI insertion before a
+/// preserved control-independent trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FetchMode {
+    Normal,
+    CgciInsert { before: usize, before_gen: u64, reconv_start: Pc, inserted: usize },
+}
+
+/// A trace fetched but not yet dispatched (an outstanding trace buffer).
+#[derive(Clone, Debug)]
+struct Pending {
+    trace: Arc<Trace>,
+    ready_at: u64,
+    hist_before: TraceHistory,
+    source: FetchSource,
+}
+
+/// Recovery plan decided at fault detection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RecoveryPlan {
+    Fgci,
+    Cgci,
+    Full,
+}
+
+/// An in-progress branch-misprediction recovery.
+#[derive(Clone, Debug)]
+struct Recovery {
+    pe: usize,
+    gen: u64,
+    slot: usize,
+    repaired: Arc<Trace>,
+    ready_at: u64,
+    plan: RecoveryPlan,
+}
+
+/// A re-dispatch pass over preserved (control independent) traces.
+#[derive(Clone, Debug)]
+struct RedispatchPass {
+    queue: VecDeque<usize>,
+    rolling: TraceHistory,
+    origin: &'static str,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BusReq {
+    pe: usize,
+    gen: u64,
+    slot: usize,
+    since: u64,
+}
+
+/// The trace processor simulator.
+///
+/// See the [crate-level example](crate) for typical use.
+pub struct TraceProcessor<'p> {
+    program: &'p Program,
+    cfg: TraceProcessorConfig,
+    // Substrates.
+    selector: Selector,
+    bit: Bit,
+    btb: Btb,
+    ras: Ras,
+    predictor: NextTracePredictor,
+    tcache: TraceCache,
+    icache: ICache,
+    dcache: DCache,
+    arb: Arb,
+    // Window.
+    pes: Vec<Pe>,
+    list: PeList,
+    pregs: PhysRegFile,
+    readers: HashMap<PhysRegId, Vec<(usize, u64, usize)>>,
+    current_map: RenameMap,
+    /// Architectural rename map of *retired* state: the physical register
+    /// holding each architectural register's committed value.
+    retired_map: RenameMap,
+    // Frontend.
+    fetch_hist: TraceHistory,
+    retire_hist: TraceHistory,
+    fetch_queue: VecDeque<Pending>,
+    expected: ExpectedNext,
+    mode: FetchMode,
+    construction_busy_until: u64,
+    recovery: Option<Recovery>,
+    redispatch: Option<RedispatchPass>,
+    // Buses.
+    cache_bus_queue: VecDeque<BusReq>,
+    result_bus_queue: VecDeque<BusReq>,
+    // Architectural state.
+    arch_regs: [Word; Reg::COUNT],
+    oracle: Option<Machine<'p>>,
+    // Time.
+    now: u64,
+    last_retire_cycle: u64,
+    halted: bool,
+    stats: SimStats,
+}
+
+impl<'p> TraceProcessor<'p> {
+    /// Creates a simulator for `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// (see [`TraceProcessorConfig::validate`]).
+    pub fn new(program: &'p Program, cfg: TraceProcessorConfig) -> TraceProcessor<'p> {
+        cfg.validate();
+        let mut pregs = PhysRegFile::new();
+        // Architectural registers start as ready physical registers.
+        let mut arch_map = [PhysRegId::ZERO; Reg::COUNT];
+        for r in Reg::all().skip(1) {
+            arch_map[r.index()] = pregs.alloc_ready(0);
+        }
+        let hist = TraceHistory::new(cfg.predictor.path_depth);
+        let pes = (0..cfg.num_pes).map(|_| Pe::empty(hist.clone())).collect();
+        let oracle = cfg.verify_with_oracle.then(|| Machine::new(program));
+        TraceProcessor {
+            program,
+            selector: Selector::new(cfg.selection),
+            bit: Bit::new(cfg.bit_entries, cfg.bit_ways),
+            btb: Btb::new(cfg.btb_entries),
+            ras: Ras::new(cfg.ras_depth),
+            predictor: NextTracePredictor::new(cfg.predictor),
+            tcache: TraceCache::new(cfg.tcache_sets, cfg.tcache_ways),
+            icache: ICache::paper(),
+            dcache: DCache::paper(),
+            arb: Arb::new(program.data()),
+            pes,
+            list: PeList::new(cfg.num_pes),
+            pregs,
+            readers: HashMap::new(),
+            current_map: arch_map,
+            retired_map: arch_map,
+            fetch_hist: hist.clone(),
+            retire_hist: hist,
+            fetch_queue: VecDeque::new(),
+            expected: ExpectedNext::Known(program.entry()),
+            mode: FetchMode::Normal,
+            construction_busy_until: 0,
+            recovery: None,
+            redispatch: None,
+            cache_bus_queue: VecDeque::new(),
+            result_bus_queue: VecDeque::new(),
+            arch_regs: [0; Reg::COUNT],
+            oracle,
+            now: 0,
+            last_retire_cycle: 0,
+            halted: false,
+            stats: SimStats::default(),
+            cfg,
+        }
+    }
+
+    /// The simulator's configuration.
+    pub fn config(&self) -> &TraceProcessorConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Committed architectural state (registers plus memory), normalized for
+    /// comparison with [`Machine::arch_state`].
+    pub fn arch_state(&self) -> ArchState {
+        ArchState { regs: self.arch_regs, mem: self.arb.arch_mem() }
+    }
+
+    /// Whether the program's `Halt` has retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Runs until the program halts or `max_instrs` instructions retire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if no instruction retires for the
+    /// configured watchdog window, or [`SimError::OracleMismatch`] when
+    /// oracle verification is enabled and committed state diverges.
+    pub fn run(&mut self, max_instrs: u64) -> Result<RunResult, SimError> {
+        while !self.halted && self.stats.retired_instrs < max_instrs {
+            self.step_cycle()?;
+            if self.now - self.last_retire_cycle > self.cfg.deadlock_cycles {
+                return Err(SimError::Deadlock { cycle: self.now, detail: self.dump_window() });
+            }
+        }
+        Ok(RunResult { halted: self.halted, stats: self.stats })
+    }
+
+    /// Advances the simulation by one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OracleMismatch`] under oracle verification.
+    pub fn step_cycle(&mut self) -> Result<(), SimError> {
+        let ctx = CycleCtx { now: self.now };
+        self.complete_stage(&ctx);
+        self.paranoid_check("complete");
+        self.retire_stage(&ctx)?;
+        self.paranoid_check("retire");
+        self.recovery_stage(&ctx);
+        self.paranoid_check("recovery");
+        self.fetch_stage(&ctx);
+        self.paranoid_check("fetch");
+        self.dispatch_stage(&ctx);
+        self.paranoid_check("dispatch");
+        self.issue_stage(&ctx);
+        self.bus_stage(&ctx);
+        self.now += 1;
+        self.stats.cycles = self.now;
+        Ok(())
+    }
+
+    /// Window-wide rename invariant: a trace's `map_before` must never
+    /// reference a physical register produced by that trace or any younger
+    /// trace. Gated behind `TP_PARANOID` because it is O(window^2).
+    fn paranoid_check(&self, stage: &str) {
+        if std::env::var("TP_PARANOID").is_err() {
+            return;
+        }
+        let order: Vec<usize> = self.list.iter().collect();
+        for (qi, &q) in order.iter().enumerate() {
+            for r in Reg::all().skip(1) {
+                let preg = self.pes[q].map_before[r.index()];
+                for &younger in &order[qi..] {
+                    for (si, sl) in self.pes[younger].slots.iter().enumerate() {
+                        if sl.dest == Some(preg) {
+                            panic!(
+                                "cycle {} after {stage}: pe{q} map_before[{r}] = {preg:?} \
+                                 is produced by pe{younger} slot {si} (not older)\n{}",
+                                self.now,
+                                self.dump_window()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers shared by multiple stages.
+
+    fn handle(pe: usize, slot: usize) -> SeqHandle {
+        SeqHandle(((pe as u64) << 8) | slot as u64)
+    }
+
+    /// Logical memory-order key of a sequence handle, derived from the PE
+    /// linked list (the paper's physical-to-logical translation). Handles
+    /// whose PE has left the window (a retired store that supplied a load's
+    /// data, or a squashed store whose undo-triggered reissue has not run
+    /// yet) rank as architectural memory — older than everything live.
+    fn seq_key(&self, h: SeqHandle) -> u64 {
+        let pe = (h.0 >> 8) as usize;
+        let slot = h.0 & 0xff;
+        if !self.list.contains(pe) {
+            return 0;
+        }
+        // +1 so that key 0 is reserved for "architectural memory".
+        ((self.list.logical(pe) + 1) << 8) | slot
+    }
+
+    fn dump_window(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "mode={:?} recovery={:?} expected={:?} queue={} ",
+            self.mode,
+            self.recovery.as_ref().map(|r| (r.pe, r.slot, r.ready_at)),
+            self.expected,
+            self.fetch_queue.len()
+        );
+        for pe in self.list.iter() {
+            let p = &self.pes[pe];
+            let waiting = p.slots.iter().filter(|s| s.state == SlotState::Waiting).count();
+            let done = p.slots.iter().filter(|s| s.state == SlotState::Done).count();
+            let _ = write!(
+                s,
+                "| pe{pe} {} len={} done={done} waiting={waiting} fault={:?} ",
+                p.trace.id(),
+                p.slots.len(),
+                p.first_fault()
+            );
+            for (i, sl) in p.slots.iter().enumerate() {
+                if sl.state != SlotState::Done || sl.pending_reissue {
+                    let vals: Vec<(u32, Word, bool)> = sl
+                        .srcs
+                        .iter()
+                        .flatten()
+                        .map(|&pp| {
+                            let r = self.pregs.get(pp);
+                            (pp.0, r.value, r.ready)
+                        })
+                        .collect();
+                    let _ = write!(
+                        s,
+                        "[slot {i} {:?} state={:?} pr={} nb={} iss={} srcs={vals:?}] ",
+                        sl.ti.inst, sl.state, sl.pending_reissue, sl.not_before, sl.issues
+                    );
+                }
+            }
+        }
+        s
+    }
+
+    fn register_reader(&mut self, preg: PhysRegId, pe: usize, slot: usize) {
+        if preg == PhysRegId::ZERO {
+            return;
+        }
+        let gen = self.pes[pe].gen;
+        self.readers.entry(preg).or_default().push((pe, gen, slot));
+    }
+
+    /// Marks every live consumer of `preg` for selective reissue.
+    fn propagate_value_change(&mut self, preg: PhysRegId, not_before: u64) {
+        let Some(list) = self.readers.get_mut(&preg) else { return };
+        let entries = std::mem::take(list);
+        let mut kept = Vec::with_capacity(entries.len());
+        for (pe, gen, slot) in entries {
+            let p = &mut self.pes[pe];
+            if p.occupied && p.gen == gen && slot < p.slots.len() {
+                // Only reissue if this slot still actually reads the preg.
+                if p.slots[slot].srcs.iter().flatten().any(|&s| s == preg) {
+                    p.slots[slot].mark_reissue(not_before);
+                    kept.push((pe, gen, slot));
+                }
+            }
+        }
+        *self.readers.entry(preg).or_default() = kept;
+    }
+
+    /// Rebuilds the speculative fetch history as of the end of the current
+    /// window: the tail trace's checkpointed history plus the tail itself.
+    /// (Using the checkpoints keeps histories at full path depth — a
+    /// history built from the surviving window alone would be shorter than
+    /// the retirement-side training contexts, and the path-based predictor
+    /// would tag-miss after every squash.)
+    fn rebuild_history(&self) -> TraceHistory {
+        match self.list.tail() {
+            Some(t) => {
+                let mut h = self.pes[t].hist_before.clone();
+                h.push(self.pes[t].trace.id());
+                h
+            }
+            None => self.retire_hist.clone(),
+        }
+    }
+
+    /// Expected fetch PC following the trace in `pe`.
+    fn expected_after_pe(&self, pe: usize) -> ExpectedNext {
+        let trace = &self.pes[pe].trace;
+        match trace.end() {
+            EndReason::MaxLen | EndReason::Ntb => {
+                ExpectedNext::Known(trace.next_pc().expect("static end has next"))
+            }
+            EndReason::Indirect => {
+                let last = self.pes[pe].slots.len() - 1;
+                let s = &self.pes[pe].slots[last];
+                if s.state == SlotState::Done {
+                    match s.indirect_target {
+                        Some(t) if t >= 0 && self.program.contains(t as Pc) => {
+                            ExpectedNext::Known(t as Pc)
+                        }
+                        _ => ExpectedNext::Stalled,
+                    }
+                } else {
+                    match trace.next_pc() {
+                        Some(t) => ExpectedNext::Predicted(t),
+                        None => ExpectedNext::Stalled,
+                    }
+                }
+            }
+            EndReason::Halt | EndReason::OutOfProgram => ExpectedNext::Stalled,
+        }
+    }
+
+    fn expected_after_tail(&self) -> ExpectedNext {
+        match self.list.tail() {
+            Some(t) => self.expected_after_pe(t),
+            None => ExpectedNext::Stalled,
+        }
+    }
+}
+
+impl fmt::Debug for TraceProcessor<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceProcessor")
+            .field("cycle", &self.now)
+            .field("halted", &self.halted)
+            .field("window", &self.list.len())
+            .field("retired", &self.stats.retired_instrs)
+            .finish()
+    }
+}

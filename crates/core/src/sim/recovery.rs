@@ -1,0 +1,405 @@
+//! Pipeline stage 3: **misprediction recovery** — FGCI/CGCI repair and
+//! squashing.
+//!
+//! Implements the paper's selective recovery machinery: fine-grain control
+//! independence (§3, FGCI — the mispredicted branch's alternate path is
+//! already embedded in the trace, so repair happens entirely within one PE
+//! and *all* younger traces are preserved) and coarse-grain control
+//! independence (§4, CGCI — the `RET`/`MLB-RET` heuristics locate a
+//! re-convergent trace in the window; control-dependent traces between the
+//! branch and that trace are squashed and re-fetched while the
+//! control-independent suffix is preserved). Recovery is always oldest
+//! fault first; an older fault preempts an in-flight repair. Trace repair
+//! re-selects the faulting trace with the branch's actual outcome and
+//! models the construction-engine latency of refetching the new suffix.
+//! Data-side repair (undoing speculative stores, selective reissue of
+//! rebound consumers) rides along via `replace_trace`/`squash_pe`.
+//!
+//! **Mutates:** the in-flight [`Recovery`], PE slots/traces/rename maps of
+//! the repaired PE, squashed PEs and the PE list, the ARB (store undo), the
+//! BIT (re-selection), the fetch queue/history/mode/expectation, reader
+//! registrations, bus request queues, and statistics.
+
+use super::*;
+use crate::config::CgciHeuristic;
+use crate::pe::{Fault, Slot};
+use tp_isa::Inst;
+use tp_trace::{OperandRef, OutcomeSource, TraceId};
+
+impl TraceProcessor<'_> {
+    /// `(a_pe, a_slot)` strictly older than `(b_pe, b_slot)` in program
+    /// order?
+    fn older(&self, a: (usize, usize), b: (usize, usize)) -> bool {
+        if a.0 == b.0 {
+            return a.1 < b.1;
+        }
+        self.list.logical(a.0) < self.list.logical(b.0)
+    }
+
+    fn oldest_fault(&self) -> Option<(usize, usize)> {
+        for pe in self.list.iter() {
+            if let Some(slot) = self.pes[pe].first_fault() {
+                return Some((pe, slot));
+            }
+        }
+        None
+    }
+
+    pub(super) fn recovery_stage(&mut self, ctx: &CycleCtx) {
+        // Validate the active recovery (its PE may have been squashed by an
+        // older recovery preempting it).
+        if let Some(rec) = &self.recovery {
+            let p = &self.pes[rec.pe];
+            if !p.occupied || p.gen != rec.gen || !self.list.contains(rec.pe) {
+                self.recovery = None;
+            }
+        }
+        let oldest = self.oldest_fault();
+        match (&self.recovery, oldest) {
+            (Some(rec), Some(f)) if self.older(f, (rec.pe, rec.slot)) => {
+                // An older fault preempts the in-flight recovery.
+                self.recovery = None;
+                self.start_recovery(f.0, f.1);
+            }
+            (Some(_), _) => {
+                let rec = self.recovery.clone().expect("checked above");
+                if ctx.now >= rec.ready_at {
+                    self.recovery = None;
+                    self.apply_recovery(rec);
+                }
+            }
+            (None, Some(f)) => self.start_recovery(f.0, f.1),
+            (None, None) => {}
+        }
+    }
+
+    fn start_recovery(&mut self, pe: usize, slot: usize) {
+        let fault = self.pes[pe].slots[slot].fault.expect("fault present");
+        match fault {
+            Fault::Indirect { actual } => {
+                // The trace itself is correct; its successors are not.
+                // Squash everything younger and redirect fetch.
+                self.stats.trace_mispredictions += 1;
+                self.stats.full_squashes += 1;
+                let victims: Vec<usize> = self.list.iter_after(pe).collect();
+                for v in victims {
+                    self.squash_pe(v);
+                }
+                self.fetch_queue.clear();
+                self.redispatch = None;
+                self.mode = FetchMode::Normal;
+                self.pes[pe].slots[slot].fault = None;
+                self.fetch_hist = self.rebuild_history();
+                self.current_map = self.pes[pe].map_after;
+                self.expected = match actual {
+                    Some(t) => ExpectedNext::Known(t),
+                    None => ExpectedNext::Stalled,
+                };
+            }
+            Fault::CondBranch { actual } => {
+                self.pes[pe].slots[slot].was_mispredicted = true;
+                let repaired = self.repair_trace(pe, slot, actual);
+                // Construction timing: refetch the repaired suffix through
+                // the instruction cache, one basic block per cycle.
+                let cycles = self.construction_cycles(&repaired, slot);
+                let ready_at = self.now.max(self.construction_busy_until) + cycles as u64;
+                self.construction_busy_until = ready_at;
+                // Decide the recovery plan now; squash at detection.
+                let covered = self.cfg.fgci && self.pes[pe].slots[slot].ti.fgci_covered;
+                let plan = if covered {
+                    RecoveryPlan::Fgci
+                } else if let Some(reconv) = self.find_reconv(pe, slot) {
+                    self.stats.cgci_attempts += 1;
+                    // Squash strictly between the faulting PE and the first
+                    // control independent trace.
+                    let victims: Vec<usize> =
+                        self.list.iter_after(pe).take_while(|&q| q != reconv).collect();
+                    for v in victims {
+                        self.squash_pe(v);
+                    }
+                    self.fetch_queue.clear();
+                    self.redispatch = None;
+                    let gen = self.pes[reconv].gen;
+                    self.mode = FetchMode::CgciInsert {
+                        before: reconv,
+                        before_gen: gen,
+                        reconv_start: self.pes[reconv].trace.id().start(),
+                        inserted: 0,
+                    };
+                    RecoveryPlan::Cgci
+                } else {
+                    self.stats.full_squashes += 1;
+                    let victims: Vec<usize> = self.list.iter_after(pe).collect();
+                    for v in victims {
+                        self.squash_pe(v);
+                    }
+                    self.fetch_queue.clear();
+                    self.redispatch = None;
+                    self.mode = FetchMode::Normal;
+                    RecoveryPlan::Full
+                };
+                if plan == RecoveryPlan::Fgci {
+                    // FGCI leaves the window untouched, but pending fetches
+                    // were predicted under a stale history.
+                    self.fetch_queue.clear();
+                }
+                let gen = self.pes[pe].gen;
+                self.recovery = Some(Recovery { pe, gen, slot, repaired, ready_at, plan });
+            }
+        }
+    }
+
+    /// Locates the first assumed control-independent trace after `pe` using
+    /// the configured CGCI heuristic.
+    fn find_reconv(&self, pe: usize, slot: usize) -> Option<usize> {
+        let heuristic = self.cfg.cgci?;
+        let ti = &self.pes[pe].slots[slot].ti;
+        if heuristic == CgciHeuristic::MlbRet && ti.inst.is_backward_branch(ti.pc) {
+            // MLB: nearest trace starting at the branch's not-taken target.
+            let target = ti.pc + 1;
+            if let Some(q) =
+                self.list.iter_after(pe).find(|&q| self.pes[q].trace.id().start() == target)
+            {
+                return Some(q);
+            }
+        }
+        // RET: the trace following the nearest return-ending trace.
+        let ret_pe = self.list.iter_after(pe).find(|&q| self.pes[q].trace.ends_in_return())?;
+        self.list.next(ret_pe)
+    }
+
+    /// Re-selects the faulting trace with the branch's actual outcome
+    /// (prefix outcomes embedded, suffix outcomes from the BTB).
+    fn repair_trace(&mut self, pe: usize, slot: usize, actual: bool) -> Arc<Trace> {
+        let trace = self.pes[pe].trace.clone();
+        let fault_branch_idx =
+            trace.insts()[..slot].iter().filter(|ti| ti.inst.is_cond_branch()).count() as u8;
+        let id = trace.id();
+        struct RepairOutcomes<'a> {
+            id: TraceId,
+            fault_idx: u8,
+            actual: bool,
+            btb: &'a Btb,
+        }
+        impl OutcomeSource for RepairOutcomes<'_> {
+            fn cond_outcome(&mut self, index: u8, pc: Pc, _inst: Inst) -> bool {
+                match index.cmp(&self.fault_idx) {
+                    std::cmp::Ordering::Less => self.id.outcome(index),
+                    std::cmp::Ordering::Equal => self.actual,
+                    std::cmp::Ordering::Greater => self.btb.predict_cond(pc),
+                }
+            }
+            fn indirect_target(&mut self, pc: Pc, _inst: Inst) -> Option<Pc> {
+                self.btb.predict_indirect(pc)
+            }
+        }
+        // Split field borrows: the selector reads the BTB while mutating
+        // the BIT.
+        let selector = self.selector;
+        let (program, bit, btb) = (self.program, &mut self.bit, &self.btb);
+        let mut outcomes = RepairOutcomes { id, fault_idx: fault_branch_idx, actual, btb };
+        let sel = selector.select(program, id.start(), bit, &mut outcomes);
+        self.stats.bit_miss_handlers += sel.stats.bit_misses as u64;
+        self.stats.bit_miss_cycles += sel.stats.bit_miss_cycles as u64;
+        Arc::new(sel.trace)
+    }
+
+    fn apply_recovery(&mut self, rec: Recovery) {
+        let pe = rec.pe;
+        // Abandon if the fault has vanished (outcome flipped back by a
+        // selective reissue before the repair finished): re-verification at
+        // the slot's next completion decides what happens next. The squashes
+        // performed at detection stand — refetch proceeds normally.
+        if self.pes[pe].slots.get(rec.slot).is_none_or(|s| s.fault.is_none()) {
+            if let FetchMode::CgciInsert { .. } = self.mode {
+                self.mode = FetchMode::Normal;
+            }
+            // An in-flight re-dispatch pass owns the map/history chain; it
+            // restores fetch state itself when it completes.
+            if self.redispatch.is_none() {
+                self.fetch_hist = self.rebuild_history();
+                self.current_map = self.pes[self.list.tail().expect("window non-empty")].map_after;
+                self.expected = self.expected_after_tail();
+            }
+            return;
+        }
+        // Replace the faulting PE's trace with the repaired one (prefix
+        // slots keep their state; suffix slots are squashed and replaced).
+        self.pes[pe].repairs += 1;
+        self.replace_trace(pe, rec.slot, rec.repaired.clone());
+        match rec.plan {
+            RecoveryPlan::Fgci => {
+                self.stats.fgci_recoveries += 1;
+                let preserved: Vec<usize> = self.list.iter_after(pe).collect();
+                self.stats.preserved_traces += preserved.len() as u64;
+                self.begin_redispatch(pe, preserved);
+            }
+            RecoveryPlan::Cgci => {
+                // Fetch will insert correct control-dependent traces before
+                // the preserved trace; re-dispatch happens at re-convergence.
+                let mut h = self.pes[pe].hist_before.clone();
+                h.push(rec.repaired.id());
+                self.redispatch = None;
+                self.fetch_hist = h;
+                self.current_map = self.pes[pe].map_after;
+                self.expected = self.expected_after_pe(pe);
+            }
+            RecoveryPlan::Full => {
+                let mut h = self.pes[pe].hist_before.clone();
+                h.push(rec.repaired.id());
+                self.redispatch = None;
+                self.fetch_hist = h;
+                self.current_map = self.pes[pe].map_after;
+                self.expected = self.expected_after_pe(pe);
+            }
+        }
+    }
+
+    /// Replaces the trace in `pe` from `keep_upto` (inclusive prefix bound)
+    /// with `repaired`: prefix slots keep state, suffix slots are squashed
+    /// and freshly renamed. Re-registers readers under a new generation.
+    fn replace_trace(&mut self, pe: usize, fault_slot: usize, repaired: Arc<Trace>) {
+        let old_len = self.pes[pe].slots.len();
+        let prefix_len = (fault_slot + 1).min(repaired.len());
+        debug_assert!(fault_slot < old_len);
+        // Undo stores in the squashed suffix.
+        for slot in prefix_len..old_len {
+            self.undo_store_if_performed(pe, slot);
+        }
+        self.pes[pe].gen += 1;
+        let map_before = self.pes[pe].map_before;
+        let mut slots = std::mem::take(&mut self.pes[pe].slots);
+        slots.truncate(prefix_len);
+        // Refresh prefix metadata from the repaired trace (same
+        // instructions; embedded outcomes/coverage may differ).
+        for (i, s) in slots.iter_mut().enumerate() {
+            let new_ti = repaired.insts()[i];
+            debug_assert_eq!(s.ti.inst, new_ti.inst, "repair changed a prefix instruction");
+            let was_misp = s.was_mispredicted;
+            s.ti = new_ti;
+            s.was_mispredicted = was_misp;
+            // Re-verify the (former) fault branch against its new embedded
+            // outcome.
+            if new_ti.inst.is_cond_branch() && s.state == SlotState::Done {
+                s.fault = match s.outcome {
+                    Some(actual) if Some(actual) != new_ti.embedded_taken => {
+                        Some(Fault::CondBranch { actual })
+                    }
+                    _ => None,
+                };
+            }
+        }
+        // Fresh suffix slots.
+        for i in prefix_len..repaired.len() {
+            slots.push(Slot::new(repaired.insts()[i]));
+        }
+        // Rebind all sources and (re)allocate suffix destinations.
+        for i in 0..slots.len() {
+            let ti = slots[i].ti;
+            let mut srcs = [None; 2];
+            for (k, &(r, oref)) in ti.srcs.iter().flatten().enumerate() {
+                let preg = match oref {
+                    OperandRef::LiveIn(lr) if lr.is_zero() => PhysRegId::ZERO,
+                    OperandRef::LiveIn(lr) => map_before[lr.index()],
+                    OperandRef::Local(j) => {
+                        let _ = r;
+                        slots[j as usize].dest.expect("local producer has a destination")
+                    }
+                };
+                srcs[k] = Some(preg);
+            }
+            slots[i].srcs = srcs;
+            if i >= prefix_len {
+                slots[i].dest = ti.dest.map(|_| self.pregs.alloc(Some(pe as u8)));
+            }
+            let is_liveout = match ti.dest {
+                Some(d) => repaired.last_writer(d) == Some(i),
+                None => false,
+            };
+            let was_liveout = slots[i].is_liveout;
+            slots[i].is_liveout = is_liveout;
+            // A prefix slot promoted to live-out after completion must still
+            // broadcast its value to other PEs.
+            if i < prefix_len
+                && is_liveout
+                && !was_liveout
+                && slots[i].state == SlotState::Done
+                && slots[i].dest.is_some()
+            {
+                let d = slots[i].dest.expect("checked");
+                self.pregs.get_mut(d).global_ready_at = u64::MAX;
+            }
+        }
+        self.pes[pe].slots = slots;
+        self.pes[pe].trace = repaired.clone();
+        // Recompute map_after.
+        let mut map_after = map_before;
+        for r in repaired.live_outs() {
+            let w = repaired.last_writer(*r).expect("live-out has a writer");
+            map_after[r.index()] = self.pes[pe].slots[w].dest.expect("writer has a destination");
+        }
+        self.pes[pe].map_after = map_after;
+        // Re-register readers and re-request buses under the new generation.
+        for i in 0..self.pes[pe].slots.len() {
+            for k in 0..2 {
+                if let Some(preg) = self.pes[pe].slots[i].srcs[k] {
+                    self.register_reader(preg, pe, i);
+                }
+            }
+            let s = &self.pes[pe].slots[i];
+            if s.is_liveout && s.state == SlotState::Done {
+                if let Some(d) = s.dest {
+                    if self.pregs.get(d).global_ready_at == u64::MAX {
+                        self.result_bus_queue.push_back(BusReq {
+                            pe,
+                            gen: self.pes[pe].gen,
+                            slot: i,
+                            since: self.now,
+                        });
+                    }
+                }
+            }
+        }
+        // In-flight prefix mem operations keep their bus requests (now
+        // stale-generation): requeue any that were pending.
+        for i in 0..prefix_len.min(self.pes[pe].slots.len()) {
+            if let SlotState::WaitingBus { since } = self.pes[pe].slots[i].state {
+                self.cache_bus_queue.push_back(BusReq {
+                    pe,
+                    gen: self.pes[pe].gen,
+                    slot: i,
+                    since,
+                });
+            }
+        }
+        // Fill the (possibly wrong-path) repaired trace into the trace cache
+        // speculatively, as trace buffers do.
+        self.tcache.fill(repaired);
+    }
+
+    pub(super) fn undo_store_if_performed(&mut self, pe: usize, slot: usize) {
+        let (performed, addr) = {
+            let s = &self.pes[pe].slots[slot];
+            (s.store_performed, s.mem_addr)
+        };
+        if !performed {
+            return;
+        }
+        let addr = addr.expect("performed store has an address");
+        let h = Self::handle(pe, slot);
+        self.arb.undo(addr, h);
+        self.pes[pe].slots[slot].store_performed = false;
+        self.snoop_undo(addr, h, pe);
+    }
+
+    pub(super) fn squash_pe(&mut self, pe: usize) {
+        for slot in 0..self.pes[pe].slots.len() {
+            self.undo_store_if_performed(pe, slot);
+        }
+        self.pes[pe].occupied = false;
+        self.pes[pe].gen += 1;
+        self.pes[pe].slots.clear();
+        self.list.remove(pe);
+        self.stats.squashed_traces += 1;
+    }
+}

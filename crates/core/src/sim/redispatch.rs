@@ -1,0 +1,131 @@
+//! The **re-dispatch pass** over preserved control-independent traces.
+//!
+//! Implements the register-dependence repair half of control independence
+//! (§3/§4): after an FGCI repair, or after CGCI insertion re-converges,
+//! the preserved traces' live-in renames are walked forward through the
+//! corrected rename-map chain — one trace per cycle, sharing the dispatch
+//! bus with normal dispatch ([`dispatch`](super::dispatch)). Only
+//! instructions whose source names actually changed are marked for
+//! selective reissue (the paper's key cost saving: preserved instructions
+//! with unchanged names keep their results). Live-outs keep their physical
+//! registers, so the chained map can only ever bind strictly older
+//! producers.
+//!
+//! **Mutates:** the active [`RedispatchPass`], preserved PEs' slot sources
+//! and rename maps, the speculative rename-map chain and fetch
+//! history/expectation (on completion), reader registrations, and
+//! statistics.
+
+use super::*;
+use tp_trace::OperandRef;
+
+impl TraceProcessor<'_> {
+    /// Starts a re-dispatch pass over the given preserved traces (in logical
+    /// order), which updates their live-in renames one trace per cycle.
+    /// Always replaces any pass already in flight: the new recovery's map
+    /// chain supersedes the old one.
+    pub(super) fn begin_redispatch(&mut self, repaired_pe: usize, preserved: Vec<usize>) {
+        let mut rolling = self.pes[repaired_pe].hist_before.clone();
+        rolling.push(self.pes[repaired_pe].trace.id());
+        self.current_map = self.pes[repaired_pe].map_after;
+        if preserved.is_empty() {
+            self.redispatch = None;
+            self.fetch_hist = rolling;
+            self.expected = self.expected_after_pe(repaired_pe);
+            self.mode = FetchMode::Normal;
+            return;
+        }
+        self.redispatch = Some(RedispatchPass { queue: preserved.into(), rolling, origin: "fgci" });
+        self.mode = FetchMode::Normal;
+    }
+
+    /// Starts the CGCI re-dispatch pass: `preserved` traces re-rename from
+    /// the map after `pred` (the last inserted control-dependent trace or
+    /// the repaired trace itself).
+    pub(super) fn begin_redispatch_from_map(&mut self, preserved: Vec<usize>, pred: usize) {
+        let mut rolling = self.pes[pred].hist_before.clone();
+        rolling.push(self.pes[pred].trace.id());
+        self.current_map = self.pes[pred].map_after;
+        self.redispatch = Some(RedispatchPass { queue: preserved.into(), rolling, origin: "cgci" });
+    }
+
+    /// One step of a re-dispatch pass: update one preserved trace's live-in
+    /// renames; only instructions with changed source names reissue.
+    pub(super) fn redispatch_step(&mut self, ctx: &CycleCtx) {
+        let (pe, mut rolling, empty_after, origin) = {
+            let Some(pass) = &mut self.redispatch else { return };
+            let Some(pe) = pass.queue.pop_front() else {
+                self.redispatch = None;
+                return;
+            };
+            (pe, pass.rolling.clone(), pass.queue.is_empty(), pass.origin)
+        };
+        if !self.pes[pe].occupied || !self.list.contains(pe) {
+            // Squashed while queued (e.g. tail reclamation): skip.
+            if empty_after {
+                self.finish_redispatch(rolling);
+            }
+            return;
+        }
+        let map_before = self.current_map;
+        let gen = self.pes[pe].gen;
+        let now = ctx.now;
+        let trace = self.pes[pe].trace.clone();
+        let mut new_readers: Vec<(PhysRegId, usize)> = Vec::new();
+        {
+            let slots = &mut self.pes[pe].slots;
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let mut changed = false;
+                for (k, &(_, oref)) in slot.ti.srcs.iter().flatten().enumerate() {
+                    if let OperandRef::LiveIn(r) = oref {
+                        if r.is_zero() {
+                            continue;
+                        }
+                        let new_preg = map_before[r.index()];
+                        // A re-dispatch must never bind a slot to its own
+                        // destination: live-outs keep their mappings, so the
+                        // chain map can only hold strictly older registers.
+                        assert!(
+                            slot.dest != Some(new_preg),
+                            "redispatch({origin}) bound slot {i} of pe {pe} to its own destination"
+                        );
+                        if slot.srcs[k] != Some(new_preg) {
+                            slot.srcs[k] = Some(new_preg);
+                            changed = true;
+                            new_readers.push((new_preg, i));
+                        }
+                    }
+                }
+                if changed {
+                    slot.mark_reissue(now + 1);
+                }
+            }
+        }
+        for (preg, i) in new_readers {
+            self.readers.entry(preg).or_default().push((pe, gen, i));
+        }
+        // Live-outs keep their physical registers; the map is re-asserted.
+        self.pes[pe].map_before = map_before;
+        let mut map_after = map_before;
+        for r in trace.live_outs() {
+            let w = trace.last_writer(*r).expect("live-out has a writer");
+            map_after[r.index()] = self.pes[pe].slots[w].dest.expect("writer has a destination");
+        }
+        self.pes[pe].map_after = map_after;
+        self.current_map = map_after;
+        self.pes[pe].hist_before = rolling.clone();
+        rolling.push(trace.id());
+        self.stats.redispatched_traces += 1;
+        if empty_after {
+            self.finish_redispatch(rolling);
+        } else if let Some(pass) = self.redispatch.as_mut() {
+            pass.rolling = rolling;
+        }
+    }
+
+    fn finish_redispatch(&mut self, rolling: TraceHistory) {
+        self.redispatch = None;
+        self.fetch_hist = rolling;
+        self.expected = self.expected_after_tail();
+    }
+}

@@ -1,0 +1,231 @@
+//! Pipeline stage 2: **retirement** — commit the head trace.
+//!
+//! Implements trace-at-a-time commit (§2): when every slot of the head
+//! trace has completed, its register results are written to architectural
+//! state, its stores are committed through the ARB, the conditional-branch
+//! predictor is trained, and the trace-level predictor/trace cache are
+//! updated with the *actual* trace. Under
+//! [`TraceProcessorConfig::verify_with_oracle`] every retiring instruction
+//! is checked against the functional oracle. The stage also contains the
+//! repair safety nets for recovery corner cases (§3/§4): re-grounding the
+//! head's live-ins to retired state, and squashing an inconsistent tail
+//! left behind by an abandoned CGCI insertion.
+//!
+//! **Mutates:** architectural registers and the retired rename map, the
+//! ARB (store commit), predictors and trace cache (training/fill), the PE
+//! list and the freed PE, statistics, and — through the safety nets — the
+//! fetch queue/history/mode and slot rename state.
+
+use super::*;
+use tp_isa::Inst;
+use tp_trace::OperandRef;
+
+impl TraceProcessor<'_> {
+    pub(super) fn retire_stage(&mut self, ctx: &CycleCtx) -> Result<(), SimError> {
+        let Some(head) = self.list.head() else { return Ok(()) };
+        self.reground_head(head, ctx);
+        let p = &self.pes[head];
+        if !p.occupied || !p.all_complete() {
+            return Ok(());
+        }
+        // A head targeted by an in-flight recovery cannot retire.
+        if let Some(rec) = &self.recovery {
+            if rec.pe == head {
+                return Ok(());
+            }
+        }
+        // A head awaiting a re-dispatch pass cannot retire.
+        if let Some(pass) = &self.redispatch {
+            if pass.queue.contains(&head) {
+                return Ok(());
+            }
+        }
+        // The preserved CI trace cannot retire while CGCI insertion is
+        // still placing control-dependent traces before it.
+        if let FetchMode::CgciInsert { before, .. } = self.mode {
+            if before == head {
+                return Ok(());
+            }
+        }
+        // Safety net: the head must be followed by a consistent successor.
+        // An abandoned CGCI insertion (e.g. preempted by a younger recovery)
+        // can leave a stale boundary in the window; discovering it here
+        // squashes the inconsistent tail and refetches.
+        if let Some(next) = self.list.next(head) {
+            let start = self.pes[next].trace.id().start();
+            if !self.successor_consistent(head, start) {
+                self.stats.full_squashes += 1;
+                let victims: Vec<usize> = self.list.iter_after(head).collect();
+                for v in victims {
+                    self.squash_pe(v);
+                }
+                self.fetch_queue.clear();
+                self.redispatch = None;
+                self.mode = FetchMode::Normal;
+                self.fetch_hist = self.rebuild_history();
+                self.current_map = self.pes[head].map_after;
+                self.expected = self.expected_after_pe(head);
+                return Ok(());
+            }
+        }
+        self.retire_pe(head)
+    }
+
+    /// The head trace has nothing older than retired state: every live-in
+    /// must be bound to the retired architectural registers. Recovery corner
+    /// cases (e.g. a CGCI insertion abandoned after its control-dependent
+    /// traces were squashed) can leave stale bindings; re-grounding the head
+    /// restores them and selectively reissues affected instructions —
+    /// without it the head could wait forever on a squashed producer.
+    fn reground_head(&mut self, head: usize, ctx: &CycleCtx) {
+        if !self.pes[head].occupied {
+            return;
+        }
+        let retired_map = self.retired_map;
+        let gen = self.pes[head].gen;
+        let now = ctx.now;
+        let mut rebound: Vec<(PhysRegId, usize)> = Vec::new();
+        {
+            let slots = &mut self.pes[head].slots;
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let tis = slot.ti.srcs;
+                for (k, &(_, oref)) in tis.iter().flatten().enumerate() {
+                    if let OperandRef::LiveIn(r) = oref {
+                        if r.is_zero() {
+                            continue;
+                        }
+                        let want = retired_map[r.index()];
+                        if slot.srcs[k] != Some(want) {
+                            slot.srcs[k] = Some(want);
+                            slot.mark_reissue(now + 1);
+                            rebound.push((want, i));
+                        }
+                    }
+                }
+            }
+        }
+        if rebound.is_empty() {
+            return;
+        }
+        self.stats.head_rebinds += rebound.len() as u64;
+        for (preg, i) in rebound {
+            self.readers.entry(preg).or_default().push((head, gen, i));
+        }
+        // The map chain after the head starts from its (possibly corrected)
+        // map; recompute map_before/map_after so later re-dispatch passes
+        // chain correctly.
+        let trace = self.pes[head].trace.clone();
+        let mut map_before = self.pes[head].map_before;
+        for r in trace.live_ins() {
+            map_before[r.index()] = retired_map[r.index()];
+        }
+        self.pes[head].map_before = map_before;
+        let mut map_after = map_before;
+        for r in trace.live_outs() {
+            let w = trace.last_writer(*r).expect("live-out has a writer");
+            map_after[r.index()] = self.pes[head].slots[w].dest.expect("writer has a destination");
+        }
+        self.pes[head].map_after = map_after;
+    }
+
+    fn retire_pe(&mut self, pe: usize) -> Result<(), SimError> {
+        let trace = self.pes[pe].trace.clone();
+        // Commit in slot order: registers then stores.
+        for slot in 0..self.pes[pe].slots.len() {
+            let (dest_arch, value, is_store, addr, outcome, pc, inst) = {
+                let s = &self.pes[pe].slots[slot];
+                (
+                    s.ti.dest,
+                    s.value,
+                    matches!(s.ti.inst, Inst::Store { .. }),
+                    s.mem_addr,
+                    s.outcome,
+                    s.ti.pc,
+                    s.ti.inst,
+                )
+            };
+            if let Some(r) = dest_arch {
+                self.arch_regs[r.index()] = value;
+                let preg = self.pes[pe].slots[slot].dest.expect("dest register allocated");
+                self.retired_map[r.index()] = preg;
+            }
+            if is_store {
+                let addr = addr.expect("completed store has an address");
+                self.arb.commit(addr, Self::handle(pe, slot));
+            }
+            if inst.is_cond_branch() {
+                let taken = outcome.expect("completed branch has an outcome");
+                self.btb.update_cond(pc, taken);
+                self.stats.retired_cond_branches += 1;
+                if self.pes[pe].slots[slot].was_mispredicted {
+                    self.stats.retired_cond_mispredicts += 1;
+                }
+            }
+            // Oracle verification, one instruction at a time.
+            if let Some(oracle) = &mut self.oracle {
+                let step = oracle.step().map_err(|e| SimError::OracleMismatch {
+                    cycle: self.now,
+                    detail: format!("oracle left program: {e}"),
+                })?;
+                if step.pc != pc {
+                    return Err(SimError::OracleMismatch {
+                        cycle: self.now,
+                        detail: format!(
+                            "retired pc {pc} but oracle executed pc {} (trace {})",
+                            step.pc,
+                            trace.id()
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(oracle) = &self.oracle {
+            for r in Reg::all() {
+                if oracle.reg(r) != self.arch_regs[r.index()] {
+                    return Err(SimError::OracleMismatch {
+                        cycle: self.now,
+                        detail: format!(
+                            "after trace {}: {r} committed {} but oracle has {}",
+                            trace.id(),
+                            self.arch_regs[r.index()],
+                            oracle.reg(r)
+                        ),
+                    });
+                }
+            }
+        }
+        // Train the trace-level predictor with the canonical (actual) trace.
+        self.predictor.train(&self.retire_hist, trace.id());
+        self.retire_hist.push(trace.id());
+        self.tcache.fill(trace.clone());
+        // Statistics.
+        self.stats.retired_traces += 1;
+        self.stats.retired_instrs += self.pes[pe].slots.len() as u64;
+        if self.pes[pe].source != FetchSource::Fallback {
+            self.stats.predicted_traces += 1;
+        }
+        if self.pes[pe].repairs > 0 {
+            self.stats.trace_mispredictions += 1;
+        }
+        self.last_retire_cycle = self.now;
+        if trace.end() == EndReason::Halt {
+            self.halted = true;
+        }
+        // Retirement writes values back to the global register file: they
+        // become visible to every PE even if a result-bus grant was still
+        // pending (the grant request dies with the generation bump below).
+        for slot in 0..self.pes[pe].slots.len() {
+            if let Some(d) = self.pes[pe].slots[slot].dest {
+                let now = self.now;
+                let r = self.pregs.get_mut(d);
+                r.global_ready_at = r.global_ready_at.min(now);
+                r.local_ready_at = r.local_ready_at.min(now);
+            }
+        }
+        // Free the PE.
+        self.list.remove(pe);
+        self.pes[pe].occupied = false;
+        self.pes[pe].gen += 1;
+        Ok(())
+    }
+}

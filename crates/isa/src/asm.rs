@@ -264,11 +264,9 @@ impl Asm {
         let resolve = |t: &Target| -> Result<Pc, AsmError> {
             match t {
                 Target::Pc(pc) => Ok(*pc),
-                Target::Label(l) => self
-                    .labels
-                    .get(l)
-                    .copied()
-                    .ok_or_else(|| AsmError::UnknownLabel(l.clone())),
+                Target::Label(l) => {
+                    self.labels.get(l).copied().ok_or_else(|| AsmError::UnknownLabel(l.clone()))
+                }
             }
         };
         let mut insts = Vec::with_capacity(self.insts.len());

@@ -414,8 +414,15 @@ mod tests {
 
     #[test]
     fn complex_op_latencies_match_r10000() {
-        assert_eq!(Inst::Alu { op: AluOp::Mul, rd: Reg::new(1), rs: Reg::new(2), rt: Reg::new(3) }.latency(), 6);
-        assert_eq!(Inst::AluImm { op: AluOp::Div, rd: Reg::new(1), rs: Reg::new(2), imm: 3 }.latency(), 35);
+        assert_eq!(
+            Inst::Alu { op: AluOp::Mul, rd: Reg::new(1), rs: Reg::new(2), rt: Reg::new(3) }
+                .latency(),
+            6
+        );
+        assert_eq!(
+            Inst::AluImm { op: AluOp::Div, rd: Reg::new(1), rs: Reg::new(2), imm: 3 }.latency(),
+            35
+        );
         assert_eq!(Inst::Nop.latency(), 1);
     }
 

@@ -43,9 +43,14 @@ impl fmt::Display for ProgramError {
                 write!(f, "entry point {entry} out of range for program of {len} instructions")
             }
             ProgramError::TargetOutOfRange { pc, target, len } => {
-                write!(f, "instruction at {pc} targets {target}, out of range for {len} instructions")
+                write!(
+                    f,
+                    "instruction at {pc} targets {target}, out of range for {len} instructions"
+                )
             }
-            ProgramError::TooLarge { len } => write!(f, "program of {len} instructions is too large"),
+            ProgramError::TooLarge { len } => {
+                write!(f, "program of {len} instructions is too large")
+            }
             ProgramError::UnalignedData { addr } => {
                 write!(f, "data image address {addr:#x} is not 8-byte aligned")
             }
@@ -72,12 +77,7 @@ impl Program {
         entry: Pc,
         data: impl IntoIterator<Item = (Addr, Word)>,
     ) -> Result<Program, ProgramError> {
-        let program = Program {
-            name: name.into(),
-            insts,
-            entry,
-            data: data.into_iter().collect(),
-        };
+        let program = Program { name: name.into(), insts, entry, data: data.into_iter().collect() };
         program.validate()?;
         Ok(program)
     }
@@ -95,14 +95,16 @@ impl Program {
         }
         for (pc, inst) in self.insts.iter().enumerate() {
             let target = match *inst {
-                Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Call { target } => target,
+                Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Call { target } => {
+                    target
+                }
                 _ => continue,
             };
             if target as usize >= len {
                 return Err(ProgramError::TargetOutOfRange { pc: pc as Pc, target, len });
             }
         }
-        for (&addr, _) in &self.data {
+        for &addr in self.data.keys() {
             if addr % 8 != 0 {
                 return Err(ProgramError::UnalignedData { addr });
             }

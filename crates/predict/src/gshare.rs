@@ -87,8 +87,10 @@ mod tests {
     fn learns_periodic_patterns() {
         let mut g = Gshare::new(1 << 14, 12);
         // Period-16 pattern a 2-bit table cannot learn.
-        let pattern = [true, true, false, true, false, false, true, true,
-                       false, true, true, true, false, false, true, false];
+        let pattern = [
+            true, true, false, true, false, false, true, true, false, true, true, true, false,
+            false, true, false,
+        ];
         let mut misp = 0;
         for i in 0..3200 {
             let t = pattern[i % 16];

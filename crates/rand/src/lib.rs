@@ -1,0 +1,213 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the small slice of the `rand` 0.8 API it actually uses — `StdRng`,
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods `gen`,
+//! `gen_range`, and `gen_bool` — backed by xoshiro256++ seeded via
+//! SplitMix64. Streams are deterministic per seed (which is all the
+//! workload generators and tests rely on) but are *not* bit-compatible
+//! with the real `rand::rngs::StdRng`; every consumer in this workspace
+//! treats the stream as an arbitrary fixed pseudo-random sequence.
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from the full output of an RNG
+/// (the subset of `rand`'s `Standard` distribution this workspace uses).
+pub trait Standard: Sized {
+    /// Converts one raw 64-bit draw into `Self`.
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_u64(raw: u64) -> u64 {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64(raw: u64) -> u32 {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for i64 {
+    fn from_u64(raw: u64) -> i64 {
+        raw as i64
+    }
+}
+
+/// Integer types usable as `gen_range` bounds.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens to `i128` (every supported type fits losslessly).
+    fn to_i128(self) -> i128;
+    /// Narrows from `i128` (the value is always in range by construction).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Ranges accepted by [`Rng::gen_range`]: `lo..hi` and `lo..=hi`.
+pub trait SampleRange<T> {
+    /// Inclusive bounds `(lo, hi)` of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn bounds(&self) -> (T, T);
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn bounds(&self) -> (T, T) {
+        assert!(self.start < self.end, "cannot sample empty range");
+        (self.start, T::from_i128(self.end.to_i128() - 1))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(&self) -> (T, T) {
+        assert!(self.start() <= self.end(), "cannot sample empty range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// The user-facing random-value API (mirrors `rand::Rng`).
+pub trait Rng {
+    /// One raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value of `T` (only the types the workspace draws).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// A uniform integer in `range` (empty ranges panic).
+    fn gen_range<T: UniformInt, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds();
+        let (lo128, hi128) = (lo.to_i128(), hi.to_i128());
+        let span = (hi128 - lo128 + 1) as u128;
+        // Multiply-shift uniform mapping (Lemire); the tiny bias from not
+        // rejecting is irrelevant for workload synthesis.
+        let draw = self.next_u64() as u128;
+        T::from_i128(lo128 + ((draw * span) >> 64) as i128)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} not a probability");
+        // 53 bits of mantissa, same construction as rand's convert.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Concrete generators (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator standing in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 seed expansion, the standard xoshiro bootstrap.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-64..64);
+            assert!((-64..64).contains(&v));
+            let w = rng.gen_range(1..=4i32);
+            assert!((1..=4).contains(&w));
+            let u = rng.gen_range(0..100usize);
+            assert!(u < 100);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_support() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "hits={hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

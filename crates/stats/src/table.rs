@@ -66,13 +66,8 @@ impl Table {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let label_w = self
-            .rows
-            .iter()
-            .map(|(l, _)| l.len())
-            .chain([self.corner.len()])
-            .max()
-            .unwrap_or(0);
+        let label_w =
+            self.rows.iter().map(|(l, _)| l.len()).chain([self.corner.len()]).max().unwrap_or(0);
         let col_ws: Vec<usize> = self
             .columns
             .iter()

@@ -54,7 +54,7 @@ impl Bit {
     /// either is zero.
     pub fn new(entries: usize, ways: usize) -> Bit {
         assert!(entries > 0 && ways > 0, "BIT geometry must be non-zero");
-        assert!(entries % ways == 0, "entries must be a multiple of ways");
+        assert!(entries.is_multiple_of(ways), "entries must be a multiple of ways");
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "BIT set count must be a power of two");
         Bit { sets: vec![Vec::new(); sets], ways, tick: 0, stats: BitStats::default() }
@@ -143,7 +143,7 @@ mod tests {
     #[test]
     fn distinct_pcs_mapping_to_same_set_coexist_up_to_ways() {
         let mut bit = Bit::new(16, 4); // 4 sets
-        // PCs 0, 4, 8, 12 all map to set 0.
+                                       // PCs 0, 4, 8, 12 all map to set 0.
         for i in 0..4u32 {
             bit.insert(i * 4, info(i + 1));
         }

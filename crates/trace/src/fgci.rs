@@ -195,7 +195,11 @@ pub fn analyze_region(program: &Program, branch_pc: Pc, max_len: u32) -> RegionI
                 }
                 seq = None; // no fall-through
             }
-            Inst::Call { .. } | Inst::CallIndirect { .. } | Inst::JumpIndirect { .. } | Inst::Ret | Inst::Halt => {
+            Inst::Call { .. }
+            | Inst::CallIndirect { .. }
+            | Inst::JumpIndirect { .. }
+            | Inst::Ret
+            | Inst::Halt => {
                 // Calls, indirect branches and halts end the analysis.
                 return RegionInfo::not_embeddable(scanned);
             }
@@ -237,7 +241,7 @@ mod tests {
         let mut a = Asm::new("fig7");
         // A: the region-opening branch (1 instruction).
         a.branch(Cond::Eq, r(1), Reg::ZERO, "E"); // A -> E (taken) or B (fall)
-        // B: 5 instructions, ending in a branch to D.
+                                                  // B: 5 instructions, ending in a branch to D.
         for _ in 0..4 {
             a.addi(r(2), r(2), 1);
         }
@@ -476,9 +480,7 @@ mod tests {
                     return 0;
                 }
                 match p.fetch(pc).unwrap() {
-                    Inst::Branch { target, .. } => {
-                        1 + go(p, pc + 1, to).max(go(p, target, to))
-                    }
+                    Inst::Branch { target, .. } => 1 + go(p, pc + 1, to).max(go(p, target, to)),
                     Inst::Jump { target } => 1 + go(p, target, to),
                     _ => 1 + go(p, pc + 1, to),
                 }

@@ -518,7 +518,10 @@ mod tests {
         assert_eq!(taken.trace.next_pc(), not_taken.trace.next_pc());
         // taken path: branch + 3 ops + 4 tail = 8 accrued at region size 4.
         // not-taken path: branch + 1 op + jump (3 physical) padded to 4.
-        assert_eq!(taken.trace.insts().last().unwrap().pc, not_taken.trace.insts().last().unwrap().pc);
+        assert_eq!(
+            taken.trace.insts().last().unwrap().pc,
+            not_taken.trace.insts().last().unwrap().pc
+        );
         assert!(not_taken.stats.pad_instructions > 0);
         assert_eq!(taken.stats.padded_regions, 1);
     }

@@ -209,8 +209,7 @@ impl Trace {
             }
             insts.push(TraceInst { pc, inst, embedded_taken, srcs, dest, fgci_covered });
         }
-        let live_outs: Vec<Reg> =
-            Reg::all().filter(|r| last_writer[r.index()].is_some()).collect();
+        let live_outs: Vec<Reg> = Reg::all().filter(|r| last_writer[r.index()].is_some()).collect();
         Trace { id, insts, end, next_pc, live_ins, live_outs }
     }
 
@@ -359,7 +358,12 @@ mod tests {
 
     #[test]
     fn r0_sources_are_zero_live_ins() {
-        let raw = vec![(0, Inst::AluImm { op: AluOp::Add, rd: r(1), rs: Reg::ZERO, imm: 7 }, None, false)];
+        let raw = vec![(
+            0,
+            Inst::AluImm { op: AluOp::Add, rd: r(1), rs: Reg::ZERO, imm: 7 },
+            None,
+            false,
+        )];
         let t = Trace::assemble(TraceId::new(0, 0, 0), &raw, EndReason::Halt, None);
         assert_eq!(t.insts()[0].srcs[0], Some((Reg::ZERO, OperandRef::LiveIn(Reg::ZERO))));
         // r0 never appears in the live-in set proper.

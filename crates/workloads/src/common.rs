@@ -100,7 +100,7 @@ mod tests {
 
     #[test]
     fn regions_do_not_overlap() {
-        assert!(TABLE_REGION - DATA_REGION >= 0x4000);
-        assert!(OUT_REGION - TABLE_REGION >= 0x4000);
+        const { assert!(TABLE_REGION - DATA_REGION >= 0x4000) };
+        const { assert!(OUT_REGION - TABLE_REGION >= 0x4000) };
     }
 }

@@ -26,15 +26,8 @@ pub fn build(iters: u32) -> Program {
     let mut rng = common::rng(0xC0117);
     emit_prologue(&mut a);
 
-    let (w, hash, entry, tmp, acc, hits, misses) = (
-        Reg::new(1),
-        Reg::new(2),
-        Reg::new(3),
-        Reg::new(4),
-        Reg::new(5),
-        Reg::new(6),
-        Reg::new(7),
-    );
+    let (w, hash, entry, tmp, acc, hits, misses) =
+        (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4), Reg::new(5), Reg::new(6), Reg::new(7));
     let lcg = Reg::new(8);
     a.li(lcg, 987654321);
 

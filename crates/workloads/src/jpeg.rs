@@ -83,8 +83,8 @@ pub fn build(iters: u32) -> Program {
     a.alu(AluOp::Xor, tmp, tmp, acc);
     {
         let is0 = coef; // reuse coef as scratch; re-derived next iteration
-        // is0 = 1 when (tmp & 31) == 0: roughly one element in 32 becomes a
-        // saturating outlier; everything else stays safely in range.
+                        // is0 = 1 when (tmp & 31) == 0: roughly one element in 32 becomes a
+                        // saturating outlier; everything else stays safely in range.
         a.alui(AluOp::And, v, tmp, 31);
         a.li(is0, 1);
         a.alu(AluOp::Slt, v, v, is0);
@@ -140,12 +140,8 @@ mod tests {
     #[test]
     fn loop_dominated_branch_mix() {
         let p = build(5);
-        let backward = p
-            .insts()
-            .iter()
-            .enumerate()
-            .filter(|(pc, i)| i.is_backward_branch(*pc as u32))
-            .count();
+        let backward =
+            p.insts().iter().enumerate().filter(|(pc, i)| i.is_backward_branch(*pc as u32)).count();
         assert_eq!(backward, 2, "two counted loops");
     }
 

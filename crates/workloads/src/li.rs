@@ -101,11 +101,8 @@ pub fn build(iters: u32) -> Program {
     // stay fully random — the unpredictable loop exits are li's signature.
     let pattern = [0i64, 2, 0, 1, 0, 3, 2, 0];
     for i in 0..CODE_WORDS {
-        let op = if rng.gen_range(0..4) == 0 {
-            rng.gen_range(0..4)
-        } else {
-            pattern[i % pattern.len()]
-        };
+        let op =
+            if rng.gen_range(0..4) == 0 { rng.gen_range(0..4) } else { pattern[i % pattern.len()] };
         let walk: i64 = rng.gen_range(0..1 << 12);
         a.data_word(common::DATA_REGION + 8 * i as u64, (walk << 2) | op);
     }

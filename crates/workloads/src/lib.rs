@@ -150,10 +150,7 @@ mod tests {
     #[test]
     fn suite_has_eight_benchmarks_in_paper_order() {
         let names: Vec<&str> = suite(Size::Tiny).iter().map(|w| w.name).collect();
-        assert_eq!(
-            names,
-            vec!["compress", "gcc", "go", "jpeg", "li", "m88ksim", "perl", "vortex"]
-        );
+        assert_eq!(names, vec!["compress", "gcc", "go", "jpeg", "li", "m88ksim", "perl", "vortex"]);
     }
 
     #[test]

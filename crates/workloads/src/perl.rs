@@ -86,11 +86,7 @@ mod tests {
     #[test]
     fn match_loop_is_backward() {
         let p = build(5);
-        assert!(p
-            .insts()
-            .iter()
-            .enumerate()
-            .any(|(pc, i)| i.is_backward_branch(pc as u32)));
+        assert!(p.insts().iter().enumerate().any(|(pc, i)| i.is_backward_branch(pc as u32)));
     }
 
     #[test]

@@ -16,8 +16,7 @@ use trace_processor::{
 
 fn build() -> trace_processor::tp_isa::Program {
     let mut a = Asm::new("loop-exit");
-    let (i, n, acc, tmp, ptr) =
-        (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4), Reg::new(16));
+    let (i, n, acc, tmp, ptr) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4), Reg::new(16));
     a.li64(ptr, DATA_BASE as i64);
     a.li(i, 4000); // outer iterations
     a.li(acc, 0);

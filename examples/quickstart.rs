@@ -40,7 +40,12 @@ fn main() {
     assert_eq!(sim.arch_state(), oracle.arch_state());
 
     let s = result.stats;
-    println!("retired {} instructions in {} cycles (IPC {:.2})", s.retired_instrs, s.cycles, s.ipc());
+    println!(
+        "retired {} instructions in {} cycles (IPC {:.2})",
+        s.retired_instrs,
+        s.cycles,
+        s.ipc()
+    );
     println!("traces: {} retired, avg length {:.1}", s.retired_traces, s.avg_trace_len());
     println!(
         "branch mispredictions: {:.1}% | FGCI recoveries: {} | CGCI: {}/{}",

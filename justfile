@@ -1,0 +1,38 @@
+# Task runner for the trace-processor workspace.
+#
+# `just build` / `just test` mirror the tier-1 verification command;
+# `just sweep` runs the parallel experiment grid (one config per core).
+
+# List available recipes.
+default:
+    @just --list
+
+# Release build of every workspace member (tier-1, part 1).
+build:
+    cargo build --release
+
+# Full test suite (tier-1, part 2).
+test:
+    cargo test -q
+
+# Tier-1 verification in one shot.
+verify: build test
+
+# Format + lint exactly as CI runs them.
+lint:
+    cargo fmt --check
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Paper tables and figures (sequential, full-size workloads).
+bench:
+    cargo bench -p tp-bench
+
+# Parallel configuration sweep: workloads x configs, one cell per core.
+# SIZE is tiny|small|full (paper numbers use full).
+sweep SIZE="small":
+    cargo run --release -p tp-bench --bin sweep {{SIZE}}
+
+# Deterministic oracle probe — diff two runs to prove a refactor is
+# cycle-identical.
+oracle:
+    cargo run --release --example oracle_verify

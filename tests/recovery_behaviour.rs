@@ -21,8 +21,7 @@ fn fgci_fires_on_hammock_heavy_workloads() {
 fn cgci_reconverges_on_loop_and_call_workloads() {
     for name in ["li", "go", "compress"] {
         let w = by_name(name, Size::Small);
-        let mut sim =
-            TraceProcessor::new(&w.program, TraceProcessorConfig::paper(CiModel::MlbRet));
+        let mut sim = TraceProcessor::new(&w.program, TraceProcessorConfig::paper(CiModel::MlbRet));
         let r = sim.run(20_000_000).expect("completes");
         assert!(r.halted);
         assert!(r.stats.cgci_attempts > 0, "{name}: no CGCI attempts");

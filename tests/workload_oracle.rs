@@ -16,9 +16,8 @@ fn all_workloads_match_oracle_under_all_models() {
         for model in MODELS {
             let cfg = TraceProcessorConfig::paper(model).with_oracle();
             let mut sim = TraceProcessor::new(&w.program, cfg);
-            let result = sim
-                .run(50_000_000)
-                .unwrap_or_else(|e| panic!("{} under {model:?}: {e}", w.name));
+            let result =
+                sim.run(50_000_000).unwrap_or_else(|e| panic!("{} under {model:?}: {e}", w.name));
             assert!(result.halted, "{} under {model:?} did not halt", w.name);
             assert_eq!(
                 sim.arch_state(),
