@@ -1,0 +1,80 @@
+//! Speed baseline harness: runs the workload suite under the
+//! `{base, MLB-RET, FG}` model grid and emits `BENCH_speed.json` — the
+//! repository's perf-trajectory artifact (see README "Benchmarking").
+//!
+//! Usage:
+//!
+//! ```text
+//! baseline [--smoke | --size tiny|small|full] [--out PATH]
+//! ```
+//!
+//! `--smoke` (alias for `--size small`) is what CI runs; the checked-in
+//! `BENCH_speed.json` comes from a `--size full` run.
+
+use tp_bench::speed::{run_grid, to_json, BASELINE_MODELS};
+use tp_workloads::Size;
+
+fn main() {
+    let mut size = Size::Full;
+    let mut out = String::from("BENCH_speed.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => size = Size::Small,
+            "--size" => {
+                size = match args.next().as_deref() {
+                    Some("tiny") => Size::Tiny,
+                    Some("small") => Size::Small,
+                    Some("full") => Size::Full,
+                    other => {
+                        eprintln!("unknown --size {other:?} (tiny|small|full)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: baseline [--smoke | --size tiny|small|full] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cells = run_grid(size, &BASELINE_MODELS);
+    println!(
+        "{:<10} {:<8} {:>9} {:>9} {:>6} {:>8} {:>7} {:>7} {:>12}",
+        "bench", "model", "instrs", "cycles", "ipc", "brmisp%", "trmisp%", "secs", "instrs/sec"
+    );
+    for c in &cells {
+        let s = &c.stats;
+        println!(
+            "{:<10} {:<8} {:>9} {:>9} {:>6.2} {:>8.1} {:>7.1} {:>7.2} {:>12.0}",
+            c.workload,
+            c.model.name(),
+            s.retired_instrs,
+            s.cycles,
+            s.ipc(),
+            s.branch_misp_rate(),
+            s.trace_misp_rate(),
+            c.wall_seconds,
+            c.instrs_per_sec()
+        );
+    }
+    let total_wall: f64 = cells.iter().map(|c| c.wall_seconds).sum();
+    let total_instrs: u64 = cells.iter().map(|c| c.stats.retired_instrs).sum();
+    println!(
+        "total: {} cells, {:.2}s wall, {:.0} instrs/sec",
+        cells.len(),
+        total_wall,
+        total_instrs as f64 / total_wall.max(1e-9)
+    );
+    let json = to_json(&cells, size);
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+}

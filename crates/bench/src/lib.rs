@@ -2,9 +2,11 @@
 //! helpers, and paper-reference data used by the bench targets in
 //! `benches/`.
 
+pub mod corpus;
 pub mod paper;
 pub mod profile;
 pub mod runner;
+pub mod speed;
 pub mod sweep;
 
 pub use profile::{profile_branches, BranchClass, BranchProfile};

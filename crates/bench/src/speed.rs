@@ -1,0 +1,156 @@
+//! Wall-clock speed baseline: the measurement grid behind the `baseline`
+//! bin and `BENCH_speed.json`.
+//!
+//! Runs the full workload suite under a grid of control-independence
+//! models and records, per cell, both the *simulated* outcome (cycles,
+//! IPC, misprediction rates — machine-independent, guarded by the golden
+//! corpus) and the *simulator's* throughput (wall seconds, retired
+//! instructions per second — the perf trajectory the ROADMAP tracks).
+//! The JSON emitter is hand-rolled because the build is offline.
+
+use std::time::Instant;
+
+use tp_core::{CiModel, SimStats, TraceProcessor, TraceProcessorConfig};
+use tp_workloads::{suite, Size};
+
+/// The model grid of the speed baseline: no control independence,
+/// coarse-grain only (`MLB-RET`), and fine-grain only (`FG`).
+pub const BASELINE_MODELS: [CiModel; 3] = [CiModel::None, CiModel::MlbRet, CiModel::Fg];
+
+/// Instruction budget per cell (workloads halt well before it).
+pub const CELL_BUDGET: u64 = 100_000_000;
+
+/// One `(workload, model)` measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeedCell {
+    /// Workload name (paper Table 2).
+    pub workload: &'static str,
+    /// Control-independence model.
+    pub model: CiModel,
+    /// Final simulation statistics.
+    pub stats: SimStats,
+    /// Host wall-clock seconds for the run.
+    pub wall_seconds: f64,
+}
+
+impl SpeedCell {
+    /// Simulator throughput: retired instructions per host second.
+    pub fn instrs_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.stats.retired_instrs as f64 / self.wall_seconds
+        }
+    }
+}
+
+/// Runs the whole grid: every workload of `size` under every model in
+/// `models`.
+///
+/// # Panics
+///
+/// Panics if any cell deadlocks or fails to halt — a baseline must never
+/// be recorded from a broken run.
+pub fn run_grid(size: Size, models: &[CiModel]) -> Vec<SpeedCell> {
+    let mut cells = Vec::new();
+    for w in suite(size) {
+        for &model in models {
+            let cfg = TraceProcessorConfig::paper(model);
+            let mut sim = TraceProcessor::new(&w.program, cfg);
+            let t = Instant::now();
+            let r = sim.run(CELL_BUDGET).unwrap_or_else(|e| panic!("{} {model:?}: {e}", w.name));
+            let wall_seconds = t.elapsed().as_secs_f64();
+            assert!(r.halted, "{} {model:?} did not halt", w.name);
+            cells.push(SpeedCell { workload: w.name, model, stats: r.stats, wall_seconds });
+        }
+    }
+    cells
+}
+
+fn size_name(size: Size) -> &'static str {
+    match size {
+        Size::Tiny => "tiny",
+        Size::Small => "small",
+        Size::Full => "full",
+    }
+}
+
+fn num(x: f64) -> String {
+    // JSON number: finite, fixed precision (the digest-stable part of the
+    // file is the integer counters; rates are derived convenience values).
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Renders the grid as the `BENCH_speed.json` document
+/// (`tp-bench/speed/v1` schema; see README "Benchmarking").
+pub fn to_json(cells: &[SpeedCell], size: Size) -> String {
+    let total_wall: f64 = cells.iter().map(|c| c.wall_seconds).sum();
+    let total_instrs: u64 = cells.iter().map(|c| c.stats.retired_instrs).sum();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tp-bench/speed/v1\",\n");
+    s.push_str(&format!("  \"suite_size\": \"{}\",\n", size_name(size)));
+    s.push_str(&format!("  \"wall_seconds_total\": {},\n", num(total_wall)));
+    s.push_str(&format!("  \"retired_instrs_total\": {total_instrs},\n"));
+    s.push_str(&format!(
+        "  \"instrs_per_sec_total\": {},\n",
+        num(if total_wall > 0.0 { total_instrs as f64 / total_wall } else { 0.0 })
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let st = &c.stats;
+        s.push_str("    {");
+        s.push_str(&format!("\"workload\": \"{}\", ", c.workload));
+        s.push_str(&format!("\"model\": \"{}\", ", c.model.name()));
+        s.push_str(&format!("\"instrs\": {}, ", st.retired_instrs));
+        s.push_str(&format!("\"cycles\": {}, ", st.cycles));
+        s.push_str(&format!("\"ipc\": {}, ", num(st.ipc())));
+        s.push_str(&format!("\"wall_seconds\": {}, ", num(c.wall_seconds)));
+        s.push_str(&format!("\"instrs_per_sec\": {}, ", num(c.instrs_per_sec())));
+        s.push_str(&format!("\"branch_misp_rate_pct\": {}, ", num(st.branch_misp_rate())));
+        s.push_str(&format!("\"branch_misp_per_kilo\": {}, ", num(st.branch_misp_per_kilo())));
+        s.push_str(&format!("\"trace_misp_rate_pct\": {}, ", num(st.trace_misp_rate())));
+        s.push_str(&format!("\"trace_misp_per_kilo\": {}, ", num(st.trace_misp_per_kilo())));
+        s.push_str(&format!("\"avg_trace_len\": {}, ", num(st.avg_trace_len())));
+        s.push_str(&format!("\"dispatched_traces\": {}, ", st.dispatched_traces));
+        s.push_str(&format!("\"squashed_traces\": {}", st.squashed_traces));
+        s.push_str(if i + 1 == cells.len() { "}\n" } else { "},\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_runs_and_serializes() {
+        let cells = run_grid(Size::Tiny, &[CiModel::None]);
+        assert_eq!(cells.len(), 8, "one cell per workload");
+        assert!(cells.iter().all(|c| c.stats.retired_instrs > 0 && c.stats.cycles > 0));
+        let json = to_json(&cells, Size::Tiny);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"schema\": \"tp-bench/speed/v1\""));
+        assert!(json.contains("\"suite_size\": \"tiny\""));
+        assert!(json.contains("\"workload\": \"compress\""));
+        assert!(json.contains("\"model\": \"base\""));
+        // 8 workloads x 1 model.
+        assert_eq!(json.matches("\"workload\"").count(), 8);
+    }
+
+    #[test]
+    fn throughput_is_positive_and_consistent() {
+        let c = SpeedCell {
+            workload: "x",
+            model: CiModel::None,
+            stats: SimStats { retired_instrs: 1000, cycles: 500, ..SimStats::default() },
+            wall_seconds: 0.5,
+        };
+        assert!((c.instrs_per_sec() - 2000.0).abs() < 1e-9);
+    }
+}

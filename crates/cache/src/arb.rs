@@ -14,8 +14,9 @@
 //! current logical position (the paper consults the linked-list control
 //! structure for exactly this translation).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
+use tp_isa::fxhash::FxHashMap;
 use tp_isa::{Addr, Word};
 
 /// An opaque sequence handle identifying one memory instruction in the
@@ -62,19 +63,19 @@ struct Version {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Arb {
-    versions: HashMap<u64, Vec<Version>>,
-    backing: HashMap<u64, Word>,
+    versions: FxHashMap<u64, Vec<Version>>,
+    backing: FxHashMap<u64, Word>,
 }
 
 impl Arb {
     /// Creates an ARB whose architectural memory is initialized from
     /// `(byte address, word)` pairs.
     pub fn new(data: impl IntoIterator<Item = (Addr, Word)>) -> Arb {
-        let mut backing = HashMap::new();
+        let mut backing = FxHashMap::default();
         for (addr, w) in data {
             backing.insert(addr >> 3, w);
         }
-        Arb { versions: HashMap::new(), backing }
+        Arb { versions: FxHashMap::default(), backing }
     }
 
     /// Inserts (or, for a reissued store, replaces) the speculative version
@@ -265,5 +266,99 @@ mod tests {
         let mut hs: Vec<u64> = arb.versions_at(0x8).map(|h| h.0).collect();
         hs.sort_unstable();
         assert_eq!(hs, vec![1, 2]);
+    }
+
+    /// Bus-contention ordering: with bounded cache buses, stores can reach
+    /// the ARB in *grant* order rather than program order. The version a
+    /// load receives must depend only on sequence keys, never on the
+    /// arrival interleaving.
+    #[test]
+    fn out_of_order_arrival_is_ordered_by_key() {
+        // Program order: store#2, store#4, store#6, load#5.
+        // Grant order (bus contention): #6 first, then #2, then #4.
+        let mut arb = Arb::new([(0x80, -1)]);
+        arb.store(0x80, SeqHandle(6), 66);
+        arb.store(0x80, SeqHandle(2), 22);
+        arb.store(0x80, SeqHandle(4), 44);
+        let r = arb.load(0x80, SeqHandle(5), k);
+        assert_eq!(
+            r,
+            LoadResult { value: 44, source: Some(SeqHandle(4)) },
+            "load must see the youngest program-order-earlier store, not the latest arrival"
+        );
+        // A load older than every store still falls back to memory.
+        assert_eq!(arb.load(0x80, SeqHandle(1), k), LoadResult { value: -1, source: None });
+    }
+
+    /// Miss-under-miss: several speculative versions of the same word are
+    /// outstanding at once (none committed). Each undo peels exactly one
+    /// version, re-exposing the next-older one to younger loads.
+    #[test]
+    fn stacked_outstanding_versions_unwind_one_by_one() {
+        let mut arb = Arb::new([(0x40, 7)]);
+        arb.store(0x40, SeqHandle(1), 10);
+        arb.store(0x40, SeqHandle(3), 30);
+        arb.store(0x40, SeqHandle(5), 50);
+        assert_eq!(arb.speculative_versions(), 3);
+        assert_eq!(arb.load(0x40, SeqHandle(9), k).value, 50);
+        // Squash the youngest store (e.g. a mispredicted tail).
+        arb.undo(0x40, SeqHandle(5));
+        assert_eq!(
+            arb.load(0x40, SeqHandle(9), k),
+            LoadResult { value: 30, source: Some(SeqHandle(3)) }
+        );
+        // Squash the *middle*-aged store next (CGCI mid-window squash).
+        arb.undo(0x40, SeqHandle(3));
+        assert_eq!(
+            arb.load(0x40, SeqHandle(9), k),
+            LoadResult { value: 10, source: Some(SeqHandle(1)) }
+        );
+        arb.undo(0x40, SeqHandle(1));
+        assert_eq!(arb.load(0x40, SeqHandle(9), k), LoadResult { value: 7, source: None });
+        assert_eq!(arb.speculative_versions(), 0);
+    }
+
+    /// Commit under speculation: the oldest version retires while younger
+    /// speculative versions of the same word are still outstanding.
+    /// Between-aged loads now read committed memory; younger loads keep
+    /// reading the speculative versions.
+    #[test]
+    fn commit_under_outstanding_speculation() {
+        let mut arb = Arb::new([]);
+        arb.store(0x20, SeqHandle(1), 11);
+        arb.store(0x20, SeqHandle(8), 88);
+        arb.commit(0x20, SeqHandle(1));
+        assert_eq!(arb.speculative_versions(), 1, "younger version stays speculative");
+        assert_eq!(arb.backing_word(0x20), 11);
+        // A load between the two stores sees the committed value.
+        assert_eq!(arb.load(0x20, SeqHandle(4), k), LoadResult { value: 11, source: None });
+        // A load after the younger store still sees the speculative one.
+        assert_eq!(
+            arb.load(0x20, SeqHandle(9), k),
+            LoadResult { value: 88, source: Some(SeqHandle(8)) }
+        );
+    }
+
+    /// A reissued store that migrated to a different word (address was
+    /// recomputed from a changed base) leaves no residue on the old word
+    /// once undone, while contending traffic on both words stays ordered.
+    #[test]
+    fn store_migration_across_words_under_contention() {
+        let mut arb = Arb::new([(0x100, 1), (0x108, 2)]);
+        arb.store(0x100, SeqHandle(4), 40); // first (stale-input) execution
+        arb.store(0x108, SeqHandle(6), 60); // unrelated store, other word
+                                            // The store reissues with a corrected address: core undoes then
+                                            // re-stores (the bus stage's migration protocol).
+        arb.undo(0x100, SeqHandle(4));
+        arb.store(0x108, SeqHandle(4), 41);
+        assert_eq!(arb.load(0x100, SeqHandle(9), k), LoadResult { value: 1, source: None });
+        assert_eq!(
+            arb.load(0x108, SeqHandle(5), k),
+            LoadResult { value: 41, source: Some(SeqHandle(4)) }
+        );
+        assert_eq!(
+            arb.load(0x108, SeqHandle(7), k),
+            LoadResult { value: 60, source: Some(SeqHandle(6)) }
+        );
     }
 }

@@ -86,4 +86,30 @@ mod tests {
         assert_eq!(dc.stats().accesses, 3);
         assert_eq!(dc.stats().misses, 2);
     }
+
+    /// Miss-under-miss to the same line: with bounded cache buses the
+    /// trailing access is granted while the leading miss is conceptually
+    /// outstanding; the tag model treats the line as present, so the
+    /// trailing access pays hit latency (fill-forwarding), not a second
+    /// miss penalty.
+    #[test]
+    fn second_miss_to_same_line_is_merged() {
+        let mut dc = DCache::paper();
+        assert_eq!(dc.access(0x1000), 2 + 14, "leading access misses");
+        assert_eq!(dc.access(0x1008), 2, "trailing same-line access merges with the fill");
+        assert_eq!(dc.stats().misses, 1);
+    }
+
+    /// Misses to distinct lines in the same set each pay the full penalty
+    /// (no merge), and overflowing the set's ways evicts the oldest line.
+    #[test]
+    fn conflicting_misses_do_not_merge_and_evict_lru() {
+        // 2 sets x 1 way, 64 B lines: lines 0 and 2 both map to set 0.
+        let mut dc = DCache::new(2, 1, 64, 2, 14);
+        assert_eq!(dc.access(0), 16);
+        assert_eq!(dc.access(128), 16, "conflicting miss pays full penalty");
+        // Line 0 was evicted by line 2: re-access misses again.
+        assert_eq!(dc.access(0), 16);
+        assert_eq!(dc.stats().misses, 3);
+    }
 }

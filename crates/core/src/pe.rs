@@ -115,15 +115,26 @@ impl Slot {
 
     /// Marks the slot for selective reissue: back to `Waiting` if it already
     /// completed, or flagged to requeue on completion if in flight.
-    pub fn mark_reissue(&mut self, not_before: u64) {
+    ///
+    /// Returns `true` when this call *transitioned* the slot into
+    /// `Waiting` — the core uses that as its lifecycle hook to re-enqueue
+    /// the slot in the event-driven wakeup index (a slot that was already
+    /// `Waiting` is already indexed; an in-flight slot is re-enqueued when
+    /// its discarded completion arrives).
+    #[must_use = "a transition into Waiting must be re-enqueued in the wakeup index"]
+    pub fn mark_reissue(&mut self, not_before: u64) -> bool {
         self.not_before = self.not_before.max(not_before);
         match self.state {
             SlotState::Done => {
                 self.state = SlotState::Waiting;
                 self.pending_reissue = false;
+                true
             }
-            SlotState::Waiting => {}
-            _ => self.pending_reissue = true,
+            SlotState::Waiting => false,
+            _ => {
+                self.pending_reissue = true;
+                false
+            }
         }
     }
 }
@@ -233,7 +244,7 @@ mod tests {
     fn mark_reissue_from_done_requeues() {
         let mut s = Slot::new(ti(Inst::Nop));
         s.state = SlotState::Done;
-        s.mark_reissue(5);
+        assert!(s.mark_reissue(5));
         assert_eq!(s.state, SlotState::Waiting);
         assert!(!s.pending_reissue);
         assert_eq!(s.not_before, 5);
@@ -243,7 +254,7 @@ mod tests {
     fn mark_reissue_in_flight_sets_flag() {
         let mut s = Slot::new(ti(Inst::Nop));
         s.state = SlotState::Executing { done_at: 9 };
-        s.mark_reissue(3);
+        assert!(!s.mark_reissue(3));
         assert_eq!(s.state, SlotState::Executing { done_at: 9 });
         assert!(s.pending_reissue);
     }

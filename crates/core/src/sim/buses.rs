@@ -11,58 +11,132 @@
 //! values globally visible to other PEs after the bypass latency. Both
 //! arbiters are bounded per cycle and per PE, preserving request order.
 //!
-//! **Mutates:** the bus request queues, slot state/values, the ARB and data
-//! cache, physical-register global visibility, and snoop-reissue
-//! statistics.
+//! Both arbiters are event-driven: each queue carries a `next_due` horizon
+//! (the earliest cycle anything in it could be granted), so idle cycles
+//! skip the pass entirely, and a granting pass is a single in-place
+//! `retain` sweep instead of a drain-and-requeue of the whole queue.
+//! Store/undo snooping consults the wakeup index's per-word load registry
+//! ([`WakeupIndex`](super::WakeupIndex) invariant 4) instead of rescanning
+//! every slot of every PE.
+//!
+//! **Mutates:** the bus request queues and their horizons, slot state and
+//! values, the ARB and data cache, physical-register global visibility,
+//! the wakeup index (completion events, load registry, reissue wakeups),
+//! and snoop-reissue statistics.
 
 use super::*;
 use tp_isa::{Addr, Inst};
 
+/// Which shared interconnect an arbiter pass serves. The two buses share
+/// one grant skeleton ([`TraceProcessor::grant_buses`]); only the limits,
+/// the request-validity predicate, and the grant action differ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BusKind {
+    /// ARB/data-cache buses: grants perform the memory access.
+    Cache,
+    /// Global result buses: grants make a live-out globally visible.
+    Result,
+}
+
 impl TraceProcessor<'_> {
     pub(super) fn bus_stage(&mut self, ctx: &CycleCtx) {
-        self.grant_cache_buses(ctx);
-        self.grant_result_buses(ctx);
+        self.grant_buses(ctx, BusKind::Cache);
+        self.grant_buses(ctx, BusKind::Result);
     }
 
-    fn grant_cache_buses(&mut self, ctx: &CycleCtx) {
+    /// One arbiter pass: a single in-place `retain` sweep over the queue,
+    /// granting in request order up to the total and per-PE limits,
+    /// dropping requests whose generation died, and recomputing the
+    /// `next_due` horizon that lets idle cycles skip the pass entirely
+    /// (`now + 1` whenever a grantable request was blocked by a limit).
+    fn grant_buses(&mut self, ctx: &CycleCtx, kind: BusKind) {
         let now = ctx.now;
+        let horizon = match kind {
+            BusKind::Cache => self.cache_bus_next_due,
+            BusKind::Result => self.result_bus_next_due,
+        };
+        if horizon > now {
+            return; // nothing could be granted this cycle
+        }
+        let (total_limit, per_pe_limit) = match kind {
+            BusKind::Cache => (self.cfg.cache_buses, self.cfg.cache_buses_per_pe),
+            BusKind::Result => (self.cfg.result_buses, self.cfg.result_buses_per_pe),
+        };
         let mut granted_total = 0;
-        let mut granted_per_pe = vec![0usize; self.cfg.num_pes];
-        let mut requeue: VecDeque<BusReq> = VecDeque::new();
-        while let Some(req) = self.cache_bus_queue.pop_front() {
-            if granted_total >= self.cfg.cache_buses {
-                requeue.push_back(req);
-                // Keep draining to preserve order of the remaining queue.
-                while let Some(r) = self.cache_bus_queue.pop_front() {
-                    requeue.push_back(r);
-                }
-                break;
+        let mut granted_per_pe = std::mem::take(&mut self.scratch_grants);
+        granted_per_pe.clear();
+        granted_per_pe.resize(self.cfg.num_pes, 0);
+        let mut queue = match kind {
+            BusKind::Cache => std::mem::take(&mut self.cache_bus_queue),
+            BusKind::Result => std::mem::take(&mut self.result_bus_queue),
+        };
+        // Grant actions may (now or in the future) push *new* requests via
+        // push_cache_req/push_result_req while the queue is taken out;
+        // resetting the live horizon here and merging it back below keeps
+        // such pushes — and their horizon updates — from being lost when
+        // the swept queue is restored.
+        match kind {
+            BusKind::Cache => self.cache_bus_next_due = u64::MAX,
+            BusKind::Result => self.result_bus_next_due = u64::MAX,
+        }
+        let mut next_due = u64::MAX;
+        queue.retain(|&req| {
+            if granted_total >= total_limit {
+                // Buses exhausted: keep the tail untouched, retry next cycle.
+                next_due = next_due.min(now + 1);
+                return true;
             }
-            // Validate.
             let valid = {
                 let p = &self.pes[req.pe];
-                p.occupied
-                    && p.gen == req.gen
-                    && req.slot < p.slots.len()
-                    && matches!(p.slots[req.slot].state, SlotState::WaitingBus { .. })
-                    && self.list.contains(req.pe)
+                let live = p.occupied && p.gen == req.gen && req.slot < p.slots.len();
+                live && match kind {
+                    BusKind::Cache => {
+                        matches!(p.slots[req.slot].state, SlotState::WaitingBus { .. })
+                            && self.list.contains(req.pe)
+                    }
+                    BusKind::Result => {
+                        p.slots[req.slot].is_liveout && p.slots[req.slot].dest.is_some()
+                    }
+                }
             };
             if !valid {
-                continue; // dropped (squashed or replaced)
+                return false; // dropped (squashed or replaced)
             }
             if req.since > now {
-                requeue.push_back(req);
-                continue;
+                next_due = next_due.min(req.since);
+                return true;
             }
-            if granted_per_pe[req.pe] >= self.cfg.cache_buses_per_pe {
-                requeue.push_back(req);
-                continue;
+            if granted_per_pe[req.pe] >= per_pe_limit as u32 {
+                next_due = next_due.min(now + 1);
+                return true;
             }
             granted_total += 1;
             granted_per_pe[req.pe] += 1;
-            self.perform_mem_access(req.pe, req.slot);
+            match kind {
+                BusKind::Cache => self.perform_mem_access(req.pe, req.slot),
+                BusKind::Result => {
+                    let dest = self.pes[req.pe].slots[req.slot].dest.expect("validated");
+                    let r = self.pregs.get_mut(dest);
+                    if r.ready && r.global_ready_at == u64::MAX {
+                        r.global_ready_at = now + self.cfg.bypass_latency;
+                    }
+                }
+            }
+            false
+        });
+        match kind {
+            BusKind::Cache => {
+                queue.append(&mut self.cache_bus_queue); // mid-pass pushes, if any
+                self.cache_bus_queue = queue;
+                self.cache_bus_next_due = self.cache_bus_next_due.min(next_due);
+            }
+            BusKind::Result => {
+                queue.append(&mut self.result_bus_queue);
+                self.result_bus_queue = queue;
+                self.result_bus_next_due = self.result_bus_next_due.min(next_due);
+            }
         }
-        self.cache_bus_queue = requeue;
+        self.scratch_grants = granted_per_pe;
     }
 
     fn perform_mem_access(&mut self, pe: usize, slot: usize) {
@@ -86,11 +160,16 @@ impl TraceProcessor<'_> {
                     }
                     ((list.logical(pe) + 1) << 8) | (sh.0 & 0xff)
                 });
-                let s = &mut self.pes[pe].slots[slot];
-                s.value = result.value;
-                s.load_src = result.source.map(|sh| sh.0);
-                s.mem_addr = Some(ea);
-                s.state = SlotState::MemAccess { done_at: now + latency as u64 };
+                let done_at = now + latency as u64;
+                {
+                    let s = &mut self.pes[pe].slots[slot];
+                    s.value = result.value;
+                    s.load_src = result.source.map(|sh| sh.0);
+                    s.mem_addr = Some(ea);
+                    s.state = SlotState::MemAccess { done_at };
+                }
+                self.note_inflight(pe, slot, done_at);
+                self.note_load_sampled(pe, slot, ea);
             }
             Inst::Store { .. } => {
                 let _ = self.dcache.access(ea);
@@ -109,12 +188,14 @@ impl TraceProcessor<'_> {
                     }
                 }
                 self.arb.store(ea, h, data);
+                let done_at = now + 1;
                 {
                     let s = &mut self.pes[pe].slots[slot];
                     s.store_performed = true;
                     s.mem_addr = Some(ea);
-                    s.state = SlotState::MemAccess { done_at: now + 1 };
+                    s.state = SlotState::MemAccess { done_at };
                 }
+                self.note_inflight(pe, slot, done_at);
                 self.snoop_store(ea, h, data, pe);
             }
             _ => unreachable!("only memory ops use cache buses"),
@@ -124,49 +205,49 @@ impl TraceProcessor<'_> {
     /// Loads snoop store traffic: a load must reissue if the store is
     /// program-order earlier than the load but later than the load's data
     /// source, or if it *is* the load's data source and the value changed.
+    /// Victims come from the per-word load registry, not a window rescan.
     fn snoop_store(&mut self, addr: Addr, store_h: SeqHandle, value: Word, store_pe: usize) {
         let word = addr >> 3;
+        let Some(mut entries) = self.wakeup.loads_by_word.remove(&word) else { return };
         let store_key = self.seq_key(store_h);
         let penalty = self.cfg.load_reissue_penalty;
         let now = self.now;
         let mut reissues: Vec<(usize, usize)> = Vec::new();
-        for pe in self.list.iter() {
-            for (i, s) in self.pes[pe].slots.iter().enumerate() {
-                if !matches!(s.ti.inst, Inst::Load { .. }) {
-                    continue;
-                }
-                let Some(la) = s.mem_addr else { continue };
-                if la >> 3 != word {
-                    continue;
-                }
-                // Only loads that already sampled memory can be victims.
-                if !matches!(s.state, SlotState::MemAccess { .. } | SlotState::Done) {
-                    continue;
-                }
-                let load_key = self.seq_key(Self::handle(pe, i));
-                if store_key >= load_key {
-                    continue; // store is later in program order
-                }
-                let must_reissue = match s.load_src {
-                    Some(src) if src == store_h.0 => {
-                        // Same source store re-executed: reissue if the value
-                        // it previously supplied could differ. (The ARB has
-                        // already been updated; conservatively reissue.)
-                        let _ = value;
-                        true
-                    }
-                    Some(src) => self.seq_key(SeqHandle(src)) < store_key,
-                    None => true, // loaded from architectural memory
-                };
-                if must_reissue {
-                    reissues.push((pe, i));
-                }
+        let before = entries.len();
+        entries.retain(|&(pe, gen, i)| {
+            let Some(s) = self.live_load(pe, gen, i, word) else { return false };
+            // Only loads that already sampled memory can be victims.
+            if !matches!(s.state, SlotState::MemAccess { .. } | SlotState::Done) {
+                return true;
             }
+            let load_key = self.seq_key(Self::handle(pe, i));
+            if store_key >= load_key {
+                return true; // store is later in program order
+            }
+            let must_reissue = match s.load_src {
+                Some(src) if src == store_h.0 => {
+                    // Same source store re-executed: reissue if the value
+                    // it previously supplied could differ. (The ARB has
+                    // already been updated; conservatively reissue.)
+                    let _ = value;
+                    true
+                }
+                Some(src) => self.seq_key(SeqHandle(src)) < store_key,
+                None => true, // loaded from architectural memory
+            };
+            if must_reissue {
+                reissues.push((pe, i));
+            }
+            true
+        });
+        self.load_count -= before - entries.len();
+        if !entries.is_empty() {
+            self.wakeup.loads_by_word.insert(word, entries);
         }
         let _ = store_pe;
         for (pe, i) in reissues {
             self.stats.load_snoop_reissues += 1;
-            self.pes[pe].slots[i].mark_reissue(now + penalty);
+            self.mark_reissue_slot(pe, i, now + penalty);
         }
     }
 
@@ -174,71 +255,41 @@ impl TraceProcessor<'_> {
     /// undone store must reissue.
     pub(super) fn snoop_undo(&mut self, addr: Addr, store_h: SeqHandle, skip_pe: usize) {
         let word = addr >> 3;
+        let Some(mut entries) = self.wakeup.loads_by_word.remove(&word) else { return };
         let penalty = self.cfg.load_reissue_penalty;
         let now = self.now;
         let mut reissues: Vec<(usize, usize)> = Vec::new();
-        for pe in self.list.iter() {
-            if pe == skip_pe {
-                continue;
+        let before = entries.len();
+        entries.retain(|&(pe, gen, i)| {
+            let Some(s) = self.live_load(pe, gen, i, word) else { return false };
+            if pe != skip_pe && s.load_src == Some(store_h.0) {
+                reissues.push((pe, i));
             }
-            for (i, s) in self.pes[pe].slots.iter().enumerate() {
-                if !matches!(s.ti.inst, Inst::Load { .. }) {
-                    continue;
-                }
-                if s.mem_addr.map(|a| a >> 3) != Some(word) {
-                    continue;
-                }
-                if s.load_src == Some(store_h.0) {
-                    reissues.push((pe, i));
-                }
-            }
+            true
+        });
+        self.load_count -= before - entries.len();
+        if !entries.is_empty() {
+            self.wakeup.loads_by_word.insert(word, entries);
         }
         for (pe, i) in reissues {
             self.stats.load_snoop_reissues += 1;
-            self.pes[pe].slots[i].mark_reissue(now + penalty);
+            self.mark_reissue_slot(pe, i, now + penalty);
         }
     }
 
-    fn grant_result_buses(&mut self, ctx: &CycleCtx) {
-        let now = ctx.now;
-        let mut granted_total = 0;
-        let mut granted_per_pe = vec![0usize; self.cfg.num_pes];
-        let mut requeue: VecDeque<BusReq> = VecDeque::new();
-        while let Some(req) = self.result_bus_queue.pop_front() {
-            if granted_total >= self.cfg.result_buses {
-                requeue.push_back(req);
-                while let Some(r) = self.result_bus_queue.pop_front() {
-                    requeue.push_back(r);
-                }
-                break;
-            }
-            let valid = {
-                let p = &self.pes[req.pe];
-                p.occupied
-                    && p.gen == req.gen
-                    && req.slot < p.slots.len()
-                    && p.slots[req.slot].is_liveout
-                    && p.slots[req.slot].dest.is_some()
-            };
-            if !valid {
-                continue;
-            }
-            if req.since > now {
-                requeue.push_back(req);
-                continue;
-            }
-            if granted_per_pe[req.pe] >= self.cfg.result_buses_per_pe {
-                requeue.push_back(req);
-                continue;
-            }
-            granted_total += 1;
-            granted_per_pe[req.pe] += 1;
-            let dest = self.pes[req.pe].slots[req.slot].dest.expect("validated");
-            let r = self.pregs.get_mut(dest);
-            if r.ready && r.global_ready_at == u64::MAX {
-                r.global_ready_at = now + self.cfg.bypass_latency;
-            }
+    /// Validates a load-registry entry: the slot must still be a live load
+    /// of the registered generation whose sampled address maps to `word`.
+    /// Returns the slot, or `None` for stale entries (which the caller
+    /// garbage-collects from the registry).
+    fn live_load(&self, pe: usize, gen: u64, slot: usize, word: Addr) -> Option<&crate::pe::Slot> {
+        let p = &self.pes[pe];
+        if !p.occupied || p.gen != gen || slot >= p.slots.len() || !self.list.contains(pe) {
+            return None;
         }
-        self.result_bus_queue = requeue;
+        let s = &p.slots[slot];
+        if !matches!(s.ti.inst, Inst::Load { .. }) {
+            return None;
+        }
+        (s.mem_addr? >> 3 == word).then_some(s)
     }
 }

@@ -23,21 +23,36 @@ use crate::pe::Fault;
 impl TraceProcessor<'_> {
     pub(super) fn complete_stage(&mut self, ctx: &CycleCtx) {
         let now = ctx.now;
-        for pe in 0..self.pes.len() {
-            if !self.pes[pe].occupied {
+        // Drain every completion event due this cycle from the time-indexed
+        // heap instead of rescanning the window. Events are validated at
+        // processing time (generation, state, exact `done_at`) so stale
+        // entries from squashes/replacements/reissues fall out harmlessly,
+        // and are sorted by (pe, slot) to reproduce the legacy physical
+        // scan order exactly.
+        let mut due = std::mem::take(&mut self.scratch_due);
+        due.clear();
+        while let Some(&std::cmp::Reverse((t, pe, slot, gen))) = self.wakeup.completions.peek() {
+            if t > now {
+                break;
+            }
+            self.wakeup.completions.pop();
+            due.push((pe, slot, t, gen));
+        }
+        due.sort_unstable_by_key(|&(pe, slot, _, _)| (pe, slot));
+        for &(pe, slot, t, gen) in &due {
+            let p = &self.pes[pe];
+            if !p.occupied || p.gen != gen || slot >= p.slots.len() {
                 continue;
             }
-            for slot in 0..self.pes[pe].slots.len() {
-                let done_at = match self.pes[pe].slots[slot].state {
-                    SlotState::Executing { done_at } | SlotState::MemAccess { done_at } => done_at,
-                    _ => continue,
-                };
-                if done_at > now {
-                    continue;
-                }
+            let live = match p.slots[slot].state {
+                SlotState::Executing { done_at } | SlotState::MemAccess { done_at } => done_at == t,
+                _ => false,
+            };
+            if live {
                 self.complete_slot(pe, slot);
             }
         }
+        self.scratch_due = due;
     }
 
     fn complete_slot(&mut self, pe: usize, slot: usize) {
@@ -48,6 +63,7 @@ impl TraceProcessor<'_> {
                 // A newer input arrived while in flight: discard and requeue.
                 s.pending_reissue = false;
                 s.state = SlotState::Waiting;
+                self.index_enqueue(pe, slot);
                 return;
             }
             s.state = SlotState::Done;
@@ -71,14 +87,14 @@ impl TraceProcessor<'_> {
                 (first, changed)
             };
             if is_liveout {
-                self.result_bus_queue.push_back(BusReq {
-                    pe,
-                    gen: self.pes[pe].gen,
-                    slot,
-                    since: now,
-                });
+                let gen = self.pes[pe].gen;
+                self.push_result_req(BusReq { pe, gen, slot, since: now });
             }
-            if !first_production && value_changed {
+            if first_production {
+                // First production: wake consumers subscribed to this
+                // register in the wakeup index.
+                self.wake_waiters(d);
+            } else if value_changed {
                 self.propagate_value_change(d, now + 1);
             }
         }

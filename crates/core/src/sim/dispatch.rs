@@ -157,9 +157,11 @@ impl TraceProcessor<'_> {
             for preg in slot.srcs.iter().flatten() {
                 if *preg != PhysRegId::ZERO {
                     self.readers.entry(*preg).or_default().push((pe, gen, i));
+                    self.reader_count += 1;
                 }
             }
         }
+        let num_slots = slots.len();
         let p = &mut self.pes[pe];
         p.occupied = true;
         p.trace = trace;
@@ -174,6 +176,12 @@ impl TraceProcessor<'_> {
         match insert_before {
             Some(b) => self.list.insert_before(pe, b),
             None => self.list.push_tail(pe),
+        }
+        // Seed the wakeup index: every slot starts Waiting; slots with
+        // unproduced sources subscribe to their producers' wait lists.
+        self.index_reset_pe(pe);
+        for i in 0..num_slots {
+            self.index_enqueue(pe, i);
         }
         self.stats.dispatched_traces += 1;
     }

@@ -12,7 +12,17 @@
 //! a shared cache bus ([`buses`](super::buses)) rather than completing
 //! directly.
 //!
+//! Selection is event-driven: instead of rescanning every slot of every PE
+//! each cycle, the stage walks only the candidate bits of the per-PE ready
+//! masks (see [`WakeupIndex`](super::WakeupIndex)). The bits encode the
+//! *dataflow* condition (all sources produced); the cheap *timing*
+//! conditions (`not_before`, local/global visibility cycles) are re-polled
+//! here because they move with bus grants. Candidates are visited in slot
+//! order, PEs in logical window order — exactly the legacy scan order, so
+//! cycle-level behaviour is unchanged.
+//!
 //! **Mutates:** slot state/values/outcomes, the cache-bus request queue,
+//! the wakeup index (ready bits consumed, completion events scheduled),
 //! and issue/reissue statistics.
 
 use super::*;
@@ -22,13 +32,17 @@ use tp_isa::Inst;
 impl TraceProcessor<'_> {
     pub(super) fn issue_stage(&mut self, ctx: &CycleCtx) {
         let now = ctx.now;
-        let pes: Vec<usize> = self.list.iter().collect();
-        for pe in pes {
+        let mut order = std::mem::take(&mut self.scratch_order);
+        order.clear();
+        order.extend(self.list.iter());
+        for &pe in &order {
             let mut issued = 0;
-            for slot in 0..self.pes[pe].slots.len() {
-                if issued >= self.cfg.pe_issue_width {
-                    break;
-                }
+            // Snapshot the candidate mask; bits are consumed from the live
+            // mask as slots issue (issuing never adds candidates).
+            let mut mask = self.wakeup.ready[pe];
+            while mask != 0 && issued < self.cfg.pe_issue_width {
+                let slot = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
                 let ready = {
                     let s = &self.pes[pe].slots[slot];
                     s.state == SlotState::Waiting
@@ -39,85 +53,93 @@ impl TraceProcessor<'_> {
                             .all(|&p| self.pregs.readable_by(p, pe as u8, now))
                 };
                 if !ready {
+                    // Time-gated (visibility or penalty): poll again next
+                    // cycle; the dataflow condition already holds.
                     continue;
                 }
+                self.wakeup.ready[pe] &= !(1u64 << slot);
                 self.issue_slot(pe, slot);
                 issued += 1;
             }
         }
+        self.scratch_order = order;
     }
 
     fn issue_slot(&mut self, pe: usize, slot: usize) {
         let now = self.now;
         let gen = self.pes[pe].gen;
-        let (inst, src_vals) = {
+        let (inst, a, b) = {
             let s = &self.pes[pe].slots[slot];
-            let vals: Vec<Word> =
-                s.srcs.iter().flatten().map(|&p| self.pregs.get(p).value).collect();
-            (s.ti.inst, vals)
+            let mut it = s.srcs.iter().flatten();
+            let a = it.next().map_or(0, |&p| self.pregs.get(p).value);
+            let b = it.next().map_or(0, |&p| self.pregs.get(p).value);
+            (s.ti.inst, a, b)
         };
-        let a = src_vals.first().copied().unwrap_or(0);
-        let b = src_vals.get(1).copied().unwrap_or(0);
-        let s = &mut self.pes[pe].slots[slot];
-        s.issues += 1;
+        // `done_at` for directly-executing slots; memory operations go to
+        // the cache-bus queue instead and complete after their grant.
+        let mut done_at = None;
+        let mut agen = false;
+        {
+            let s = &mut self.pes[pe].slots[slot];
+            s.issues += 1;
+            match inst {
+                Inst::Alu { op, .. } => {
+                    s.value = op.apply(a, b);
+                    done_at = Some(now + op.latency() as u64);
+                }
+                Inst::AluImm { op, imm, .. } => {
+                    s.value = op.apply(a, imm as Word);
+                    done_at = Some(now + op.latency() as u64);
+                }
+                Inst::Load { offset, .. } => {
+                    s.value = 0;
+                    s.state = SlotState::WaitingBus { since: now + self.cfg.agen_latency };
+                    let ea = effective_address(a, offset);
+                    s.indirect_target = Some(ea as Word); // staging for bus grant
+                    agen = true;
+                }
+                Inst::Store { offset, .. } => {
+                    // srcs order is [base, data].
+                    let ea = effective_address(a, offset);
+                    s.value = b;
+                    s.indirect_target = Some(ea as Word);
+                    s.state = SlotState::WaitingBus { since: now + self.cfg.agen_latency };
+                    agen = true;
+                }
+                Inst::Branch { cond, .. } => {
+                    s.outcome = Some(cond.eval(a, b));
+                    done_at = Some(now + 1);
+                }
+                Inst::Jump { .. } | Inst::Nop | Inst::Halt => {
+                    done_at = Some(now + 1);
+                }
+                Inst::Call { .. } => {
+                    s.value = s.ti.pc as Word + 1;
+                    done_at = Some(now + 1);
+                }
+                Inst::CallIndirect { .. } => {
+                    s.value = s.ti.pc as Word + 1;
+                    s.indirect_target = Some(a);
+                    done_at = Some(now + 1);
+                }
+                Inst::JumpIndirect { .. } | Inst::Ret => {
+                    s.indirect_target = Some(a);
+                    done_at = Some(now + 1);
+                }
+            }
+            if let Some(done_at) = done_at {
+                s.state = SlotState::Executing { done_at };
+            }
+        }
         self.stats.issue_events += 1;
-        if s.issues > 1 {
+        if self.pes[pe].slots[slot].issues > 1 {
             self.stats.reissue_events += 1;
         }
-        match inst {
-            Inst::Alu { op, .. } => {
-                s.value = op.apply(a, b);
-                s.state = SlotState::Executing { done_at: now + op.latency() as u64 };
-            }
-            Inst::AluImm { op, imm, .. } => {
-                s.value = op.apply(a, imm as Word);
-                s.state = SlotState::Executing { done_at: now + op.latency() as u64 };
-            }
-            Inst::Load { offset, .. } => {
-                s.value = 0;
-                s.state = SlotState::WaitingBus { since: now + self.cfg.agen_latency };
-                let ea = effective_address(a, offset);
-                s.indirect_target = Some(ea as Word); // staging for bus grant
-                self.cache_bus_queue.push_back(BusReq {
-                    pe,
-                    gen,
-                    slot,
-                    since: now + self.cfg.agen_latency,
-                });
-            }
-            Inst::Store { offset, .. } => {
-                // srcs order is [base, data].
-                let ea = effective_address(a, offset);
-                s.value = b;
-                s.indirect_target = Some(ea as Word);
-                s.state = SlotState::WaitingBus { since: now + self.cfg.agen_latency };
-                self.cache_bus_queue.push_back(BusReq {
-                    pe,
-                    gen,
-                    slot,
-                    since: now + self.cfg.agen_latency,
-                });
-            }
-            Inst::Branch { cond, .. } => {
-                s.outcome = Some(cond.eval(a, b));
-                s.state = SlotState::Executing { done_at: now + 1 };
-            }
-            Inst::Jump { .. } | Inst::Nop | Inst::Halt => {
-                s.state = SlotState::Executing { done_at: now + 1 };
-            }
-            Inst::Call { .. } => {
-                s.value = s.ti.pc as Word + 1;
-                s.state = SlotState::Executing { done_at: now + 1 };
-            }
-            Inst::CallIndirect { .. } => {
-                s.value = s.ti.pc as Word + 1;
-                s.indirect_target = Some(a);
-                s.state = SlotState::Executing { done_at: now + 1 };
-            }
-            Inst::JumpIndirect { .. } | Inst::Ret => {
-                s.indirect_target = Some(a);
-                s.state = SlotState::Executing { done_at: now + 1 };
-            }
+        if let Some(done_at) = done_at {
+            self.note_inflight(pe, slot, done_at);
+        }
+        if agen {
+            self.push_cache_req(BusReq { pe, gen, slot, since: now + self.cfg.agen_latency });
         }
     }
 }

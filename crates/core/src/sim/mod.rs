@@ -36,13 +36,15 @@ mod retire;
 #[cfg(test)]
 mod tests;
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
 use tp_cache::{Arb, DCache, ICache, SeqHandle, TraceCache};
 use tp_isa::func::{ArchState, Machine};
-use tp_isa::{Pc, Program, Reg, Word};
+use tp_isa::fxhash::FxHashMap;
+use tp_isa::{Addr, Pc, Program, Reg, Word};
 use tp_predict::{Btb, NextTracePredictor, Ras, TraceHistory};
 use tp_trace::{Bit, EndReason, Selector, Trace};
 
@@ -172,6 +174,86 @@ struct BusReq {
     since: u64,
 }
 
+/// A `(pe, gen, slot)` reference into the window, validated against the
+/// PE's generation counter before use (stale entries are dropped lazily).
+type SlotRef = (usize, u64, usize);
+
+/// Event-driven wakeup/issue index.
+///
+/// The paper's hardware evaluates every instruction slot of every PE each
+/// cycle; simulating that literally (rescanning 16 PEs x 32 slots) makes
+/// the simulator's wall-clock grow with window size even when almost
+/// nothing can make progress. This index inverts control: producers *push*
+/// events to the consumers that care, so each per-cycle stage touches only
+/// the slots that can actually act this cycle.
+///
+/// # Invariants
+///
+/// Kept coherent by the slot-lifecycle hooks ([`TraceProcessor::index_enqueue`],
+/// [`TraceProcessor::wake_waiters`], [`TraceProcessor::note_inflight`],
+/// [`TraceProcessor::note_load_sampled`], [`TraceProcessor::mark_reissue_slot`])
+/// and checked wholesale against a brute-force window rescan by
+/// [`TraceProcessor::assert_event_index_coherent`]:
+///
+/// 1. **Ready bits.** `ready[pe]` has bit `slot` set *iff* the slot is in
+///    state [`SlotState::Waiting`] and every source physical register has
+///    been produced (`PhysReg::ready`). Time gating (`not_before`,
+///    local/global visibility cycles) is deliberately *not* part of the
+///    bit: the issue stage re-polls those cheap comparisons, because
+///    global visibility can move (result-bus re-arm sets it to `u64::MAX`
+///    until a bus is granted). Bits for unoccupied PEs are zero.
+/// 2. **Waiters.** A `Waiting` slot whose bit is clear is registered in
+///    `waiters[p]` (under its PE's current generation) for *every* source
+///    `p` that is not yet produced. Production is monotone within a run,
+///    so firing `p` can only shrink the unproduced set; the entry for `p`
+///    is consumed at fire time while registrations on the remaining
+///    unproduced sources keep the slot reachable. Stale entries (gen
+///    mismatch, slot no longer `Waiting`) are dropped at fire time; the
+///    transition back into `Waiting` always re-enqueues.
+/// 3. **Completions.** Every slot in `Executing`/`MemAccess { done_at }`
+///    has a `(done_at, pe, slot, gen)` entry in `completions`. Entries are
+///    popped when due and validated (generation *and* exact `done_at`)
+///    before completing; `replace_trace` re-enqueues surviving in-flight
+///    prefix slots under the bumped generation.
+/// 4. **Sampled loads.** Every load slot with `mem_addr = Some(a)` has an
+///    entry in `loads_by_word[a >> 3]` under its current generation, so
+///    store/undo snooping visits only loads on the snooped word instead of
+///    rescanning the window. A reissued load that moved words re-registers
+///    under the new word; the old entry dies on the word check.
+///
+/// All structures tolerate stale entries (validation is cheap and local);
+/// what they must never do is *lose* a live slot — that turns into a
+/// deadlock, which the invariant checker and the golden corpus guard.
+struct WakeupIndex {
+    /// Per-PE bitmask of issue candidates (invariant 1). Trace length is
+    /// bounded at 32 by selection, so a `u64` per PE always suffices.
+    ready: Vec<u64>,
+    /// Per-physical-register wait lists (invariant 2).
+    waiters: FxHashMap<PhysRegId, Vec<SlotRef>>,
+    /// Min-heap of `(done_at, pe, slot, gen)` completion events
+    /// (invariant 3). Ties pop in `(pe, slot)` order, matching the legacy
+    /// physical-index scan order.
+    completions: BinaryHeap<Reverse<(u64, usize, usize, u64)>>,
+    /// Loads that sampled memory, indexed by word address (invariant 4).
+    loads_by_word: FxHashMap<Addr, Vec<SlotRef>>,
+}
+
+/// Minimum subscription-map size before an amortized sweep is considered
+/// (comfortably above the live window's worst case of
+/// `16 PEs x 32 slots x 2 sources`).
+const GC_FLOOR: usize = 4096;
+
+impl WakeupIndex {
+    fn new(num_pes: usize) -> WakeupIndex {
+        WakeupIndex {
+            ready: vec![0; num_pes],
+            waiters: FxHashMap::default(),
+            completions: BinaryHeap::new(),
+            loads_by_word: FxHashMap::default(),
+        }
+    }
+}
+
 /// The trace processor simulator.
 ///
 /// See the [crate-level example](crate) for typical use.
@@ -192,7 +274,7 @@ pub struct TraceProcessor<'p> {
     pes: Vec<Pe>,
     list: PeList,
     pregs: PhysRegFile,
-    readers: HashMap<PhysRegId, Vec<(usize, u64, usize)>>,
+    readers: FxHashMap<PhysRegId, Vec<(usize, u64, usize)>>,
     current_map: RenameMap,
     /// Architectural rename map of *retired* state: the physical register
     /// holding each architectural register's committed value.
@@ -209,6 +291,36 @@ pub struct TraceProcessor<'p> {
     // Buses.
     cache_bus_queue: VecDeque<BusReq>,
     result_bus_queue: VecDeque<BusReq>,
+    /// Earliest cycle at which any queued cache-bus request could be
+    /// granted; the arbiter pass is skipped entirely while `now` is below
+    /// it. Maintained by [`Self::push_cache_req`] and the grant pass.
+    cache_bus_next_due: u64,
+    /// Same, for the global result buses.
+    result_bus_next_due: u64,
+    // Event-driven wakeup/issue index (see [`WakeupIndex`]).
+    wakeup: WakeupIndex,
+    /// Live entry counts and doubling thresholds for the amortized sweeps
+    /// of the three subscription maps (`waiters`, `readers`,
+    /// `loads_by_word`). Wrong-path consumers subscribe to producers that
+    /// are squashed before ever producing, so without collection the maps
+    /// grow with *dispatched* (not retired) instructions and the hot-path
+    /// hash operations thrash the cache. Each sweep drops exactly the
+    /// entries validation would ignore anyway, so collection is
+    /// behaviour-invisible; thresholds double after each sweep for O(1)
+    /// amortized cost.
+    waiter_count: usize,
+    waiters_gc_at: usize,
+    reader_count: usize,
+    readers_gc_at: usize,
+    load_count: usize,
+    loads_gc_at: usize,
+    // Reusable per-cycle scratch buffers (avoid steady-state allocation).
+    scratch_order: Vec<usize>,
+    scratch_due: Vec<(usize, usize, u64, u64)>,
+    scratch_grants: Vec<u32>,
+    /// Cached `TP_PARANOID` environment flag (reading the environment once
+    /// per stage per cycle is measurable on the hot path).
+    paranoid: bool,
     // Architectural state.
     arch_regs: [Word; Reg::COUNT],
     oracle: Option<Machine<'p>>,
@@ -251,7 +363,7 @@ impl<'p> TraceProcessor<'p> {
             pes,
             list: PeList::new(cfg.num_pes),
             pregs,
-            readers: HashMap::new(),
+            readers: FxHashMap::default(),
             current_map: arch_map,
             retired_map: arch_map,
             fetch_hist: hist.clone(),
@@ -264,6 +376,19 @@ impl<'p> TraceProcessor<'p> {
             redispatch: None,
             cache_bus_queue: VecDeque::new(),
             result_bus_queue: VecDeque::new(),
+            cache_bus_next_due: u64::MAX,
+            result_bus_next_due: u64::MAX,
+            wakeup: WakeupIndex::new(cfg.num_pes),
+            waiter_count: 0,
+            waiters_gc_at: GC_FLOOR,
+            reader_count: 0,
+            readers_gc_at: GC_FLOOR,
+            load_count: 0,
+            loads_gc_at: GC_FLOOR,
+            scratch_order: Vec::new(),
+            scratch_due: Vec::new(),
+            scratch_grants: Vec::new(),
+            paranoid: std::env::var("TP_PARANOID").is_ok(),
             arch_regs: [0; Reg::COUNT],
             oracle,
             now: 0,
@@ -323,6 +448,17 @@ impl<'p> TraceProcessor<'p> {
     ///
     /// Returns [`SimError::OracleMismatch`] under oracle verification.
     pub fn step_cycle(&mut self) -> Result<(), SimError> {
+        // Amortized collection of the subscription maps (behaviour-
+        // invisible: only entries that validation would skip are dropped).
+        if self.waiter_count > self.waiters_gc_at {
+            self.gc_waiters();
+        }
+        if self.reader_count > self.readers_gc_at {
+            self.gc_readers();
+        }
+        if self.load_count > self.loads_gc_at {
+            self.gc_loads();
+        }
         let ctx = CycleCtx { now: self.now };
         self.complete_stage(&ctx);
         self.paranoid_check("complete");
@@ -343,11 +479,14 @@ impl<'p> TraceProcessor<'p> {
 
     /// Window-wide rename invariant: a trace's `map_before` must never
     /// reference a physical register produced by that trace or any younger
-    /// trace. Gated behind `TP_PARANOID` because it is O(window^2).
+    /// trace. Gated behind `TP_PARANOID` (read once at construction)
+    /// because it is O(window^2). Also cross-checks the wakeup index
+    /// against a brute-force rescan after every stage.
     fn paranoid_check(&self, stage: &str) {
-        if std::env::var("TP_PARANOID").is_err() {
+        if !self.paranoid {
             return;
         }
+        self.assert_event_index_coherent();
         let order: Vec<usize> = self.list.iter().collect();
         for (qi, &q) in order.iter().enumerate() {
             for r in Reg::all().skip(1) {
@@ -440,24 +579,343 @@ impl<'p> TraceProcessor<'p> {
         }
         let gen = self.pes[pe].gen;
         self.readers.entry(preg).or_default().push((pe, gen, slot));
+        self.reader_count += 1;
     }
 
     /// Marks every live consumer of `preg` for selective reissue.
     fn propagate_value_change(&mut self, preg: PhysRegId, not_before: u64) {
         let Some(list) = self.readers.get_mut(&preg) else { return };
         let entries = std::mem::take(list);
+        let total = entries.len();
         let mut kept = Vec::with_capacity(entries.len());
         for (pe, gen, slot) in entries {
             let p = &mut self.pes[pe];
             if p.occupied && p.gen == gen && slot < p.slots.len() {
                 // Only reissue if this slot still actually reads the preg.
                 if p.slots[slot].srcs.iter().flatten().any(|&s| s == preg) {
-                    p.slots[slot].mark_reissue(not_before);
                     kept.push((pe, gen, slot));
                 }
             }
         }
+        for &(pe, _, slot) in &kept {
+            self.mark_reissue_slot(pe, slot, not_before);
+        }
+        self.reader_count -= total - kept.len();
         *self.readers.entry(preg).or_default() = kept;
+    }
+
+    // ------------------------------------------------------------------
+    // Wakeup-index slot-lifecycle hooks (see [`WakeupIndex`] invariants).
+
+    /// Marks a slot for selective reissue *and* keeps the wakeup index
+    /// coherent: a slot that *transitioned* into `Waiting` is re-enqueued
+    /// so it can be woken (or issued) again. Use this for value-change
+    /// reissues whose sources did not move; a reissue caused by a source
+    /// *rebind* must use [`Self::rebind_reissue_slot`] instead, because an
+    /// already-`Waiting` slot's index membership is keyed on its old
+    /// sources. Never call [`Slot::mark_reissue`] directly from the core.
+    fn mark_reissue_slot(&mut self, pe: usize, slot: usize, not_before: u64) {
+        if self.pes[pe].slots[slot].mark_reissue(not_before) {
+            self.index_enqueue(pe, slot);
+        }
+    }
+
+    /// Rebind-aware reissue hook: marks the slot and *unconditionally*
+    /// re-enqueues it while it is `Waiting` — required whenever the slot's
+    /// source registers were just rebound (re-dispatch, head re-ground),
+    /// since the wait-list subscriptions of an already-`Waiting` slot
+    /// cover its old sources only. Slots left in flight (pending reissue)
+    /// re-enqueue when their discarded completion arrives.
+    fn rebind_reissue_slot(&mut self, pe: usize, slot: usize, not_before: u64) {
+        let _ = self.pes[pe].slots[slot].mark_reissue(not_before);
+        if self.pes[pe].slots[slot].state == SlotState::Waiting {
+            self.index_enqueue(pe, slot);
+        }
+    }
+
+    /// Registers a `Waiting` slot with the wakeup index: sets its ready
+    /// bit when every source has been produced, otherwise subscribes it to
+    /// each unproduced source's wait list (invariants 1 and 2). Must be
+    /// called on every transition into `Waiting` and after every source
+    /// rebind of a `Waiting` slot.
+    fn index_enqueue(&mut self, pe: usize, slot: usize) {
+        debug_assert_eq!(self.pes[pe].slots[slot].state, SlotState::Waiting);
+        debug_assert!(slot < 64, "trace longer than the ready bitmask");
+        let gen = self.pes[pe].gen;
+        let srcs = self.pes[pe].slots[slot].srcs;
+        let mut all_produced = true;
+        for &p in srcs.iter().flatten() {
+            if !self.pregs.get(p).ready {
+                all_produced = false;
+                self.wakeup.waiters.entry(p).or_default().push((pe, gen, slot));
+                self.waiter_count += 1;
+            }
+        }
+        if all_produced {
+            self.wakeup.ready[pe] |= 1 << slot;
+        } else {
+            // A rebind can move a previously all-produced slot onto an
+            // unproduced source; the stale bit must not survive it.
+            self.wakeup.ready[pe] &= !(1u64 << slot);
+        }
+    }
+
+    /// Fires the wait list of a just-produced physical register: every
+    /// still-`Waiting` subscriber whose sources are now all produced gets
+    /// its ready bit set. Called exactly once per register, on its first
+    /// production (value *changes* go through selective reissue instead).
+    fn wake_waiters(&mut self, preg: PhysRegId) {
+        let Some(entries) = self.wakeup.waiters.remove(&preg) else { return };
+        self.waiter_count -= entries.len();
+        for (pe, gen, slot) in entries {
+            let p = &self.pes[pe];
+            if !p.occupied || p.gen != gen || slot >= p.slots.len() {
+                continue; // stale: squashed or replaced
+            }
+            if p.slots[slot].state != SlotState::Waiting {
+                continue; // re-enqueued on its next transition into Waiting
+            }
+            if p.slots[slot].srcs.iter().flatten().all(|&q| self.pregs.get(q).ready) {
+                self.wakeup.ready[pe] |= 1 << slot;
+            }
+            // else: still subscribed to the remaining unproduced source(s).
+        }
+    }
+
+    /// Schedules the completion event for a slot that just entered
+    /// `Executing`/`MemAccess` with the given `done_at` (invariant 3).
+    fn note_inflight(&mut self, pe: usize, slot: usize, done_at: u64) {
+        let gen = self.pes[pe].gen;
+        self.wakeup.completions.push(Reverse((done_at, pe, slot, gen)));
+    }
+
+    /// Indexes a load that sampled memory at `addr` so store/undo snoops
+    /// can find it without rescanning the window (invariant 4).
+    fn note_load_sampled(&mut self, pe: usize, slot: usize, addr: Addr) {
+        let gen = self.pes[pe].gen;
+        let bucket = self.wakeup.loads_by_word.entry(addr >> 3).or_default();
+        // A reissued load may sample the same word twice under one
+        // generation; keep at most one entry so a snoop reissues (and
+        // counts) it exactly once.
+        let before = bucket.len();
+        bucket.retain(|&(p, _, s)| !(p == pe && s == slot));
+        self.load_count -= before - bucket.len();
+        bucket.push((pe, gen, slot));
+        self.load_count += 1;
+    }
+
+    /// Clears the per-PE ready bits when the PE's slots are discarded
+    /// (squash, retire, or re-dispatch of a fresh trace). Generation bumps
+    /// invalidate the PE's entries in every other index structure.
+    fn index_reset_pe(&mut self, pe: usize) {
+        self.wakeup.ready[pe] = 0;
+    }
+
+    /// Queues a cache-bus request, keeping the arbiter's fast-path
+    /// horizon coherent.
+    fn push_cache_req(&mut self, req: BusReq) {
+        self.cache_bus_next_due = self.cache_bus_next_due.min(req.since);
+        self.cache_bus_queue.push_back(req);
+    }
+
+    /// Queues a result-bus request, keeping the arbiter's fast-path
+    /// horizon coherent.
+    fn push_result_req(&mut self, req: BusReq) {
+        self.result_bus_next_due = self.result_bus_next_due.min(req.since);
+        self.result_bus_queue.push_back(req);
+    }
+
+    /// Sweeps stale wait-list subscriptions: entries whose generation died
+    /// (squash/replace), whose slot left `Waiting`, or whose slot no
+    /// longer reads the key register. Exactly the entries
+    /// [`Self::wake_waiters`] would drop on sight, so dropping them early
+    /// never changes behaviour — the invariant only requires live
+    /// `Waiting` slots to stay subscribed to their unproduced sources,
+    /// and those entries are kept.
+    fn gc_waiters(&mut self) {
+        let pes = &self.pes;
+        self.wakeup.waiters.retain(|&preg, entries| {
+            entries.retain(|&(pe, gen, slot)| {
+                let p = &pes[pe];
+                p.occupied
+                    && p.gen == gen
+                    && slot < p.slots.len()
+                    && p.slots[slot].state == SlotState::Waiting
+                    && p.slots[slot].srcs.iter().flatten().any(|&q| q == preg)
+            });
+            !entries.is_empty()
+        });
+        self.waiter_count = self.wakeup.waiters.values().map(Vec::len).sum();
+        self.waiters_gc_at = GC_FLOOR.max(self.waiter_count * 2);
+    }
+
+    /// Sweeps stale reader registrations, mirroring the keep condition of
+    /// [`Self::propagate_value_change`].
+    fn gc_readers(&mut self) {
+        let pes = &self.pes;
+        self.readers.retain(|&preg, entries| {
+            entries.retain(|&(pe, gen, slot)| {
+                let p = &pes[pe];
+                p.occupied
+                    && p.gen == gen
+                    && slot < p.slots.len()
+                    && p.slots[slot].srcs.iter().flatten().any(|&q| q == preg)
+            });
+            !entries.is_empty()
+        });
+        self.reader_count = self.readers.values().map(Vec::len).sum();
+        self.readers_gc_at = GC_FLOOR.max(self.reader_count * 2);
+    }
+
+    /// Sweeps stale load-registry entries (dead generations and loads
+    /// whose reissue moved them to another word).
+    fn gc_loads(&mut self) {
+        let pes = &self.pes;
+        let list = &self.list;
+        self.wakeup.loads_by_word.retain(|&word, entries| {
+            entries.retain(|&(pe, gen, slot)| {
+                let p = &pes[pe];
+                p.occupied
+                    && p.gen == gen
+                    && slot < p.slots.len()
+                    && list.contains(pe)
+                    && p.slots[slot].mem_addr.is_some_and(|a| a >> 3 == word)
+            });
+            !entries.is_empty()
+        });
+        self.load_count = self.wakeup.loads_by_word.values().map(Vec::len).sum();
+        self.loads_gc_at = GC_FLOOR.max(self.load_count * 2);
+    }
+
+    /// Footprint of the wakeup index, for leak diagnostics and tests:
+    /// `(waiter entries, waiter keys, completion events, load entries)`.
+    #[doc(hidden)]
+    pub fn index_footprint(&self) -> (usize, usize, usize, usize) {
+        (
+            self.wakeup.waiters.values().map(Vec::len).sum(),
+            self.wakeup.waiters.len(),
+            self.wakeup.completions.len(),
+            self.wakeup.loads_by_word.values().map(Vec::len).sum(),
+        )
+    }
+
+    /// Brute-force cross-check of the wakeup index against the window
+    /// (the [`WakeupIndex`] invariants, verbatim). O(window x slots); used
+    /// by tests after every cycle of adversarial runs and by `TP_PARANOID`
+    /// runs after every stage. Not part of the public API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    #[doc(hidden)]
+    pub fn assert_event_index_coherent(&self) {
+        for (pe, p) in self.pes.iter().enumerate() {
+            if !p.occupied {
+                assert_eq!(
+                    self.wakeup.ready[pe], 0,
+                    "cycle {}: ready bits set on unoccupied pe{pe}",
+                    self.now
+                );
+                continue;
+            }
+            let gen = p.gen;
+            for (i, s) in p.slots.iter().enumerate() {
+                let bit = self.wakeup.ready[pe] >> i & 1 == 1;
+                match s.state {
+                    SlotState::Waiting => {
+                        let unproduced: Vec<PhysRegId> = s
+                            .srcs
+                            .iter()
+                            .flatten()
+                            .copied()
+                            .filter(|&q| !self.pregs.get(q).ready)
+                            .collect();
+                        if unproduced.is_empty() {
+                            assert!(
+                                bit,
+                                "cycle {}: pe{pe} slot {i} is issuable but not in the ready \
+                                 index\n{}",
+                                self.now,
+                                self.dump_window()
+                            );
+                        } else {
+                            assert!(
+                                !bit,
+                                "cycle {}: pe{pe} slot {i} has unproduced sources but its \
+                                 ready bit is set",
+                                self.now
+                            );
+                            for q in unproduced {
+                                assert!(
+                                    self.wakeup
+                                        .waiters
+                                        .get(&q)
+                                        .is_some_and(|w| w.contains(&(pe, gen, i))),
+                                    "cycle {}: pe{pe} slot {i} waits on {q:?} but is not \
+                                     subscribed to it",
+                                    self.now
+                                );
+                            }
+                        }
+                    }
+                    SlotState::Executing { done_at } | SlotState::MemAccess { done_at } => {
+                        assert!(
+                            self.wakeup
+                                .completions
+                                .iter()
+                                .any(|&Reverse(e)| e == (done_at, pe, i, gen)),
+                            "cycle {}: pe{pe} slot {i} in flight (done_at={done_at}) without \
+                             a completion event",
+                            self.now
+                        );
+                        assert!(
+                            !bit,
+                            "cycle {}: in-flight pe{pe} slot {i} has a ready bit",
+                            self.now
+                        );
+                    }
+                    _ => {
+                        assert!(
+                            !bit,
+                            "cycle {}: pe{pe} slot {i} is {:?} with a ready bit set",
+                            self.now, s.state
+                        );
+                    }
+                }
+                if matches!(s.ti.inst, tp_isa::Inst::Load { .. }) {
+                    if let Some(a) = s.mem_addr {
+                        assert!(
+                            self.wakeup
+                                .loads_by_word
+                                .get(&(a >> 3))
+                                .is_some_and(|w| w.contains(&(pe, gen, i))),
+                            "cycle {}: pe{pe} slot {i} sampled word {:#x} but is not in the \
+                             load snoop index",
+                            self.now,
+                            a >> 3
+                        );
+                    }
+                }
+            }
+        }
+        // Bus fast-path horizons: a pass may only be skipped while nothing
+        // could be granted, so every request must be covered either by its
+        // own due time or by the "blocked last pass, retry next cycle"
+        // horizon.
+        for (queue, next_due) in [
+            (&self.cache_bus_queue, self.cache_bus_next_due),
+            (&self.result_bus_queue, self.result_bus_next_due),
+        ] {
+            for req in queue {
+                assert!(
+                    next_due <= req.since || next_due <= self.now + 1,
+                    "cycle {}: queued bus request due at {} not covered by horizon {}",
+                    self.now,
+                    req.since,
+                    next_due
+                );
+            }
+        }
     }
 
     /// Rebuilds the speculative fetch history as of the end of the current

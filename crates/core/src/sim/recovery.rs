@@ -350,12 +350,8 @@ impl TraceProcessor<'_> {
             if s.is_liveout && s.state == SlotState::Done {
                 if let Some(d) = s.dest {
                     if self.pregs.get(d).global_ready_at == u64::MAX {
-                        self.result_bus_queue.push_back(BusReq {
-                            pe,
-                            gen: self.pes[pe].gen,
-                            slot: i,
-                            since: self.now,
-                        });
+                        let gen = self.pes[pe].gen;
+                        self.push_result_req(BusReq { pe, gen, slot: i, since: self.now });
                     }
                 }
             }
@@ -364,12 +360,28 @@ impl TraceProcessor<'_> {
         // stale-generation): requeue any that were pending.
         for i in 0..prefix_len.min(self.pes[pe].slots.len()) {
             if let SlotState::WaitingBus { since } = self.pes[pe].slots[i].state {
-                self.cache_bus_queue.push_back(BusReq {
-                    pe,
-                    gen: self.pes[pe].gen,
-                    slot: i,
-                    since,
-                });
+                let gen = self.pes[pe].gen;
+                self.push_cache_req(BusReq { pe, gen, slot: i, since });
+            }
+        }
+        // Reindex the PE in the wakeup index under the bumped generation:
+        // the gen bump invalidated every entry the old trace held, but the
+        // surviving prefix keeps live state the index must still cover —
+        // waiting slots re-enqueue, in-flight slots reschedule their
+        // completions, and sampled loads re-enter the snoop registry.
+        self.index_reset_pe(pe);
+        for i in 0..self.pes[pe].slots.len() {
+            match self.pes[pe].slots[i].state {
+                SlotState::Waiting => self.index_enqueue(pe, i),
+                SlotState::Executing { done_at } | SlotState::MemAccess { done_at } => {
+                    self.note_inflight(pe, i, done_at);
+                }
+                _ => {}
+            }
+            if matches!(self.pes[pe].slots[i].ti.inst, Inst::Load { .. }) {
+                if let Some(a) = self.pes[pe].slots[i].mem_addr {
+                    self.note_load_sampled(pe, i, a);
+                }
             }
         }
         // Fill the (possibly wrong-path) repaired trace into the trace cache
@@ -399,6 +411,9 @@ impl TraceProcessor<'_> {
         self.pes[pe].occupied = false;
         self.pes[pe].gen += 1;
         self.pes[pe].slots.clear();
+        // The gen bump invalidates the PE's waiter/completion/load-registry
+        // entries; the ready bits are positional and must clear eagerly.
+        self.index_reset_pe(pe);
         self.list.remove(pe);
         self.stats.squashed_traces += 1;
     }

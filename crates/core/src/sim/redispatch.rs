@@ -72,6 +72,7 @@ impl TraceProcessor<'_> {
         let now = ctx.now;
         let trace = self.pes[pe].trace.clone();
         let mut new_readers: Vec<(PhysRegId, usize)> = Vec::new();
+        let mut requeue: Vec<usize> = Vec::new();
         {
             let slots = &mut self.pes[pe].slots;
             for (i, slot) in slots.iter_mut().enumerate() {
@@ -97,12 +98,18 @@ impl TraceProcessor<'_> {
                     }
                 }
                 if changed {
-                    slot.mark_reissue(now + 1);
+                    requeue.push(i);
                 }
             }
         }
         for (preg, i) in new_readers {
             self.readers.entry(preg).or_default().push((pe, gen, i));
+            self.reader_count += 1;
+        }
+        // Selective reissue re-enqueues exactly the re-dispatched consumers
+        // whose source names changed — nothing else moved in this PE.
+        for i in requeue {
+            self.rebind_reissue_slot(pe, i, now + 1);
         }
         // Live-outs keep their physical registers; the map is re-asserted.
         self.pes[pe].map_before = map_before;

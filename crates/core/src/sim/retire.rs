@@ -85,10 +85,12 @@ impl TraceProcessor<'_> {
         let gen = self.pes[head].gen;
         let now = ctx.now;
         let mut rebound: Vec<(PhysRegId, usize)> = Vec::new();
+        let mut requeue: Vec<usize> = Vec::new();
         {
             let slots = &mut self.pes[head].slots;
             for (i, slot) in slots.iter_mut().enumerate() {
                 let tis = slot.ti.srcs;
+                let mut changed = false;
                 for (k, &(_, oref)) in tis.iter().flatten().enumerate() {
                     if let OperandRef::LiveIn(r) = oref {
                         if r.is_zero() {
@@ -97,10 +99,13 @@ impl TraceProcessor<'_> {
                         let want = retired_map[r.index()];
                         if slot.srcs[k] != Some(want) {
                             slot.srcs[k] = Some(want);
-                            slot.mark_reissue(now + 1);
+                            changed = true;
                             rebound.push((want, i));
                         }
                     }
+                }
+                if changed {
+                    requeue.push(i);
                 }
             }
         }
@@ -110,6 +115,12 @@ impl TraceProcessor<'_> {
         self.stats.head_rebinds += rebound.len() as u64;
         for (preg, i) in rebound {
             self.readers.entry(preg).or_default().push((head, gen, i));
+            self.reader_count += 1;
+        }
+        // Rebound live-ins re-enter the wakeup index (retired registers
+        // are always produced, so these become issue candidates at once).
+        for i in requeue {
+            self.rebind_reissue_slot(head, i, now + 1);
         }
         // The map chain after the head starts from its (possibly corrected)
         // map; recompute map_before/map_after so later re-dispatch passes
@@ -222,7 +233,11 @@ impl TraceProcessor<'_> {
                 r.local_ready_at = r.local_ready_at.min(now);
             }
         }
-        // Free the PE.
+        // Free the PE. The gen bump invalidates its wakeup-index entries;
+        // a fully-complete trace holds no ready bits to clear, but reset
+        // defensively to keep the positional mask invariant unconditional.
+        debug_assert_eq!(self.wakeup.ready[pe], 0, "retiring pe{pe} with ready bits set");
+        self.index_reset_pe(pe);
         self.list.remove(pe);
         self.pes[pe].occupied = false;
         self.pes[pe].gen += 1;

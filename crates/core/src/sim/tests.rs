@@ -273,3 +273,72 @@ fn small_config_works() {
         assert!(r.halted);
     }
 }
+
+/// The wakeup index must agree with a brute-force window rescan after
+/// *every* cycle of mispredict-heavy runs — the strongest possible
+/// coherence guarantee for the event-driven issue path. Uses the
+/// adversarial kernels (hammocks, unpredictable loop exits, calls) plus a
+/// synthetic program, under every control-independence model, so squash,
+/// FGCI repair, CGCI insertion, selective reissue, and snooping all hit
+/// the checker.
+#[test]
+fn wakeup_index_matches_rescan_every_cycle() {
+    let programs = [
+        hammock_loop_program(),
+        unpredictable_loops_program(),
+        call_heavy_program(),
+        synth::generate(&SynthConfig::small(), 11),
+    ];
+    for p in &programs {
+        for model in ALL_MODELS {
+            let cfg = TraceProcessorConfig::paper(model).with_oracle();
+            let mut sim = TraceProcessor::new(p, cfg);
+            let mut cycles = 0u64;
+            while !sim.halted() && cycles < 200_000 {
+                sim.step_cycle().unwrap_or_else(|e| panic!("{} {model:?}: {e}", p.name()));
+                sim.assert_event_index_coherent();
+                cycles += 1;
+            }
+            assert!(sim.halted(), "{} {model:?} did not halt", p.name());
+        }
+    }
+}
+
+/// The subscription-map entry counters drive the amortized sweeps; if they
+/// drift from the true sizes, collection either thrashes or never fires.
+/// After a run heavy enough to trigger all three sweeps, the counters must
+/// equal a recount.
+#[test]
+fn index_footprint_counters_stay_exact() {
+    let p = unpredictable_loops_program();
+    for model in [CiModel::None, CiModel::FgMlbRet] {
+        let cfg = TraceProcessorConfig::paper(model);
+        let mut sim = TraceProcessor::new(&p, cfg);
+        sim.run(5_000_000).unwrap();
+        let (waiters, _, _, loads) = sim.index_footprint();
+        assert_eq!(waiters, sim.waiter_count, "{model:?} waiter count drifted");
+        assert_eq!(loads, sim.load_count, "{model:?} load count drifted");
+        let readers: usize = sim.readers.values().map(Vec::len).sum();
+        assert_eq!(readers, sim.reader_count, "{model:?} reader count drifted");
+    }
+}
+
+/// A mid-run wakeup-index sweep must not change behaviour: compare a run
+/// against one whose GC thresholds are forced to fire constantly.
+#[test]
+fn gc_sweeps_are_behaviour_invisible() {
+    let p = hammock_loop_program();
+    let cfg = TraceProcessorConfig::paper(CiModel::FgMlbRet);
+    let mut base = TraceProcessor::new(&p, cfg.clone());
+    let base_r = base.run(5_000_000).unwrap();
+    let mut swept = TraceProcessor::new(&p, cfg);
+    while !swept.halted() {
+        // Force every sweep to run each cycle.
+        swept.waiters_gc_at = 0;
+        swept.readers_gc_at = 0;
+        swept.loads_gc_at = 0;
+        swept.step_cycle().unwrap();
+        swept.assert_event_index_coherent();
+    }
+    assert_eq!(base_r.stats, *swept.stats(), "sweeps changed observable behaviour");
+}

@@ -1,0 +1,139 @@
+//! A minimal Fx-style hasher for hot simulator maps.
+//!
+//! The cycle-level simulator keys several per-event maps by small dense
+//! identifiers (physical register ids, word addresses). `std`'s default
+//! SipHash is DoS-resistant but costs tens of cycles per lookup, which is
+//! pure overhead for process-internal keys that an adversary never
+//! controls. This is the classic multiply-xor "FxHash" used by rustc,
+//! reimplemented here because the build is offline (no external crates).
+//!
+//! Not suitable for attacker-controlled keys; do not use it outside the
+//! simulator's internal bookkeeping.
+//!
+//! # Example
+//!
+//! ```
+//! use tp_isa::fxhash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(0x40, "word");
+//! assert_eq!(m.get(&0x40), Some(&"word"));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit multiply-xor hasher (rustc's FxHasher).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Knuth's multiplicative constant (golden-ratio derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_distinguishing() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_ne!(hash_one(42u64), hash_one(43u64));
+        assert_ne!(hash_one(0u64), hash_one(1u64));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, i * 3);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&i), Some(&(i * 3)));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn small_keys_spread_across_low_bits() {
+        // HashMap uses the low bits of the hash for bucketing; sequential
+        // ids must not collapse onto a few buckets.
+        let mut low: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..64u64 {
+            low.insert(hash_one(i) & 63);
+        }
+        assert!(low.len() > 16, "low bits poorly distributed: {}", low.len());
+    }
+
+    #[test]
+    fn byte_stream_matches_chunked_words() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write_u64(u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        b.write_u64(9);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

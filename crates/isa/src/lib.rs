@@ -40,6 +40,7 @@
 
 pub mod asm;
 pub mod func;
+pub mod fxhash;
 pub mod inst;
 pub mod program;
 pub mod reg;

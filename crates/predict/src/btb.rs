@@ -157,4 +157,42 @@ mod tests {
     fn non_power_of_two_rejected() {
         let _ = Btb::new(12);
     }
+
+    /// Tagless replacement of indirect targets: an aliasing branch
+    /// overwrites the entry outright (last-writer-wins, no tag check), and
+    /// the victim observes the alias's target afterwards.
+    #[test]
+    fn indirect_alias_replaces_target() {
+        let mut btb = Btb::new(16);
+        btb.update_indirect(2, 100);
+        assert_eq!(btb.predict_indirect(2), Some(100));
+        // pc 18 aliases pc 2 in a 16-entry table: replacement evicts the
+        // old target for *both* PCs.
+        btb.update_indirect(18, 200);
+        assert_eq!(btb.predict_indirect(18), Some(200));
+        assert_eq!(btb.predict_indirect(2), Some(200), "victim must see the replaced target");
+        // Re-training the original pc replaces it back.
+        btb.update_indirect(2, 100);
+        assert_eq!(btb.predict_indirect(18), Some(100));
+    }
+
+    /// Conditional counters are replaced (retrained) by aliasing branches
+    /// rather than duplicated: opposing-bias aliases fight over one
+    /// counter, so neither can saturate.
+    #[test]
+    fn cond_alias_retrains_shared_counter() {
+        let mut btb = Btb::new(8);
+        // Saturate taken at pc 5.
+        for _ in 0..4 {
+            btb.update_cond(5, true);
+        }
+        assert!(btb.predict_cond(5));
+        // Alias pc 13 trains strongly not-taken: the shared counter moves.
+        for _ in 0..4 {
+            btb.update_cond(13, false);
+        }
+        assert!(!btb.predict_cond(5), "alias retrained the shared counter");
+        // Non-aliasing entries are untouched by the fight.
+        assert!(btb.predict_cond(6), "fresh counters stay weakly taken");
+    }
 }

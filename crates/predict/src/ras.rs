@@ -125,4 +125,66 @@ mod tests {
     fn zero_capacity_rejected() {
         let _ = Ras::new(0);
     }
+
+    /// Misprediction recovery across an overflow: the snapshot taken before
+    /// a deep (capacity-exceeding) call chain restores the pre-overflow
+    /// view exactly, even though the wrong path evicted its oldest entries.
+    #[test]
+    fn overflow_then_restore_recovers_pre_overflow_state() {
+        let mut ras = Ras::new(3);
+        ras.push(10);
+        ras.push(20);
+        let snap = ras.snapshot();
+        // Wrong path: calls deep enough to wrap the circular stack twice.
+        for pc in [30, 40, 50, 60, 70] {
+            ras.push(pc);
+        }
+        assert_eq!(ras.len(), 3, "circular stack stays bounded");
+        assert_eq!(ras.pop(), Some(70), "wrong path sees its own pushes");
+        ras.restore(&snap);
+        assert_eq!(ras.len(), 2);
+        assert_eq!(ras.pop(), Some(20));
+        assert_eq!(ras.pop(), Some(10));
+        assert_eq!(ras.pop(), None);
+    }
+
+    /// Misprediction recovery across an underflow: a wrong path that pops
+    /// through the bottom of the stack (returning more than it called)
+    /// yields `None` without corrupting state, and restore brings back the
+    /// checkpointed entries.
+    #[test]
+    fn underflow_then_restore_recovers_entries() {
+        let mut ras = Ras::new(4);
+        ras.push(11);
+        let snap = ras.snapshot();
+        // Wrong path: two returns against a one-deep stack.
+        assert_eq!(ras.pop(), Some(11));
+        assert_eq!(ras.pop(), None, "underflow is a miss, not a panic");
+        assert_eq!(ras.pop(), None, "repeated underflow stays empty");
+        assert!(ras.is_empty());
+        // The empty stack still accepts new pushes.
+        ras.push(99);
+        assert_eq!(ras.top(), Some(99));
+        ras.restore(&snap);
+        assert_eq!(ras.len(), 1);
+        assert_eq!(ras.top(), Some(11));
+    }
+
+    /// Restoring a snapshot taken when empty clears a stack that both
+    /// overflowed and underflowed in between.
+    #[test]
+    fn restore_empty_snapshot_after_churn() {
+        let mut ras = Ras::new(2);
+        let snap = ras.snapshot();
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // overflow
+        ras.pop();
+        ras.pop();
+        ras.pop(); // underflow
+        ras.push(4);
+        ras.restore(&snap);
+        assert!(ras.is_empty());
+        assert_eq!(ras.pop(), None);
+    }
 }

@@ -4,84 +4,20 @@
 //!
 //! The output is fully deterministic, so diffing two runs proves that a
 //! refactor left cycle-level behaviour and committed state bit-identical.
+//! The probe corpus itself lives in `tp_bench::corpus` and is shared with
+//! the golden-stats regression test (`tests/golden_stats.rs`), which diffs
+//! the same rows against `tests/golden/oracle_probes.txt`.
 //!
 //! Run with: `cargo run --release --example oracle_verify`
 
-use trace_processor::tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
-use trace_processor::tp_isa::func::Machine;
-use trace_processor::tp_isa::synth::{self, SynthConfig};
-use trace_processor::tp_isa::{asm::Asm, AluOp, Cond, Program, Reg};
-use trace_processor::tp_workloads::{by_name, Size};
-
-const MODELS: [CiModel; 5] =
-    [CiModel::None, CiModel::Ret, CiModel::MlbRet, CiModel::Fg, CiModel::FgMlbRet];
-
-/// The quickstart kernel (see `examples/quickstart.rs`).
-fn quickstart_program() -> Program {
-    let mut a = Asm::new("quickstart");
-    let (r1, r2, r3) = (Reg::new(1), Reg::new(2), Reg::new(3));
-    a.li(r1, 500);
-    a.li(r2, 0);
-    a.label("top");
-    a.alui(AluOp::Mul, r3, r1, 0x9E37_79B9u32 as i32);
-    a.alui(AluOp::And, r3, r3, 1);
-    a.branch(Cond::Eq, r3, Reg::ZERO, "even");
-    a.addi(r2, r2, 3);
-    a.jump("join");
-    a.label("even");
-    a.addi(r2, r2, 5);
-    a.label("join");
-    a.addi(r1, r1, -1);
-    a.branch(Cond::Gt, r1, Reg::ZERO, "top");
-    a.halt();
-    a.assemble().expect("valid program")
-}
-
-/// FNV-1a digest of the committed register file and memory image.
-fn state_digest(sim: &TraceProcessor) -> u64 {
-    let state = sim.arch_state();
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-    };
-    for r in &state.regs {
-        mix(*r as u64);
-    }
-    let mut mem: Vec<_> = state.mem.iter().collect();
-    mem.sort();
-    for (addr, val) in mem {
-        mix(*addr);
-        mix(*val as u64);
-    }
-    h
-}
-
-fn probe(name: &str, program: &Program) {
-    let mut oracle = Machine::new(program);
-    oracle.run(u64::MAX).expect("oracle runs");
-    for model in MODELS {
-        let cfg = TraceProcessorConfig::paper(model).with_oracle();
-        let mut sim = TraceProcessor::new(program, cfg);
-        let r = sim.run(50_000_000).unwrap_or_else(|e| panic!("{name} {model:?}: {e}"));
-        assert!(r.halted, "{name} {model:?} did not halt");
-        assert_eq!(sim.arch_state(), oracle.arch_state(), "{name} {model:?} diverged");
-        println!(
-            "{name:<16} {:<10} cycles={:<8} retired={:<8} state={:016x}",
-            format!("{model:?}"),
-            r.stats.cycles,
-            r.stats.retired_instrs,
-            state_digest(&sim)
-        );
-    }
-}
+use tp_bench::corpus::{oracle_state, probe_programs, probe_row, run_probe_against, MODELS};
 
 fn main() {
-    probe("quickstart", &quickstart_program());
-    probe("synth-small-7", &synth::generate(&SynthConfig::small(), 7));
-    probe("synth-default-3", &synth::generate(&SynthConfig::default(), 3));
-    probe("compress-tiny", &by_name("compress", Size::Tiny).program);
-    probe("li-tiny", &by_name("li", Size::Tiny).program);
+    for (name, program) in probe_programs() {
+        let expected = oracle_state(&program);
+        for model in MODELS {
+            let r = run_probe_against(name, &program, model, &expected);
+            println!("{}", probe_row(name, model, r));
+        }
+    }
 }

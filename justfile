@@ -36,3 +36,12 @@ sweep SIZE="small":
 # cycle-identical.
 oracle:
     cargo run --release --example oracle_verify
+
+# Perf-trajectory baseline: full workload suite x {base, MLB-RET, FG},
+# writes BENCH_speed.json (see README "Benchmarking").
+baseline SIZE="full":
+    cargo run --release -p tp-bench --bin baseline -- --size {{SIZE}}
+
+# Re-bless the golden-stats corpus after an intentional behaviour change.
+bless:
+    TP_BLESS=1 cargo test --release --test golden_stats
