@@ -1,22 +1,27 @@
-//! Speed baseline harness: runs the workload suite under the
-//! `{base, MLB-RET, FG}` model grid and emits `BENCH_speed.json` — the
-//! repository's perf-trajectory artifact (see README "Benchmarking").
+//! Speed baseline harness: runs the workload suite under the full
+//! five-model control-independence matrix and emits `BENCH_speed.json`
+//! (`tp-bench/speed/v2`; see README "Benchmarking").
 //!
 //! Usage:
 //!
 //! ```text
-//! baseline [--smoke | --size tiny|small|full] [--out PATH]
+//! baseline [--smoke | --size tiny|small|full] [--pes N[,N..]|--pe-sweep]
+//!          [--guard] [--out PATH]
 //! ```
 //!
 //! `--smoke` (alias for `--size small`) is what CI runs; the checked-in
-//! `BENCH_speed.json` comes from a `--size full` run.
+//! `BENCH_speed.json` comes from a `--size full` run. `--pe-sweep` adds the
+//! 4/8/16 PE-count axis. `--guard` exits non-zero if any CI model loses
+//! more than 1% IPC to the base model on any cell.
 
-use tp_bench::speed::{run_grid, to_json, BASELINE_MODELS};
+use tp_bench::speed::{guard_violations, run_grid, to_json, BASELINE_MODELS, SWEEP_PES};
 use tp_workloads::Size;
 
 fn main() {
     let mut size = Size::Full;
     let mut out = String::from("BENCH_speed.json");
+    let mut pes: Vec<usize> = vec![16];
+    let mut guard = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -32,6 +37,25 @@ fn main() {
                     }
                 }
             }
+            "--pes" => match args.next() {
+                Some(list) => {
+                    pes = list
+                        .split(',')
+                        .map(|p| {
+                            p.parse().unwrap_or_else(|_| {
+                                eprintln!("bad --pes entry {p:?}");
+                                std::process::exit(2);
+                            })
+                        })
+                        .collect();
+                }
+                None => {
+                    eprintln!("--pes requires a comma-separated list, e.g. 4,8,16");
+                    std::process::exit(2);
+                }
+            },
+            "--pe-sweep" => pes = SWEEP_PES.to_vec(),
+            "--guard" => guard = true,
             "--out" => match args.next() {
                 Some(p) => out = p,
                 None => {
@@ -41,22 +65,35 @@ fn main() {
             },
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: baseline [--smoke | --size tiny|small|full] [--out PATH]");
+                eprintln!(
+                    "usage: baseline [--smoke | --size tiny|small|full] \
+                     [--pes N[,N..]|--pe-sweep] [--guard] [--out PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
-    let cells = run_grid(size, &BASELINE_MODELS);
+    let cells = run_grid(size, &BASELINE_MODELS, &pes);
     println!(
-        "{:<10} {:<8} {:>9} {:>9} {:>6} {:>8} {:>7} {:>7} {:>12}",
-        "bench", "model", "instrs", "cycles", "ipc", "brmisp%", "trmisp%", "secs", "instrs/sec"
+        "{:<10} {:<11} {:>3} {:>9} {:>9} {:>6} {:>8} {:>7} {:>7} {:>12}",
+        "bench",
+        "model",
+        "pes",
+        "instrs",
+        "cycles",
+        "ipc",
+        "brmisp%",
+        "trmisp%",
+        "secs",
+        "instrs/sec"
     );
     for c in &cells {
         let s = &c.stats;
         println!(
-            "{:<10} {:<8} {:>9} {:>9} {:>6.2} {:>8.1} {:>7.1} {:>7.2} {:>12.0}",
+            "{:<10} {:<11} {:>3} {:>9} {:>9} {:>6.2} {:>8.1} {:>7.1} {:>7.2} {:>12.0}",
             c.workload,
             c.model.name(),
+            c.pes,
             s.retired_instrs,
             s.cycles,
             s.ipc(),
@@ -77,4 +114,15 @@ fn main() {
     let json = to_json(&cells, size);
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("wrote {out}");
+    if guard {
+        let violations = guard_violations(&cells);
+        if !violations.is_empty() {
+            eprintln!("CI-model dominance guard FAILED:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+        println!("guard: no CI model loses >1% IPC to base on any cell");
+    }
 }

@@ -1,11 +1,90 @@
-//! Diagnostic: recovery statistics per CI model for one workload.
+//! Diagnostic: recovery statistics and the misprediction outcome-attribution
+//! ledger, per CI model, for one workload.
+//!
+//! Usage: `cistats [WORKLOAD] [MODEL]` — with a model name (`base`, `RET`,
+//! `MLB-RET`, `FG`, `FG+MLB-RET`) prints that cell's full attribution table,
+//! predictor introspection, and per-PC misprediction provenance (which
+//! branches mispredicted, and whether their wrong embedded outcome came from
+//! a next-trace prediction or a BTB-driven fallback construction); without
+//! one, prints the per-model summary plus every model's table.
 
-use tp_core::CiModel;
+use std::collections::HashMap;
+
+use tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
+use tp_isa::Pc;
 use tp_trace::SelectionConfig;
+
+const MODELS: [CiModel; 4] = [CiModel::Ret, CiModel::MlbRet, CiModel::Fg, CiModel::FgMlbRet];
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "compress".into());
+    let model_arg = std::env::args().nth(2);
     let w = tp_workloads::by_name(&name, tp_workloads::Size::Full);
+    if let Some(m) = model_arg {
+        let model = match m.as_str() {
+            "base" => CiModel::None,
+            "RET" => CiModel::Ret,
+            "MLB-RET" => CiModel::MlbRet,
+            "FG" => CiModel::Fg,
+            "FG+MLB-RET" => CiModel::FgMlbRet,
+            other => {
+                eprintln!("unknown model {other:?} (base|RET|MLB-RET|FG|FG+MLB-RET)");
+                std::process::exit(2);
+            }
+        };
+        let mut cfg = TraceProcessorConfig::paper(model);
+        cfg.log_mispredicts = true;
+        let mut sim = TraceProcessor::new(&w.program, cfg);
+        let run = sim.run(50_000_000).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(run.halted, "{name} did not halt");
+        let s = run.stats;
+        println!(
+            "{name} {}: ipc {:.3} brmisp {:.2}% ({} / {})",
+            model.name(),
+            s.ipc(),
+            s.branch_misp_rate(),
+            s.retired_cond_mispredicts,
+            s.retired_cond_branches
+        );
+        print!("{}", run.attribution.table());
+        let p = run.predictor;
+        println!(
+            "predictor: {} predictions ({} path, {} simple, {} none); pollution: path {} evictions / {} repoints, simple {} / {}",
+            p.predictions,
+            p.path_hits,
+            p.simple_hits,
+            p.no_prediction,
+            p.path_tag_evictions,
+            p.path_repoints,
+            p.simple_tag_evictions,
+            p.simple_repoints,
+        );
+        // Per-PC provenance of confirmed mispredictions: `beyond-depth`
+        // counts wrong outcomes past the predicted id's branches (BTB/
+        // fallback-predicted), `fallback` those in traces built with no
+        // next-trace prediction at all.
+        let mut per_pc: HashMap<Pc, (u64, u64, u64)> = HashMap::new();
+        for rec in sim.mispredict_log() {
+            let e = per_pc.entry(rec.pc).or_default();
+            e.0 += 1;
+            if rec.branch_idx >= rec.id_branches {
+                e.1 += 1;
+            }
+            if rec.source == tp_core::pe::FetchSource::Fallback {
+                e.2 += 1;
+            }
+        }
+        let mut rows: Vec<_> = per_pc.into_iter().collect();
+        rows.sort_by_key(|&(_, (n, _, _))| std::cmp::Reverse(n));
+        println!("hottest mispredicting branches (confirmed recovery events):");
+        for (pc, (n, beyond, fallback)) in rows.iter().take(8) {
+            println!(
+                "  pc {pc:5}  events {n:6}  beyond-id-depth {beyond:6}  in-fallback-trace {fallback:6}  {:?}",
+                w.program.fetch(*pc).expect("logged pc is in the program")
+            );
+        }
+        return;
+    }
     let base = tp_bench::run_selection(&w.program, SelectionConfig::base()).stats;
     println!(
         "base: ipc {:.2} brmisp {:.1}% trmisp {:.1}% fullsq {} len {:.1}",
@@ -15,11 +94,14 @@ fn main() {
         base.full_squashes,
         base.avg_trace_len()
     );
-    for m in [CiModel::Ret, CiModel::MlbRet, CiModel::Fg, CiModel::FgMlbRet] {
-        let s = tp_bench::run_model(&w.program, m).stats;
-        println!("{:>10}: ipc {:.2} ({:+.1}%) brmisp {:.1}% cgci {}/{} fgci {} fullsq {} reclaims {} redisp {} rebinds {} reissue {}",
+    for m in MODELS {
+        let r = tp_bench::run_model(&w.program, m);
+        let s = r.stats;
+        println!("{:>10}: ipc {:.2} ({:+.1}%) brmisp {:.1}% cgci {}/{} fgci {} fullsq {} reclaims {} redisp {} rebinds {} reissue {} (marks: val {} rebind {} snoop {})",
             m.name(), s.ipc(), 100.0*(s.ipc()-base.ipc())/base.ipc(), s.branch_misp_rate(),
             s.cgci_reconverged, s.cgci_attempts, s.fgci_recoveries, s.full_squashes,
-            s.tail_reclaims, s.redispatched_traces, s.head_rebinds, s.reissue_events);
+            s.tail_reclaims, s.redispatched_traces, s.head_rebinds, s.reissue_events,
+            s.value_change_marks, s.rebind_marks, s.load_snoop_reissues);
+        print!("{}", r.attribution.table());
     }
 }

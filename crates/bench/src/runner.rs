@@ -2,15 +2,21 @@
 
 use tp_core::{CiModel, SimStats, TraceProcessor, TraceProcessorConfig};
 use tp_isa::Program;
+use tp_predict::TracePredictorStats;
+use tp_stats::RecoveryAttribution;
 use tp_trace::SelectionConfig;
 
 /// A completed run's headline numbers.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunSummary {
     /// Whether the run halted (it always should).
     pub halted: bool,
     /// Final statistics.
     pub stats: SimStats,
+    /// The misprediction outcome-attribution ledger.
+    pub attribution: RecoveryAttribution,
+    /// Next-trace predictor statistics.
+    pub predictor: TracePredictorStats,
 }
 
 /// Budget applied to every experiment run (workloads halt well before it).
@@ -39,7 +45,12 @@ pub fn run_model(program: &Program, model: CiModel) -> RunSummary {
 pub(crate) fn run_with(program: &Program, cfg: TraceProcessorConfig) -> RunSummary {
     let mut sim = TraceProcessor::new(program, cfg);
     let result = sim.run(RUN_BUDGET).unwrap_or_else(|e| panic!("{}: {e}", program.name()));
-    RunSummary { halted: result.halted, stats: result.stats }
+    RunSummary {
+        halted: result.halted,
+        stats: result.stats,
+        attribution: result.attribution,
+        predictor: result.predictor,
+    }
 }
 
 #[cfg(test)]

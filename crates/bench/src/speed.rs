@@ -1,34 +1,53 @@
 //! Wall-clock speed baseline: the measurement grid behind the `baseline`
 //! bin and `BENCH_speed.json`.
 //!
-//! Runs the full workload suite under a grid of control-independence
-//! models and records, per cell, both the *simulated* outcome (cycles,
-//! IPC, misprediction rates — machine-independent, guarded by the golden
-//! corpus) and the *simulator's* throughput (wall seconds, retired
-//! instructions per second — the perf trajectory the ROADMAP tracks).
-//! The JSON emitter is hand-rolled because the build is offline.
+//! Runs the full workload suite under the complete five-model
+//! control-independence matrix (optionally swept over PE counts) and
+//! records, per cell, the *simulated* outcome (cycles, IPC, misprediction
+//! rates — machine-independent, guarded by the golden corpus), the
+//! misprediction outcome-attribution ledger and next-trace predictor
+//! introspection (the `tp-bench/speed/v2` additions that make per-cell
+//! regressions diagnosable), and the *simulator's* throughput (wall
+//! seconds, retired instructions per second — the perf trajectory the
+//! ROADMAP tracks). The JSON emitter is hand-rolled because the build is
+//! offline.
 
 use std::time::Instant;
 
 use tp_core::{CiModel, SimStats, TraceProcessor, TraceProcessorConfig};
+use tp_predict::TracePredictorStats;
+use tp_stats::RecoveryAttribution;
 use tp_workloads::{suite, Size};
 
-/// The model grid of the speed baseline: no control independence,
-/// coarse-grain only (`MLB-RET`), and fine-grain only (`FG`).
-pub const BASELINE_MODELS: [CiModel; 3] = [CiModel::None, CiModel::MlbRet, CiModel::Fg];
+/// The model grid of the speed baseline: the paper's full five-model
+/// matrix (§6.2).
+pub const BASELINE_MODELS: [CiModel; 5] =
+    [CiModel::None, CiModel::Ret, CiModel::MlbRet, CiModel::Fg, CiModel::FgMlbRet];
+
+/// The default PE-count axis (the paper's 16-PE machine).
+pub const DEFAULT_PES: [usize; 1] = [16];
+
+/// The full PE-count sweep axis.
+pub const SWEEP_PES: [usize; 3] = [4, 8, 16];
 
 /// Instruction budget per cell (workloads halt well before it).
 pub const CELL_BUDGET: u64 = 100_000_000;
 
-/// One `(workload, model)` measurement.
-#[derive(Clone, Copy, Debug)]
+/// One `(workload, model, PE count)` measurement.
+#[derive(Clone, Debug)]
 pub struct SpeedCell {
     /// Workload name (paper Table 2).
     pub workload: &'static str,
     /// Control-independence model.
     pub model: CiModel,
+    /// Number of processing elements.
+    pub pes: usize,
     /// Final simulation statistics.
     pub stats: SimStats,
+    /// The misprediction outcome-attribution ledger.
+    pub attribution: RecoveryAttribution,
+    /// Next-trace predictor statistics.
+    pub predictor: TracePredictorStats,
     /// Host wall-clock seconds for the run.
     pub wall_seconds: f64,
 }
@@ -45,26 +64,77 @@ impl SpeedCell {
 }
 
 /// Runs the whole grid: every workload of `size` under every model in
-/// `models`.
+/// `models`, at every PE count in `pe_counts`.
 ///
 /// # Panics
 ///
 /// Panics if any cell deadlocks or fails to halt — a baseline must never
 /// be recorded from a broken run.
-pub fn run_grid(size: Size, models: &[CiModel]) -> Vec<SpeedCell> {
+pub fn run_grid(size: Size, models: &[CiModel], pe_counts: &[usize]) -> Vec<SpeedCell> {
     let mut cells = Vec::new();
     for w in suite(size) {
-        for &model in models {
-            let cfg = TraceProcessorConfig::paper(model);
-            let mut sim = TraceProcessor::new(&w.program, cfg);
-            let t = Instant::now();
-            let r = sim.run(CELL_BUDGET).unwrap_or_else(|e| panic!("{} {model:?}: {e}", w.name));
-            let wall_seconds = t.elapsed().as_secs_f64();
-            assert!(r.halted, "{} {model:?} did not halt", w.name);
-            cells.push(SpeedCell { workload: w.name, model, stats: r.stats, wall_seconds });
+        for &pes in pe_counts {
+            for &model in models {
+                let mut cfg = TraceProcessorConfig::paper(model);
+                cfg.num_pes = pes;
+                let mut sim = TraceProcessor::new(&w.program, cfg);
+                let t = Instant::now();
+                let r = sim
+                    .run(CELL_BUDGET)
+                    .unwrap_or_else(|e| panic!("{} {model:?} {pes}pe: {e}", w.name));
+                let wall_seconds = t.elapsed().as_secs_f64();
+                assert!(r.halted, "{} {model:?} {pes}pe did not halt", w.name);
+                cells.push(SpeedCell {
+                    workload: w.name,
+                    model,
+                    pes,
+                    stats: r.stats,
+                    attribution: r.attribution,
+                    predictor: r.predictor,
+                    wall_seconds,
+                });
+            }
         }
     }
     cells
+}
+
+/// Absolute slack of the dominance guard, in cycles: recovery events cost
+/// whole construction/refill latencies, so on sub-thousand-cycle runs a
+/// single event exceeds 1% without meaning anything. One window-refill of
+/// slack absorbs that event-granularity noise; at small/full scale (tens
+/// of thousands of cycles) the 1% relative bound dominates.
+pub const GUARD_SLACK_CYCLES: u64 = 64;
+
+/// The `>1%` CI-model dominance guard: every control-independence model
+/// must reach at least 99% of the base model's IPC (modulo
+/// [`GUARD_SLACK_CYCLES`]) on every `(workload, PE count)` cell. Returns
+/// one message per violation.
+pub fn guard_violations(cells: &[SpeedCell]) -> Vec<String> {
+    let mut out = Vec::new();
+    for c in cells {
+        if c.model == CiModel::None {
+            continue;
+        }
+        let Some(base) = cells
+            .iter()
+            .find(|b| b.model == CiModel::None && b.workload == c.workload && b.pes == c.pes)
+        else {
+            continue;
+        };
+        let (ipc, base_ipc) = (c.stats.ipc(), base.stats.ipc());
+        let within_slack = c.stats.cycles <= base.stats.cycles + GUARD_SLACK_CYCLES;
+        if ipc < base_ipc * 0.99 && !within_slack {
+            out.push(format!(
+                "{} {} {}pe: ipc {ipc:.4} loses {:.2}% to base ({base_ipc:.4})",
+                c.workload,
+                c.model.name(),
+                c.pes,
+                100.0 * (base_ipc - ipc) / base_ipc,
+            ));
+        }
+    }
+    out
 }
 
 fn size_name(size: Size) -> &'static str {
@@ -86,13 +156,13 @@ fn num(x: f64) -> String {
 }
 
 /// Renders the grid as the `BENCH_speed.json` document
-/// (`tp-bench/speed/v1` schema; see README "Benchmarking").
+/// (`tp-bench/speed/v2` schema; see README "Benchmarking").
 pub fn to_json(cells: &[SpeedCell], size: Size) -> String {
     let total_wall: f64 = cells.iter().map(|c| c.wall_seconds).sum();
     let total_instrs: u64 = cells.iter().map(|c| c.stats.retired_instrs).sum();
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"tp-bench/speed/v1\",\n");
+    s.push_str("  \"schema\": \"tp-bench/speed/v2\",\n");
     s.push_str(&format!("  \"suite_size\": \"{}\",\n", size_name(size)));
     s.push_str(&format!("  \"wall_seconds_total\": {},\n", num(total_wall)));
     s.push_str(&format!("  \"retired_instrs_total\": {total_instrs},\n"));
@@ -106,6 +176,7 @@ pub fn to_json(cells: &[SpeedCell], size: Size) -> String {
         s.push_str("    {");
         s.push_str(&format!("\"workload\": \"{}\", ", c.workload));
         s.push_str(&format!("\"model\": \"{}\", ", c.model.name()));
+        s.push_str(&format!("\"pes\": {}, ", c.pes));
         s.push_str(&format!("\"instrs\": {}, ", st.retired_instrs));
         s.push_str(&format!("\"cycles\": {}, ", st.cycles));
         s.push_str(&format!("\"ipc\": {}, ", num(st.ipc())));
@@ -117,7 +188,43 @@ pub fn to_json(cells: &[SpeedCell], size: Size) -> String {
         s.push_str(&format!("\"trace_misp_per_kilo\": {}, ", num(st.trace_misp_per_kilo())));
         s.push_str(&format!("\"avg_trace_len\": {}, ", num(st.avg_trace_len())));
         s.push_str(&format!("\"dispatched_traces\": {}, ", st.dispatched_traces));
-        s.push_str(&format!("\"squashed_traces\": {}", st.squashed_traces));
+        s.push_str(&format!("\"squashed_traces\": {}, ", st.squashed_traces));
+        s.push_str(&format!("\"reissue_events\": {}, ", st.reissue_events));
+        let p = &c.predictor;
+        s.push_str(&format!(
+            "\"predictor\": {{\"predictions\": {}, \"path_hits\": {}, \"simple_hits\": {}, \
+             \"no_prediction\": {}, \"path_tag_evictions\": {}, \"path_repoints\": {}, \
+             \"simple_tag_evictions\": {}, \"simple_repoints\": {}}}, ",
+            p.predictions,
+            p.path_hits,
+            p.simple_hits,
+            p.no_prediction,
+            p.path_tag_evictions,
+            p.path_repoints,
+            p.simple_tag_evictions,
+            p.simple_repoints
+        ));
+        s.push_str("\"attribution\": [");
+        for (j, ((class, heur, outcome), cell)) in c.attribution.nonzero().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"class\": \"{}\", \"heuristic\": \"{}\", \"outcome\": \"{}\", \
+                 \"events\": {}, \"retired\": {}, \"squashed\": {}, \"preserved\": {}, \
+                 \"redispatched\": {}, \"recovery_cycles\": {}}}",
+                class.label(),
+                heur.label(),
+                outcome.label(),
+                cell.events,
+                cell.retired,
+                cell.traces_squashed,
+                cell.traces_preserved,
+                cell.traces_redispatched,
+                cell.recovery_cycles
+            ));
+        }
+        s.push(']');
         s.push_str(if i + 1 == cells.len() { "}\n" } else { "},\n" });
     }
     s.push_str("  ]\n}\n");
@@ -130,17 +237,63 @@ mod tests {
 
     #[test]
     fn tiny_grid_runs_and_serializes() {
-        let cells = run_grid(Size::Tiny, &[CiModel::None]);
-        assert_eq!(cells.len(), 8, "one cell per workload");
+        let cells = run_grid(Size::Tiny, &[CiModel::None, CiModel::Fg], &DEFAULT_PES);
+        assert_eq!(cells.len(), 16, "two cells per workload");
         assert!(cells.iter().all(|c| c.stats.retired_instrs > 0 && c.stats.cycles > 0));
         let json = to_json(&cells, Size::Tiny);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"tp-bench/speed/v1\""));
+        assert!(json.contains("\"schema\": \"tp-bench/speed/v2\""));
         assert!(json.contains("\"suite_size\": \"tiny\""));
         assert!(json.contains("\"workload\": \"compress\""));
         assert!(json.contains("\"model\": \"base\""));
-        // 8 workloads x 1 model.
-        assert_eq!(json.matches("\"workload\"").count(), 8);
+        assert!(json.contains("\"pes\": 16"));
+        assert!(json.contains("\"predictor\""));
+        assert!(json.contains("\"attribution\""));
+        // 8 workloads x 2 models.
+        assert_eq!(json.matches("\"workload\"").count(), 16);
+        // An FG cell on a branchy workload has attribution rows.
+        assert!(json.contains("fgci-repair"), "{json}");
+    }
+
+    #[test]
+    fn pe_axis_produces_distinct_cells() {
+        let w = "m88ksim";
+        let cells: Vec<SpeedCell> = run_grid(Size::Tiny, &[CiModel::None], &[4, 16])
+            .into_iter()
+            .filter(|c| c.workload == w)
+            .collect();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].pes, 4);
+        assert_eq!(cells[1].pes, 16);
+        // Same committed work, different machine width.
+        assert_eq!(cells[0].stats.retired_instrs, cells[1].stats.retired_instrs);
+        assert_ne!(cells[0].stats.cycles, cells[1].stats.cycles);
+    }
+
+    #[test]
+    fn guard_flags_only_losing_models() {
+        let mk = |model: CiModel, cycles: u64| SpeedCell {
+            workload: "x",
+            model,
+            pes: 16,
+            stats: SimStats { retired_instrs: 1000, cycles, ..SimStats::default() },
+            attribution: RecoveryAttribution::new(),
+            predictor: TracePredictorStats::default(),
+            wall_seconds: 0.1,
+        };
+        // FG 2% slower than base, MLB-RET faster: only FG is flagged.
+        let cells =
+            vec![mk(CiModel::None, 100_000), mk(CiModel::Fg, 102_000), mk(CiModel::MlbRet, 90_000)];
+        let v = guard_violations(&cells);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("FG"), "{v:?}");
+        // Within 1%: not flagged.
+        let cells = vec![mk(CiModel::None, 100_000), mk(CiModel::Fg, 100_900)];
+        assert!(guard_violations(&cells).is_empty());
+        // A large relative loss on a tiny run stays within the absolute
+        // event-granularity slack: not flagged.
+        let cells = vec![mk(CiModel::None, 500), mk(CiModel::Fg, 540)];
+        assert!(guard_violations(&cells).is_empty());
     }
 
     #[test]
@@ -148,7 +301,10 @@ mod tests {
         let c = SpeedCell {
             workload: "x",
             model: CiModel::None,
+            pes: 16,
             stats: SimStats { retired_instrs: 1000, cycles: 500, ..SimStats::default() },
+            attribution: RecoveryAttribution::new(),
+            predictor: TracePredictorStats::default(),
             wall_seconds: 0.5,
         };
         assert!((c.instrs_per_sec() - 2000.0).abs() < 1e-9);

@@ -70,6 +70,15 @@ pub struct TraceProcessorConfig {
     pub fgci: bool,
     /// Enable coarse-grain control independence recovery with a heuristic.
     pub cgci: Option<CgciHeuristic>,
+    /// Maximum control-dependent traces a CGCI attempt may squash between
+    /// the mispredicted branch and the assumed re-convergent trace. A
+    /// longer gap means the frontend must refill that many traces before
+    /// re-convergence can even be detected, while the preserved suffix sits
+    /// on mostly-invalidated data — at that distance a full squash is
+    /// cheaper. The heuristics target *near* re-convergent points (§4.2:
+    /// loop exits, return continuations), so a small bound keeps their
+    /// profitable firings.
+    pub cgci_max_dependent: usize,
     /// Frontend latency in cycles from prediction to dispatch (2).
     pub frontend_latency: u64,
     /// Global result buses per cycle (8).
@@ -103,6 +112,9 @@ pub struct TraceProcessorConfig {
     /// Verify committed state against the functional oracle at every trace
     /// retirement (slow; intended for tests).
     pub verify_with_oracle: bool,
+    /// Record the PC of every retired mispredicted conditional branch
+    /// (diagnostics; off by default — the log grows with mispredictions).
+    pub log_mispredicts: bool,
     /// Abort the run if no instruction retires for this many cycles.
     pub deadlock_cycles: u64,
 }
@@ -124,6 +136,7 @@ impl TraceProcessorConfig {
             selection: model.selection(),
             fgci,
             cgci,
+            cgci_max_dependent: 2,
             frontend_latency: 2,
             result_buses: 8,
             result_buses_per_pe: 4,
@@ -140,6 +153,7 @@ impl TraceProcessorConfig {
             tcache_sets: 256,
             tcache_ways: 4,
             verify_with_oracle: false,
+            log_mispredicts: false,
             deadlock_cycles: 50_000,
         }
     }

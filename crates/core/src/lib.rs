@@ -63,5 +63,5 @@ pub mod sim;
 pub mod stats;
 
 pub use config::{CgciHeuristic, CiModel, TraceProcessorConfig};
-pub use sim::{RunResult, SimError, TraceProcessor};
+pub use sim::{MispredictRecord, RunResult, SimError, TraceProcessor};
 pub use stats::SimStats;

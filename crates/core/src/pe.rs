@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use tp_isa::{Addr, Pc, Word};
 use tp_predict::TraceHistory;
+use tp_stats::attr::AttrKey;
 use tp_trace::{Trace, TraceInst};
 
 use crate::physreg::{PhysRegId, RenameMap};
@@ -82,6 +83,10 @@ pub struct Slot {
     /// Set when a repair replaced this slot's embedded outcome (the slot's
     /// original prediction was wrong); counted at retirement.
     pub was_mispredicted: bool,
+    /// Attribution-ledger coordinate of the last recovery this slot's
+    /// misprediction went through (class, heuristic, outcome); `None` until
+    /// the slot faults. Observation-only.
+    pub attr: Option<AttrKey>,
 }
 
 impl Slot {
@@ -105,6 +110,7 @@ impl Slot {
             fault: None,
             issues: 0,
             was_mispredicted: false,
+            attr: None,
         }
     }
 

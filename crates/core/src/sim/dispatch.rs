@@ -29,8 +29,8 @@ impl TraceProcessor<'_> {
             self.redispatch_step(ctx);
             return;
         }
-        let Some(front) = self.fetch_queue.front() else { return };
-        if ctx.now < front.ready_at {
+        let Some(front_ready_at) = self.fetch_queue.front().map(|p| p.ready_at) else { return };
+        if ctx.now < front_ready_at {
             return;
         }
         // Pick the PE: insertion point (CGCI) or tail.
@@ -40,7 +40,7 @@ impl TraceProcessor<'_> {
                     || self.pes[before].gen != before_gen
                     || !self.list.contains(before)
                 {
-                    self.mode = FetchMode::Normal;
+                    self.set_mode(FetchMode::Normal);
                     None
                 } else {
                     Some(before)
@@ -54,7 +54,8 @@ impl TraceProcessor<'_> {
             None => self.list.tail(),
         };
         if let Some(pred) = pred {
-            if !self.successor_consistent(pred, front.trace.id().start()) {
+            let front_start = self.fetch_queue.front().expect("checked above").trace.id().start();
+            if !self.successor_consistent(pred, front_start) {
                 // The window changed under the queue (recovery): refetch.
                 self.fetch_queue.clear();
                 self.fetch_hist = self.rebuild_history();
@@ -69,19 +70,31 @@ impl TraceProcessor<'_> {
             None => {
                 match self.mode {
                     FetchMode::CgciInsert { before, .. } => {
-                        // Reclaim the most speculative PE for the insertion.
-                        let tail = self.list.tail().expect("window full implies non-empty");
-                        if tail == before {
-                            // The preserved trace itself must go: CGCI
-                            // degenerates to a full squash.
-                            self.squash_pe(tail);
-                            self.stats.tail_reclaims += 1;
-                            self.mode = FetchMode::Normal;
-                        } else {
-                            self.squash_pe(tail);
+                        // The window filled before re-convergence: the
+                        // correct control-dependent path needs more room
+                        // than the squash freed, so the attempt cannot pay
+                        // off. Abandon it outright — squash the preserved
+                        // suffix and resume normal fetch — rather than
+                        // reclaiming the suffix one tail per cycle, which
+                        // made a failed attempt cost strictly more than
+                        // the full squash it degenerates to.
+                        let victims: Vec<usize> = {
+                            let mut v = vec![before];
+                            v.extend(self.list.iter_after(before));
+                            v
+                        };
+                        if let Some(p) = self.cgci_pending.as_mut() {
+                            p.squashed += victims.len() as u64;
+                        }
+                        for v in victims {
+                            self.squash_pe(v);
                             self.stats.tail_reclaims += 1;
                         }
-                        return; // dispatch next cycle
+                        self.set_mode(FetchMode::Normal);
+                        // The fetch queue holds correct-path (post-branch)
+                        // traces and the fetch history tracks them; both
+                        // stay — dispatch simply continues at the tail.
+                        return; // dispatch resumes next cycle
                     }
                     FetchMode::Normal => return, // window full: stall
                 }

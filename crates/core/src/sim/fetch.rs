@@ -23,7 +23,10 @@ use tp_trace::{OutcomeSource, TraceId};
 
 impl TraceProcessor<'_> {
     pub(super) fn fetch_stage(&mut self, ctx: &CycleCtx) {
-        if self.halted || self.recovery.is_some() || self.redispatch.is_some() {
+        // Fetch stalls only while a recovery redirect is in flight; a
+        // re-dispatch pass owns the dispatch bus, not the frontend (fetch
+        // state is restored eagerly when the pass starts).
+        if self.halted || self.recovery.is_some() {
             return;
         }
         if self.fetch_queue.len() >= self.cfg.num_pes {
@@ -35,7 +38,7 @@ impl TraceProcessor<'_> {
                 || self.pes[before].gen != before_gen
                 || !self.list.contains(before)
             {
-                self.mode = FetchMode::Normal;
+                self.set_mode(FetchMode::Normal);
                 self.fetch_hist = self.rebuild_history();
                 self.expected = self.expected_after_tail();
             }
@@ -84,23 +87,47 @@ impl TraceProcessor<'_> {
                     v
                 };
                 self.stats.preserved_traces += preserved.len() as u64;
+                // Resolve the pending attempt as re-converged *before*
+                // leaving insertion mode (set_mode treats any still-pending
+                // teardown as a failure).
+                let attr = self.cgci_pending.take().map(|p| {
+                    self.resolve_cgci(p, RecoveryOutcome::CgciReconverged, preserved.len() as u64)
+                });
                 let repaired_pred =
                     self.list.prev(before).expect("faulting trace precedes the preserved trace");
-                self.begin_redispatch_from_map(preserved, repaired_pred);
-                self.mode = FetchMode::Normal;
+                self.begin_redispatch_from_map(preserved, repaired_pred, attr);
+                self.set_mode(FetchMode::Normal);
                 return;
             }
         }
+        // During CGCI insertion the frontend knows the re-convergent PC;
+        // control-dependent traces end just before it so the path cannot
+        // overshoot the preserved trace mid-trace (which would make
+        // re-convergence detection miss and the attempt fail).
+        let stop = match self.mode {
+            FetchMode::CgciInsert { reconv_start, .. } => Some(reconv_start),
+            FetchMode::Normal => None,
+        };
         // Obtain the trace: trace cache, or construction.
         let now = ctx.now;
         let (trace, ready_at, source) = match prediction {
             Some(id) => {
                 self.stats.tcache_lookups += 1;
-                match self.tcache.lookup(id) {
+                let looked = self.tcache.lookup(id);
+                if looked.is_none() {
+                    self.stats.tcache_misses += 1;
+                }
+                // A cached trace that crosses the re-convergent PC
+                // mid-trace is unusable during insertion: construct a
+                // bounded one instead.
+                let usable = looked.filter(|t| match stop {
+                    None => true,
+                    Some(sp) => !t.insts()[1..].iter().any(|ti| ti.pc == sp),
+                });
+                match usable {
                     Some(t) => (t, now + self.cfg.frontend_latency, FetchSource::PredictedHit),
                     None => {
-                        self.stats.tcache_misses += 1;
-                        let (t, cycles) = self.construct_trace(start, Some(id));
+                        let (t, cycles) = self.construct_trace(start, Some(id), stop);
                         let ready = now.max(self.construction_busy_until)
                             + cycles as u64
                             + self.cfg.frontend_latency;
@@ -110,7 +137,7 @@ impl TraceProcessor<'_> {
                 }
             }
             None => {
-                let (t, cycles) = self.construct_trace(start, None);
+                let (t, cycles) = self.construct_trace(start, None, stop);
                 let ready = now.max(self.construction_busy_until)
                     + cycles as u64
                     + self.cfg.frontend_latency;
@@ -126,17 +153,36 @@ impl TraceProcessor<'_> {
 
     /// Constructs a trace at `start` through the instruction cache, driven
     /// by the predicted id's outcomes (falling back to the BTB) or by the
-    /// BTB alone. Returns the trace and the construction latency.
-    fn construct_trace(&mut self, start: Pc, id: Option<TraceId>) -> (Arc<Trace>, u32) {
+    /// BTB alone; `stop_before` bounds the trace at a re-convergent PC
+    /// during CGCI insertion. Returns the trace and the construction
+    /// latency.
+    fn construct_trace(
+        &mut self,
+        start: Pc,
+        id: Option<TraceId>,
+        stop_before: Option<Pc>,
+    ) -> (Arc<Trace>, u32) {
         struct ConstructOutcomes<'a> {
             id: Option<TraceId>,
             btb: &'a Btb,
             ras_top: Option<Pc>,
+            ntb: bool,
         }
         impl OutcomeSource for ConstructOutcomes<'_> {
-            fn cond_outcome(&mut self, index: u8, pc: Pc, _inst: Inst) -> bool {
+            fn cond_outcome(&mut self, index: u8, pc: Pc, inst: Inst) -> bool {
                 match self.id {
                     Some(id) if index < id.branches() => id.outcome(index),
+                    // Beyond the prediction's depth. Under `ntb` selection a
+                    // loop-exit counter hovers between its weak states (it
+                    // is retrained on every exit), making its guesses near
+                    // coin flips that both terminate traces spuriously and
+                    // embed wrong exits; static backward-taken beats a
+                    // hovering counter, while a *saturated* counter is
+                    // trusted (the next-trace predictor, when it has an
+                    // opinion, still decides the exits).
+                    _ if self.ntb && inst.is_backward_branch(pc) && self.btb.cond_is_weak(pc) => {
+                        true
+                    }
                     _ => self.btb.predict_cond(pc),
                 }
             }
@@ -150,13 +196,27 @@ impl TraceProcessor<'_> {
         }
         let selector = self.selector;
         let (program, bit, btb) = (self.program, &mut self.bit, &self.btb);
-        let mut outcomes = ConstructOutcomes { id, btb, ras_top: self.ras.top() };
-        let sel = selector.select(program, start, bit, &mut outcomes);
+        let ntb = self.cfg.selection.ntb;
+        let mut outcomes = ConstructOutcomes { id, btb, ras_top: self.ras.top(), ntb };
+        let sel = selector.select_bounded(
+            program,
+            start,
+            bit,
+            &mut outcomes,
+            stop_before.map(|p| (p, 1)),
+        );
         self.stats.bit_miss_handlers += sel.stats.bit_misses as u64;
         self.stats.bit_miss_cycles += sel.stats.bit_miss_cycles as u64;
         let trace = Arc::new(sel.trace);
         let cycles = self.construction_cycles(&trace, 0) + sel.stats.bit_miss_cycles;
-        self.tcache.fill(trace.clone());
+        // Bounded (insertion-mode) constructions are not cached: a trace
+        // truncated at the re-convergent PC can share its id with the
+        // full-length trace normal selection would build from the same
+        // start, and serving the truncated one outside insertion would
+        // permanently fragment that path.
+        if stop_before.is_none() {
+            self.tcache.fill(trace.clone());
+        }
         (trace, cycles)
     }
 
@@ -164,7 +224,20 @@ impl TraceProcessor<'_> {
     /// `from_slot`: one cycle per basic block plus instruction cache miss
     /// penalties. (Also used by recovery to time trace repair.)
     pub(super) fn construction_cycles(&mut self, trace: &Trace, from_slot: usize) -> u32 {
-        let insts = &trace.insts()[from_slot.min(trace.len().saturating_sub(1))..];
+        self.construction_cycles_span(trace, from_slot, trace.len())
+    }
+
+    /// [`Self::construction_cycles`] bounded to `end_slot` (exclusive):
+    /// recovery charges only the slots a repair actually refetches — a
+    /// preserved common suffix costs nothing to rebuild.
+    pub(super) fn construction_cycles_span(
+        &mut self,
+        trace: &Trace,
+        from_slot: usize,
+        end_slot: usize,
+    ) -> u32 {
+        let end = end_slot.min(trace.len());
+        let insts = &trace.insts()[from_slot.min(end.saturating_sub(1))..end];
         if insts.is_empty() {
             return 1;
         }

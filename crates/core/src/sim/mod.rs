@@ -45,7 +45,8 @@ use tp_cache::{Arb, DCache, ICache, SeqHandle, TraceCache};
 use tp_isa::func::{ArchState, Machine};
 use tp_isa::fxhash::FxHashMap;
 use tp_isa::{Addr, Pc, Program, Reg, Word};
-use tp_predict::{Btb, NextTracePredictor, Ras, TraceHistory};
+use tp_predict::{Btb, NextTracePredictor, Ras, TraceHistory, TracePredictorStats};
+use tp_stats::attr::{AttrKey, RecoveryAttribution, RecoveryOutcome};
 use tp_trace::{Bit, EndReason, Selector, Trace};
 
 use crate::config::TraceProcessorConfig;
@@ -96,6 +97,10 @@ pub struct RunResult {
     pub halted: bool,
     /// Statistics at the end of the run.
     pub stats: SimStats,
+    /// The misprediction outcome-attribution ledger (observation-only).
+    pub attribution: RecoveryAttribution,
+    /// Next-trace predictor statistics (component hits, index pollution).
+    pub predictor: TracePredictorStats,
 }
 
 /// Per-cycle context handed to every pipeline stage by
@@ -156,6 +161,36 @@ struct Recovery {
     repaired: Arc<Trace>,
     ready_at: u64,
     plan: RecoveryPlan,
+    /// Ledger coordinate of the triggering misprediction.
+    attr: AttrKey,
+    /// Detection cycle (ledger occupancy accounting).
+    started_at: u64,
+}
+
+/// An unresolved CGCI attempt awaiting its ledger outcome: resolved as
+/// `CgciReconverged` when fetch detects re-convergence, or as `CgciFailed`
+/// whenever the insertion mode is torn down any other way (window
+/// pressure, preserved trace lost, preemption by another recovery).
+#[derive(Clone, Copy, Debug)]
+struct CgciPending {
+    /// Ledger coordinate; its outcome field is provisional.
+    attr: AttrKey,
+    /// `(pe, slot, pc)` of the faulting branch, to back-annotate the
+    /// slot's attribution when the attempt resolves.
+    fault: (usize, usize, Pc),
+    /// Dispatch cycle of the faulting trace: generations are bumped by
+    /// every repair, but `(pe, dispatched_at)` uniquely identifies the
+    /// trace *instance* — without it, a freed-and-refilled PE holding the
+    /// same trace shape would be mis-annotated.
+    fault_dispatched_at: u64,
+    /// Cycle the attempt started (occupancy accounting).
+    started_at: u64,
+    /// Traces squashed on behalf of this attempt so far.
+    squashed: u64,
+    /// The faulting branch already retired and was counted under the
+    /// provisional outcome; resolution must migrate that count if the
+    /// final outcome differs.
+    retired_provisionally: bool,
 }
 
 /// A re-dispatch pass over preserved (control independent) traces.
@@ -164,6 +199,8 @@ struct RedispatchPass {
     queue: VecDeque<usize>,
     rolling: TraceHistory,
     origin: &'static str,
+    /// Ledger coordinate charged for each re-dispatched trace.
+    attr: Option<AttrKey>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -287,6 +324,8 @@ pub struct TraceProcessor<'p> {
     mode: FetchMode,
     construction_busy_until: u64,
     recovery: Option<Recovery>,
+    /// The unresolved CGCI attempt backing the current `CgciInsert` mode.
+    cgci_pending: Option<CgciPending>,
     redispatch: Option<RedispatchPass>,
     // Buses.
     cache_bus_queue: VecDeque<BusReq>,
@@ -329,6 +368,28 @@ pub struct TraceProcessor<'p> {
     last_retire_cycle: u64,
     halted: bool,
     stats: SimStats,
+    /// The misprediction outcome-attribution ledger. Observation-only:
+    /// nothing in the simulator reads it back.
+    attribution: RecoveryAttribution,
+    /// Retired mispredicted branches with provenance
+    /// ([`TraceProcessorConfig::log_mispredicts`]).
+    misp_log: Vec<MispredictRecord>,
+}
+
+/// One retired mispredicted branch, with the provenance of its (wrong)
+/// embedded prediction ([`TraceProcessor::mispredict_log`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MispredictRecord {
+    /// The branch's PC.
+    pub pc: Pc,
+    /// Index of the branch among its trace's conditional branches.
+    pub branch_idx: u8,
+    /// Number of branches the trace's id embeds (a `branch_idx` at or
+    /// beyond this depth was predicted by the construction fallback, not
+    /// the next-trace prediction).
+    pub id_branches: u8,
+    /// How the trace entered the window.
+    pub source: FetchSource,
 }
 
 impl<'p> TraceProcessor<'p> {
@@ -373,6 +434,7 @@ impl<'p> TraceProcessor<'p> {
             mode: FetchMode::Normal,
             construction_busy_until: 0,
             recovery: None,
+            cgci_pending: None,
             redispatch: None,
             cache_bus_queue: VecDeque::new(),
             result_bus_queue: VecDeque::new(),
@@ -395,6 +457,8 @@ impl<'p> TraceProcessor<'p> {
             last_retire_cycle: 0,
             halted: false,
             stats: SimStats::default(),
+            attribution: RecoveryAttribution::new(),
+            misp_log: Vec::new(),
             cfg,
         }
     }
@@ -407,6 +471,22 @@ impl<'p> TraceProcessor<'p> {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// The misprediction outcome-attribution ledger accumulated so far.
+    pub fn attribution(&self) -> &RecoveryAttribution {
+        &self.attribution
+    }
+
+    /// Next-trace predictor statistics (component hits, index pollution).
+    pub fn predictor_stats(&self) -> TracePredictorStats {
+        self.predictor.stats()
+    }
+
+    /// Retired mispredicted conditional branches, in retirement order
+    /// (empty unless [`TraceProcessorConfig::log_mispredicts`]).
+    pub fn mispredict_log(&self) -> &[MispredictRecord] {
+        &self.misp_log
     }
 
     /// Committed architectural state (registers plus memory), normalized for
@@ -439,7 +519,12 @@ impl<'p> TraceProcessor<'p> {
                 return Err(SimError::Deadlock { cycle: self.now, detail: self.dump_window() });
             }
         }
-        Ok(RunResult { halted: self.halted, stats: self.stats })
+        Ok(RunResult {
+            halted: self.halted,
+            stats: self.stats,
+            attribution: self.attribution.clone(),
+            predictor: self.predictor.stats(),
+        })
     }
 
     /// Advances the simulation by one cycle.
@@ -509,6 +594,55 @@ impl<'p> TraceProcessor<'p> {
 
     // ------------------------------------------------------------------
     // Helpers shared by multiple stages.
+
+    /// Changes the frontend fetch mode. This is the single chokepoint for
+    /// leaving (or restarting) `CgciInsert`: any teardown that is not the
+    /// explicit success path in fetch re-convergence detection resolves
+    /// the pending CGCI attempt as failed in the attribution ledger.
+    /// Ledger-only — the mode change itself is exactly `self.mode = mode`.
+    fn set_mode(&mut self, mode: FetchMode) {
+        if matches!(self.mode, FetchMode::CgciInsert { .. }) {
+            if let Some(p) = self.cgci_pending.take() {
+                self.resolve_cgci(p, RecoveryOutcome::CgciFailed, 0);
+            }
+        }
+        self.mode = mode;
+    }
+
+    /// Resolves a CGCI attempt in the ledger: flushes its accumulated
+    /// costs into the `(class, heuristic, outcome)` cell and back-annotates
+    /// the faulting slot's attribution when it is still identifiable (the
+    /// slot may have been replaced or retired while the attempt ran; the
+    /// stored PC validates it). Returns the resolved ledger key.
+    fn resolve_cgci(
+        &mut self,
+        p: CgciPending,
+        outcome: RecoveryOutcome,
+        preserved: u64,
+    ) -> AttrKey {
+        let key = (p.attr.0, p.attr.1, outcome);
+        // The faulting branch may have retired mid-attempt; its retirement
+        // was counted under the provisional outcome and migrates with the
+        // resolution.
+        if p.retired_provisionally && key != p.attr {
+            self.attribution.cell_mut(p.attr).retired -= 1;
+            self.attribution.cell_mut(key).retired += 1;
+        }
+        let cell = self.attribution.cell_mut(key);
+        cell.events += 1;
+        cell.traces_squashed += p.squashed;
+        cell.traces_preserved += preserved;
+        cell.recovery_cycles += self.now.saturating_sub(p.started_at);
+        let (pe, slot, pc) = p.fault;
+        if self.pes[pe].occupied && self.pes[pe].dispatched_at == p.fault_dispatched_at {
+            if let Some(s) = self.pes[pe].slots.get_mut(slot) {
+                if s.ti.pc == pc && s.was_mispredicted {
+                    s.attr = Some(key);
+                }
+            }
+        }
+        key
+    }
 
     fn handle(pe: usize, slot: usize) -> SeqHandle {
         SeqHandle(((pe as u64) << 8) | slot as u64)
@@ -597,6 +731,7 @@ impl<'p> TraceProcessor<'p> {
                 }
             }
         }
+        self.stats.value_change_marks += kept.len() as u64;
         for &(pe, _, slot) in &kept {
             self.mark_reissue_slot(pe, slot, not_before);
         }
@@ -627,6 +762,7 @@ impl<'p> TraceProcessor<'p> {
     /// cover its old sources only. Slots left in flight (pending reissue)
     /// re-enqueue when their discarded completion arrives.
     fn rebind_reissue_slot(&mut self, pe: usize, slot: usize, not_before: u64) {
+        self.stats.rebind_marks += 1;
         let _ = self.pes[pe].slots[slot].mark_reissue(not_before);
         if self.pes[pe].slots[slot].state == SlotState::Waiting {
             self.index_enqueue(pe, slot);

@@ -24,6 +24,7 @@ use super::*;
 use crate::config::CgciHeuristic;
 use crate::pe::{Fault, Slot};
 use tp_isa::Inst;
+use tp_stats::attr::{BranchClass, Heuristic};
 use tp_trace::{OperandRef, OutcomeSource, TraceId};
 
 impl TraceProcessor<'_> {
@@ -36,13 +37,69 @@ impl TraceProcessor<'_> {
         self.list.logical(a.0) < self.list.logical(b.0)
     }
 
+    /// The oldest *actionable* fault in the window.
+    ///
+    /// Under a CI model, recovery preserves completed work near the
+    /// mispredicted branch, so value changes ripple through preserved
+    /// slots and can make a branch resolve transiently wrong on
+    /// mixed stale/fresh operands. Acting on such a fault starts a bogus
+    /// repair (occupying the construction engine) and counts a phantom
+    /// misprediction. The debounce: a fault is actionable only once the
+    /// branch and its transitive *intra-trace* producers have settled
+    /// (completed with no pending reissue) — i.e. the outcome was computed
+    /// from its final local inputs. The base machine squashes everything
+    /// younger than a fault, has no preserved-value ripple, and keeps the
+    /// paper's act-at-detection behaviour.
     fn oldest_fault(&self) -> Option<(usize, usize)> {
+        let debounce = self.cfg.fgci || self.cfg.cgci.is_some();
         for pe in self.list.iter() {
             if let Some(slot) = self.pes[pe].first_fault() {
-                return Some((pe, slot));
+                if !debounce || self.fault_inputs_settled(pe, slot) {
+                    return Some((pe, slot));
+                }
+                // Not settled: skip this PE's fault for now (it re-raises
+                // or clears when the ripple finishes) but keep scanning —
+                // an already-settled younger fault must not starve.
             }
         }
         None
+    }
+
+    /// Whether a faulting slot and every intra-trace producer it
+    /// (transitively) reads have settled: completed, with no reissue
+    /// pending. `OperandRef::Local` references point strictly backward, so
+    /// one reverse pass over a slot-index bitmask closes the set.
+    fn fault_inputs_settled(&self, pe: usize, slot: usize) -> bool {
+        let slots = &self.pes[pe].slots;
+        let settled = |s: &Slot| s.state == SlotState::Done && !s.pending_reissue;
+        if !settled(&slots[slot]) {
+            return false;
+        }
+        let locals = |s: &Slot| {
+            s.ti.srcs
+                .iter()
+                .flatten()
+                .filter_map(
+                    |&(_, oref)| {
+                        if let OperandRef::Local(j) = oref {
+                            Some(j as u64)
+                        } else {
+                            None
+                        }
+                    },
+                )
+                .fold(0u64, |m, j| m | 1 << j)
+        };
+        let mut need = locals(&slots[slot]);
+        for i in (0..slot).rev() {
+            if need >> i & 1 == 1 {
+                if !settled(&slots[i]) {
+                    return false;
+                }
+                need |= locals(&slots[i]);
+            }
+        }
+        true
     }
 
     pub(super) fn recovery_stage(&mut self, ctx: &CycleCtx) {
@@ -87,7 +144,7 @@ impl TraceProcessor<'_> {
                 }
                 self.fetch_queue.clear();
                 self.redispatch = None;
-                self.mode = FetchMode::Normal;
+                self.set_mode(FetchMode::Normal);
                 self.pes[pe].slots[slot].fault = None;
                 self.fetch_hist = self.rebuild_history();
                 self.current_map = self.pes[pe].map_after;
@@ -97,46 +154,72 @@ impl TraceProcessor<'_> {
                 };
             }
             Fault::CondBranch { actual } => {
-                self.pes[pe].slots[slot].was_mispredicted = true;
+                let ti = self.pes[pe].slots[slot].ti;
+                let class = ti.ci_branch_class().expect("cond-branch fault classifies");
                 let repaired = self.repair_trace(pe, slot, actual);
-                // Construction timing: refetch the repaired suffix through
-                // the instruction cache, one basic block per cycle.
-                let cycles = self.construction_cycles(&repaired, slot);
+                // Construction timing: refetch the repaired *middle*
+                // through the instruction cache, one basic block per
+                // cycle. A common suffix preserved by a CI model's repair
+                // (see `replace_trace`) is never rebuilt, so it is not
+                // charged.
+                let prefix_len = (slot + 1).min(repaired.len());
+                let suffix = self.common_suffix_len(pe, prefix_len, &repaired);
+                let cycles =
+                    self.construction_cycles_span(&repaired, slot, repaired.len() - suffix);
                 let ready_at = self.now.max(self.construction_busy_until) + cycles as u64;
                 self.construction_busy_until = ready_at;
                 // Decide the recovery plan now; squash at detection.
-                let covered = self.cfg.fgci && self.pes[pe].slots[slot].ti.fgci_covered;
-                let plan = if covered {
-                    RecoveryPlan::Fgci
-                } else if let Some(reconv) = self.find_reconv(pe, slot) {
+                let covered = self.cfg.fgci && ti.fgci_covered;
+                let (plan, attr) = if covered {
+                    // Event and occupancy are recorded at apply time, when
+                    // the fault is confirmed still standing (a transient
+                    // fault's abandoned repair is not an FGCI recovery).
+                    let key = (class, Heuristic::Fgci, RecoveryOutcome::FgciRepair);
+                    (RecoveryPlan::Fgci, key)
+                } else if let Some((reconv, matched, victims)) = self.viable_reconv(pe, slot) {
                     self.stats.cgci_attempts += 1;
                     // Squash strictly between the faulting PE and the first
                     // control independent trace.
-                    let victims: Vec<usize> =
-                        self.list.iter_after(pe).take_while(|&q| q != reconv).collect();
+                    let squashed = victims.len() as u64;
                     for v in victims {
                         self.squash_pe(v);
                     }
                     self.fetch_queue.clear();
                     self.redispatch = None;
                     let gen = self.pes[reconv].gen;
-                    self.mode = FetchMode::CgciInsert {
+                    // The attempt's outcome is provisional until fetch
+                    // detects re-convergence or the insertion is torn down.
+                    let key = (class, matched, RecoveryOutcome::CgciReconverged);
+                    self.set_mode(FetchMode::CgciInsert {
                         before: reconv,
                         before_gen: gen,
                         reconv_start: self.pes[reconv].trace.id().start(),
                         inserted: 0,
-                    };
-                    RecoveryPlan::Cgci
+                    });
+                    self.cgci_pending = Some(CgciPending {
+                        attr: key,
+                        fault: (pe, slot, ti.pc),
+                        fault_dispatched_at: self.pes[pe].dispatched_at,
+                        started_at: self.now,
+                        squashed,
+                        retired_provisionally: false,
+                    });
+                    (RecoveryPlan::Cgci, key)
                 } else {
                     self.stats.full_squashes += 1;
                     let victims: Vec<usize> = self.list.iter_after(pe).collect();
+                    let key = (class, self.consulted_heuristic(class), RecoveryOutcome::FullSquash);
+                    let cell = self.attribution.cell_mut(key);
+                    cell.events += 1;
+                    cell.traces_squashed += victims.len() as u64;
+                    cell.recovery_cycles += ready_at - self.now;
                     for v in victims {
                         self.squash_pe(v);
                     }
                     self.fetch_queue.clear();
                     self.redispatch = None;
-                    self.mode = FetchMode::Normal;
-                    RecoveryPlan::Full
+                    self.set_mode(FetchMode::Normal);
+                    (RecoveryPlan::Full, key)
                 };
                 if plan == RecoveryPlan::Fgci {
                     // FGCI leaves the window untouched, but pending fetches
@@ -144,14 +227,36 @@ impl TraceProcessor<'_> {
                     self.fetch_queue.clear();
                 }
                 let gen = self.pes[pe].gen;
-                self.recovery = Some(Recovery { pe, gen, slot, repaired, ready_at, plan });
+                let started_at = self.now;
+                self.recovery =
+                    Some(Recovery { pe, gen, slot, repaired, ready_at, plan, attr, started_at });
             }
         }
     }
 
+    /// The CGCI heuristic primarily consulted for a misprediction of
+    /// `class` under the current configuration (ledger labelling for
+    /// recoveries where no re-convergent trace was found).
+    fn consulted_heuristic(&self, class: BranchClass) -> Heuristic {
+        match self.cfg.cgci {
+            None => Heuristic::None,
+            Some(CgciHeuristic::MlbRet) if class == BranchClass::Backward => Heuristic::Mlb,
+            Some(_) => Heuristic::Ret,
+        }
+    }
+
+    /// [`Self::find_reconv`] plus the attempt's profitability bound: the
+    /// control-dependent traces to squash, rejected (full squash instead)
+    /// when they outnumber [`TraceProcessorConfig::cgci_max_dependent`].
+    fn viable_reconv(&self, pe: usize, slot: usize) -> Option<(usize, Heuristic, Vec<usize>)> {
+        let (reconv, matched) = self.find_reconv(pe, slot)?;
+        let victims: Vec<usize> = self.list.iter_after(pe).take_while(|&q| q != reconv).collect();
+        (victims.len() <= self.cfg.cgci_max_dependent).then_some((reconv, matched, victims))
+    }
+
     /// Locates the first assumed control-independent trace after `pe` using
-    /// the configured CGCI heuristic.
-    fn find_reconv(&self, pe: usize, slot: usize) -> Option<usize> {
+    /// the configured CGCI heuristic, reporting which heuristic matched.
+    fn find_reconv(&self, pe: usize, slot: usize) -> Option<(usize, Heuristic)> {
         let heuristic = self.cfg.cgci?;
         let ti = &self.pes[pe].slots[slot].ti;
         if heuristic == CgciHeuristic::MlbRet && ti.inst.is_backward_branch(ti.pc) {
@@ -160,33 +265,85 @@ impl TraceProcessor<'_> {
             if let Some(q) =
                 self.list.iter_after(pe).find(|&q| self.pes[q].trace.id().start() == target)
             {
-                return Some(q);
+                return Some((q, Heuristic::Mlb));
             }
         }
         // RET: the trace following the nearest return-ending trace.
         let ret_pe = self.list.iter_after(pe).find(|&q| self.pes[q].trace.ends_in_return())?;
-        self.list.next(ret_pe)
+        self.list.next(ret_pe).map(|q| (q, Heuristic::Ret))
     }
 
     /// Re-selects the faulting trace with the branch's actual outcome
     /// (prefix outcomes embedded, suffix outcomes from the BTB).
+    ///
+    /// Under a control-independence model the suffix does better than the
+    /// BTB: the selective-recovery hardware (§5) still holds the faulting
+    /// trace's suffix slots, so branches the old trace already *resolved*
+    /// reuse their resolved outcomes and unresolved ones keep their
+    /// original (trace-predictor) embedded predictions. Re-predicting them
+    /// with the BTB — as the base machine must, since a full squash
+    /// discards the slots — manufactures fresh mispredictions on exactly
+    /// the paths control independence is trying to preserve. Outcomes are
+    /// matched to the re-selected path by PC with a forward cursor, so
+    /// reuse survives the control-flow divergence between the old and new
+    /// suffix (e.g. extra loop iterations after a loop-exit flip).
     fn repair_trace(&mut self, pe: usize, slot: usize, actual: bool) -> Arc<Trace> {
         let trace = self.pes[pe].trace.clone();
         let fault_branch_idx =
             trace.insts()[..slot].iter().filter(|ti| ti.inst.is_cond_branch()).count() as u8;
         let id = trace.id();
+        let reuse_suffix = self.cfg.fgci || self.cfg.cgci.is_some();
+        let suffix_outcomes: Vec<(Pc, bool)> = if reuse_suffix {
+            self.pes[pe].slots[slot + 1..]
+                .iter()
+                .filter_map(|s| {
+                    if !s.ti.inst.is_cond_branch() {
+                        return None;
+                    }
+                    match (s.state == SlotState::Done, s.outcome, s.ti.embedded_taken) {
+                        (true, Some(resolved), _) => Some((s.ti.pc, resolved)),
+                        (_, _, Some(embedded)) => Some((s.ti.pc, embedded)),
+                        _ => None,
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         struct RepairOutcomes<'a> {
             id: TraceId,
             fault_idx: u8,
             actual: bool,
             btb: &'a Btb,
+            suffix: &'a [(Pc, bool)],
+            cursor: usize,
+            ntb: bool,
         }
         impl OutcomeSource for RepairOutcomes<'_> {
-            fn cond_outcome(&mut self, index: u8, pc: Pc, _inst: Inst) -> bool {
+            fn cond_outcome(&mut self, index: u8, pc: Pc, inst: Inst) -> bool {
                 match index.cmp(&self.fault_idx) {
                     std::cmp::Ordering::Less => self.id.outcome(index),
                     std::cmp::Ordering::Equal => self.actual,
-                    std::cmp::Ordering::Greater => self.btb.predict_cond(pc),
+                    std::cmp::Ordering::Greater => {
+                        if let Some(hit) =
+                            self.suffix[self.cursor..].iter().position(|&(p, _)| p == pc)
+                        {
+                            let (_, outcome) = self.suffix[self.cursor + hit];
+                            self.cursor += hit + 1;
+                            outcome
+                        } else if self.ntb
+                            && inst.is_backward_branch(pc)
+                            && self.btb.cond_is_weak(pc)
+                        {
+                            // Same static backward-taken fallback as trace
+                            // construction under `ntb` selection (a
+                            // hovering loop-exit counter is a coin flip; a
+                            // saturated one is trusted).
+                            true
+                        } else {
+                            self.btb.predict_cond(pc)
+                        }
+                    }
                 }
             }
             fn indirect_target(&mut self, pc: Pc, _inst: Inst) -> Option<Pc> {
@@ -197,7 +354,15 @@ impl TraceProcessor<'_> {
         // the BIT.
         let selector = self.selector;
         let (program, bit, btb) = (self.program, &mut self.bit, &self.btb);
-        let mut outcomes = RepairOutcomes { id, fault_idx: fault_branch_idx, actual, btb };
+        let mut outcomes = RepairOutcomes {
+            id,
+            fault_idx: fault_branch_idx,
+            actual,
+            btb,
+            suffix: &suffix_outcomes,
+            cursor: 0,
+            ntb: self.cfg.selection.ntb,
+        };
         let sel = selector.select(program, id.start(), bit, &mut outcomes);
         self.stats.bit_miss_handlers += sel.stats.bit_misses as u64;
         self.stats.bit_miss_cycles += sel.stats.bit_miss_cycles as u64;
@@ -207,12 +372,19 @@ impl TraceProcessor<'_> {
     fn apply_recovery(&mut self, rec: Recovery) {
         let pe = rec.pe;
         // Abandon if the fault has vanished (outcome flipped back by a
-        // selective reissue before the repair finished): re-verification at
-        // the slot's next completion decides what happens next. The squashes
-        // performed at detection stand — refetch proceeds normally.
-        if self.pes[pe].slots.get(rec.slot).is_none_or(|s| s.fault.is_none()) {
+        // selective reissue before the repair finished) or — under a CI
+        // model — if the faulting slot went back in flight (its inputs
+        // changed, so the repair was built from a transient outcome):
+        // re-verification at the slot's next completion decides what
+        // happens next. The squashes performed at detection stand — refetch
+        // proceeds normally.
+        let debounce = self.cfg.fgci || self.cfg.cgci.is_some();
+        let stale = self.pes[pe].slots.get(rec.slot).is_none_or(|s| {
+            s.fault.is_none() || (debounce && (s.state != SlotState::Done || s.pending_reissue))
+        });
+        if stale {
             if let FetchMode::CgciInsert { .. } = self.mode {
-                self.mode = FetchMode::Normal;
+                self.set_mode(FetchMode::Normal);
             }
             // An in-flight re-dispatch pass owns the map/history chain; it
             // restores fetch state itself when it completes.
@@ -223,6 +395,23 @@ impl TraceProcessor<'_> {
             }
             return;
         }
+        // The fault stands: the branch's embedded prediction really was
+        // wrong. Record the misprediction and its ledger coordinate here —
+        // not at detection — so transient faults never count.
+        self.pes[pe].slots[rec.slot].was_mispredicted = true;
+        self.pes[pe].slots[rec.slot].attr = Some(rec.attr);
+        if self.cfg.log_mispredicts {
+            let branch_idx = self.pes[pe].slots[..rec.slot]
+                .iter()
+                .filter(|s| s.ti.inst.is_cond_branch())
+                .count() as u8;
+            self.misp_log.push(MispredictRecord {
+                pc: self.pes[pe].slots[rec.slot].ti.pc,
+                branch_idx,
+                id_branches: self.pes[pe].trace.id().branches(),
+                source: self.pes[pe].source,
+            });
+        }
         // Replace the faulting PE's trace with the repaired one (prefix
         // slots keep their state; suffix slots are squashed and replaced).
         self.pes[pe].repairs += 1;
@@ -232,7 +421,11 @@ impl TraceProcessor<'_> {
                 self.stats.fgci_recoveries += 1;
                 let preserved: Vec<usize> = self.list.iter_after(pe).collect();
                 self.stats.preserved_traces += preserved.len() as u64;
-                self.begin_redispatch(pe, preserved);
+                let cell = self.attribution.cell_mut(rec.attr);
+                cell.events += 1;
+                cell.recovery_cycles += rec.ready_at - rec.started_at;
+                cell.traces_preserved += preserved.len() as u64;
+                self.begin_redispatch(pe, preserved, Some(rec.attr));
             }
             RecoveryPlan::Cgci => {
                 // Fetch will insert correct control-dependent traces before
@@ -255,29 +448,83 @@ impl TraceProcessor<'_> {
         }
     }
 
+    /// Length of the common instruction suffix shared by the live trace in
+    /// `pe` (beyond its preserved prefix of `prefix_len` slots) and the
+    /// `repaired` trace — the intra-trace control-independent tail that a
+    /// CI model's repair preserves in place. Always 0 when neither CI model
+    /// is enabled: the base machine squashes the whole suffix.
+    pub(super) fn common_suffix_len(
+        &self,
+        pe: usize,
+        prefix_len: usize,
+        repaired: &Trace,
+    ) -> usize {
+        if !(self.cfg.fgci || self.cfg.cgci.is_some()) {
+            return 0;
+        }
+        let old = &self.pes[pe].slots;
+        let new = repaired.insts();
+        let max = old.len().saturating_sub(prefix_len).min(new.len().saturating_sub(prefix_len));
+        let mut common = 0;
+        while common < max {
+            let o = &old[old.len() - 1 - common].ti;
+            let n = &new[new.len() - 1 - common];
+            if o.pc == n.pc && o.inst == n.inst {
+                common += 1;
+            } else {
+                break;
+            }
+        }
+        common
+    }
+
     /// Replaces the trace in `pe` from `keep_upto` (inclusive prefix bound)
-    /// with `repaired`: prefix slots keep state, suffix slots are squashed
-    /// and freshly renamed. Re-registers readers under a new generation.
+    /// with `repaired`: prefix slots keep state, squashed middle slots are
+    /// freshly renamed, and — under a CI model — the common instruction
+    /// suffix after the re-convergent point keeps its execution state too
+    /// (§3's fine-grain repair: only the incorrect control-dependent
+    /// instructions are replaced). Re-registers readers under a new
+    /// generation.
     fn replace_trace(&mut self, pe: usize, fault_slot: usize, repaired: Arc<Trace>) {
         let old_len = self.pes[pe].slots.len();
-        let prefix_len = (fault_slot + 1).min(repaired.len());
+        let new_len = repaired.len();
+        let prefix_len = (fault_slot + 1).min(new_len);
         debug_assert!(fault_slot < old_len);
-        // Undo stores in the squashed suffix.
-        for slot in prefix_len..old_len {
-            self.undo_store_if_performed(pe, slot);
+        let common = self.common_suffix_len(pe, prefix_len, &repaired);
+        let middle_end = new_len - common;
+        // Undo stores in the squashed middle. Unlike a full-suffix squash,
+        // the preserved common suffix survives in the same PE and may hold
+        // loads fed by these dying stores, so the undo snoop must not skip
+        // same-PE victims.
+        for slot in prefix_len..old_len - common {
+            self.undo_store_snooping(pe, slot, usize::MAX);
+        }
+        // Preserved suffix slots shift indices when the repaired middle has
+        // a different physical length. Sequence handles encode the slot
+        // index, so a performed store cannot keep its ARB version across
+        // the move: undo it under the *old* handle (reissuing every load
+        // that sourced it, same-PE included) and let the store re-perform
+        // under its new handle.
+        let shift = old_len != new_len;
+        if shift {
+            for slot in old_len - common..old_len {
+                if self.undo_store_snooping(pe, slot, usize::MAX) {
+                    let _ = self.pes[pe].slots[slot].mark_reissue(self.now + 1);
+                }
+            }
         }
         self.pes[pe].gen += 1;
         let map_before = self.pes[pe].map_before;
-        let mut slots = std::mem::take(&mut self.pes[pe].slots);
-        slots.truncate(prefix_len);
+        let mut old_slots = std::mem::take(&mut self.pes[pe].slots);
+        let suffix: Vec<Slot> = old_slots.drain(old_len - common..).collect();
+        old_slots.truncate(prefix_len);
+        let mut slots = old_slots;
         // Refresh prefix metadata from the repaired trace (same
         // instructions; embedded outcomes/coverage may differ).
         for (i, s) in slots.iter_mut().enumerate() {
             let new_ti = repaired.insts()[i];
             debug_assert_eq!(s.ti.inst, new_ti.inst, "repair changed a prefix instruction");
-            let was_misp = s.was_mispredicted;
             s.ti = new_ti;
-            s.was_mispredicted = was_misp;
             // Re-verify the (former) fault branch against its new embedded
             // outcome.
             if new_ti.inst.is_cond_branch() && s.state == SlotState::Done {
@@ -289,13 +536,25 @@ impl TraceProcessor<'_> {
                 };
             }
         }
-        // Fresh suffix slots.
-        for i in prefix_len..repaired.len() {
+        // Fresh middle slots.
+        for i in prefix_len..middle_end {
             slots.push(Slot::new(repaired.insts()[i]));
         }
-        // Rebind all sources and (re)allocate suffix destinations.
+        // Preserved suffix slots: keep execution state and refresh
+        // metadata. Branch re-verification happens below, once source
+        // rebinding has decided which slots reissue — a resolved outcome is
+        // only meaningful while the slot's inputs still stand.
+        for (k, mut s) in suffix.into_iter().enumerate() {
+            let new_ti = repaired.insts()[middle_end + k];
+            debug_assert_eq!(s.ti.inst, new_ti.inst, "suffix match changed an instruction");
+            s.ti = new_ti;
+            slots.push(s);
+        }
+        // Rebind all sources and allocate fresh middle destinations;
+        // prefix and preserved suffix keep their physical registers.
         for i in 0..slots.len() {
             let ti = slots[i].ti;
+            let old_srcs = slots[i].srcs;
             let mut srcs = [None; 2];
             for (k, &(r, oref)) in ti.srcs.iter().flatten().enumerate() {
                 let preg = match oref {
@@ -309,8 +568,28 @@ impl TraceProcessor<'_> {
                 srcs[k] = Some(preg);
             }
             slots[i].srcs = srcs;
-            if i >= prefix_len {
+            if i >= prefix_len && i < middle_end {
                 slots[i].dest = ti.dest.map(|_| self.pregs.alloc(Some(pe as u8)));
+            }
+            // A preserved suffix slot whose source names moved (its value
+            // now comes from the repaired middle) selectively reissues —
+            // the same rule the re-dispatch pass applies across traces.
+            // Its stale outcome proves nothing, so any fault it carried is
+            // dropped: re-execution re-verifies against the repaired
+            // trace's embedded outcome at completion. Only a slot whose
+            // inputs still stand re-verifies its resolved outcome here.
+            if i >= middle_end {
+                if srcs != old_srcs {
+                    slots[i].fault = None;
+                    let _ = slots[i].mark_reissue(self.now + 1);
+                } else if slots[i].ti.inst.is_cond_branch() && slots[i].state == SlotState::Done {
+                    slots[i].fault = match slots[i].outcome {
+                        Some(actual) if Some(actual) != slots[i].ti.embedded_taken => {
+                            Some(Fault::CondBranch { actual })
+                        }
+                        _ => None,
+                    };
+                }
             }
             let is_liveout = match ti.dest {
                 Some(d) => repaired.last_writer(d) == Some(i),
@@ -318,9 +597,9 @@ impl TraceProcessor<'_> {
             };
             let was_liveout = slots[i].is_liveout;
             slots[i].is_liveout = is_liveout;
-            // A prefix slot promoted to live-out after completion must still
-            // broadcast its value to other PEs.
-            if i < prefix_len
+            // A preserved slot promoted to live-out after completion must
+            // still broadcast its value to other PEs.
+            if (i < prefix_len || i >= middle_end)
                 && is_liveout
                 && !was_liveout
                 && slots[i].state == SlotState::Done
@@ -356,9 +635,11 @@ impl TraceProcessor<'_> {
                 }
             }
         }
-        // In-flight prefix mem operations keep their bus requests (now
-        // stale-generation): requeue any that were pending.
-        for i in 0..prefix_len.min(self.pes[pe].slots.len()) {
+        // In-flight preserved mem operations (prefix and common suffix)
+        // keep their bus requests (now stale-generation): requeue any that
+        // were pending, under their possibly-shifted indices. Fresh middle
+        // slots are `Waiting` and cannot be in `WaitingBus`.
+        for i in 0..self.pes[pe].slots.len() {
             if let SlotState::WaitingBus { since } = self.pes[pe].slots[i].state {
                 let gen = self.pes[pe].gen;
                 self.push_cache_req(BusReq { pe, gen, slot: i, since });
@@ -389,19 +670,31 @@ impl TraceProcessor<'_> {
         self.tcache.fill(repaired);
     }
 
-    pub(super) fn undo_store_if_performed(&mut self, pe: usize, slot: usize) {
+    /// Undoes the slot's ARB store version, if one was performed, snooping
+    /// victim loads except those in `snoop_skip` (`usize::MAX` skips
+    /// nothing — required whenever same-PE slots survive the undo, e.g.
+    /// the preserved common suffix of a trace repair). Returns whether a
+    /// version was undone.
+    fn undo_store_snooping(&mut self, pe: usize, slot: usize, snoop_skip: usize) -> bool {
         let (performed, addr) = {
             let s = &self.pes[pe].slots[slot];
             (s.store_performed, s.mem_addr)
         };
         if !performed {
-            return;
+            return false;
         }
         let addr = addr.expect("performed store has an address");
         let h = Self::handle(pe, slot);
         self.arb.undo(addr, h);
         self.pes[pe].slots[slot].store_performed = false;
-        self.snoop_undo(addr, h, pe);
+        self.snoop_undo(addr, h, snoop_skip);
+        true
+    }
+
+    /// Store undo for paths where every same-PE slot dies with the store
+    /// (squash): same-PE loads need no snoop.
+    pub(super) fn undo_store_if_performed(&mut self, pe: usize, slot: usize) {
+        self.undo_store_snooping(pe, slot, pe);
     }
 
     pub(super) fn squash_pe(&mut self, pe: usize) {

@@ -11,9 +11,16 @@
 //! registers, so the chained map can only ever bind strictly older
 //! producers.
 //!
+//! The pass owns the *dispatch bus* only: fetch keeps running while it
+//! drains. The speculative fetch history and expectation are restored
+//! eagerly at pass start (the preserved traces' ids are already known), so
+//! the frontend predicts and constructs the post-window stream concurrently
+//! with the register repair instead of stalling for one cycle per preserved
+//! trace — fetched traces simply queue until the pass releases the bus.
+//!
 //! **Mutates:** the active [`RedispatchPass`], preserved PEs' slot sources
 //! and rename maps, the speculative rename-map chain and fetch
-//! history/expectation (on completion), reader registrations, and
+//! history/expectation (at pass start), reader registrations, and
 //! statistics.
 
 use super::*;
@@ -24,7 +31,12 @@ impl TraceProcessor<'_> {
     /// order), which updates their live-in renames one trace per cycle.
     /// Always replaces any pass already in flight: the new recovery's map
     /// chain supersedes the old one.
-    pub(super) fn begin_redispatch(&mut self, repaired_pe: usize, preserved: Vec<usize>) {
+    pub(super) fn begin_redispatch(
+        &mut self,
+        repaired_pe: usize,
+        preserved: Vec<usize>,
+        attr: Option<AttrKey>,
+    ) {
         let mut rolling = self.pes[repaired_pe].hist_before.clone();
         rolling.push(self.pes[repaired_pe].trace.id());
         self.current_map = self.pes[repaired_pe].map_after;
@@ -32,38 +44,60 @@ impl TraceProcessor<'_> {
             self.redispatch = None;
             self.fetch_hist = rolling;
             self.expected = self.expected_after_pe(repaired_pe);
-            self.mode = FetchMode::Normal;
+            self.set_mode(FetchMode::Normal);
             return;
         }
-        self.redispatch = Some(RedispatchPass { queue: preserved.into(), rolling, origin: "fgci" });
-        self.mode = FetchMode::Normal;
+        self.restore_fetch_past(&rolling, &preserved);
+        self.redispatch =
+            Some(RedispatchPass { queue: preserved.into(), rolling, origin: "fgci", attr });
+        self.set_mode(FetchMode::Normal);
     }
 
     /// Starts the CGCI re-dispatch pass: `preserved` traces re-rename from
     /// the map after `pred` (the last inserted control-dependent trace or
     /// the repaired trace itself).
-    pub(super) fn begin_redispatch_from_map(&mut self, preserved: Vec<usize>, pred: usize) {
+    pub(super) fn begin_redispatch_from_map(
+        &mut self,
+        preserved: Vec<usize>,
+        pred: usize,
+        attr: Option<AttrKey>,
+    ) {
         let mut rolling = self.pes[pred].hist_before.clone();
         rolling.push(self.pes[pred].trace.id());
         self.current_map = self.pes[pred].map_after;
-        self.redispatch = Some(RedispatchPass { queue: preserved.into(), rolling, origin: "cgci" });
+        self.restore_fetch_past(&rolling, &preserved);
+        self.redispatch =
+            Some(RedispatchPass { queue: preserved.into(), rolling, origin: "cgci", attr });
+    }
+
+    /// Restores the speculative fetch history and expectation to the end of
+    /// the preserved suffix so fetch can run concurrently with the pass:
+    /// `rolling` is the history up to (excluding) the first preserved
+    /// trace; the preserved ids extend it to the window tail.
+    fn restore_fetch_past(&mut self, rolling: &TraceHistory, preserved: &[usize]) {
+        let mut h = rolling.clone();
+        for &pe in preserved {
+            h.push(self.pes[pe].trace.id());
+        }
+        self.fetch_hist = h;
+        self.expected = self.expected_after_tail();
     }
 
     /// One step of a re-dispatch pass: update one preserved trace's live-in
     /// renames; only instructions with changed source names reissue.
     pub(super) fn redispatch_step(&mut self, ctx: &CycleCtx) {
-        let (pe, mut rolling, empty_after, origin) = {
+        let (pe, mut rolling, empty_after, origin, attr) = {
             let Some(pass) = &mut self.redispatch else { return };
             let Some(pe) = pass.queue.pop_front() else {
                 self.redispatch = None;
                 return;
             };
-            (pe, pass.rolling.clone(), pass.queue.is_empty(), pass.origin)
+            (pe, pass.rolling.clone(), pass.queue.is_empty(), pass.origin, pass.attr)
         };
         if !self.pes[pe].occupied || !self.list.contains(pe) {
             // Squashed while queued (e.g. tail reclamation): skip.
             if empty_after {
-                self.finish_redispatch(rolling);
+                self.redispatch = None;
             }
             return;
         }
@@ -123,16 +157,15 @@ impl TraceProcessor<'_> {
         self.pes[pe].hist_before = rolling.clone();
         rolling.push(trace.id());
         self.stats.redispatched_traces += 1;
+        if let Some(key) = attr {
+            self.attribution.cell_mut(key).traces_redispatched += 1;
+        }
         if empty_after {
-            self.finish_redispatch(rolling);
+            // Fetch state was restored at pass start (and fetch may have
+            // advanced past it since); the pass just releases the bus.
+            self.redispatch = None;
         } else if let Some(pass) = self.redispatch.as_mut() {
             pass.rolling = rolling;
         }
-    }
-
-    fn finish_redispatch(&mut self, rolling: TraceHistory) {
-        self.redispatch = None;
-        self.fetch_hist = rolling;
-        self.expected = self.expected_after_tail();
     }
 }

@@ -61,7 +61,7 @@ impl TraceProcessor<'_> {
                 }
                 self.fetch_queue.clear();
                 self.redispatch = None;
-                self.mode = FetchMode::Normal;
+                self.set_mode(FetchMode::Normal);
                 self.fetch_hist = self.rebuild_history();
                 self.current_map = self.pes[head].map_after;
                 self.expected = self.expected_after_pe(head);
@@ -170,6 +170,24 @@ impl TraceProcessor<'_> {
                 self.stats.retired_cond_branches += 1;
                 if self.pes[pe].slots[slot].was_mispredicted {
                     self.stats.retired_cond_mispredicts += 1;
+                    // Retirement-side attribution: the per-class `retired`
+                    // counts sum to `retired_cond_mispredicts` exactly.
+                    let s = &self.pes[pe].slots[slot];
+                    let key = s.attr.unwrap_or((
+                        s.ti.ci_branch_class().expect("mispredicted slot is a cond branch"),
+                        tp_stats::attr::Heuristic::None,
+                        tp_stats::attr::RecoveryOutcome::FullSquash,
+                    ));
+                    self.attribution.cell_mut(key).retired += 1;
+                    // Retiring under a still-pending CGCI attempt: the
+                    // count above used the provisional outcome; flag it so
+                    // resolution can migrate it if the attempt fails.
+                    let dispatched_at = self.pes[pe].dispatched_at;
+                    if let Some(p) = self.cgci_pending.as_mut() {
+                        if p.fault == (pe, slot, pc) && p.fault_dispatched_at == dispatched_at {
+                            p.retired_provisionally = true;
+                        }
+                    }
                 }
             }
             // Oracle verification, one instruction at a time.

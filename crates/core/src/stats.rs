@@ -54,6 +54,12 @@ pub struct SimStats {
     /// Loads forced to reissue by ARB snooping (memory violations, store
     /// undo, or changed store data).
     pub load_snoop_reissues: u64,
+    /// Slots marked for reissue because a producer's value changed after
+    /// they consumed it (execution-driven selective recovery).
+    pub value_change_marks: u64,
+    /// Slots marked for reissue because a recovery rebound their source
+    /// names (re-dispatch passes, head re-grounding, trace repair).
+    pub rebind_marks: u64,
     /// Tail PEs reclaimed during CGCI insertion (window-full pressure).
     pub tail_reclaims: u64,
     /// Stale head live-in bindings re-grounded to retired state (recovery

@@ -68,6 +68,16 @@ impl Btb {
         self.counters[self.index(pc)] >= 2
     }
 
+    /// Whether the counter for `pc` is in a *weak* (hovering) state.
+    /// Loop-heavy consumers (`ntb` trace selection) treat a weak counter
+    /// as uninformative: a loop-exit counter is retrained on every exit,
+    /// so it hovers between the weak states and predicts near coin flips,
+    /// while a saturated counter reflects a genuinely biased branch.
+    #[inline]
+    pub fn cond_is_weak(&self, pc: Pc) -> bool {
+        matches!(self.counters[self.index(pc)], 1 | 2)
+    }
+
     /// Trains the 2-bit counter for the branch at `pc` with the actual
     /// outcome.
     pub fn update_cond(&mut self, pc: Pc, taken: bool) {

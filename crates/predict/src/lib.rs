@@ -27,4 +27,6 @@ pub mod trace_pred;
 pub use btb::Btb;
 pub use gshare::Gshare;
 pub use ras::Ras;
-pub use trace_pred::{NextTracePredictor, TraceHistory, TracePredictorConfig};
+pub use trace_pred::{
+    NextTracePredictor, PredictionSource, TraceHistory, TracePredictorConfig, TracePredictorStats,
+};

@@ -118,6 +118,23 @@ struct Component {
     mask: u64,
 }
 
+/// What a single training update did to a component entry — the raw signal
+/// behind the index-pollution counters in [`TracePredictorStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TrainEvent {
+    /// Same tag, same successor: confidence reinforced (or decayed without
+    /// repointing).
+    Trained,
+    /// Same tag, confidence exhausted: the entry now predicts a different
+    /// successor (a genuine successor change for this context).
+    Repointed,
+    /// The slot held a *different* context's entry (tag mismatch) and was
+    /// evicted — index aliasing pollution.
+    TagEvicted,
+    /// The slot was empty and allocated.
+    Allocated,
+}
+
 impl Component {
     fn new(index_bits: u32) -> Component {
         let n = 1usize << index_bits;
@@ -130,36 +147,81 @@ impl Component {
         self.entries[idx].filter(|e| e.tag == tag)
     }
 
-    fn train(&mut self, hash: u64, actual: TraceId) {
+    fn train(&mut self, hash: u64, actual: TraceId) -> TrainEvent {
         let idx = (hash & self.mask) as usize;
         let tag = (hash >> 16) as u16;
         match &mut self.entries[idx] {
             Some(e) if e.tag == tag => {
                 if e.pred == actual {
                     e.confidence = (e.confidence + 1).min(3);
+                    TrainEvent::Trained
                 } else if e.confidence > 0 {
                     e.confidence -= 1;
+                    TrainEvent::Trained
                 } else {
                     e.pred = actual;
                     e.confidence = 1;
+                    TrainEvent::Repointed
                 }
             }
             slot => {
+                let evicted = slot.is_some();
                 *slot = Some(Entry { tag, pred: actual, confidence: 1 });
+                if evicted {
+                    TrainEvent::TagEvicted
+                } else {
+                    TrainEvent::Allocated
+                }
             }
         }
     }
 }
 
-/// Statistics for the next-trace predictor.
+/// Statistics for the next-trace predictor, including the index-pollution
+/// counters the attribution ledger uses to tell *selection-induced
+/// predictor pollution* apart from recovery mismodeling: a workload whose
+/// trace selection fragments the stream shows up here as tag evictions
+/// (contexts aliasing in the component tables) and repoints (unstable
+/// successors for one context) out of proportion to its retired traces.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TracePredictorStats {
     /// Predictions requested.
     pub predictions: u64,
     /// Requests for which neither component had a (tag-matching) entry.
     pub no_prediction: u64,
+    /// Predictions served by the path-based component.
+    pub path_hits: u64,
+    /// Predictions served by the simple (last-trace) component.
+    pub simple_hits: u64,
     /// Training updates applied.
     pub updates: u64,
+    /// Path-component entries evicted by a different context (tag
+    /// mismatch) — index aliasing pollution.
+    pub path_tag_evictions: u64,
+    /// Path-component entries repointed to a new successor after their
+    /// confidence was exhausted.
+    pub path_repoints: u64,
+    /// Simple-component tag evictions.
+    pub simple_tag_evictions: u64,
+    /// Simple-component repoints.
+    pub simple_repoints: u64,
+}
+
+/// Which component (index/history) fed a prediction — exposed so the bench
+/// harness can attribute a cell's mispredictions to the history that
+/// produced them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredictionSource {
+    /// The path-based component (full path-history hash) with the given
+    /// confidence.
+    Path {
+        /// The matching entry's confidence counter.
+        confidence: u8,
+    },
+    /// The simple component (last trace id only).
+    Simple,
+    /// Neither component matched; the frontend falls back to sequencing.
+    None,
 }
 
 /// The hybrid next-trace predictor.
@@ -217,27 +279,48 @@ impl NextTracePredictor {
 
     /// Predicts the next trace id given the current (speculative) history.
     pub fn predict(&mut self, history: &TraceHistory) -> Option<TraceId> {
+        self.predict_explained(history).0
+    }
+
+    /// Predicts the next trace id and reports which component (index /
+    /// history) fed the prediction.
+    pub fn predict_explained(
+        &mut self,
+        history: &TraceHistory,
+    ) -> (Option<TraceId>, PredictionSource) {
         self.stats.predictions += 1;
         let path_entry = self.path.probe(history.path_hash());
         let simple_entry = self.simple.probe(history.last_hash());
-        let pred = match (path_entry, simple_entry) {
-            (Some(p), _) if p.confidence >= self.config.confidence_threshold => Some(p.pred),
-            (_, Some(s)) => Some(s.pred),
-            (Some(p), None) => Some(p.pred),
-            (None, None) => None,
+        let (pred, source) = match (path_entry, simple_entry) {
+            (Some(p), _) if p.confidence >= self.config.confidence_threshold => {
+                (Some(p.pred), PredictionSource::Path { confidence: p.confidence })
+            }
+            (_, Some(s)) => (Some(s.pred), PredictionSource::Simple),
+            (Some(p), None) => (Some(p.pred), PredictionSource::Path { confidence: p.confidence }),
+            (None, None) => (None, PredictionSource::None),
         };
-        if pred.is_none() {
-            self.stats.no_prediction += 1;
+        match source {
+            PredictionSource::Path { .. } => self.stats.path_hits += 1,
+            PredictionSource::Simple => self.stats.simple_hits += 1,
+            PredictionSource::None => self.stats.no_prediction += 1,
         }
-        pred
+        (pred, source)
     }
 
     /// Trains both components: `history` is the (retirement-side) history
     /// *before* the trace, `actual` the trace id that actually followed.
     pub fn train(&mut self, history: &TraceHistory, actual: TraceId) {
         self.stats.updates += 1;
-        self.path.train(history.path_hash(), actual);
-        self.simple.train(history.last_hash(), actual);
+        match self.path.train(history.path_hash(), actual) {
+            TrainEvent::TagEvicted => self.stats.path_tag_evictions += 1,
+            TrainEvent::Repointed => self.stats.path_repoints += 1,
+            TrainEvent::Trained | TrainEvent::Allocated => {}
+        }
+        match self.simple.train(history.last_hash(), actual) {
+            TrainEvent::TagEvicted => self.stats.simple_tag_evictions += 1,
+            TrainEvent::Repointed => self.stats.simple_repoints += 1,
+            TrainEvent::Trained | TrainEvent::Allocated => {}
+        }
     }
 
     /// Accumulated statistics.
@@ -320,6 +403,50 @@ mod tests {
         p.train(&h, id(200)); // confidence 0
         p.train(&h, id(200)); // replaced
         assert_eq!(p.predict(&h), Some(id(200)));
+    }
+
+    #[test]
+    fn prediction_source_attributes_component() {
+        let mut p = NextTracePredictor::new(TracePredictorConfig::paper());
+        let mut h = TraceHistory::new(8);
+        h.push(id(1));
+        assert_eq!(p.predict_explained(&h), (None, PredictionSource::None));
+        // Two trainings lift the path entry to confidence >= threshold.
+        p.train(&h, id(2));
+        p.train(&h, id(2));
+        let (pred, source) = p.predict_explained(&h);
+        assert_eq!(pred, Some(id(2)));
+        assert!(matches!(source, PredictionSource::Path { .. }), "{source:?}");
+        let s = p.stats();
+        assert_eq!(s.no_prediction, 1);
+        assert_eq!(s.path_hits, 1);
+        assert_eq!(s.updates, 2);
+    }
+
+    #[test]
+    fn training_counts_repoints_and_evictions() {
+        let mut p = NextTracePredictor::new(TracePredictorConfig::tiny());
+        let mut h = TraceHistory::new(4);
+        h.push(id(7));
+        p.train(&h, id(100)); // allocate (confidence 1)
+        p.train(&h, id(200)); // decay to 0
+        p.train(&h, id(200)); // repoint
+        let s = p.stats();
+        assert_eq!(s.path_repoints, 1);
+        assert_eq!(s.simple_repoints, 1);
+        // Find a history whose hashes collide in the 256-entry tables with
+        // a different tag, forcing an eviction.
+        let mut evicted = false;
+        for i in 0..5000u32 {
+            let mut g = TraceHistory::new(4);
+            g.push(id(i + 8));
+            p.train(&g, id(3));
+            if p.stats().path_tag_evictions > 0 || p.stats().simple_tag_evictions > 0 {
+                evicted = true;
+                break;
+            }
+        }
+        assert!(evicted, "no tag eviction in 5000 distinct contexts over 256 entries");
     }
 
     #[test]

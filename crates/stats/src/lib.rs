@@ -1,9 +1,12 @@
 //! Statistics utilities shared by the simulator and the experiment
-//! harnesses: rate helpers, means, and a fixed-width table printer that the
-//! benches use to reproduce the paper's tables.
+//! harnesses: rate helpers, means, a fixed-width table printer that the
+//! benches use to reproduce the paper's tables, and the misprediction
+//! outcome-attribution ledger ([`attr`]).
 
+pub mod attr;
 pub mod table;
 
+pub use attr::{AttrCell, AttrKey, BranchClass, Heuristic, RecoveryAttribution, RecoveryOutcome};
 pub use table::Table;
 
 /// Harmonic mean of a sequence of values (the paper summarizes IPC across

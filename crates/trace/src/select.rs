@@ -225,6 +225,29 @@ impl Selector {
         bit: &mut Bit,
         outcomes: &mut impl OutcomeSource,
     ) -> Selection {
+        self.select_bounded(program, start, bit, outcomes, None)
+    }
+
+    /// Like [`Selector::select`], but terminates the trace just before
+    /// `stop_before = (pc, min_len)` whenever the selected path reaches
+    /// that PC with at least `min_len` instructions already selected
+    /// (`min_len` lets a caller skip over early encounters of a revisited
+    /// PC). Used by CGCI insertion to bound control-dependent traces at
+    /// the known re-convergent PC (`min_len = 1`), so the next trace
+    /// starts exactly there and re-convergence detection fires instead of
+    /// the path overshooting it mid-trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not a valid PC of `program`.
+    pub fn select_bounded(
+        &self,
+        program: &Program,
+        start: Pc,
+        bit: &mut Bit,
+        outcomes: &mut impl OutcomeSource,
+        stop_before: Option<(Pc, usize)>,
+    ) -> Selection {
         assert!(program.contains(start), "trace start pc {start} out of program");
         let cfg = self.config;
         let mut raw: Vec<(Pc, Inst, Option<bool>, bool)> = Vec::with_capacity(cfg.max_len as usize);
@@ -240,6 +263,19 @@ impl Selector {
             // re-convergent instruction.
             if region_end == Some(pc) {
                 region_end = None;
+            }
+
+            // Reached the caller's stop PC: end the trace right before it.
+            // Never inside an active padding region — cutting a region in
+            // half would emit `fgci_covered` slots whose embedded
+            // alternate path is missing, breaking FGCI's same-successor
+            // repair invariant (mirrors the max-len gating below).
+            if region_end.is_none() {
+                if let Some((sp, min_len)) = stop_before {
+                    if sp == pc && raw.len() >= min_len.max(1) {
+                        break (EndReason::MaxLen, Some(pc));
+                    }
+                }
             }
 
             // The accrued (padded) length is the trace's logical length;

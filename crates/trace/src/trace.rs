@@ -4,6 +4,7 @@
 use std::fmt;
 
 use tp_isa::{Inst, Pc, Reg};
+use tp_stats::attr::BranchClass;
 
 /// Identifies a trace: its starting PC plus the embedded outcomes of its
 /// conditional branches, in fetch order.
@@ -130,6 +131,24 @@ pub struct TraceInst {
     /// independence: the repaired trace is guaranteed to end at the same
     /// point.
     pub fgci_covered: bool,
+}
+
+impl TraceInst {
+    /// The attribution-ledger class of this instruction, if it is a
+    /// conditional branch: backward (loop-type), forward inside an
+    /// FGCI-embedded region, or other forward.
+    pub fn ci_branch_class(&self) -> Option<BranchClass> {
+        if !self.inst.is_cond_branch() {
+            return None;
+        }
+        Some(if self.inst.is_backward_branch(self.pc) {
+            BranchClass::Backward
+        } else if self.fgci_covered {
+            BranchClass::ForwardFgci
+        } else {
+            BranchClass::ForwardOther
+        })
+    }
 }
 
 /// Why trace selection terminated a trace.
@@ -268,6 +287,18 @@ impl Trace {
         self.insts.last().is_some_and(|ti| ti.inst.is_return())
     }
 
+    /// The attribution-ledger class of the conditional branch in `slot`,
+    /// if that slot holds one (see [`TraceInst::ci_branch_class`]).
+    pub fn branch_class(&self, slot: usize) -> Option<BranchClass> {
+        self.insts.get(slot).and_then(TraceInst::ci_branch_class)
+    }
+
+    /// The attribution-ledger class of the trace's endpoint, when the
+    /// trace ends at a conditional branch (an `ntb`-terminated loop exit).
+    pub fn endpoint_class(&self) -> Option<BranchClass> {
+        self.insts.last().and_then(TraceInst::ci_branch_class)
+    }
+
     /// Iterates over `(slot, &TraceInst)` for the trace's conditional
     /// branches.
     pub fn cond_branches(&self) -> impl Iterator<Item = (usize, &TraceInst)> {
@@ -388,6 +419,27 @@ mod tests {
         let brs: Vec<usize> = t.cond_branches().map(|(i, _)| i).collect();
         assert_eq!(brs, vec![1]);
         assert_eq!(t.insts()[1].embedded_taken, Some(true));
+    }
+
+    #[test]
+    fn branch_class_metadata() {
+        let raw = vec![
+            // Forward branch inside a padded region.
+            (0, Inst::Branch { cond: Cond::Eq, rs: r(1), rt: r(2), target: 2 }, Some(false), true),
+            (1, Inst::Nop, None, true),
+            // Plain forward branch.
+            (2, Inst::Branch { cond: Cond::Eq, rs: r(1), rt: r(2), target: 4 }, Some(false), false),
+            (3, Inst::Nop, None, false),
+            // Backward branch endpoint (an ntb-terminated loop exit).
+            (4, Inst::Branch { cond: Cond::Gt, rs: r(1), rt: r(2), target: 0 }, Some(false), false),
+        ];
+        let t = Trace::assemble(TraceId::new(0, 0, 3), &raw, EndReason::Ntb, Some(5));
+        assert_eq!(t.branch_class(0), Some(BranchClass::ForwardFgci));
+        assert_eq!(t.branch_class(1), None);
+        assert_eq!(t.branch_class(2), Some(BranchClass::ForwardOther));
+        assert_eq!(t.branch_class(4), Some(BranchClass::Backward));
+        assert_eq!(t.endpoint_class(), Some(BranchClass::Backward));
+        assert_eq!(t.branch_class(99), None);
     }
 
     #[test]

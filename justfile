@@ -37,10 +37,20 @@ sweep SIZE="small":
 oracle:
     cargo run --release --example oracle_verify
 
-# Perf-trajectory baseline: full workload suite x {base, MLB-RET, FG},
-# writes BENCH_speed.json (see README "Benchmarking").
+# Perf-trajectory baseline: full workload suite x all five CI models,
+# writes BENCH_speed.json (tp-bench/speed/v2; see README "Benchmarking").
 baseline SIZE="full":
     cargo run --release -p tp-bench --bin baseline -- --size {{SIZE}}
+
+# CI-model dominance guard on the tiny suite: fails if any CI model loses
+# >1% IPC to base on any cell.
+guard:
+    cargo run --release -p tp-bench --bin baseline -- --size tiny --guard --out BENCH_speed_tiny.json
+
+# Misprediction outcome-attribution table for one workload under one model
+# (base|RET|MLB-RET|FG|FG+MLB-RET); without MODEL, prints every model.
+attr WORKLOAD="compress" MODEL="MLB-RET":
+    cargo run --release -p tp-bench --bin cistats -- {{WORKLOAD}} {{MODEL}}
 
 # Re-bless the golden-stats corpus after an intentional behaviour change.
 bless:

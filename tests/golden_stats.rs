@@ -9,8 +9,9 @@
 //!   `examples/oracle_verify` via `tp_bench::corpus`, so the fixture rows
 //!   are exactly that example's output.
 //! * `simstats.txt` — full `SimStats` counter snapshots for every workload
-//!   of the tiny suite under three models. Any change to dispatch, issue,
-//!   recovery, bus, or snoop behaviour shows up here as a counter diff.
+//!   of the tiny suite under all five control-independence models. Any
+//!   change to dispatch, issue, recovery, bus, or snoop behaviour shows up
+//!   here as a counter diff.
 //!
 //! Both tests run in tier-1 (`cargo test`). On an *intentional* behaviour
 //! change, bless new fixtures with:
@@ -75,11 +76,12 @@ fn oracle_probes_match_golden() {
     check_against_golden("oracle_probes.txt", &actual);
 }
 
-/// Per-workload `SimStats` snapshots (tiny suite x three models) must
+/// Per-workload `SimStats` snapshots (tiny suite x all five models) must
 /// match the fixture field-for-field.
 #[test]
 fn simstats_match_golden() {
-    const MODELS: [CiModel; 3] = [CiModel::None, CiModel::MlbRet, CiModel::FgMlbRet];
+    const MODELS: [CiModel; 5] =
+        [CiModel::None, CiModel::Ret, CiModel::MlbRet, CiModel::Fg, CiModel::FgMlbRet];
     let mut actual = String::new();
     for w in suite(Size::Tiny) {
         for model in MODELS {
