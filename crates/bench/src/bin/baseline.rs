@@ -5,34 +5,43 @@
 //! Usage:
 //!
 //! ```text
-//! baseline [--smoke | --size tiny|small|full] [--pes N[,N..]|--pe-sweep]
-//!          [--guard] [--out PATH]
+//! baseline [--smoke | --size tiny|small|full|long] [--pes N[,N..]|--pe-sweep]
+//!          [--guard] [--sample] [--out PATH]
 //! ```
 //!
 //! `--smoke` (alias for `--size small`) is what CI runs; the checked-in
 //! `BENCH_speed.json` comes from a `--size full` run. `--pe-sweep` adds the
 //! 4/8/16 PE-count axis. `--guard` exits non-zero if any CI model loses
-//! more than 1% IPC to the base model on any cell.
+//! more than 1% IPC to the base model on any cell. `--sample` switches to
+//! sampled execution (the only tractable mode for `--size long`) and emits
+//! the `tp-bench/sampled/v1` schema instead, defaulting `--out` to
+//! `BENCH_sampled.json`; it rejects `--guard`/`--pes`/`--pe-sweep`, which
+//! only apply to the detailed grid.
 
-use tp_bench::speed::{guard_violations, run_grid, to_json, BASELINE_MODELS, SWEEP_PES};
+use tp_bench::sampled::{default_sample_for, run_sampled_grid, sampled_to_json};
+use tp_bench::speed::{
+    guard_violations, parse_size, run_grid, to_json, BASELINE_MODELS, SWEEP_PES,
+};
+use tp_core::TraceProcessorConfig;
 use tp_workloads::Size;
 
 fn main() {
     let mut size = Size::Full;
-    let mut out = String::from("BENCH_speed.json");
+    let mut out: Option<String> = None;
     let mut pes: Vec<usize> = vec![16];
+    let mut pes_set = false;
     let mut guard = false;
+    let mut sample = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => size = Size::Small,
+            "--sample" => sample = true,
             "--size" => {
-                size = match args.next().as_deref() {
-                    Some("tiny") => Size::Tiny,
-                    Some("small") => Size::Small,
-                    Some("full") => Size::Full,
-                    other => {
-                        eprintln!("unknown --size {other:?} (tiny|small|full)");
+                size = match args.next().as_deref().and_then(parse_size) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("unknown --size (tiny|small|full|long)");
                         std::process::exit(2);
                     }
                 }
@@ -48,16 +57,20 @@ fn main() {
                             })
                         })
                         .collect();
+                    pes_set = true;
                 }
                 None => {
                     eprintln!("--pes requires a comma-separated list, e.g. 4,8,16");
                     std::process::exit(2);
                 }
             },
-            "--pe-sweep" => pes = SWEEP_PES.to_vec(),
+            "--pe-sweep" => {
+                pes = SWEEP_PES.to_vec();
+                pes_set = true;
+            }
             "--guard" => guard = true,
             "--out" => match args.next() {
-                Some(p) => out = p,
+                Some(p) => out = Some(p),
                 None => {
                     eprintln!("--out requires a path");
                     std::process::exit(2);
@@ -66,13 +79,62 @@ fn main() {
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
-                    "usage: baseline [--smoke | --size tiny|small|full] \
-                     [--pes N[,N..]|--pe-sweep] [--guard] [--out PATH]"
+                    "usage: baseline [--smoke | --size tiny|small|full|long] \
+                     [--pes N[,N..]|--pe-sweep] [--guard] [--sample] [--out PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
+    // Validate every configuration the grid will run, reporting the
+    // offending field instead of panicking mid-grid (a bad `--pes` value
+    // lands here).
+    for &model in &BASELINE_MODELS {
+        for &p in &pes {
+            let mut cfg = TraceProcessorConfig::paper(model);
+            cfg.num_pes = p;
+            if let Err(e) = cfg.validate() {
+                eprintln!("invalid configuration for {}: {e}", model.name());
+                std::process::exit(2);
+            }
+        }
+    }
+    if sample {
+        // Reject flags the sampled grid does not honour rather than
+        // silently ignoring them (a no-op --guard would be a false green).
+        if guard || pes_set {
+            eprintln!("--sample does not support --guard/--pes/--pe-sweep");
+            std::process::exit(2);
+        }
+        // Sampled output is a different schema; never default onto the
+        // checked-in detailed baseline.
+        let out = out.unwrap_or_else(|| String::from("BENCH_sampled.json"));
+        let sample_cfg = default_sample_for(size);
+        let cells = run_sampled_grid(size, &BASELINE_MODELS, &sample_cfg);
+        println!(
+            "{:<10} {:<11} {:>10} {:>4} {:>7} {:>6} {:>8} {:>7}",
+            "bench", "model", "instrs", "K", "frac%", "ipc", "ci95", "secs"
+        );
+        for c in &cells {
+            let r = &c.run;
+            println!(
+                "{:<10} {:<11} {:>10} {:>4} {:>7.1} {:>6.2} {:>8.3} {:>7.2}",
+                c.workload,
+                c.model.name(),
+                r.total_instrs,
+                r.intervals.len(),
+                100.0 * r.detailed_fraction(),
+                r.ipc_estimate(),
+                r.ipc_ci95(),
+                r.wall_seconds,
+            );
+        }
+        let json = sampled_to_json(&cells, size, &sample_cfg);
+        std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+        println!("wrote {out}");
+        return;
+    }
+    let out = out.unwrap_or_else(|| String::from("BENCH_speed.json"));
     let cells = run_grid(size, &BASELINE_MODELS, &pes);
     println!(
         "{:<10} {:<11} {:>3} {:>9} {:>9} {:>6} {:>8} {:>7} {:>7} {:>12}",

@@ -1,12 +1,15 @@
 //! Diagnostic: recovery statistics and the misprediction outcome-attribution
 //! ledger, per CI model, for one workload.
 //!
-//! Usage: `cistats [WORKLOAD] [MODEL]` — with a model name (`base`, `RET`,
-//! `MLB-RET`, `FG`, `FG+MLB-RET`) prints that cell's full attribution table,
-//! predictor introspection, and per-PC misprediction provenance (which
-//! branches mispredicted, and whether their wrong embedded outcome came from
-//! a next-trace prediction or a BTB-driven fallback construction); without
-//! one, prints the per-model summary plus every model's table.
+//! Usage: `cistats [WORKLOAD] [MODEL] [--json]` — with a model name
+//! (`base`, `RET`, `MLB-RET`, `FG`, `FG+MLB-RET`) prints that cell's full
+//! attribution table, predictor introspection, and per-PC misprediction
+//! provenance (which branches mispredicted, and whether their wrong
+//! embedded outcome came from a next-trace prediction or a BTB-driven
+//! fallback construction); without one, prints the per-model summary plus
+//! every model's table. `--json` switches the single-model output to a
+//! machine-readable document (the attribution array uses the same cell
+//! schema as `BENCH_speed.json`).
 
 use std::collections::HashMap;
 
@@ -17,9 +20,21 @@ use tp_trace::SelectionConfig;
 const MODELS: [CiModel; 4] = [CiModel::Ret, CiModel::MlbRet, CiModel::Fg, CiModel::FgMlbRet];
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".into());
-    let model_arg = std::env::args().nth(2);
+    let mut positional = Vec::new();
+    let mut json = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--json" => json = true,
+            _ => positional.push(a),
+        }
+    }
+    let name = positional.first().cloned().unwrap_or_else(|| "compress".into());
+    let model_arg = positional.get(1).cloned();
     let w = tp_workloads::by_name(&name, tp_workloads::Size::Full);
+    if json && model_arg.is_none() {
+        eprintln!("--json requires a model (base|RET|MLB-RET|FG|FG+MLB-RET)");
+        std::process::exit(2);
+    }
     if let Some(m) = model_arg {
         let model = match m.as_str() {
             "base" => CiModel::None,
@@ -34,10 +49,44 @@ fn main() {
         };
         let mut cfg = TraceProcessorConfig::paper(model);
         cfg.log_mispredicts = true;
+        if let Err(e) = cfg.validate() {
+            eprintln!("invalid configuration: {e}");
+            std::process::exit(2);
+        }
         let mut sim = TraceProcessor::new(&w.program, cfg);
         let run = sim.run(50_000_000).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(run.halted, "{name} did not halt");
         let s = run.stats;
+        if json {
+            let p = run.predictor;
+            println!(
+                "{{\n  \"schema\": \"tp-bench/cistats/v1\",\n  \"workload\": \"{name}\",\n  \
+                 \"model\": \"{}\",\n  \"ipc\": {:.6},\n  \"cycles\": {},\n  \
+                 \"retired_instrs\": {},\n  \"retired_cond_branches\": {},\n  \
+                 \"retired_cond_mispredicts\": {},\n  \"branch_misp_rate_pct\": {:.6},\n  \
+                 \"predictor\": {{\"predictions\": {}, \"path_hits\": {}, \"simple_hits\": {}, \
+                 \"no_prediction\": {}, \"path_tag_evictions\": {}, \"path_repoints\": {}, \
+                 \"simple_tag_evictions\": {}, \"simple_repoints\": {}}},\n  \
+                 \"attribution\": {}\n}}",
+                model.name(),
+                s.ipc(),
+                s.cycles,
+                s.retired_instrs,
+                s.retired_cond_branches,
+                s.retired_cond_mispredicts,
+                s.branch_misp_rate(),
+                p.predictions,
+                p.path_hits,
+                p.simple_hits,
+                p.no_prediction,
+                p.path_tag_evictions,
+                p.path_repoints,
+                p.simple_tag_evictions,
+                p.simple_repoints,
+                run.attribution.to_json(),
+            );
+            return;
+        }
         println!(
             "{name} {}: ipc {:.3} brmisp {:.2}% ({} / {})",
             model.name(),

@@ -1,0 +1,312 @@
+//! Checkpoint tool: create, inspect, and verify checkpoint files, plus the
+//! CI smoke that validates the whole sampled pipeline.
+//!
+//! ```text
+//! ckpt create  --workload NAME [--size S] [--model M] [--ffwd N] --out PATH
+//! ckpt inspect PATH
+//! ckpt verify  PATH [--resume N]
+//! ckpt smoke   [--out PATH]
+//! ```
+//!
+//! `verify` identifies the source program by fingerprint (searching the
+//! workload suite across sizes), then proves the checkpoint resumes
+//! bit-exactly: the resumed functional machine is compared against a
+//! straight run, and a detailed interval booted from the checkpoint runs
+//! under full oracle verification.
+//!
+//! `smoke` is what CI runs (`just sample-smoke`): create + inspect +
+//! verify a checkpoint (written to `--out` and uploaded as an artifact),
+//! cross-check sampled vs. full IPC on the tiny suite for base and
+//! MLB-RET (must agree within 5%), and demonstrate the >= 3x wall-clock
+//! speedup of sampled execution on the long gcc/go/compress variants.
+
+use tp_bench::sampled::{cross_check, run_sampled, SampleConfig};
+use tp_bench::speed::{parse_size, size_name};
+use tp_ckpt::{Checkpoint, FastForward};
+use tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
+use tp_isa::func::Machine;
+use tp_isa::Program;
+use tp_workloads::{by_name, suite, Size};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ckpt create --workload NAME [--size tiny|small|full|long] \
+         [--model base|RET|MLB-RET|FG|FG+MLB-RET] [--ffwd N] --out PATH\n\
+         \x20      ckpt inspect PATH\n\
+         \x20      ckpt verify PATH [--resume N]\n\
+         \x20      ckpt smoke [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_model(s: &str) -> CiModel {
+    match s {
+        "base" => CiModel::None,
+        "RET" => CiModel::Ret,
+        "MLB-RET" => CiModel::MlbRet,
+        "FG" => CiModel::Fg,
+        "FG+MLB-RET" => CiModel::FgMlbRet,
+        other => {
+            eprintln!("unknown model {other:?} (base|RET|MLB-RET|FG|FG+MLB-RET)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Builds and validates the detailed configuration for a model, reporting
+/// the offending field on bad input instead of panicking.
+fn validated_config(model: CiModel) -> TraceProcessorConfig {
+    let cfg = TraceProcessorConfig::paper(model);
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("create") => create(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        Some("verify") => verify(&args[1..]),
+        Some("smoke") => smoke(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn create(args: &[String]) {
+    let (mut workload, mut size, mut model) = (None, Size::Full, CiModel::None);
+    let (mut ffwd_budget, mut out) = (20_000u64, None);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workload" => workload = it.next().cloned(),
+            "--size" => size = it.next().and_then(|s| parse_size(s)).unwrap_or_else(|| usage()),
+            "--model" => model = parse_model(it.next().map(String::as_str).unwrap_or("")),
+            "--ffwd" => {
+                ffwd_budget = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--out" => out = it.next().cloned(),
+            _ => usage(),
+        }
+    }
+    let (Some(workload), Some(out)) = (workload, out) else { usage() };
+    let w = by_name(&workload, size);
+    let cfg = validated_config(model);
+    let mut ff = FastForward::new(&w.program, &cfg);
+    let s = ff.skip(ffwd_budget).unwrap_or_else(|e| panic!("{workload}: {e}"));
+    let ckpt = ff.checkpoint();
+    let bytes = ckpt.encode();
+    std::fs::write(&out, &bytes).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!(
+        "{out}: {} bytes; {workload}/{} {} after {} retired ({} traces{})",
+        bytes.len(),
+        size_name(size),
+        cfg.selection.name(),
+        ckpt.retired,
+        s.traces,
+        if s.halted { ", halted" } else { "" }
+    );
+}
+
+fn read_checkpoint(path: &str) -> Checkpoint {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("reading {path}: {e}");
+        std::process::exit(1);
+    });
+    Checkpoint::decode(&bytes).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn inspect(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let ckpt = read_checkpoint(path);
+    println!("program   : {} (fingerprint {:016x})", ckpt.program_name, ckpt.program_fingerprint);
+    println!("pc        : {}", ckpt.pc);
+    println!("retired   : {}", ckpt.retired);
+    println!("halted    : {}", ckpt.halted);
+    println!("mem delta : {} dirty words", ckpt.mem_delta.len());
+    match &ckpt.warm {
+        None => println!("warm      : none"),
+        Some(w) => {
+            println!(
+                "warm      : selection {}, btb {} entries ({} indirect targets), gshare {} \
+                 entries / {} history bits, ras {}/{}, predictor {}+{} entries, tcache {} \
+                 lines ({}x{}), icache {} lines, dcache {} lines, history {}/{}",
+                w.selection.name(),
+                w.btb.counters.len(),
+                w.btb.targets.len(),
+                w.gshare.counters.len(),
+                w.gshare.history_bits,
+                w.ras.len(),
+                w.ras_capacity,
+                w.predictor.path.len(),
+                w.predictor.simple.len(),
+                w.tcache.len(),
+                w.tcache_sets,
+                w.tcache_ways,
+                w.icache_lines.len(),
+                w.dcache_lines.len(),
+                w.history.len(),
+                w.history_depth,
+            );
+        }
+    }
+}
+
+/// Finds the workload program a checkpoint was captured from by
+/// fingerprint search over the suite at every size.
+fn find_program(ckpt: &Checkpoint) -> Option<(Program, Size)> {
+    for size in [Size::Tiny, Size::Small, Size::Full, Size::Long] {
+        for w in suite(size) {
+            if ckpt.verify_program(&w.program).is_ok() {
+                return Some((w.program, size));
+            }
+        }
+    }
+    None
+}
+
+fn verify(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let mut resume = 10_000u64;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--resume" => {
+                resume = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let ckpt = read_checkpoint(path);
+    let Some((program, size)) = find_program(&ckpt) else {
+        eprintln!(
+            "{path}: no workload matches fingerprint {:016x} (captured from `{}`)",
+            ckpt.program_fingerprint, ckpt.program_name
+        );
+        std::process::exit(1);
+    };
+    println!("program   : {} at size {}", ckpt.program_name, size_name(size));
+
+    // 1. Functional resume equals a straight run.
+    let mut resumed = ckpt.machine(&program).expect("fingerprint verified");
+    resumed.run(resume).expect("resume stays in program");
+    let mut straight = Machine::new(&program);
+    straight.run(resumed.retired()).expect("straight run stays in program");
+    assert_eq!(resumed.pc(), straight.pc(), "resumed pc diverged");
+    assert_eq!(resumed.arch_state(), straight.arch_state(), "resumed state diverged");
+    println!(
+        "resume    : OK ({} functional instructions, state bit-exact vs straight run)",
+        resumed.retired() - ckpt.retired
+    );
+
+    // 2. A detailed interval boots and runs under full oracle verification.
+    let warm_selection = ckpt.warm.as_ref().map(|w| w.selection);
+    let model = match warm_selection {
+        Some(sel) if sel.fg && sel.ntb => CiModel::FgMlbRet,
+        Some(sel) if sel.fg => CiModel::Fg,
+        Some(sel) if sel.ntb => CiModel::MlbRet,
+        _ => CiModel::None,
+    };
+    let cfg = validated_config(model).with_oracle();
+    let boot = ckpt.boot_image(&program, &cfg).unwrap_or_else(|e| {
+        eprintln!("{path}: boot failed: {e}");
+        std::process::exit(1);
+    });
+    let mut sim = TraceProcessor::from_checkpoint(&program, cfg, boot).unwrap_or_else(|e| {
+        eprintln!("{path}: boot rejected: {e}");
+        std::process::exit(1);
+    });
+    let r = sim.run_interval(resume.min(5_000)).unwrap_or_else(|e| {
+        eprintln!("{path}: detailed interval failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "detailed  : OK ({} instructions retired oracle-verified under {}, ipc {:.3})",
+        r.stats.retired_instrs,
+        model.name(),
+        r.stats.ipc()
+    );
+    println!("{path}: verified");
+}
+
+fn smoke(args: &[String]) {
+    let mut out = String::from("ckpt_smoke.tpckpt");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().cloned().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    // 1. Create, inspect, verify a checkpoint (the uploaded artifact).
+    create(&[
+        "--workload".into(),
+        "gcc".into(),
+        "--size".into(),
+        "full".into(),
+        "--model".into(),
+        "MLB-RET".into(),
+        "--ffwd".into(),
+        "20000".into(),
+        "--out".into(),
+        out.clone(),
+    ]);
+    inspect(std::slice::from_ref(&out));
+    verify(std::slice::from_ref(&out));
+
+    // 2. Sampled IPC within 5% of the full run on the tiny suite.
+    let checks = cross_check(Size::Tiny, &[CiModel::None, CiModel::MlbRet], &SampleConfig::dense());
+    let mut worst: f64 = 0.0;
+    for c in &checks {
+        println!(
+            "accuracy  : {:<10} {:<8} full {:.3} sampled {:.3} err {:.2}%",
+            c.workload,
+            c.model.name(),
+            c.full_ipc,
+            c.sampled.ipc_estimate(),
+            c.rel_err_pct()
+        );
+        worst = worst.max(c.rel_err_pct());
+    }
+    assert!(
+        worst <= 5.0,
+        "sampled IPC diverges {worst:.2}% (> 5%) from the full run on the tiny suite"
+    );
+    println!("accuracy  : OK (worst error {worst:.2}% <= 5%)");
+
+    // 3. Sampled execution of the long variants is >= 3x faster than a
+    // full detailed run.
+    let (mut full_wall, mut sampled_wall) = (0.0f64, 0.0f64);
+    for name in ["gcc", "go", "compress"] {
+        let w = by_name(name, Size::Long);
+        let cfg = validated_config(CiModel::None);
+        let t = std::time::Instant::now();
+        let mut sim = TraceProcessor::new(&w.program, cfg.clone());
+        let full = sim.run(u64::MAX).unwrap_or_else(|e| panic!("{name} long: {e}"));
+        assert!(full.halted, "{name} long did not halt");
+        let fw = t.elapsed().as_secs_f64();
+        let run = run_sampled(&w.program, &cfg, &SampleConfig::sparse());
+        let err = 100.0 * (run.ipc_estimate() - full.stats.ipc()).abs() / full.stats.ipc();
+        println!(
+            "speedup   : {name:<10} {} instrs: detailed {fw:.1}s, sampled {:.1}s ({:.1}x, \
+             ipc err {err:.2}%)",
+            full.stats.retired_instrs,
+            run.wall_seconds,
+            fw / run.wall_seconds
+        );
+        full_wall += fw;
+        sampled_wall += run.wall_seconds;
+    }
+    let speedup = full_wall / sampled_wall;
+    assert!(
+        speedup >= 3.0,
+        "sampled long suite only {speedup:.1}x faster than detailed (need >= 3x)"
+    );
+    println!("speedup   : OK ({speedup:.1}x >= 3x on the long suite)");
+    println!("smoke     : all checks passed; artifact at {out}");
+}

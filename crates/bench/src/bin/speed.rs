@@ -1,9 +1,65 @@
 //! Quick calibration probe: IPC and misprediction profile per workload.
+//!
+//! Usage: `speed [--size tiny|small|full|long] [--sample] [--ckpt DIR]`
+//!
+//! Default is a full detailed run of each workload under the base model.
+//! `--sample` switches to sampled execution (fast-forward + detailed
+//! intervals; the only tractable mode for `--size long`), printing the
+//! sampled IPC with its confidence interval, coverage, and estimated
+//! cycles. `--ckpt DIR` additionally writes, per workload, a functionally
+//! warmed checkpoint captured after one skip-length of fast-forward from
+//! program start — a ready-made resume point for `ckpt inspect`/
+//! `ckpt verify` or `TraceProcessor::from_checkpoint` experiments.
 
 use std::time::Instant;
+use tp_bench::sampled::{default_sample_for, run_sampled};
+use tp_bench::speed::parse_size;
+use tp_ckpt::FastForward;
 use tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
+use tp_workloads::Size;
 
 fn main() {
+    let mut size = Size::Full;
+    let mut sample = false;
+    let mut ckpt_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--size" => match args.next().as_deref().and_then(parse_size) {
+                Some(s) => size = s,
+                None => {
+                    eprintln!("--size requires tiny|small|full|long");
+                    std::process::exit(2);
+                }
+            },
+            "--sample" => sample = true,
+            "--ckpt" => match args.next() {
+                Some(d) => ckpt_dir = Some(d),
+                None => {
+                    eprintln!("--ckpt requires a directory");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: speed [--size tiny|small|full|long] [--sample] [--ckpt DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = TraceProcessorConfig::paper(CiModel::None);
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
+    if sample {
+        run_sampled_table(size, &cfg, ckpt_dir.as_deref());
+    } else {
+        run_detailed_table(size, &cfg);
+    }
+}
+
+fn run_detailed_table(size: Size, cfg: &TraceProcessorConfig) {
     println!(
         "{:<10} {:>9} {:>8} {:>6} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6} {:>7} {:>7}",
         "bench",
@@ -19,9 +75,8 @@ fn main() {
         "fullsq",
         "disp"
     );
-    for w in tp_workloads::suite(tp_workloads::Size::Full) {
-        let cfg = TraceProcessorConfig::paper(CiModel::None);
-        let mut sim = TraceProcessor::new(&w.program, cfg);
+    for w in tp_workloads::suite(size) {
+        let mut sim = TraceProcessor::new(&w.program, cfg.clone());
         let t = Instant::now();
         match sim.run(100_000_000) {
             Ok(r) => {
@@ -38,6 +93,42 @@ fn main() {
                 w.name,
                 &format!("{e}")[..120.min(format!("{e}").len())]
             ),
+        }
+    }
+}
+
+fn run_sampled_table(size: Size, cfg: &TraceProcessorConfig, ckpt_dir: Option<&str>) {
+    let sample = default_sample_for(size);
+    println!(
+        "sampled mode: warmup {} / interval {} / mean skip {} instructions",
+        sample.warmup, sample.interval, sample.skip
+    );
+    println!(
+        "{:<10} {:>10} {:>4} {:>7} {:>9} {:>6} {:>8} {:>10} {:>6}",
+        "bench", "instrs", "K", "frac%", "est-cyc", "ipc", "ci95", "ffwd", "secs"
+    );
+    for w in tp_workloads::suite(size) {
+        let run = run_sampled(&w.program, cfg, &sample);
+        println!(
+            "{:<10} {:>10} {:>4} {:>7.1} {:>9.0} {:>6.2} {:>8.3} {:>10} {:>6.1}",
+            w.name,
+            run.total_instrs,
+            run.intervals.len(),
+            100.0 * run.detailed_fraction(),
+            run.estimated_cycles(),
+            run.ipc_estimate(),
+            run.ipc_ci95(),
+            run.ffwd_instrs,
+            run.wall_seconds,
+        );
+        if let Some(dir) = ckpt_dir {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {dir}: {e}"));
+            let mut ff = FastForward::new(&w.program, cfg);
+            ff.skip(sample.skip.max(sample.interval)).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let path = format!("{dir}/{}.tpckpt", w.name);
+            std::fs::write(&path, ff.checkpoint().encode())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("           wrote {path}");
         }
     }
 }

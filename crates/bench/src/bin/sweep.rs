@@ -36,6 +36,12 @@ fn main() {
         ("FG", TraceProcessorConfig::paper(CiModel::Fg)),
         ("FG+MLB-RET", TraceProcessorConfig::paper(CiModel::FgMlbRet)),
     ];
+    for (label, cfg) in &configs {
+        if let Err(e) = cfg.validate() {
+            eprintln!("invalid configuration for {label}: {e}");
+            std::process::exit(2);
+        }
+    }
     let workloads = suite(size);
     let jobs: Vec<SweepJob<'_>> = workloads
         .iter()

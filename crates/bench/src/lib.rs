@@ -6,11 +6,16 @@ pub mod corpus;
 pub mod paper;
 pub mod profile;
 pub mod runner;
+pub mod sampled;
 pub mod speed;
 pub mod sweep;
 
 pub use profile::{profile_branches, BranchClass, BranchProfile};
 pub use runner::{run_model, run_selection, RunSummary};
+pub use sampled::{
+    cross_check, default_sample_for, run_sampled, run_sampled_grid, sampled_to_json, CrossCheck,
+    Interval, SampleConfig, SampledCell, SampledRun,
+};
 pub use sweep::{
     run_sweep_parallel, run_sweep_sequential, run_sweep_with_threads, SweepJob, SweepResult,
 };

@@ -1,0 +1,503 @@
+//! Sampled simulation: alternating functional fast-forward and detailed
+//! measurement intervals.
+//!
+//! A sampled run cuts the program into rounds of
+//! `[detailed warmup + measured interval][functional skip]`: the detailed
+//! cycle model only executes the intervals, while the fast-forward engine
+//! executes the skips functionally *with predictor warming* and carries
+//! the detailed model's own trained structures across each skip
+//! ([`FastForward::adopt`]), so every interval starts with the predictor
+//! state an uninterrupted detailed run would have had. Every checkpoint
+//! handed to the detailed model goes through a full encode/decode of the
+//! binary format — there is exactly one boot path, the one the `ckpt`
+//! binary and CI artifacts use.
+//!
+//! Aggregation follows the standard systematic-sampling estimate: the IPC
+//! estimate is `sum(interval instructions) / sum(interval cycles)`, and
+//! the reported error bound is a 95% confidence interval over the
+//! per-interval IPCs (normal approximation). Warmup instructions execute
+//! in the detailed model but are excluded from the measurement.
+
+use std::time::Instant;
+
+use tp_ckpt::{Checkpoint, FastForward};
+use tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
+use tp_isa::func::MachineState;
+use tp_isa::Program;
+use tp_stats::RecoveryAttribution;
+use tp_workloads::{suite, Size};
+
+/// The sampling regime: how much detail per round, and how far to
+/// fast-forward between rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleConfig {
+    /// Detailed instructions per round whose statistics are discarded
+    /// (absorbs the pipeline-fill transient after a checkpoint boot).
+    pub warmup: u64,
+    /// Detailed instructions measured per round.
+    pub interval: u64,
+    /// Instructions fast-forwarded functionally between rounds.
+    pub skip: u64,
+}
+
+impl SampleConfig {
+    /// Dense sampling for short (tiny/small) workloads: no skipping —
+    /// every instruction runs detailed, in interval-sized chunks with
+    /// warming carried across chunk boundaries. This is the *accuracy
+    /// validation* regime behind the 5% cross-check and the CI smoke:
+    /// boot transients are the only error source, and the interval length
+    /// amortizes them to under a couple of percent (workloads that fit in
+    /// one interval reproduce the full run's cycle count exactly). The
+    /// warmup covers a 16-PE window refill (~512 in-flight instructions)
+    /// with margin.
+    pub fn dense() -> SampleConfig {
+        SampleConfig { warmup: 768, interval: 5_000, skip: 0 }
+    }
+
+    /// Sparse sampling for long workloads — the *speedup* regime: ~12% of
+    /// instructions run detailed, the rest fast-forward functionally with
+    /// warming. Validated on the long suite at <0.5% IPC error against
+    /// full detailed runs.
+    pub fn sparse() -> SampleConfig {
+        SampleConfig { warmup: 1_500, interval: 12_000, skip: 100_000 }
+    }
+
+    /// The per-round detailed footprint.
+    pub fn detailed_per_round(&self) -> u64 {
+        self.warmup + self.interval
+    }
+}
+
+/// One measured interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Retired-instruction position of the first measured instruction.
+    pub start_retired: u64,
+    /// Instructions measured (may overshoot the configured interval by up
+    /// to one trace).
+    pub instrs: u64,
+    /// Cycles the interval took.
+    pub cycles: u64,
+}
+
+impl Interval {
+    /// The interval's IPC.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A completed sampled run.
+#[derive(Clone, Debug)]
+pub struct SampledRun {
+    /// The measured intervals, in program order.
+    pub intervals: Vec<Interval>,
+    /// Total program instructions (functional + detailed legs together).
+    pub total_instrs: u64,
+    /// Instructions measured in detailed intervals.
+    pub detailed_instrs: u64,
+    /// Detailed instructions spent on (discarded) warmup.
+    pub warmup_instrs: u64,
+    /// Instructions covered by functional fast-forward.
+    pub ffwd_instrs: u64,
+    /// Whether the program halted (it always should).
+    pub halted: bool,
+    /// Host wall-clock seconds for the whole sampled run.
+    pub wall_seconds: f64,
+    /// Merged misprediction outcome-attribution ledger of the intervals.
+    pub attribution: RecoveryAttribution,
+}
+
+impl SampledRun {
+    /// The steady-state intervals: everything after the first. The first
+    /// interval is special — it starts at instruction 0 from the true
+    /// cold-boot state, so it measures the program's cold-start phase
+    /// *exactly* and must not be extrapolated over the rest of the run
+    /// (a cold start is a one-off, not a recurring phase; flat averaging
+    /// over-weights it by the sampling ratio).
+    fn steady(&self) -> &[Interval] {
+        if self.intervals.len() > 1 {
+            &self.intervals[1..]
+        } else {
+            &self.intervals
+        }
+    }
+
+    /// Whole-program cycle estimate: the first interval's cycles taken
+    /// exactly, plus the remaining instructions extrapolated at the
+    /// steady-state intervals' aggregate CPI (a stratified ratio
+    /// estimate). When sampling is exhaustive (`skip = 0` and no warmup
+    /// discarded) this degenerates to the exact measured cycle count.
+    pub fn estimated_cycles(&self) -> f64 {
+        let Some(cold) = self.intervals.first() else { return 0.0 };
+        let rest_instrs = self.total_instrs.saturating_sub(cold.instrs) as f64;
+        let cpi = if self.intervals.len() == 1 {
+            // A single interval measured from cold covers the run up to
+            // `total_instrs`; extrapolate any tail at its own CPI.
+            cold.cycles as f64 / cold.instrs.max(1) as f64
+        } else {
+            let steady = self.steady();
+            let (si, sc) =
+                steady.iter().fold((0u64, 0u64), |(i, c), iv| (i + iv.instrs, c + iv.cycles));
+            if si == 0 {
+                0.0
+            } else {
+                sc as f64 / si as f64
+            }
+        };
+        cold.cycles as f64 + rest_instrs * cpi
+    }
+
+    /// The sampled whole-program IPC estimate (see
+    /// [`SampledRun::estimated_cycles`]).
+    pub fn ipc_estimate(&self) -> f64 {
+        let cycles = self.estimated_cycles();
+        if cycles == 0.0 {
+            0.0
+        } else {
+            self.total_instrs as f64 / cycles
+        }
+    }
+
+    /// Half-width of the 95% confidence interval over the steady-state
+    /// per-interval IPCs (zero with fewer than two steady intervals).
+    pub fn ipc_ci95(&self) -> f64 {
+        let steady = self.steady();
+        let k = steady.len();
+        if k < 2 {
+            return 0.0;
+        }
+        let mean = steady.iter().map(Interval::ipc).sum::<f64>() / k as f64;
+        let var = steady.iter().map(|i| (i.ipc() - mean).powi(2)).sum::<f64>() / (k - 1) as f64;
+        1.96 * (var / k as f64).sqrt()
+    }
+
+    /// Fraction of the program that ran in the detailed model (measured
+    /// plus warmup).
+    pub fn detailed_fraction(&self) -> f64 {
+        if self.total_instrs == 0 {
+            0.0
+        } else {
+            (self.detailed_instrs + self.warmup_instrs) as f64 / self.total_instrs as f64
+        }
+    }
+}
+
+/// Runs `program` sampled under `cfg`.
+///
+/// # Panics
+///
+/// Panics if the simulator deadlocks, a checkpoint fails to round-trip,
+/// or the committed path leaves the program image — all bugs, not
+/// results.
+pub fn run_sampled(
+    program: &Program,
+    cfg: &TraceProcessorConfig,
+    sample: &SampleConfig,
+) -> SampledRun {
+    let name = program.name().to_string();
+    let t = Instant::now();
+    let mut ff = FastForward::new(program, cfg);
+    let mut intervals = Vec::new();
+    let mut attribution = RecoveryAttribution::new();
+    let mut warmup_instrs = 0;
+    let mut detailed_instrs = 0;
+    let mut halted = false;
+    let mut round = 0u64;
+    while !halted && !ff.halted() {
+        // Detailed leg, booted through the binary checkpoint format.
+        let ckpt = Checkpoint::decode(&ff.checkpoint().encode())
+            .unwrap_or_else(|e| panic!("{name}: checkpoint round-trip failed: {e}"));
+        let boot = ckpt
+            .boot_image(program, cfg)
+            .unwrap_or_else(|e| panic!("{name}: checkpoint boot failed: {e}"));
+        let mut sim = TraceProcessor::from_checkpoint(program, cfg.clone(), boot)
+            .unwrap_or_else(|e| panic!("{name}: boot rejected: {e}"));
+        // The first round boots the *initial* state — bit-identical to how
+        // a full run starts — so its cold-start cycles are real cost and
+        // must be measured, not discarded. Later rounds boot mid-program
+        // with an artificially empty pipeline; their warmup absorbs that
+        // boot transient.
+        let this_warmup = if round == 0 { 0 } else { sample.warmup };
+        round += 1;
+        sim.run_interval(this_warmup).unwrap_or_else(|e| panic!("{name} warmup: {e}"));
+        let (w_instrs, w_cycles) = (sim.stats().retired_instrs, sim.stats().cycles);
+        // The simulator's ledger is cumulative since boot; snapshot it so
+        // the merged attribution covers the measured interval only, not
+        // the discarded warmup leg.
+        let w_attr = sim.attribution().clone();
+        warmup_instrs += w_instrs;
+        let r = sim.run_interval(sample.interval).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let instrs = r.stats.retired_instrs - w_instrs;
+        let cycles = r.stats.cycles - w_cycles;
+        if instrs > 0 {
+            intervals.push(Interval { start_retired: ckpt.retired + w_instrs, instrs, cycles });
+            attribution.merge(&r.attribution.since(&w_attr));
+            detailed_instrs += instrs;
+        }
+        halted = r.halted;
+        // Hand the architectural frontier and the interval's trained
+        // structures back to the fast-forward engine. Memory must be the
+        // *full* committed image, not the normalized `arch_state` view:
+        // a store of zero over non-zero initial data is real state a
+        // normalized map would lose.
+        let (pc, retired_delta) = sim.retired_frontier();
+        let regs = sim.arch_state().regs;
+        let state = MachineState {
+            regs,
+            mem: sim.committed_mem_words().into_iter().collect(),
+            pc,
+            halted,
+            retired: ckpt.retired + retired_delta,
+        };
+        let warm = sim.into_warm();
+        ff.adopt(state, warm);
+        if halted {
+            break;
+        }
+        // Functional leg. The skip length is stratified deterministically
+        // around the configured mean (uniform in [skip/2, 3*skip/2)):
+        // fixed-period systematic sampling can alias with a workload's
+        // phase structure and measure the same phase every round, which
+        // shows up as a large bias with a deceptively small confidence
+        // interval. Jitter breaks the lock-step while keeping runs
+        // reproducible.
+        let jittered = if sample.skip == 0 {
+            0
+        } else {
+            let h = round.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 33;
+            sample.skip / 2 + h % sample.skip
+        };
+        let s = ff
+            .skip(jittered)
+            .unwrap_or_else(|e| panic!("{name}: fast-forward left the program: {e}"));
+        halted = s.halted;
+    }
+    SampledRun {
+        intervals,
+        total_instrs: ff.retired(),
+        detailed_instrs,
+        warmup_instrs,
+        ffwd_instrs: ff.retired() - detailed_instrs - warmup_instrs,
+        halted: true,
+        wall_seconds: t.elapsed().as_secs_f64(),
+        attribution,
+    }
+}
+
+/// The sampling regime conventionally paired with a suite size: sparse
+/// for the long suite (where detail is the bottleneck), dense otherwise.
+pub fn default_sample_for(size: Size) -> SampleConfig {
+    match size {
+        Size::Long => SampleConfig::sparse(),
+        _ => SampleConfig::dense(),
+    }
+}
+
+/// One `(workload, model)` sampled measurement.
+#[derive(Clone, Debug)]
+pub struct SampledCell {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Control-independence model.
+    pub model: CiModel,
+    /// The sampled run.
+    pub run: SampledRun,
+}
+
+/// Runs every workload of `size` sampled under every model in `models`.
+///
+/// # Panics
+///
+/// As [`run_sampled`].
+pub fn run_sampled_grid(size: Size, models: &[CiModel], sample: &SampleConfig) -> Vec<SampledCell> {
+    let mut cells = Vec::new();
+    for w in suite(size) {
+        for &model in models {
+            let cfg = TraceProcessorConfig::paper(model);
+            cells.push(SampledCell {
+                workload: w.name,
+                model,
+                run: run_sampled(&w.program, &cfg, sample),
+            });
+        }
+    }
+    cells
+}
+
+/// Renders a sampled grid as the `tp-bench/sampled/v1` JSON document
+/// (see README "Sampled simulation").
+pub fn sampled_to_json(cells: &[SampledCell], size: Size, sample: &SampleConfig) -> String {
+    fn num(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x:.6}")
+        } else {
+            "0.0".to_string()
+        }
+    }
+    let total_wall: f64 = cells.iter().map(|c| c.run.wall_seconds).sum();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"tp-bench/sampled/v1\",\n");
+    s.push_str(&format!("  \"suite_size\": \"{}\",\n", crate::speed::size_name(size)));
+    s.push_str(&format!(
+        "  \"sample\": {{\"warmup\": {}, \"interval\": {}, \"skip\": {}}},\n",
+        sample.warmup, sample.interval, sample.skip
+    ));
+    s.push_str(&format!("  \"wall_seconds_total\": {},\n", num(total_wall)));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let r = &c.run;
+        s.push_str("    {");
+        s.push_str(&format!("\"workload\": \"{}\", ", c.workload));
+        s.push_str(&format!("\"model\": \"{}\", ", c.model.name()));
+        s.push_str(&format!("\"total_instrs\": {}, ", r.total_instrs));
+        s.push_str(&format!("\"intervals\": {}, ", r.intervals.len()));
+        s.push_str(&format!("\"detailed_instrs\": {}, ", r.detailed_instrs));
+        s.push_str(&format!("\"warmup_instrs\": {}, ", r.warmup_instrs));
+        s.push_str(&format!("\"ffwd_instrs\": {}, ", r.ffwd_instrs));
+        s.push_str(&format!("\"ipc_estimate\": {}, ", num(r.ipc_estimate())));
+        s.push_str(&format!("\"ipc_ci95\": {}, ", num(r.ipc_ci95())));
+        s.push_str(&format!("\"estimated_cycles\": {}, ", num(r.estimated_cycles())));
+        s.push_str(&format!("\"detailed_fraction\": {}, ", num(r.detailed_fraction())));
+        s.push_str(&format!("\"wall_seconds\": {}, ", num(r.wall_seconds)));
+        s.push_str("\"attribution\": ");
+        s.push_str(&r.attribution.to_json());
+        s.push_str(if i + 1 == cells.len() { "}\n" } else { "},\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// One workload's sampled-vs-full comparison.
+#[derive(Clone, Debug)]
+pub struct CrossCheck {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Control-independence model.
+    pub model: CiModel,
+    /// Full detailed-run IPC.
+    pub full_ipc: f64,
+    /// Full detailed-run wall seconds.
+    pub full_wall: f64,
+    /// The sampled run.
+    pub sampled: SampledRun,
+}
+
+impl CrossCheck {
+    /// Relative IPC error of the sampled estimate, in percent.
+    pub fn rel_err_pct(&self) -> f64 {
+        if self.full_ipc == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.sampled.ipc_estimate() - self.full_ipc).abs() / self.full_ipc
+        }
+    }
+
+    /// Wall-clock speedup of the sampled run over the full detailed run.
+    pub fn speedup(&self) -> f64 {
+        if self.sampled.wall_seconds == 0.0 {
+            0.0
+        } else {
+            self.full_wall / self.sampled.wall_seconds
+        }
+    }
+}
+
+/// Runs every workload of `size` both ways (full detailed, then sampled)
+/// under each model and returns the comparisons — the sampled-accuracy
+/// validation behind the CI smoke step and the acceptance tests.
+///
+/// # Panics
+///
+/// Panics if any run deadlocks or fails to halt.
+pub fn cross_check(size: Size, models: &[CiModel], sample: &SampleConfig) -> Vec<CrossCheck> {
+    let mut out = Vec::new();
+    for w in suite(size) {
+        for &model in models {
+            let cfg = TraceProcessorConfig::paper(model);
+            let t = Instant::now();
+            let mut sim = TraceProcessor::new(&w.program, cfg.clone());
+            let full = sim
+                .run(crate::speed::CELL_BUDGET)
+                .unwrap_or_else(|e| panic!("{} {model:?}: {e}", w.name));
+            assert!(full.halted, "{} {model:?} did not halt", w.name);
+            let full_wall = t.elapsed().as_secs_f64();
+            let sampled = run_sampled(&w.program, &cfg, sample);
+            assert_eq!(
+                sampled.total_instrs, full.stats.retired_instrs,
+                "{} {model:?}: sampled run covered a different instruction count",
+                w.name
+            );
+            out.push(CrossCheck {
+                workload: w.name,
+                model,
+                full_ipc: full.stats.ipc(),
+                full_wall,
+                sampled,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_workloads::by_name;
+
+    #[test]
+    fn sampled_run_covers_the_whole_program() {
+        let w = by_name("compress", Size::Tiny).program;
+        let cfg = TraceProcessorConfig::paper(CiModel::None);
+        let run = run_sampled(&w, &cfg, &SampleConfig::dense());
+        assert!(run.halted);
+        assert!(!run.intervals.is_empty());
+        assert_eq!(run.total_instrs, run.detailed_instrs + run.warmup_instrs + run.ffwd_instrs);
+        // Same committed work as a plain functional run.
+        let mut m = tp_isa::func::Machine::new(&w);
+        m.run(u64::MAX).unwrap();
+        assert_eq!(run.total_instrs, m.retired());
+        assert!(run.ipc_estimate() > 0.0);
+        assert!(run.detailed_fraction() > 0.0 && run.detailed_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn sampled_runs_are_deterministic() {
+        let w = by_name("li", Size::Tiny).program;
+        let cfg = TraceProcessorConfig::paper(CiModel::MlbRet);
+        let a = run_sampled(&w, &cfg, &SampleConfig::dense());
+        let b = run_sampled(&w, &cfg, &SampleConfig::dense());
+        assert_eq!(a.intervals, b.intervals);
+        assert_eq!(a.total_instrs, b.total_instrs);
+    }
+
+    #[test]
+    fn interval_math_is_sane() {
+        let i = Interval { start_retired: 0, instrs: 300, cycles: 150 };
+        assert!((i.ipc() - 2.0).abs() < 1e-12);
+        let run = SampledRun {
+            intervals: vec![
+                Interval { start_retired: 0, instrs: 100, cycles: 100 },
+                Interval { start_retired: 500, instrs: 100, cycles: 50 },
+            ],
+            total_instrs: 1000,
+            detailed_instrs: 200,
+            warmup_instrs: 50,
+            ffwd_instrs: 750,
+            halted: true,
+            wall_seconds: 0.1,
+            attribution: RecoveryAttribution::new(),
+        };
+        // Cold interval exact (100 cycles), remaining 900 instructions at
+        // the steady CPI of 0.5: 550 estimated cycles.
+        assert!((run.estimated_cycles() - 550.0).abs() < 1e-9);
+        assert!((run.ipc_estimate() - 1000.0 / 550.0).abs() < 1e-12);
+        assert_eq!(run.ipc_ci95(), 0.0, "one steady interval has no spread");
+        assert!((run.detailed_fraction() - 0.25).abs() < 1e-12);
+    }
+}

@@ -137,11 +137,24 @@ pub fn guard_violations(cells: &[SpeedCell]) -> Vec<String> {
     out
 }
 
-fn size_name(size: Size) -> &'static str {
+/// The suite-size label used in JSON documents and CLI parsing.
+pub fn size_name(size: Size) -> &'static str {
     match size {
         Size::Tiny => "tiny",
         Size::Small => "small",
         Size::Full => "full",
+        Size::Long => "long",
+    }
+}
+
+/// Parses a suite-size label (the inverse of [`size_name`]).
+pub fn parse_size(s: &str) -> Option<Size> {
+    match s {
+        "tiny" => Some(Size::Tiny),
+        "small" => Some(Size::Small),
+        "full" => Some(Size::Full),
+        "long" => Some(Size::Long),
+        _ => None,
     }
 }
 
@@ -204,27 +217,8 @@ pub fn to_json(cells: &[SpeedCell], size: Size) -> String {
             p.simple_tag_evictions,
             p.simple_repoints
         ));
-        s.push_str("\"attribution\": [");
-        for (j, ((class, heur, outcome), cell)) in c.attribution.nonzero().enumerate() {
-            if j > 0 {
-                s.push_str(", ");
-            }
-            s.push_str(&format!(
-                "{{\"class\": \"{}\", \"heuristic\": \"{}\", \"outcome\": \"{}\", \
-                 \"events\": {}, \"retired\": {}, \"squashed\": {}, \"preserved\": {}, \
-                 \"redispatched\": {}, \"recovery_cycles\": {}}}",
-                class.label(),
-                heur.label(),
-                outcome.label(),
-                cell.events,
-                cell.retired,
-                cell.traces_squashed,
-                cell.traces_preserved,
-                cell.traces_redispatched,
-                cell.recovery_cycles
-            ));
-        }
-        s.push(']');
+        s.push_str("\"attribution\": ");
+        s.push_str(&c.attribution.to_json());
         s.push_str(if i + 1 == cells.len() { "}\n" } else { "},\n" });
     }
     s.push_str("  ]\n}\n");

@@ -156,6 +156,16 @@ impl Arb {
         self.backing.iter().filter(|(_, &w)| w != 0).map(|(&a, &w)| (a, w)).collect()
     }
 
+    /// The full committed memory image as `(word index, value)` pairs,
+    /// *including* words holding zero. Checkpoint capture must use this,
+    /// not [`Arb::arch_mem`]: a committed store of zero over non-zero
+    /// initial data is real state that normalization would hide, and a
+    /// resume built from the normalized view would resurrect the initial
+    /// value.
+    pub fn backing_words(&self) -> impl Iterator<Item = (u64, Word)> + '_ {
+        self.backing.iter().map(|(&a, &w)| (a, w))
+    }
+
     /// Number of speculative versions currently buffered (all addresses).
     pub fn speculative_versions(&self) -> usize {
         self.versions.values().map(Vec::len).sum()

@@ -59,6 +59,24 @@ impl DCache {
         }
     }
 
+    /// Touches the line containing `addr` without counting statistics
+    /// (functional warming).
+    pub fn warm_access(&mut self, addr: Addr) {
+        self.tags.fill_quiet(addr / self.line_bytes);
+    }
+
+    /// Resident line ids, least-recently-used first (checkpoint capture).
+    pub fn warm_lines(&self) -> Vec<u64> {
+        self.tags.resident_lines_lru()
+    }
+
+    /// Re-installs captured lines in LRU order (warm-state injection).
+    pub fn warm_fill(&mut self, lines: &[u64]) {
+        for &line in lines {
+            self.tags.fill_quiet(line);
+        }
+    }
+
     /// Hit/miss statistics.
     pub fn stats(&self) -> CacheStats {
         self.tags.stats()

@@ -68,6 +68,28 @@ impl ICache {
         penalty
     }
 
+    /// Touches every line of the instruction range `[from, to]` without
+    /// counting statistics (functional warming).
+    pub fn warm_range(&mut self, from: Pc, to: Pc) {
+        let first = from as u64 / self.line_insts as u64;
+        let last = to.max(from) as u64 / self.line_insts as u64;
+        for line in first..=last {
+            self.tags.fill_quiet(line);
+        }
+    }
+
+    /// Resident line ids, least-recently-used first (checkpoint capture).
+    pub fn warm_lines(&self) -> Vec<u64> {
+        self.tags.resident_lines_lru()
+    }
+
+    /// Re-installs captured lines in LRU order (warm-state injection).
+    pub fn warm_fill(&mut self, lines: &[u64]) {
+        for &line in lines {
+            self.tags.fill_quiet(line);
+        }
+    }
+
     /// Instructions per cache line.
     pub fn line_insts(&self) -> u32 {
         self.line_insts

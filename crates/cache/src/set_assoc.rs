@@ -64,8 +64,19 @@ impl SetAssocCache {
     /// Accesses `line_id`, returning whether it hit. On a miss the line is
     /// filled, evicting the set's LRU way if necessary.
     pub fn access(&mut self, line_id: u64) -> bool {
-        self.tick += 1;
         self.stats.accesses += 1;
+        let hit = self.touch(line_id);
+        if !hit {
+            self.stats.misses += 1;
+        }
+        hit
+    }
+
+    /// The shared install/LRU-touch behind [`SetAssocCache::access`] and
+    /// [`SetAssocCache::fill_quiet`]: returns whether the line was already
+    /// resident, filling (with LRU eviction) when it was not.
+    fn touch(&mut self, line_id: u64) -> bool {
+        self.tick += 1;
         let ways = self.ways;
         let tick = self.tick;
         let n = self.sets.len() as u64;
@@ -75,7 +86,6 @@ impl SetAssocCache {
             line.lru = tick;
             return true;
         }
-        self.stats.misses += 1;
         if set.len() >= ways {
             let victim = set
                 .iter()
@@ -87,6 +97,29 @@ impl SetAssocCache {
         }
         set.push(Line { tag, lru: tick });
         false
+    }
+
+    /// Every resident line id in global least-recently-used-first order
+    /// (checkpoint capture: re-filling a fresh array in this order with
+    /// [`SetAssocCache::fill_quiet`] reproduces the relative LRU ranking
+    /// within every set).
+    pub fn resident_lines_lru(&self) -> Vec<u64> {
+        let n = self.sets.len() as u64;
+        let mut lines: Vec<(u64, u64)> = self
+            .sets
+            .iter()
+            .enumerate()
+            .flat_map(|(set, ways)| ways.iter().map(move |l| (l.tag * n + set as u64, l.lru)))
+            .collect();
+        lines.sort_by_key(|&(_, lru)| lru);
+        lines.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Installs (or LRU-touches) `line_id` without counting statistics —
+    /// warm-state injection, so a booted interval's hit/miss counters
+    /// start at zero.
+    pub fn fill_quiet(&mut self, line_id: u64) {
+        let _ = self.touch(line_id);
     }
 
     /// Probes for `line_id` without updating LRU, filling or counting.
@@ -162,5 +195,31 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_sets_rejected() {
         let _ = SetAssocCache::new(3, 1);
+    }
+
+    /// Capture + quiet refill preserves residency and replacement order
+    /// and leaves the statistics of the refilled array untouched.
+    #[test]
+    fn lru_capture_refill_roundtrip() {
+        let mut c = SetAssocCache::new(2, 2);
+        for id in [0, 2, 1, 4, 0] {
+            c.access(id);
+        }
+        let lines = c.resident_lines_lru();
+        let mut warm = SetAssocCache::new(2, 2);
+        for &l in &lines {
+            warm.fill_quiet(l);
+        }
+        assert_eq!(warm.stats(), CacheStats::default(), "quiet fill counts nothing");
+        for id in 0..6 {
+            assert_eq!(warm.contains(id), c.contains(id), "line {id}");
+        }
+        // Same victim on the next conflicting fill (set 0 holds 0 and 4;
+        // 2 was evicted; LRU of set 0 is 4... access 6 -> evicts the LRU).
+        c.access(6);
+        warm.access(6);
+        for id in 0..8 {
+            assert_eq!(warm.contains(id), c.contains(id), "post-eviction line {id}");
+        }
     }
 }

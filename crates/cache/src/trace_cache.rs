@@ -130,6 +130,20 @@ impl TraceCache {
     pub fn stats(&self) -> TraceCacheStats {
         self.stats
     }
+
+    /// The cache geometry as `(sets, ways)`.
+    pub fn geometry(&self) -> (usize, usize) {
+        (self.sets.len(), self.ways)
+    }
+
+    /// Every cached trace in global least-recently-used-first order
+    /// (checkpoint capture: re-filling a fresh cache in this order
+    /// reproduces the relative LRU ranking within every set).
+    pub fn lines_lru(&self) -> Vec<Arc<Trace>> {
+        let mut lines: Vec<(&Line, u64)> = self.sets.iter().flatten().map(|l| (l, l.lru)).collect();
+        lines.sort_by_key(|&(_, lru)| lru);
+        lines.into_iter().map(|(l, _)| l.trace.clone()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +207,28 @@ mod tests {
         assert!(tc.contains(t.id()));
         assert!(!tc.contains(TraceId::new(2, 0, 0)));
         assert_eq!(tc.stats(), before);
+    }
+
+    /// Re-filling a fresh cache from `lines_lru` order reproduces the
+    /// source cache's eviction behaviour: the same victim goes first.
+    #[test]
+    fn lines_lru_roundtrip_preserves_replacement_order() {
+        let mut tc = TraceCache::new(1, 2);
+        let (a, b) = (trace(1, 0, 0), trace(2, 0, 0));
+        tc.fill(a.clone());
+        tc.fill(b.clone());
+        let _ = tc.lookup(a.id()); // b becomes LRU
+        let lines = tc.lines_lru();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].id(), b.id(), "LRU line first");
+        let mut warm = TraceCache::new(1, 2);
+        for t in lines {
+            warm.fill(t);
+        }
+        warm.fill(trace(3, 0, 0)); // evicts the same victim (b)
+        assert!(warm.contains(a.id()));
+        assert!(!warm.contains(b.id()));
+        assert_eq!(warm.geometry(), (1, 2));
     }
 
     #[test]

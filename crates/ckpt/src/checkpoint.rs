@@ -1,0 +1,722 @@
+//! The versioned binary checkpoint format.
+//!
+//! A checkpoint records everything needed to resume a program mid-run:
+//! the architectural state (PC, registers, and the *dirty-page memory
+//! delta* against the program's initial data image) plus, optionally, the
+//! functionally warmed predictor images accumulated by
+//! [`FastForward`](crate::FastForward).
+//!
+//! # Wire layout (version 1)
+//!
+//! All scalars little-endian; see [`crate::wire`] for the codec.
+//!
+//! ```text
+//! magic      b"TPCK"
+//! version    u32 (= 1)
+//! name       str          program name
+//! fpr       u64          program fingerprint (FNV-1a; see below)
+//! pc         u32          resume PC
+//! retired    u64          instructions retired before the checkpoint
+//! halted     u8           0 | 1
+//! regs       u32 count, count x i64
+//! mem        u32 pages, per page: u64 page index, u64 bitmap,
+//!            popcount(bitmap) x i64   -- dirty words vs. the initial
+//!            image, 64 words per page (page = word index >> 6, bit =
+//!            word index & 63)
+//! warm       u8 flag (0 = none), then:
+//!   btb      u32 entries, entries x u8 counters,
+//!            u32 targets, targets x (u32 index, u32 pc)
+//!   gshare   u32 entries, u32 history bits, u64 history, entries x u8
+//!   ras      u32 capacity, u32 depth, depth x u32
+//!   ntp      u32 index bits, u32 path depth, u8 confidence threshold,
+//!            2 x (u32 entries, entries x (u32 index, u16 tag,
+//!                 trace id, u8 confidence))          -- path, simple
+//!   tcache   u32 sets, u32 ways, u32 lines, lines x
+//!            (trace id, u32 next pc | u32::MAX, u8 len)   -- LRU-first
+//!   icache   u32 lines, lines x u64 line id               -- LRU-first
+//!   dcache   u32 lines, lines x u64 line id               -- LRU-first
+//!   history  u32 depth, u32 len, len x trace id
+//!   selection u32 max len, u8 ntb, u8 fg
+//! ```
+//!
+//! A trace id is `u32 start, u32 mask, u8 branches`.
+//!
+//! The trace cache stores *ids*, not instructions: under a fixed selection
+//! algorithm a trace id (start PC + embedded branch outcomes) fully
+//! determines the instruction sequence, so lines are re-selected from the
+//! program image at load time (each carries its fall-out PC and length so
+//! CGCI-truncated lines rebuild bounded, exactly as they were built). The
+//! program fingerprint guards this: a checkpoint only ever boots against
+//! the program it was captured from.
+
+use std::sync::Arc;
+
+use tp_cache::{DCache, ICache, TraceCache};
+use tp_core::{BootImage, TraceProcessorConfig, WarmBoot};
+use tp_isa::func::{Machine, MachineState};
+use tp_isa::{Pc, Program, Reg, Word};
+use tp_predict::trace_pred::ImageEntry;
+use tp_predict::{
+    Btb, BtbImage, GshareImage, NextTracePredictor, Ras, TraceHistory, TracePredictorConfig,
+    TracePredictorImage,
+};
+use tp_trace::{Bit, ClosureOutcomes, SelectionConfig, Selector, TraceId};
+
+use crate::ffwd::{FastForward, Warm};
+use crate::wire::{Reader, WireError, Writer};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"TPCK";
+const VERSION: u32 = 1;
+
+/// Errors producing or consuming a checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CkptError {
+    /// Low-level decode failure (truncation, impossible value).
+    Wire(WireError),
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The file's format version is not supported.
+    UnsupportedVersion(u32),
+    /// The checkpoint was captured from a different program.
+    ProgramMismatch {
+        /// Program name recorded in the checkpoint.
+        name: String,
+        /// Fingerprint recorded in the checkpoint.
+        stored: u64,
+        /// Fingerprint of the program offered at load.
+        offered: u64,
+    },
+    /// The checkpoint's trace selection differs from the boot
+    /// configuration's, so its warm trace image cannot be reused.
+    SelectionMismatch {
+        /// Selection recorded in the checkpoint.
+        stored: SelectionConfig,
+        /// Selection of the offered configuration.
+        offered: SelectionConfig,
+    },
+    /// Re-selecting a cached trace did not reproduce the recorded line
+    /// (impossible for a checkpoint captured from this program).
+    TraceReconstruct {
+        /// The trace id that failed to rebuild.
+        id: TraceId,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Wire(e) => write!(f, "{e}"),
+            CkptError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CkptError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (this build reads {VERSION})")
+            }
+            CkptError::ProgramMismatch { name, stored, offered } => write!(
+                f,
+                "checkpoint was captured from program `{name}` (fingerprint {stored:016x}), \
+                 not the offered program (fingerprint {offered:016x})"
+            ),
+            CkptError::SelectionMismatch { stored, offered } => write!(
+                f,
+                "checkpoint warmed with selection {}, boot configured with {}",
+                stored.name(),
+                offered.name()
+            ),
+            CkptError::TraceReconstruct { id } => {
+                write!(f, "cached trace {id} did not rebuild from the program image")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<WireError> for CkptError {
+    fn from(e: WireError) -> CkptError {
+        CkptError::Wire(e)
+    }
+}
+
+/// One warm trace-cache line: the id plus the metadata needed to rebuild
+/// the exact trace (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceLine {
+    /// The trace id (start PC + embedded outcomes).
+    pub id: TraceId,
+    /// The trace's fall-out PC, when known at construction.
+    pub next_pc: Option<Pc>,
+    /// Physical instruction count.
+    pub len: u8,
+}
+
+/// The warmed predictor images of a checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WarmImages {
+    /// BTB counters and indirect targets.
+    pub btb: BtbImage,
+    /// Gshare counters and history.
+    pub gshare: GshareImage,
+    /// RAS capacity.
+    pub ras_capacity: u32,
+    /// RAS contents, oldest first.
+    pub ras: Vec<Pc>,
+    /// Next-trace predictor entries.
+    pub predictor: TracePredictorImage,
+    /// Trace cache sets.
+    pub tcache_sets: u32,
+    /// Trace cache ways.
+    pub tcache_ways: u32,
+    /// Trace cache lines, least-recently-used first.
+    pub tcache: Vec<TraceLine>,
+    /// Instruction-cache resident line ids, least-recently-used first.
+    pub icache_lines: Vec<u64>,
+    /// Data-cache resident line ids, least-recently-used first.
+    pub dcache_lines: Vec<u64>,
+    /// Trace history depth.
+    pub history_depth: u32,
+    /// Trace history contents, oldest first.
+    pub history: Vec<TraceId>,
+    /// The selection the warm traces were cut with.
+    pub selection: SelectionConfig,
+}
+
+/// A decoded (or freshly captured) checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Name of the source program.
+    pub program_name: String,
+    /// Fingerprint of the source program (see [`program_fingerprint`]).
+    pub program_fingerprint: u64,
+    /// Resume PC.
+    pub pc: Pc,
+    /// Instructions retired before the checkpoint.
+    pub retired: u64,
+    /// Whether the program had halted.
+    pub halted: bool,
+    /// Architectural register values.
+    pub regs: [Word; Reg::COUNT],
+    /// Dirty memory words vs. the program's initial data image, as
+    /// `(word index, value)` pairs in ascending order.
+    pub mem_delta: Vec<(u64, Word)>,
+    /// Warmed predictor images, if captured.
+    pub warm: Option<WarmImages>,
+}
+
+/// A stable FNV-1a fingerprint of a program: instruction image, entry
+/// point, and initial data. Recorded in every checkpoint and verified at
+/// load, since a checkpoint is meaningless against any other program.
+pub fn program_fingerprint(program: &Program) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix_bytes = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    mix_bytes(program.name().as_bytes());
+    mix_bytes(&(program.entry() as u64).to_le_bytes());
+    mix_bytes(&(program.len() as u64).to_le_bytes());
+    for inst in program.insts() {
+        mix_bytes(format!("{inst}").as_bytes());
+    }
+    for (addr, word) in program.data() {
+        mix_bytes(&addr.to_le_bytes());
+        mix_bytes(&word.to_le_bytes());
+    }
+    h
+}
+
+impl Checkpoint {
+    /// Captures a checkpoint from a machine state and optional warm set.
+    /// (Most callers use [`FastForward::checkpoint`].)
+    pub fn capture(program: &Program, state: &MachineState, warm: Option<&Warm>) -> Checkpoint {
+        let initial: std::collections::BTreeMap<u64, Word> =
+            program.data().map(|(a, w)| (a >> 3, w)).collect();
+        let mem_delta: Vec<(u64, Word)> = state
+            .mem
+            .iter()
+            .filter(|(w, v)| initial.get(w).copied().unwrap_or(0) != **v)
+            .map(|(&w, &v)| (w, v))
+            .collect();
+        Checkpoint {
+            program_name: program.name().to_string(),
+            program_fingerprint: program_fingerprint(program),
+            pc: state.pc,
+            retired: state.retired,
+            halted: state.halted,
+            regs: state.regs,
+            mem_delta,
+            warm: warm.map(Warm::images),
+        }
+    }
+
+    /// The full memory image (initial data plus the dirty delta) as
+    /// `(word index, value)` pairs.
+    pub fn mem_image(&self, program: &Program) -> Vec<(u64, Word)> {
+        let mut image: std::collections::BTreeMap<u64, Word> =
+            program.data().map(|(a, w)| (a >> 3, w)).collect();
+        for &(w, v) in &self.mem_delta {
+            image.insert(w, v);
+        }
+        image.into_iter().collect()
+    }
+
+    /// Verifies this checkpoint was captured from `program`.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::ProgramMismatch`] when the fingerprints differ.
+    pub fn verify_program(&self, program: &Program) -> Result<(), CkptError> {
+        let offered = program_fingerprint(program);
+        if offered != self.program_fingerprint {
+            return Err(CkptError::ProgramMismatch {
+                name: self.program_name.clone(),
+                stored: self.program_fingerprint,
+                offered,
+            });
+        }
+        Ok(())
+    }
+
+    /// Resumes a functional machine at the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::ProgramMismatch`] when `program` is not the source
+    /// program.
+    pub fn machine<'p>(&self, program: &'p Program) -> Result<Machine<'p>, CkptError> {
+        self.verify_program(program)?;
+        Ok(Machine::from_state(program, self.machine_state(program)))
+    }
+
+    /// The machine state recorded by the checkpoint (unverified; prefer
+    /// [`Checkpoint::machine`]).
+    pub fn machine_state(&self, program: &Program) -> MachineState {
+        MachineState {
+            regs: self.regs,
+            mem: self.mem_image(program).into_iter().collect(),
+            pc: self.pc,
+            halted: self.halted,
+            retired: self.retired,
+        }
+    }
+
+    /// Rebuilds the warm structures for a detailed boot under `cfg`,
+    /// re-selecting every cached trace from the program image.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::SelectionMismatch`] when `cfg` uses a different trace
+    /// selection than the checkpoint was warmed with, and
+    /// [`CkptError::TraceReconstruct`] if a line fails to rebuild (only
+    /// possible against a mismatched program, which
+    /// [`Checkpoint::boot_image`] rejects first).
+    pub fn warm_boot(
+        &self,
+        program: &Program,
+        cfg: &TraceProcessorConfig,
+    ) -> Result<Option<WarmBoot>, CkptError> {
+        let Some(images) = &self.warm else { return Ok(None) };
+        if images.selection != cfg.selection {
+            return Err(CkptError::SelectionMismatch {
+                stored: images.selection,
+                offered: cfg.selection,
+            });
+        }
+        let selector = Selector::new(images.selection);
+        let mut bit = Bit::new(cfg.bit_entries, cfg.bit_ways);
+        let mut tcache = TraceCache::new(images.tcache_sets as usize, images.tcache_ways as usize);
+        for line in &images.tcache {
+            let mut outcomes =
+                ClosureOutcomes::new(|i, _, _| line.id.outcome(i), |_, _| line.next_pc);
+            let stop = line.next_pc.map(|p| (p, line.len as usize));
+            let sel =
+                selector.select_bounded(program, line.id.start(), &mut bit, &mut outcomes, stop);
+            if sel.trace.id() != line.id || sel.trace.len() != line.len as usize {
+                return Err(CkptError::TraceReconstruct { id: line.id });
+            }
+            tcache.fill(Arc::new(sel.trace));
+        }
+        let mut history = TraceHistory::new(images.history_depth as usize);
+        for &id in &images.history {
+            history.push(id);
+        }
+        let mut icache = ICache::paper();
+        icache.warm_fill(&images.icache_lines);
+        let mut dcache = DCache::paper();
+        dcache.warm_fill(&images.dcache_lines);
+        Ok(Some(WarmBoot {
+            btb: Btb::from_image(&images.btb),
+            ras: Ras::from_entries(images.ras_capacity as usize, &images.ras),
+            predictor: NextTracePredictor::from_image(&images.predictor),
+            tcache,
+            bit,
+            icache,
+            dcache,
+            history,
+        }))
+    }
+
+    /// Produces the boot image for
+    /// [`TraceProcessor::from_checkpoint`](tp_core::TraceProcessor::from_checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Program-fingerprint, selection and reconstruction failures as in
+    /// [`Checkpoint::verify_program`] and [`Checkpoint::warm_boot`].
+    pub fn boot_image(
+        &self,
+        program: &Program,
+        cfg: &TraceProcessorConfig,
+    ) -> Result<BootImage, CkptError> {
+        self.verify_program(program)?;
+        Ok(BootImage {
+            pc: self.pc,
+            regs: self.regs,
+            mem: self.mem_image(program),
+            retired: self.retired,
+            halted: self.halted,
+            warm: self.warm_boot(program, cfg)?,
+        })
+    }
+
+    /// Encodes the checkpoint into the version-1 wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u32(VERSION);
+        w.str(&self.program_name);
+        w.u64(self.program_fingerprint);
+        w.u32(self.pc);
+        w.u64(self.retired);
+        w.u8(self.halted as u8);
+        w.u32(Reg::COUNT as u32);
+        for &r in &self.regs {
+            w.i64(r);
+        }
+        // Dirty-page memory delta. The page bitmap is decoded in ascending
+        // bit order, so the values of each page must be emitted in the
+        // same order — normalize here rather than trusting `mem_delta`'s
+        // ordering (the fields are public; capture() sorts, a hand-built
+        // checkpoint might not).
+        let mut delta = self.mem_delta.clone();
+        delta.sort_by_key(|&(word, _)| word);
+        let mut pages: std::collections::BTreeMap<u64, Vec<(u64, Word)>> = Default::default();
+        for &(word, v) in &delta {
+            pages.entry(word >> 6).or_default().push((word, v));
+        }
+        w.u32(pages.len() as u32);
+        for (page, words) in &pages {
+            w.u64(*page);
+            let mut bitmap = 0u64;
+            for &(word, _) in words {
+                bitmap |= 1 << (word & 63);
+            }
+            w.u64(bitmap);
+            for &(_, v) in words {
+                w.i64(v);
+            }
+        }
+        match &self.warm {
+            None => w.u8(0),
+            Some(images) => {
+                w.u8(1);
+                encode_warm(&mut w, images);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a version-1 checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::BadMagic`], [`CkptError::UnsupportedVersion`], or a
+    /// [`CkptError::Wire`] naming the field that was truncated or corrupt.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CkptError> {
+        let mut r = Reader::new(bytes);
+        if r.bytes(4, "magic").map_err(CkptError::Wire)? != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let version = r.u32("version").map_err(CkptError::Wire)?;
+        if version != VERSION {
+            return Err(CkptError::UnsupportedVersion(version));
+        }
+        decode_body(&mut r).map_err(CkptError::Wire)
+    }
+}
+
+fn decode_body(r: &mut Reader<'_>) -> Result<Checkpoint, WireError> {
+    let program_name = r.str("program name")?;
+    let program_fingerprint = r.u64("program fingerprint")?;
+    let pc = r.u32("pc")?;
+    let retired = r.u64("retired")?;
+    let halted = r.u8("halted")? != 0;
+    let reg_count = r.u32("reg count")? as usize;
+    if reg_count != Reg::COUNT {
+        return Err(WireError::Corrupt(format!("reg count: {reg_count}, expected {}", Reg::COUNT)));
+    }
+    let mut regs = [0 as Word; Reg::COUNT];
+    for reg in &mut regs {
+        *reg = r.i64("regs")?;
+    }
+    let pages = r.len("mem pages")?;
+    let mut mem_delta = Vec::new();
+    let mut prev_page = None;
+    for _ in 0..pages {
+        let page = r.u64("mem page index")?;
+        if prev_page.is_some_and(|p| page <= p) {
+            return Err(WireError::Corrupt(format!("mem page {page}: pages must ascend")));
+        }
+        prev_page = Some(page);
+        let bitmap = r.u64("mem page bitmap")?;
+        for bit in 0..64 {
+            if bitmap >> bit & 1 == 1 {
+                mem_delta.push(((page << 6) | bit, r.i64("mem word")?));
+            }
+        }
+    }
+    let warm = match r.u8("warm flag")? {
+        0 => None,
+        1 => Some(decode_warm(r)?),
+        other => return Err(WireError::Corrupt(format!("warm flag: {other}"))),
+    };
+    Ok(Checkpoint { program_name, program_fingerprint, pc, retired, halted, regs, mem_delta, warm })
+}
+
+fn encode_trace_id(w: &mut Writer, id: TraceId) {
+    w.u32(id.start());
+    w.u32(id.mask());
+    w.u8(id.branches());
+}
+
+fn decode_trace_id(r: &mut Reader<'_>) -> Result<TraceId, WireError> {
+    let start = r.u32("trace id start")?;
+    let mask = r.u32("trace id mask")?;
+    let branches = r.u8("trace id branches")?;
+    if branches > 32 {
+        return Err(WireError::Corrupt(format!("trace id branches: {branches} > 32")));
+    }
+    Ok(TraceId::new(start, mask, branches))
+}
+
+fn encode_warm(w: &mut Writer, images: &WarmImages) {
+    w.u32(images.btb.counters.len() as u32);
+    w.bytes(&images.btb.counters);
+    w.u32(images.btb.targets.len() as u32);
+    for &(i, pc) in &images.btb.targets {
+        w.u32(i);
+        w.u32(pc);
+    }
+    w.u32(images.gshare.counters.len() as u32);
+    w.u32(images.gshare.history_bits);
+    w.u64(images.gshare.history);
+    w.bytes(&images.gshare.counters);
+    w.u32(images.ras_capacity);
+    w.u32(images.ras.len() as u32);
+    for &pc in &images.ras {
+        w.u32(pc);
+    }
+    w.u32(images.predictor.config.index_bits);
+    w.u32(images.predictor.config.path_depth as u32);
+    w.u8(images.predictor.config.confidence_threshold);
+    for entries in [&images.predictor.path, &images.predictor.simple] {
+        w.u32(entries.len() as u32);
+        for e in entries {
+            w.u32(e.index);
+            w.u16(e.tag);
+            encode_trace_id(w, e.pred);
+            w.u8(e.confidence);
+        }
+    }
+    w.u32(images.tcache_sets);
+    w.u32(images.tcache_ways);
+    w.u32(images.tcache.len() as u32);
+    for line in &images.tcache {
+        encode_trace_id(w, line.id);
+        w.u32(line.next_pc.unwrap_or(u32::MAX));
+        w.u8(line.len);
+    }
+    for lines in [&images.icache_lines, &images.dcache_lines] {
+        w.u32(lines.len() as u32);
+        for &l in lines {
+            w.u64(l);
+        }
+    }
+    w.u32(images.history_depth);
+    w.u32(images.history.len() as u32);
+    for &id in &images.history {
+        encode_trace_id(w, id);
+    }
+    w.u32(images.selection.max_len);
+    w.u8(images.selection.ntb as u8);
+    w.u8(images.selection.fg as u8);
+}
+
+fn decode_warm(r: &mut Reader<'_>) -> Result<WarmImages, WireError> {
+    // Geometry fields are validated here so a corrupt stream reports a
+    // named error instead of tripping a constructor assert (the warm
+    // images feed `Btb::new`/`Gshare::new`/`Ras::new`/`TraceCache::new`,
+    // all of which panic on impossible geometry).
+    let n = r.len("btb counters")?;
+    if !n.is_power_of_two() {
+        return Err(WireError::Corrupt(format!("btb counters: {n} not a power of two")));
+    }
+    let btb_counters = r.bytes(n, "btb counters")?.to_vec();
+    let entries = n;
+    let n = r.len("btb targets")?;
+    let mut btb_targets = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let idx = r.u32("btb target index")?;
+        if idx as usize >= entries {
+            return Err(WireError::Corrupt(format!("btb target index: {idx} out of table")));
+        }
+        btb_targets.push((idx, r.u32("btb target pc")?));
+    }
+    let gshare_entries = r.len("gshare counters")?;
+    if !gshare_entries.is_power_of_two() {
+        return Err(WireError::Corrupt(format!(
+            "gshare counters: {gshare_entries} not a power of two"
+        )));
+    }
+    let history_bits = r.u32("gshare history bits")?;
+    if history_bits > 32 {
+        return Err(WireError::Corrupt(format!("gshare history bits: {history_bits} > 32")));
+    }
+    let gshare_history = r.u64("gshare history")?;
+    let gshare_counters = r.bytes(gshare_entries, "gshare counters")?.to_vec();
+    let ras_capacity = r.u32("ras capacity")?;
+    if ras_capacity == 0 {
+        return Err(WireError::Corrupt("ras capacity: 0".to_string()));
+    }
+    let n = r.len("ras depth")?;
+    let mut ras = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        ras.push(r.u32("ras entry")?);
+    }
+    let index_bits = r.u32("predictor index bits")?;
+    let path_depth = r.u32("predictor path depth")? as usize;
+    let confidence_threshold = r.u8("predictor confidence threshold")?;
+    if index_bits > 24 || path_depth == 0 {
+        return Err(WireError::Corrupt(format!(
+            "predictor geometry: index_bits {index_bits}, path_depth {path_depth}"
+        )));
+    }
+    let mut components = Vec::with_capacity(2);
+    for which in ["predictor path entries", "predictor simple entries"] {
+        let n = r.len("predictor entries")?;
+        let mut entries = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let index = r.u32("predictor entry index")?;
+            if index >= 1 << index_bits {
+                return Err(WireError::Corrupt(format!("{which}: index {index} out of table")));
+            }
+            let tag = r.u16("predictor entry tag")?;
+            let pred = decode_trace_id(r)?;
+            let confidence = r.u8("predictor entry confidence")?;
+            entries.push(ImageEntry { index, tag, pred, confidence });
+        }
+        components.push(entries);
+    }
+    let simple = components.pop().expect("two components");
+    let path = components.pop().expect("two components");
+    let tcache_sets = r.u32("tcache sets")?;
+    let tcache_ways = r.u32("tcache ways")?;
+    if !(tcache_sets as usize).is_power_of_two() || tcache_ways == 0 {
+        return Err(WireError::Corrupt(format!(
+            "tcache geometry: {tcache_sets} sets x {tcache_ways} ways"
+        )));
+    }
+    let n = r.len("tcache lines")?;
+    let mut tcache = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let id = decode_trace_id(r)?;
+        let raw = r.u32("tcache line next pc")?;
+        let next_pc = (raw != u32::MAX).then_some(raw);
+        let len = r.u8("tcache line len")?;
+        if len == 0 {
+            return Err(WireError::Corrupt("tcache line len: 0".to_string()));
+        }
+        tcache.push(TraceLine { id, next_pc, len });
+    }
+    let n = r.len("icache lines")?;
+    let mut icache_lines = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        icache_lines.push(r.u64("icache line")?);
+    }
+    let n = r.len("dcache lines")?;
+    let mut dcache_lines = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        dcache_lines.push(r.u64("dcache line")?);
+    }
+    let history_depth = r.u32("history depth")?;
+    if history_depth == 0 {
+        return Err(WireError::Corrupt("history depth: 0".to_string()));
+    }
+    let n = r.len("history len")?;
+    let mut history = Vec::with_capacity(n.min(1 << 8));
+    for _ in 0..n {
+        history.push(decode_trace_id(r)?);
+    }
+    let max_len = r.u32("selection max len")?;
+    if !(1..=32).contains(&max_len) {
+        return Err(WireError::Corrupt(format!("selection max len: {max_len}")));
+    }
+    let ntb = r.u8("selection ntb")? != 0;
+    let fg = r.u8("selection fg")? != 0;
+    Ok(WarmImages {
+        btb: BtbImage { counters: btb_counters, targets: btb_targets },
+        gshare: GshareImage { counters: gshare_counters, history_bits, history: gshare_history },
+        ras_capacity,
+        ras,
+        predictor: TracePredictorImage {
+            config: TracePredictorConfig { index_bits, path_depth, confidence_threshold },
+            path,
+            simple,
+        },
+        tcache_sets,
+        tcache_ways,
+        tcache,
+        icache_lines,
+        dcache_lines,
+        history_depth,
+        history,
+        selection: SelectionConfig { max_len, ntb, fg },
+    })
+}
+
+impl Warm {
+    /// Captures the warm set as serializable [`WarmImages`].
+    pub fn images(&self) -> WarmImages {
+        WarmImages {
+            btb: self.btb.image(),
+            gshare: self.gshare.image(),
+            ras_capacity: self.ras.capacity() as u32,
+            ras: self.ras.entries().to_vec(),
+            predictor: self.predictor.image(),
+            tcache_sets: self.tcache.geometry().0 as u32,
+            tcache_ways: self.tcache.geometry().1 as u32,
+            tcache: self
+                .tcache
+                .lines_lru()
+                .into_iter()
+                .map(|t| {
+                    debug_assert!(t.len() <= u8::MAX as usize);
+                    TraceLine { id: t.id(), next_pc: t.next_pc(), len: t.len() as u8 }
+                })
+                .collect(),
+            icache_lines: self.icache.warm_lines(),
+            dcache_lines: self.dcache.warm_lines(),
+            history_depth: self.history.depth() as u32,
+            history: self.history.ids().to_vec(),
+            selection: self.selection,
+        }
+    }
+}
+
+impl FastForward<'_> {
+    /// Captures a checkpoint of the current machine state and warm set.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint::capture(self.machine().program(), &self.machine().capture(), Some(self.warm()))
+    }
+}

@@ -1,0 +1,410 @@
+//! Functional fast-forward with predictor warming.
+//!
+//! [`FastForward`] drives the architectural simulator
+//! ([`tp_isa::func::Machine`]) through the program far faster than the
+//! detailed cycle model, while *functionally warming* the frontend
+//! structures a detailed interval will boot with: every committed
+//! conditional branch trains the BTB and a gshare predictor, calls and
+//! returns walk the return address stack, and the committed stream is cut
+//! into canonical traces (by the same selection algorithm the detailed
+//! frontend uses) that fill the trace cache and train the next-trace
+//! predictor. A detailed measurement interval booted from a checkpoint
+//! taken here therefore starts with the predictor state a long-running
+//! detailed simulation would have accumulated — not cold.
+//!
+//! Trace segmentation reuses [`Selector`] verbatim rather than
+//! re-implementing its rules: the machine itself is the selector's
+//! [`OutcomeSource`], stepping forward to each conditional branch or
+//! indirect transfer the selector asks about and answering with the
+//! *actual* outcome. The selected path and the executed path coincide by
+//! construction, so the traces are exactly the canonical actual-outcome
+//! traces the detailed simulator trains with at retirement.
+
+use std::sync::Arc;
+
+use tp_cache::{DCache, ICache, TraceCache};
+use tp_core::{TraceProcessorConfig, WarmBoot};
+use tp_isa::func::{Machine, MachineState, PcOutOfRange, Step};
+use tp_isa::{Inst, Pc, Program};
+use tp_predict::{Btb, Gshare, NextTracePredictor, Ras, TraceHistory};
+use tp_trace::{Bit, OutcomeSource, SelectionConfig, Selector};
+
+/// The warm structures maintained during fast-forward: everything
+/// [`WarmBoot`] carries into the detailed simulator, plus a gshare
+/// predictor (not consumed by the cycle model; warmed for the profiling
+/// harness and recorded in checkpoints).
+#[derive(Clone, Debug)]
+pub struct Warm {
+    /// Conditional/indirect branch predictor.
+    pub btb: Btb,
+    /// Gshare branch predictor (profiling-harness consumer).
+    pub gshare: Gshare,
+    /// Return address stack.
+    pub ras: Ras,
+    /// Next-trace predictor.
+    pub predictor: NextTracePredictor,
+    /// Trace cache.
+    pub tcache: TraceCache,
+    /// Branch information table (FGCI region analyses).
+    pub bit: Bit,
+    /// Instruction-cache tag state (warmed per selected trace).
+    pub icache: ICache,
+    /// Data-cache tag state (warmed per executed load/store).
+    pub dcache: DCache,
+    /// Rolling trace history feeding the next-trace predictor.
+    pub history: TraceHistory,
+    /// The trace selection the stream is cut with (must match the detailed
+    /// configuration the warm state will boot).
+    pub selection: SelectionConfig,
+}
+
+impl Warm {
+    /// Cold structures sized for `cfg` (the state a fresh
+    /// [`tp_core::TraceProcessor`] starts with, plus a paper-sized gshare).
+    pub fn cold(cfg: &TraceProcessorConfig) -> Warm {
+        Warm {
+            btb: Btb::new(cfg.btb_entries),
+            gshare: Gshare::paper(),
+            ras: Ras::new(cfg.ras_depth),
+            predictor: NextTracePredictor::new(cfg.predictor),
+            tcache: TraceCache::new(cfg.tcache_sets, cfg.tcache_ways),
+            bit: Bit::new(cfg.bit_entries, cfg.bit_ways),
+            icache: ICache::paper(),
+            dcache: DCache::paper(),
+            history: TraceHistory::new(cfg.predictor.path_depth),
+            selection: cfg.selection,
+        }
+    }
+
+    /// Converts into the subset the detailed simulator boots with.
+    pub fn into_boot(self) -> WarmBoot {
+        WarmBoot {
+            btb: self.btb,
+            ras: self.ras,
+            predictor: self.predictor,
+            tcache: self.tcache,
+            bit: self.bit,
+            icache: self.icache,
+            dcache: self.dcache,
+            history: self.history,
+        }
+    }
+}
+
+/// Summary of one [`FastForward::skip`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SkipSummary {
+    /// Instructions retired by this call (whole traces; may overshoot the
+    /// budget by up to one trace).
+    pub retired: u64,
+    /// Traces the committed stream was cut into.
+    pub traces: u64,
+    /// Whether the program halted during the skip.
+    pub halted: bool,
+}
+
+/// An [`OutcomeSource`] that answers the selector from actual execution:
+/// each query steps the machine forward to the queried instruction.
+/// Every executed load/store warms the data cache on the way.
+struct StreamOutcomes<'m, 'p> {
+    machine: &'m mut Machine<'p>,
+    dcache: &'m mut DCache,
+    err: Option<PcOutOfRange>,
+}
+
+/// Steps `machine` once, warming `dcache` with any memory access.
+fn step_warm(machine: &mut Machine<'_>, dcache: &mut DCache) -> Result<Step, PcOutOfRange> {
+    let step = machine.step()?;
+    if let Some(ea) = step.ea {
+        dcache.warm_access(ea);
+    }
+    Ok(step)
+}
+
+impl StreamOutcomes<'_, '_> {
+    /// Steps the machine until it has executed the instruction at `pc`,
+    /// returning that step. The selector's path and the machine's path
+    /// coincide (outcomes come from the machine), so `pc` is always within
+    /// one trace's worth of instructions ahead.
+    fn step_to(&mut self, pc: Pc) -> Option<Step> {
+        for _ in 0..256 {
+            let step = match step_warm(self.machine, self.dcache) {
+                Ok(s) => s,
+                Err(e) => {
+                    self.err = Some(e);
+                    return None;
+                }
+            };
+            if step.pc == pc {
+                return Some(step);
+            }
+        }
+        panic!("fast-forward diverged from trace selection: never reached pc {pc}");
+    }
+}
+
+impl OutcomeSource for StreamOutcomes<'_, '_> {
+    fn cond_outcome(&mut self, _index: u8, pc: Pc, _inst: Inst) -> bool {
+        self.step_to(pc).and_then(|s| s.taken).unwrap_or(false)
+    }
+
+    fn indirect_target(&mut self, pc: Pc, _inst: Inst) -> Option<Pc> {
+        self.step_to(pc).map(|s| s.next_pc)
+    }
+}
+
+/// The checkpointed fast-forward driver.
+///
+/// # Example
+///
+/// ```
+/// use tp_ckpt::FastForward;
+/// use tp_core::{CiModel, TraceProcessorConfig};
+/// use tp_isa::{asm::Asm, Cond, Reg};
+///
+/// let mut a = Asm::new("count");
+/// a.li(Reg::new(1), 100);
+/// a.label("top");
+/// a.addi(Reg::new(1), Reg::new(1), -1);
+/// a.branch(Cond::Gt, Reg::new(1), Reg::ZERO, "top");
+/// a.halt();
+/// let program = a.assemble()?;
+///
+/// let cfg = TraceProcessorConfig::paper(CiModel::None);
+/// let mut ff = FastForward::new(&program, &cfg);
+/// let s = ff.skip(50).expect("stays in program");
+/// assert!(s.retired >= 50);
+/// let ckpt = ff.checkpoint();
+/// assert_eq!(ckpt.retired, ff.retired());
+/// # Ok::<(), tp_isa::asm::AsmError>(())
+/// ```
+pub struct FastForward<'p> {
+    program: &'p Program,
+    machine: Machine<'p>,
+    selector: Selector,
+    warm: Warm,
+}
+
+impl<'p> FastForward<'p> {
+    /// A fast-forward at the program entry with cold structures sized for
+    /// `cfg`.
+    pub fn new(program: &'p Program, cfg: &TraceProcessorConfig) -> FastForward<'p> {
+        FastForward::with_warm(program, Machine::new(program).capture(), Warm::cold(cfg))
+    }
+
+    /// Resumes a fast-forward from an explicit machine state and warm set
+    /// (continuing after a detailed interval, or from a decoded
+    /// checkpoint).
+    pub fn with_warm(program: &'p Program, state: MachineState, warm: Warm) -> FastForward<'p> {
+        FastForward {
+            program,
+            machine: Machine::from_state(program, state),
+            selector: Selector::new(warm.selection),
+            warm,
+        }
+    }
+
+    /// Adopts the architectural frontier and trained structures of a
+    /// finished detailed interval (the gshare predictor, which the cycle
+    /// model does not maintain, carries over from this driver's own
+    /// warming and simply misses the interval's branches).
+    pub fn adopt(&mut self, state: MachineState, warm: WarmBoot) {
+        self.machine = Machine::from_state(self.program, state);
+        self.warm.btb = warm.btb;
+        self.warm.ras = warm.ras;
+        self.warm.predictor = warm.predictor;
+        self.warm.tcache = warm.tcache;
+        self.warm.bit = warm.bit;
+        self.warm.icache = warm.icache;
+        self.warm.dcache = warm.dcache;
+        self.warm.history = warm.history;
+    }
+
+    /// The underlying functional machine.
+    pub fn machine(&self) -> &Machine<'p> {
+        &self.machine
+    }
+
+    /// The warm structures accumulated so far.
+    pub fn warm(&self) -> &Warm {
+        &self.warm
+    }
+
+    /// Consumes the driver, returning its warm structures.
+    pub fn into_warm(self) -> Warm {
+        self.warm
+    }
+
+    /// Whether the program has halted.
+    pub fn halted(&self) -> bool {
+        self.machine.halted()
+    }
+
+    /// Total instructions retired by the machine (across resumes).
+    pub fn retired(&self) -> u64 {
+        self.machine.retired()
+    }
+
+    /// Fast-forwards at least `budget` instructions (whole traces; the
+    /// last trace may overshoot), warming predictors along the way. A zero
+    /// budget is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcOutOfRange`] if the committed path leaves the program
+    /// image (a malformed program; validated workloads halt instead).
+    pub fn skip(&mut self, budget: u64) -> Result<SkipSummary, PcOutOfRange> {
+        let start = self.machine.retired();
+        let mut traces = 0;
+        while !self.machine.halted() && self.machine.retired() - start < budget {
+            self.advance_trace()?;
+            traces += 1;
+        }
+        Ok(SkipSummary {
+            retired: self.machine.retired() - start,
+            traces,
+            halted: self.machine.halted(),
+        })
+    }
+
+    /// Executes exactly one canonical trace: selects it from the committed
+    /// stream, catches the machine up past its tail, and applies all
+    /// warming updates in the order the detailed pipeline would (BTB and
+    /// gshare per branch, RAS per call/return, indirect targets at the
+    /// trace end, next-trace predictor and trace cache per trace).
+    fn advance_trace(&mut self) -> Result<(), PcOutOfRange> {
+        let start = self.machine.pc();
+        let before = self.machine.retired();
+        let selection = {
+            let mut outcomes = StreamOutcomes {
+                machine: &mut self.machine,
+                dcache: &mut self.warm.dcache,
+                err: None,
+            };
+            let sel = self.selector.select(self.program, start, &mut self.warm.bit, &mut outcomes);
+            if let Some(e) = outcomes.err {
+                return Err(e);
+            }
+            sel
+        };
+        let trace = Arc::new(selection.trace);
+        // The selector only stepped the machine up to its last branch or
+        // indirect query; execute the remaining tail of the trace.
+        while self.machine.retired() - before < trace.len() as u64 {
+            step_warm(&mut self.machine, &mut self.warm.dcache)?;
+        }
+        debug_assert_eq!(
+            self.machine.retired() - before,
+            trace.len() as u64,
+            "machine and selection disagree on trace length at pc {start}"
+        );
+        // Per-instruction warming, in commit order.
+        for ti in trace.insts() {
+            match ti.inst {
+                Inst::Branch { .. } => {
+                    let taken = ti.embedded_taken.expect("actual-outcome trace embeds outcomes");
+                    self.warm.btb.update_cond(ti.pc, taken);
+                    self.warm.gshare.update(ti.pc, taken);
+                }
+                Inst::Call { .. } | Inst::CallIndirect { .. } => self.warm.ras.push(ti.pc + 1),
+                Inst::Ret => {
+                    let _ = self.warm.ras.pop();
+                }
+                _ => {}
+            }
+        }
+        // Instruction-cache warming: touch each contiguous fetch segment,
+        // as trace construction through the instruction cache would.
+        {
+            let insts = trace.insts();
+            let mut seg_start = insts[0].pc;
+            let mut prev = insts[0].pc;
+            for ti in &insts[1..] {
+                if ti.pc != prev + 1 {
+                    self.warm.icache.warm_range(seg_start, prev);
+                    seg_start = ti.pc;
+                }
+                prev = ti.pc;
+            }
+            self.warm.icache.warm_range(seg_start, prev);
+        }
+        // Indirect-target training, as the detailed completion stage does.
+        if let (Some(last), Some(target)) = (trace.insts().last(), trace.next_pc()) {
+            if last.inst.is_indirect() && self.program.contains(target) {
+                self.warm.btb.update_indirect(last.pc, target);
+            }
+        }
+        // Trace-level warming, as the detailed retirement stage does.
+        self.warm.predictor.train(&self.warm.history, trace.id());
+        self.warm.history.push(trace.id());
+        self.warm.tcache.fill(trace);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_core::CiModel;
+    use tp_isa::asm::Asm;
+    use tp_isa::{Cond, Reg};
+
+    fn loop_program(iters: i32) -> Program {
+        let mut a = Asm::new("loop");
+        let r1 = Reg::new(1);
+        a.li(r1, iters);
+        a.label("top");
+        a.addi(r1, r1, -1);
+        a.branch(Cond::Gt, r1, Reg::ZERO, "top");
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn skip_matches_straight_functional_run() {
+        let p = loop_program(200);
+        let cfg = TraceProcessorConfig::small(CiModel::None);
+        let mut ff = FastForward::new(&p, &cfg);
+        let s = ff.skip(100).unwrap();
+        assert!(s.retired >= 100 && s.traces > 0);
+        let mut straight = Machine::new(&p);
+        straight.run(s.retired).unwrap();
+        assert_eq!(ff.machine().capture(), straight.capture());
+    }
+
+    #[test]
+    fn skip_to_halt_covers_whole_program() {
+        let p = loop_program(50);
+        let cfg = TraceProcessorConfig::small(CiModel::None);
+        let mut ff = FastForward::new(&p, &cfg);
+        let s = ff.skip(u64::MAX).unwrap();
+        assert!(s.halted);
+        let mut straight = Machine::new(&p);
+        straight.run(u64::MAX).unwrap();
+        assert_eq!(s.retired, straight.retired());
+        assert_eq!(ff.machine().arch_state(), straight.arch_state());
+        // Warming happened: the loop branch trained toward taken, traces
+        // were cached, the predictor saw the stream.
+        assert!(ff.warm().btb.predict_cond(2));
+        assert!(!ff.warm().tcache.lines_lru().is_empty());
+        assert!(ff.warm().predictor.stats().updates > 0);
+    }
+
+    #[test]
+    fn ntb_selection_cuts_at_loop_exits() {
+        let p = loop_program(40);
+        let cfg = TraceProcessorConfig::small(CiModel::MlbRet);
+        let mut ff = FastForward::new(&p, &cfg);
+        let s = ff.skip(u64::MAX).unwrap();
+        assert!(s.halted);
+        // With ntb selection, every cached trace respects the constraint:
+        // a not-taken backward branch only ever ends a trace.
+        for t in ff.warm().tcache.lines_lru() {
+            for (slot, ti) in t.cond_branches() {
+                if ti.embedded_taken == Some(false) && ti.inst.is_backward_branch(ti.pc) {
+                    assert_eq!(slot, t.len() - 1, "ntb violation in {}", t.id());
+                }
+            }
+        }
+    }
+}

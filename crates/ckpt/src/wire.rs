@@ -1,0 +1,207 @@
+//! The low-level byte codec behind the checkpoint format: little-endian
+//! scalars with truncation-checked reads.
+//!
+//! Hand-rolled because the build is offline (no serde); the format is
+//! simple enough that an explicit codec doubles as its specification. Every
+//! read names the field it was decoding, so a truncated or corrupt file
+//! reports *where* it broke rather than a generic length error.
+
+use std::fmt;
+
+/// Error produced while decoding a checkpoint byte stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended inside the named field.
+    Truncated {
+        /// Name of the field being decoded.
+        field: &'static str,
+    },
+    /// A decoded value is structurally impossible (the message names the
+    /// field and the offending value).
+    Corrupt(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { field } => write!(f, "checkpoint truncated in {field}"),
+            WireError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An append-only byte writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh, empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// A cursor over a checkpoint byte stream.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads `n` raw bytes belonging to `field`.
+    pub fn bytes(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { field });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, field: &'static str) -> Result<u8, WireError> {
+        Ok(self.bytes(1, field)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self, field: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.bytes(2, field)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, field: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4, field)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8, field)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self, field: &'static str) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.bytes(8, field)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, field: &'static str) -> Result<String, WireError> {
+        let len = self.u32(field)? as usize;
+        let bytes = self.bytes(len, field)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Corrupt(format!("{field}: invalid UTF-8")))
+    }
+
+    /// Reads a length prefix for `field`, rejecting lengths that cannot fit
+    /// in the remaining stream even at one byte per element (prevents
+    /// attacker- or corruption-controlled pre-allocations).
+    pub fn len(&mut self, field: &'static str) -> Result<usize, WireError> {
+        let n = self.u32(field)? as usize;
+        if n > self.remaining() {
+            return Err(WireError::Corrupt(format!(
+                "{field}: length {n} exceeds remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(0xbeef);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.i64(-42);
+        w.str("hello");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 0xbeef);
+        assert_eq!(r.u32("c").unwrap(), 0xdead_beef);
+        assert_eq!(r.u64("d").unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64("e").unwrap(), -42);
+        assert_eq!(r.str("f").unwrap(), "hello");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_names_the_field() {
+        let mut w = Writer::new();
+        w.u32(5);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..2]);
+        assert_eq!(r.u32("regs"), Err(WireError::Truncated { field: "regs" }));
+    }
+
+    #[test]
+    fn oversized_length_is_corrupt_not_oom() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let err = r.len("mem pages").unwrap_err();
+        assert!(matches!(err, WireError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("mem pages"), "{err}");
+    }
+}

@@ -1,7 +1,67 @@
 //! Trace processor configuration (the paper's Table 1).
 
+use std::fmt;
+
 use tp_predict::TracePredictorConfig;
 use tp_trace::SelectionConfig;
+
+/// An invalid parameter combination, naming the offending field so CLI
+/// frontends can report it without a panic backtrace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `num_pes` below the minimum of two.
+    TooFewPes {
+        /// The configured value.
+        num_pes: usize,
+    },
+    /// `pe_issue_width` of zero.
+    ZeroIssueWidth,
+    /// `fgci` enabled without `fg` trace selection.
+    FgciWithoutFgSelection,
+    /// The `MLB-RET` heuristic without `ntb` trace selection.
+    MlbWithoutNtbSelection,
+    /// `result_buses_per_pe` exceeding `result_buses`.
+    ResultBusesPerPe {
+        /// The configured per-PE value.
+        per_pe: usize,
+        /// The configured total.
+        total: usize,
+    },
+    /// `cache_buses_per_pe` exceeding `cache_buses`.
+    CacheBusesPerPe {
+        /// The configured per-PE value.
+        per_pe: usize,
+        /// The configured total.
+        total: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::TooFewPes { num_pes } => {
+                write!(f, "num_pes = {num_pes}: need at least two PEs")
+            }
+            ConfigError::ZeroIssueWidth => {
+                write!(f, "pe_issue_width = 0: issue width must be non-zero")
+            }
+            ConfigError::FgciWithoutFgSelection => {
+                write!(f, "fgci = true: FGCI recovery requires fg trace selection")
+            }
+            ConfigError::MlbWithoutNtbSelection => {
+                write!(f, "cgci = MLB-RET: requires ntb trace selection to expose loop exits")
+            }
+            ConfigError::ResultBusesPerPe { per_pe, total } => {
+                write!(f, "result_buses_per_pe = {per_pe}: exceeds result_buses = {total}")
+            }
+            ConfigError::CacheBusesPerPe { per_pe, total } => {
+                write!(f, "cache_buses_per_pe = {per_pe}: exceeds cache_buses = {total}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Which coarse-grain control independence heuristic the frontend uses to
 /// locate a trace-level re-convergent point (paper Section 4.2).
@@ -183,26 +243,39 @@ impl TraceProcessorConfig {
         self
     }
 
-    /// Checks internal consistency.
+    /// Checks internal consistency, reporting the offending field.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the model's requirements are violated (e.g. FGCI without
-    /// `fg` selection, MLB-RET without `ntb` selection, zero sizes).
-    pub fn validate(&self) {
-        assert!(self.num_pes >= 2, "need at least two PEs");
-        assert!(self.pe_issue_width >= 1, "issue width must be non-zero");
-        if self.fgci {
-            assert!(self.selection.fg, "FGCI recovery requires fg trace selection");
+    /// Returns a [`ConfigError`] if the model's requirements are violated
+    /// (e.g. FGCI without `fg` selection, MLB-RET without `ntb` selection,
+    /// zero sizes).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_pes < 2 {
+            return Err(ConfigError::TooFewPes { num_pes: self.num_pes });
         }
-        if self.cgci == Some(CgciHeuristic::MlbRet) {
-            assert!(
-                self.selection.ntb,
-                "MLB-RET requires ntb trace selection to expose loop exits"
-            );
+        if self.pe_issue_width < 1 {
+            return Err(ConfigError::ZeroIssueWidth);
         }
-        assert!(self.result_buses_per_pe <= self.result_buses);
-        assert!(self.cache_buses_per_pe <= self.cache_buses);
+        if self.fgci && !self.selection.fg {
+            return Err(ConfigError::FgciWithoutFgSelection);
+        }
+        if self.cgci == Some(CgciHeuristic::MlbRet) && !self.selection.ntb {
+            return Err(ConfigError::MlbWithoutNtbSelection);
+        }
+        if self.result_buses_per_pe > self.result_buses {
+            return Err(ConfigError::ResultBusesPerPe {
+                per_pe: self.result_buses_per_pe,
+                total: self.result_buses,
+            });
+        }
+        if self.cache_buses_per_pe > self.cache_buses {
+            return Err(ConfigError::CacheBusesPerPe {
+                per_pe: self.cache_buses_per_pe,
+                total: self.cache_buses,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -217,7 +290,7 @@ mod tests {
         assert!(TraceProcessorConfig::paper(CiModel::Fg).selection.fg);
         let c = TraceProcessorConfig::paper(CiModel::FgMlbRet);
         assert!(c.selection.fg && c.selection.ntb);
-        c.validate();
+        c.validate().unwrap();
     }
 
     #[test]
@@ -230,19 +303,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "requires fg")]
     fn fgci_without_fg_selection_is_invalid() {
         let mut c = TraceProcessorConfig::paper(CiModel::Fg);
         c.selection.fg = false;
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert_eq!(err, ConfigError::FgciWithoutFgSelection);
+        assert!(err.to_string().contains("requires fg"), "{err}");
     }
 
     #[test]
-    #[should_panic(expected = "requires ntb")]
     fn mlb_without_ntb_selection_is_invalid() {
         let mut c = TraceProcessorConfig::paper(CiModel::MlbRet);
         c.selection.ntb = false;
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert_eq!(err, ConfigError::MlbWithoutNtbSelection);
+        assert!(err.to_string().contains("requires ntb"), "{err}");
+    }
+
+    #[test]
+    fn errors_name_the_offending_field() {
+        let mut c = TraceProcessorConfig::paper(CiModel::None);
+        c.num_pes = 1;
+        assert!(c.validate().unwrap_err().to_string().contains("num_pes = 1"));
+        let mut c = TraceProcessorConfig::paper(CiModel::None);
+        c.result_buses_per_pe = 99;
+        assert!(c.validate().unwrap_err().to_string().contains("result_buses_per_pe = 99"));
+        let mut c = TraceProcessorConfig::paper(CiModel::None);
+        c.cache_buses_per_pe = 9;
+        c.cache_buses = 8;
+        assert!(c.validate().unwrap_err().to_string().contains("cache_buses_per_pe = 9"));
+        let mut c = TraceProcessorConfig::paper(CiModel::None);
+        c.pe_issue_width = 0;
+        assert!(c.validate().unwrap_err().to_string().contains("pe_issue_width"));
     }
 
     #[test]
@@ -250,6 +342,6 @@ mod tests {
         let c = TraceProcessorConfig::baseline(SelectionConfig::with_fg_ntb());
         assert!(!c.fgci);
         assert!(c.cgci.is_none());
-        c.validate();
+        c.validate().unwrap();
     }
 }

@@ -55,6 +55,7 @@
 //! # Ok::<(), tp_isa::asm::AsmError>(())
 //! ```
 
+pub mod boot;
 pub mod config;
 pub mod pe;
 pub mod pe_list;
@@ -62,6 +63,7 @@ pub mod physreg;
 pub mod sim;
 pub mod stats;
 
-pub use config::{CgciHeuristic, CiModel, TraceProcessorConfig};
+pub use boot::{BootError, BootImage, WarmBoot};
+pub use config::{CgciHeuristic, CiModel, ConfigError, TraceProcessorConfig};
 pub use sim::{MispredictRecord, RunResult, SimError, TraceProcessor};
 pub use stats::SimStats;

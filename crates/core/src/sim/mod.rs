@@ -42,13 +42,14 @@ use std::fmt;
 use std::sync::Arc;
 
 use tp_cache::{Arb, DCache, ICache, SeqHandle, TraceCache};
-use tp_isa::func::{ArchState, Machine};
+use tp_isa::func::{ArchState, Machine, MachineState};
 use tp_isa::fxhash::FxHashMap;
 use tp_isa::{Addr, Pc, Program, Reg, Word};
 use tp_predict::{Btb, NextTracePredictor, Ras, TraceHistory, TracePredictorStats};
 use tp_stats::attr::{AttrKey, RecoveryAttribution, RecoveryOutcome};
 use tp_trace::{Bit, EndReason, Selector, Trace};
 
+use crate::boot::{BootError, BootImage, WarmBoot};
 use crate::config::TraceProcessorConfig;
 use crate::pe::{FetchSource, Pe, SlotState};
 use crate::pe_list::PeList;
@@ -367,6 +368,10 @@ pub struct TraceProcessor<'p> {
     now: u64,
     last_retire_cycle: u64,
     halted: bool,
+    /// The PC following the last retired instruction — the architectural
+    /// frontier a functional machine would resume from (checkpoint capture
+    /// between sampled intervals).
+    retired_next_pc: Pc,
     stats: SimStats,
     /// The misprediction outcome-attribution ledger. Observation-only:
     /// nothing in the simulator reads it back.
@@ -400,27 +405,116 @@ impl<'p> TraceProcessor<'p> {
     /// Panics if the configuration is inconsistent
     /// (see [`TraceProcessorConfig::validate`]).
     pub fn new(program: &'p Program, cfg: TraceProcessorConfig) -> TraceProcessor<'p> {
-        cfg.validate();
+        cfg.validate().unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+        Self::construct(program, cfg, BootImage::fresh(program))
+    }
+
+    /// Boots a simulator from a mid-run checkpoint: architectural state
+    /// (PC, registers, memory) from the image, optionally with functionally
+    /// warmed predictor/cache structures (see [`BootImage`]). The booted
+    /// processor's statistics and cycle count start at zero, so a
+    /// subsequent [`TraceProcessor::run`] measures the interval alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BootError`] when the configuration is invalid, the boot PC
+    /// is outside the program, or a warm structure's geometry does not
+    /// match the configuration.
+    pub fn from_checkpoint(
+        program: &'p Program,
+        cfg: TraceProcessorConfig,
+        boot: BootImage,
+    ) -> Result<TraceProcessor<'p>, BootError> {
+        cfg.validate()?;
+        if !boot.halted && !program.contains(boot.pc) {
+            return Err(BootError::PcOutOfRange { pc: boot.pc });
+        }
+        if let Some(w) = &boot.warm {
+            let mismatch = |what: &str, got: String, want: String| {
+                Err(BootError::WarmGeometry(format!("{what}: checkpoint {got}, config {want}")))
+            };
+            if w.btb.entries() != cfg.btb_entries {
+                return mismatch("btb", w.btb.entries().to_string(), cfg.btb_entries.to_string());
+            }
+            if w.ras.capacity() != cfg.ras_depth {
+                return mismatch("ras", w.ras.capacity().to_string(), cfg.ras_depth.to_string());
+            }
+            if w.predictor.config() != cfg.predictor {
+                return mismatch(
+                    "next-trace predictor",
+                    format!("{:?}", w.predictor.config()),
+                    format!("{:?}", cfg.predictor),
+                );
+            }
+            if w.tcache.geometry() != (cfg.tcache_sets, cfg.tcache_ways) {
+                return mismatch(
+                    "trace cache",
+                    format!("{:?}", w.tcache.geometry()),
+                    format!("{:?}", (cfg.tcache_sets, cfg.tcache_ways)),
+                );
+            }
+            if w.history.depth() != cfg.predictor.path_depth {
+                return mismatch(
+                    "trace history",
+                    w.history.depth().to_string(),
+                    cfg.predictor.path_depth.to_string(),
+                );
+            }
+        }
+        Ok(Self::construct(program, cfg, boot))
+    }
+
+    /// Shared constructor behind [`TraceProcessor::new`] (a fresh boot
+    /// image) and [`TraceProcessor::from_checkpoint`] (a validated one).
+    fn construct(
+        program: &'p Program,
+        cfg: TraceProcessorConfig,
+        boot: BootImage,
+    ) -> TraceProcessor<'p> {
         let mut pregs = PhysRegFile::new();
-        // Architectural registers start as ready physical registers.
+        // Architectural registers start as ready physical registers holding
+        // the boot image's values (all zero for a fresh run).
         let mut arch_map = [PhysRegId::ZERO; Reg::COUNT];
         for r in Reg::all().skip(1) {
-            arch_map[r.index()] = pregs.alloc_ready(0);
+            arch_map[r.index()] = pregs.alloc_ready(boot.regs[r.index()]);
         }
-        let hist = TraceHistory::new(cfg.predictor.path_depth);
+        let (btb, ras, predictor, tcache, bit, icache, dcache, hist) = match boot.warm {
+            Some(w) => (w.btb, w.ras, w.predictor, w.tcache, w.bit, w.icache, w.dcache, w.history),
+            None => (
+                Btb::new(cfg.btb_entries),
+                Ras::new(cfg.ras_depth),
+                NextTracePredictor::new(cfg.predictor),
+                TraceCache::new(cfg.tcache_sets, cfg.tcache_ways),
+                Bit::new(cfg.bit_entries, cfg.bit_ways),
+                ICache::paper(),
+                DCache::paper(),
+                TraceHistory::new(cfg.predictor.path_depth),
+            ),
+        };
         let pes = (0..cfg.num_pes).map(|_| Pe::empty(hist.clone())).collect();
-        let oracle = cfg.verify_with_oracle.then(|| Machine::new(program));
+        let oracle = cfg.verify_with_oracle.then(|| {
+            Machine::from_state(
+                program,
+                MachineState {
+                    regs: boot.regs,
+                    mem: boot.mem.iter().copied().collect(),
+                    pc: boot.pc,
+                    halted: boot.halted,
+                    retired: boot.retired,
+                },
+            )
+        });
         TraceProcessor {
             program,
             selector: Selector::new(cfg.selection),
-            bit: Bit::new(cfg.bit_entries, cfg.bit_ways),
-            btb: Btb::new(cfg.btb_entries),
-            ras: Ras::new(cfg.ras_depth),
-            predictor: NextTracePredictor::new(cfg.predictor),
-            tcache: TraceCache::new(cfg.tcache_sets, cfg.tcache_ways),
-            icache: ICache::paper(),
-            dcache: DCache::paper(),
-            arb: Arb::new(program.data()),
+            bit,
+            btb,
+            ras,
+            predictor,
+            tcache,
+            icache,
+            dcache,
+            arb: Arb::new(boot.mem.iter().map(|&(w, v)| (w << 3, v))),
             pes,
             list: PeList::new(cfg.num_pes),
             pregs,
@@ -430,7 +524,11 @@ impl<'p> TraceProcessor<'p> {
             fetch_hist: hist.clone(),
             retire_hist: hist,
             fetch_queue: VecDeque::new(),
-            expected: ExpectedNext::Known(program.entry()),
+            expected: if boot.halted {
+                ExpectedNext::Stalled
+            } else {
+                ExpectedNext::Known(boot.pc)
+            },
             mode: FetchMode::Normal,
             construction_busy_until: 0,
             recovery: None,
@@ -451,11 +549,12 @@ impl<'p> TraceProcessor<'p> {
             scratch_due: Vec::new(),
             scratch_grants: Vec::new(),
             paranoid: std::env::var("TP_PARANOID").is_ok(),
-            arch_regs: [0; Reg::COUNT],
+            arch_regs: boot.regs,
             oracle,
             now: 0,
             last_retire_cycle: 0,
-            halted: false,
+            halted: boot.halted,
+            retired_next_pc: boot.pc,
             stats: SimStats::default(),
             attribution: RecoveryAttribution::new(),
             misp_log: Vec::new(),
@@ -495,9 +594,44 @@ impl<'p> TraceProcessor<'p> {
         ArchState { regs: self.arch_regs, mem: self.arb.arch_mem() }
     }
 
+    /// The full committed memory image as `(word index, value)` pairs,
+    /// including words holding zero (unlike the normalized
+    /// [`TraceProcessor::arch_state`]). This is what a resumed functional
+    /// machine must be seeded with: a committed zero over non-zero initial
+    /// data is real state.
+    pub fn committed_mem_words(&self) -> Vec<(u64, Word)> {
+        self.arb.backing_words().collect()
+    }
+
     /// Whether the program's `Halt` has retired.
     pub fn halted(&self) -> bool {
         self.halted
+    }
+
+    /// The retired architectural frontier: the PC following the last
+    /// retired instruction and the number of instructions retired since
+    /// boot. Together with [`TraceProcessor::arch_state`] this is exactly
+    /// the state a functional machine needs to continue the program from
+    /// where the detailed interval left off.
+    pub fn retired_frontier(&self) -> (Pc, u64) {
+        (self.retired_next_pc, self.stats.retired_instrs)
+    }
+
+    /// Consumes the processor and hands back its trained frontend
+    /// structures, so a fast-forward engine can keep warming where the
+    /// detailed interval finished (the inverse of booting with
+    /// [`BootImage::warm`]).
+    pub fn into_warm(self) -> WarmBoot {
+        WarmBoot {
+            btb: self.btb,
+            ras: self.ras,
+            predictor: self.predictor,
+            tcache: self.tcache,
+            bit: self.bit,
+            icache: self.icache,
+            dcache: self.dcache,
+            history: self.retire_hist,
+        }
     }
 
     /// Current cycle.
@@ -525,6 +659,20 @@ impl<'p> TraceProcessor<'p> {
             attribution: self.attribution.clone(),
             predictor: self.predictor.stats(),
         })
+    }
+
+    /// Runs until `n` *more* instructions retire (or the program halts):
+    /// the run-for-N-retired-instructions interval primitive of sampled
+    /// execution. Retirement is trace-at-a-time, so the interval may
+    /// overshoot by up to one trace; the returned statistics report the
+    /// actual count.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceProcessor::run`].
+    pub fn run_interval(&mut self, n: u64) -> Result<RunResult, SimError> {
+        let target = self.stats.retired_instrs.saturating_add(n);
+        self.run(target)
     }
 
     /// Advances the simulation by one cycle.

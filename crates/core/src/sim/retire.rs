@@ -223,6 +223,20 @@ impl TraceProcessor<'_> {
                 }
             }
         }
+        // Advance the retired architectural frontier — the PC a functional
+        // machine resuming after this trace would fetch next. Retired
+        // traces are on the committed path, so an indirect ending has a
+        // resolved target and a static ending a known fall-out PC
+        // (`OutOfProgram` traces exist only on wrong paths and never
+        // retire).
+        self.retired_next_pc = match trace.end() {
+            EndReason::Halt => self.retired_next_pc,
+            EndReason::Indirect => {
+                let last = self.pes[pe].slots.last().expect("trace is non-empty");
+                last.indirect_target.expect("retired indirect transfer has a target") as Pc
+            }
+            _ => trace.next_pc().expect("static end has next"),
+        };
         // Train the trace-level predictor with the canonical (actual) trace.
         self.predictor.train(&self.retire_hist, trace.id());
         self.retire_hist.push(trace.id());

@@ -70,6 +70,27 @@ pub struct ArchState {
     pub mem: BTreeMap<u64, Word>,
 }
 
+/// A complete, resumable machine state, as captured by [`Machine::capture`].
+///
+/// Unlike [`ArchState`] (a *normalized* snapshot for equality comparison),
+/// this is an exact image: the memory map carries every word the machine has
+/// touched, including words a store set back to zero. A machine restored
+/// from it with [`Machine::from_state`] continues the run bit-exactly —
+/// the checkpoint/fast-forward subsystem is built on this guarantee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineState {
+    /// Register file contents.
+    pub regs: [Word; Reg::COUNT],
+    /// Every touched memory word, keyed by word index (`addr >> 3`).
+    pub mem: BTreeMap<u64, Word>,
+    /// Program counter to resume at.
+    pub pc: Pc,
+    /// Whether the machine has executed a `Halt`.
+    pub halted: bool,
+    /// Instructions retired so far.
+    pub retired: u64,
+}
+
 /// The functional simulator.
 ///
 /// # Example
@@ -114,6 +135,39 @@ impl<'p> Machine<'p> {
             halted: false,
             retired: 0,
         }
+    }
+
+    /// Creates a machine resuming from a captured [`MachineState`].
+    ///
+    /// The state must have been captured from a machine running the same
+    /// program (the caller is responsible for that pairing; the checkpoint
+    /// format records a program fingerprint for exactly this check).
+    pub fn from_state(program: &'p Program, state: MachineState) -> Machine<'p> {
+        Machine {
+            program,
+            regs: state.regs,
+            mem: state.mem.into_iter().collect(),
+            pc: state.pc,
+            halted: state.halted,
+            retired: state.retired,
+        }
+    }
+
+    /// Captures the complete machine state for later [`Machine::from_state`].
+    pub fn capture(&self) -> MachineState {
+        MachineState {
+            regs: self.regs,
+            mem: self.mem.iter().map(|(&a, &w)| (a, w)).collect(),
+            pc: self.pc,
+            halted: self.halted,
+            retired: self.retired,
+        }
+    }
+
+    /// Iterates every touched memory word as `(word index, value)`,
+    /// including words holding zero (unlike [`Machine::arch_state`]).
+    pub fn mem_words(&self) -> impl Iterator<Item = (u64, Word)> + '_ {
+        self.mem.iter().map(|(&a, &w)| (a, w))
     }
 
     /// The program being executed.
@@ -407,6 +461,55 @@ mod tests {
         let st = m.arch_state();
         assert!(!st.mem.contains_key(&(0x300 >> 3)));
         assert_eq!(st.mem.get(&(0x308 >> 3)), Some(&9));
+    }
+
+    /// Capture mid-run, resume, and the resumed machine finishes in exactly
+    /// the state of an uninterrupted run — including a word stored back to
+    /// zero, which `arch_state` normalization would hide but `capture` must
+    /// preserve.
+    #[test]
+    fn capture_and_resume_is_bit_exact() {
+        let mut a = Asm::new("t");
+        a.li(Reg::new(1), 0x200);
+        a.li(Reg::new(2), 7);
+        a.store(Reg::new(2), Reg::new(1), 0); // mem[0x200] = 7
+        a.store(Reg::ZERO, Reg::new(1), 0); // mem[0x200] = 0 (still "touched")
+        a.li(Reg::new(3), 11);
+        a.store(Reg::new(3), Reg::new(1), 8);
+        a.halt();
+        a.data_word(0x200, 99); // overwritten by the zero store
+        let p = a.assemble().unwrap();
+
+        let mut straight = Machine::new(&p);
+        straight.run(u64::MAX).unwrap();
+
+        let mut first = Machine::new(&p);
+        first.run(4).unwrap(); // stop right after the zero store
+        let state = state_roundtrip(first.capture());
+        assert_eq!(state.mem.get(&(0x200 >> 3)), Some(&0), "zeroed word must be captured");
+        let mut resumed = Machine::from_state(&p, state);
+        assert_eq!(resumed.retired(), 4);
+        resumed.run(u64::MAX).unwrap();
+
+        assert_eq!(resumed.arch_state(), straight.arch_state());
+        assert_eq!(resumed.pc(), straight.pc());
+        assert_eq!(resumed.retired(), straight.retired());
+        assert_eq!(resumed.capture(), straight.capture());
+    }
+
+    fn state_roundtrip(s: MachineState) -> MachineState {
+        // Clone through the public fields to mimic an external serializer.
+        MachineState { mem: s.mem.iter().map(|(&a, &w)| (a, w)).collect(), ..s }
+    }
+
+    #[test]
+    fn mem_words_includes_zeroed_words() {
+        let m = run_program(|a| {
+            a.li(Reg::new(1), 0x300);
+            a.store(Reg::ZERO, Reg::new(1), 0);
+            a.halt();
+        });
+        assert!(m.mem_words().any(|(w, v)| w == 0x300 >> 3 && v == 0));
     }
 
     #[test]

@@ -27,6 +27,20 @@ pub struct Btb {
     stats: BtbStats,
 }
 
+/// A plain-data image of a BTB's trained state, for checkpointing.
+///
+/// Counters are stored densely (they are small and mostly non-default after
+/// warming); indirect targets sparsely as `(index, target)` pairs. Produced
+/// by [`Btb::image`], consumed by [`Btb::from_image`]; statistics are not
+/// part of the image (a resumed run starts its own counts).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BtbImage {
+    /// The 2-bit counter array, one byte per entry.
+    pub counters: Vec<u8>,
+    /// Trained indirect targets as `(entry index, target)` pairs.
+    pub targets: Vec<(u32, Pc)>,
+}
+
 /// Prediction/update statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BtbStats {
@@ -110,6 +124,39 @@ impl Btb {
     pub fn stats(&self) -> BtbStats {
         self.stats
     }
+
+    /// Number of entries.
+    pub fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Captures the trained state as a plain-data [`BtbImage`].
+    pub fn image(&self) -> BtbImage {
+        BtbImage {
+            counters: self.counters.clone(),
+            targets: self
+                .targets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| t.map(|pc| (i as u32, pc)))
+                .collect(),
+        }
+    }
+
+    /// Creates a warmed BTB from an image (statistics start at zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image's entry count is not a power of two or a target
+    /// index is out of range.
+    pub fn from_image(image: &BtbImage) -> Btb {
+        let mut btb = Btb::new(image.counters.len());
+        btb.counters.copy_from_slice(&image.counters);
+        for &(i, pc) in &image.targets {
+            btb.targets[i as usize] = Some(pc);
+        }
+        btb
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +231,25 @@ mod tests {
         // Re-training the original pc replaces it back.
         btb.update_indirect(2, 100);
         assert_eq!(btb.predict_indirect(18), Some(100));
+    }
+
+    /// An image round-trip reproduces every prediction the source BTB would
+    /// make, with statistics reset.
+    #[test]
+    fn image_roundtrip_preserves_predictions() {
+        let mut btb = Btb::new(32);
+        for _ in 0..3 {
+            btb.update_cond(5, true);
+            btb.update_cond(9, false);
+        }
+        btb.update_indirect(7, 123);
+        let warm = Btb::from_image(&btb.image());
+        for pc in 0..64u32 {
+            assert_eq!(warm.predict_cond(pc), btb.predict_cond(pc), "pc {pc}");
+            assert_eq!(warm.predict_indirect(pc), btb.predict_indirect(pc), "pc {pc}");
+        }
+        assert_eq!(warm.stats(), BtbStats::default());
+        assert_eq!(warm.entries(), 32);
     }
 
     /// Conditional counters are replaced (retrained) by aliasing branches

@@ -9,6 +9,18 @@
 
 use tp_isa::Pc;
 
+/// A plain-data image of a gshare predictor's trained state
+/// ([`Gshare::image`] / [`Gshare::from_image`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GshareImage {
+    /// The 2-bit counter array, one byte per entry.
+    pub counters: Vec<u8>,
+    /// Number of global-history bits.
+    pub history_bits: u32,
+    /// The global outcome-history register.
+    pub history: u64,
+}
+
 /// A gshare predictor: 2-bit counters indexed by `pc XOR global history`.
 ///
 /// # Example
@@ -77,6 +89,27 @@ impl Gshare {
         }
         self.history = (self.history << 1) | taken as u64;
     }
+
+    /// Captures the trained state as a plain-data [`GshareImage`].
+    pub fn image(&self) -> GshareImage {
+        GshareImage {
+            counters: self.counters.clone(),
+            history_bits: self.history_mask.count_ones(),
+            history: self.history,
+        }
+    }
+
+    /// Creates a warmed predictor from an image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image's geometry is invalid (see [`Gshare::new`]).
+    pub fn from_image(image: &GshareImage) -> Gshare {
+        let mut g = Gshare::new(image.counters.len(), image.history_bits);
+        g.counters.copy_from_slice(&image.counters);
+        g.history = image.history;
+        g
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +155,25 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_geometry_rejected() {
         let _ = Gshare::new(100, 8);
+    }
+
+    /// An image round-trip reproduces predictions *and* the history
+    /// register — a restored predictor must continue the stream exactly.
+    #[test]
+    fn image_roundtrip_continues_the_stream() {
+        let mut g = Gshare::new(1 << 10, 6);
+        for i in 0..200 {
+            g.update(40 + (i % 3), i % 5 < 2);
+        }
+        let mut warm = Gshare::from_image(&g.image());
+        for step in 0..50 {
+            let pc = 40 + (step % 3);
+            assert_eq!(warm.predict(pc), g.predict(pc), "step {step}");
+            let t = step % 7 < 4;
+            g.update(pc, t);
+            warm.update(pc, t);
+        }
+        assert_eq!(warm.image(), g.image());
     }
 
     /// Two PCs that collide modulo the table size share a counter when the

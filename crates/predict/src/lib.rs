@@ -24,9 +24,10 @@ pub mod gshare;
 pub mod ras;
 pub mod trace_pred;
 
-pub use btb::Btb;
-pub use gshare::Gshare;
+pub use btb::{Btb, BtbImage};
+pub use gshare::{Gshare, GshareImage};
 pub use ras::Ras;
 pub use trace_pred::{
-    NextTracePredictor, PredictionSource, TraceHistory, TracePredictorConfig, TracePredictorStats,
+    NextTracePredictor, PredictionSource, TraceHistory, TracePredictorConfig, TracePredictorImage,
+    TracePredictorStats,
 };

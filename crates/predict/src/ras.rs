@@ -65,6 +65,30 @@ impl Ras {
         self.entries.is_empty()
     }
 
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The stack contents, oldest first (checkpoint capture).
+    pub fn entries(&self) -> &[Pc] {
+        &self.entries
+    }
+
+    /// Rebuilds a RAS from captured entries, oldest first (entries beyond
+    /// `capacity` evict the oldest, as live pushes would).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn from_entries(capacity: usize, entries: &[Pc]) -> Ras {
+        let mut ras = Ras::new(capacity);
+        for &pc in entries {
+            ras.push(pc);
+        }
+        ras
+    }
+
     /// Takes a copy of the stack for later [`Ras::restore`].
     pub fn snapshot(&self) -> Ras {
         self.clone()

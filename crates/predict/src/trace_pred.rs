@@ -90,6 +90,17 @@ impl TraceHistory {
         self.ids.is_empty()
     }
 
+    /// The configured depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The recorded ids, oldest first (checkpoint capture; rebuild with
+    /// [`TraceHistory::new`] plus [`TraceHistory::push`]).
+    pub fn ids(&self) -> &[TraceId] {
+        &self.ids
+    }
+
     /// Hash of the full path history.
     fn path_hash(&self) -> u64 {
         let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
@@ -175,6 +186,33 @@ impl Component {
             }
         }
     }
+}
+
+/// One trained component entry in a [`TracePredictorImage`]: the table
+/// index it occupies plus the full entry contents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImageEntry {
+    /// Table index.
+    pub index: u32,
+    /// Stored tag (upper hash bits).
+    pub tag: u16,
+    /// Predicted successor trace id.
+    pub pred: TraceId,
+    /// Confidence counter.
+    pub confidence: u8,
+}
+
+/// A plain-data image of a trained next-trace predictor
+/// ([`NextTracePredictor::image`] / [`NextTracePredictor::from_image`]).
+/// Only occupied entries are stored; statistics are not part of the image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TracePredictorImage {
+    /// The predictor's configuration (table geometry must match at restore).
+    pub config: TracePredictorConfig,
+    /// Occupied path-component entries, in index order.
+    pub path: Vec<ImageEntry>,
+    /// Occupied simple-component entries, in index order.
+    pub simple: Vec<ImageEntry>,
 }
 
 /// Statistics for the next-trace predictor, including the index-pollution
@@ -327,6 +365,45 @@ impl NextTracePredictor {
     pub fn stats(&self) -> TracePredictorStats {
         self.stats
     }
+
+    /// Captures the trained state as a plain-data [`TracePredictorImage`].
+    pub fn image(&self) -> TracePredictorImage {
+        fn entries(c: &Component) -> Vec<ImageEntry> {
+            c.entries
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| {
+                    e.map(|e| ImageEntry {
+                        index: i as u32,
+                        tag: e.tag,
+                        pred: e.pred,
+                        confidence: e.confidence,
+                    })
+                })
+                .collect()
+        }
+        TracePredictorImage {
+            config: self.config,
+            path: entries(&self.path),
+            simple: entries(&self.simple),
+        }
+    }
+
+    /// Creates a warmed predictor from an image (statistics start at zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry index is outside the configured table size.
+    pub fn from_image(image: &TracePredictorImage) -> NextTracePredictor {
+        let mut p = NextTracePredictor::new(image.config);
+        for (component, entries) in [(&mut p.path, &image.path), (&mut p.simple, &image.simple)] {
+            for e in entries {
+                component.entries[e.index as usize] =
+                    Some(Entry { tag: e.tag, pred: e.pred, confidence: e.confidence });
+            }
+        }
+        p
+    }
 }
 
 #[cfg(test)]
@@ -447,6 +524,38 @@ mod tests {
             }
         }
         assert!(evicted, "no tag eviction in 5000 distinct contexts over 256 entries");
+    }
+
+    /// An image round-trip reproduces every prediction (both components,
+    /// including tag-mismatch behaviour) with statistics reset.
+    #[test]
+    fn image_roundtrip_preserves_predictions() {
+        let mut p = NextTracePredictor::new(TracePredictorConfig::tiny());
+        let seq = [id(0), id(32), id(64), id(96), id(7)];
+        let mut h = TraceHistory::new(4);
+        for _ in 0..3 {
+            for w in 0..seq.len() {
+                h.push(seq[w]);
+                p.train(&h, seq[(w + 1) % seq.len()]);
+            }
+        }
+        let mut warm = NextTracePredictor::from_image(&p.image());
+        assert_eq!(warm.stats(), TracePredictorStats::default());
+        let mut g = TraceHistory::new(4);
+        for (w, &id) in seq.iter().enumerate() {
+            g.push(id);
+            assert_eq!(warm.predict(&g), p.predict(&g), "step {w}");
+        }
+        assert_eq!(warm.image(), p.image());
+    }
+
+    #[test]
+    fn history_exposes_ids_and_depth() {
+        let mut h = TraceHistory::new(3);
+        h.push(id(1));
+        h.push(id(2));
+        assert_eq!(h.depth(), 3);
+        assert_eq!(h.ids(), &[id(1), id(2)]);
     }
 
     #[test]

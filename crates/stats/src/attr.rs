@@ -245,6 +245,54 @@ impl RecoveryAttribution {
         }
     }
 
+    /// Cell-wise difference `self - earlier`, for extracting the events of
+    /// one measurement window from a cumulative ledger (counters are
+    /// monotone within a run, so saturation only triggers on misuse).
+    pub fn since(&self, earlier: &RecoveryAttribution) -> RecoveryAttribution {
+        let mut out = self.clone();
+        for (a, b) in
+            out.cells.iter_mut().flatten().flatten().zip(earlier.cells.iter().flatten().flatten())
+        {
+            a.events = a.events.saturating_sub(b.events);
+            a.retired = a.retired.saturating_sub(b.retired);
+            a.traces_squashed = a.traces_squashed.saturating_sub(b.traces_squashed);
+            a.traces_preserved = a.traces_preserved.saturating_sub(b.traces_preserved);
+            a.traces_redispatched = a.traces_redispatched.saturating_sub(b.traces_redispatched);
+            a.recovery_cycles = a.recovery_cycles.saturating_sub(b.recovery_cycles);
+        }
+        out
+    }
+
+    /// Renders the ledger as a JSON array of cell objects (one per
+    /// non-zero `(class, heuristic, outcome)` cell, canonical order) — the
+    /// machine-readable counterpart of [`RecoveryAttribution::table`],
+    /// shared by `BENCH_speed.json` and `cistats --json`. Hand-rolled
+    /// because the build is offline.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("[");
+        for (i, ((class, heur, outcome), cell)) in self.nonzero().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"class\": \"{}\", \"heuristic\": \"{}\", \"outcome\": \"{}\", \
+                 \"events\": {}, \"retired\": {}, \"squashed\": {}, \"preserved\": {}, \
+                 \"redispatched\": {}, \"recovery_cycles\": {}}}",
+                class.label(),
+                heur.label(),
+                outcome.label(),
+                cell.events,
+                cell.retired,
+                cell.traces_squashed,
+                cell.traces_preserved,
+                cell.traces_redispatched,
+                cell.recovery_cycles
+            ));
+        }
+        s.push(']');
+        s
+    }
+
     /// Renders the Table-6-style per-class breakdown: one row per non-zero
     /// `(class, heuristic, outcome)` cell.
     pub fn table(&self) -> Table {
@@ -323,6 +371,35 @@ mod tests {
         assert!(s.contains("total"), "{s}");
         // Header + rule + one cell row + total row.
         assert_eq!(s.lines().count(), 4, "{s}");
+    }
+
+    #[test]
+    fn since_subtracts_cellwise() {
+        let key = (BranchClass::Backward, Heuristic::Mlb, RecoveryOutcome::CgciReconverged);
+        let mut earlier = RecoveryAttribution::new();
+        earlier.cell_mut(key).events = 2;
+        earlier.cell_mut(key).recovery_cycles = 10;
+        let mut later = earlier.clone();
+        later.cell_mut(key).events = 5;
+        later.cell_mut(key).recovery_cycles = 25;
+        let delta = later.since(&earlier);
+        assert_eq!(delta.cell(key).events, 3);
+        assert_eq!(delta.cell(key).recovery_cycles, 15);
+        assert_eq!(delta.events_total(), 3);
+    }
+
+    #[test]
+    fn json_lists_nonzero_cells_in_order() {
+        let mut a = RecoveryAttribution::new();
+        let key = (BranchClass::Backward, Heuristic::Mlb, RecoveryOutcome::CgciReconverged);
+        a.cell_mut(key).events = 2;
+        a.cell_mut(key).traces_preserved = 5;
+        let json = a.to_json();
+        assert_eq!(json.matches('{').count(), 1);
+        assert!(json.contains("\"class\": \"backward\""), "{json}");
+        assert!(json.contains("\"heuristic\": \"MLB\""), "{json}");
+        assert!(json.contains("\"preserved\": 5"), "{json}");
+        assert_eq!(RecoveryAttribution::new().to_json(), "[]");
     }
 
     #[test]

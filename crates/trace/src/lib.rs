@@ -26,5 +26,7 @@ pub mod trace;
 
 pub use bit::Bit;
 pub use fgci::{analyze_region, RegionInfo};
-pub use select::{OutcomeSource, SelectionConfig, SelectionStats, Selector};
+pub use select::{
+    ClosureOutcomes, IdOutcomes, OutcomeSource, SelectionConfig, SelectionStats, Selector,
+};
 pub use trace::{EndReason, OperandRef, Trace, TraceId, TraceInst};

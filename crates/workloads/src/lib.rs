@@ -70,6 +70,10 @@ pub enum Size {
     Small,
     /// Hundreds of thousands (the experiment harnesses).
     Full,
+    /// Millions — 10x `Full`. Only tractable with the sampled simulation
+    /// engine (`tp-ckpt` / `tp_bench::sampled`); a full detailed run of
+    /// the long suite takes minutes per workload.
+    Long,
 }
 
 impl Size {
@@ -79,6 +83,7 @@ impl Size {
             Size::Tiny => 60,
             Size::Small => 600,
             Size::Full => 6_000,
+            Size::Long => 60_000,
         }
     }
 }

@@ -55,3 +55,20 @@ attr WORKLOAD="compress" MODEL="MLB-RET":
 # Re-bless the golden-stats corpus after an intentional behaviour change.
 bless:
     TP_BLESS=1 cargo test --release --test golden_stats
+
+# Sampled-simulation smoke (CI): create/inspect/verify a checkpoint
+# (artifact: ckpt_smoke.tpckpt), assert sampled IPC within 5% of full
+# detailed runs on the tiny suite, and demonstrate the >= 3x wall-clock
+# speedup of sampled execution on the long gcc/go/compress variants.
+sample-smoke:
+    cargo run --release -p tp-bench --bin ckpt -- smoke --out ckpt_smoke.tpckpt
+
+# Sampled baseline over the long suite (the workloads only tractable
+# sampled): writes BENCH_sampled.json (tp-bench/sampled/v1).
+sample-baseline:
+    cargo run --release -p tp-bench --bin baseline -- --sample --size long --out BENCH_sampled.json
+
+# Create a checkpoint: fast-forward WORKLOAD at SIZE for FFWD instructions
+# with functional warming, then write the versioned binary checkpoint.
+ckpt WORKLOAD="gcc" SIZE="full" FFWD="20000" OUT="ckpt.tpckpt":
+    cargo run --release -p tp-bench --bin ckpt -- create --workload {{WORKLOAD}} --size {{SIZE}} --ffwd {{FFWD}} --out {{OUT}}

@@ -16,6 +16,8 @@
 //! * [`tp_cache`] — instruction/data/trace caches and the ARB;
 //! * [`tp_trace`] — traces, trace selection, the FGCI-algorithm, the BIT;
 //! * [`tp_core`] — the trace processor itself;
+//! * [`tp_ckpt`] — checkpointed fast-forward and the sampled-simulation
+//!   engine (functional warming, versioned binary checkpoints);
 //! * [`tp_stats`] — statistics helpers.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and `DESIGN.md` /
@@ -35,6 +37,7 @@
 //! ```
 
 pub use tp_cache;
+pub use tp_ckpt;
 pub use tp_core;
 pub use tp_isa;
 pub use tp_predict;

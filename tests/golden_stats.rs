@@ -12,6 +12,12 @@
 //!   of the tiny suite under all five control-independence models. Any
 //!   change to dispatch, issue, recovery, bus, or snoop behaviour shows up
 //!   here as a counter diff.
+//! * `sampled.txt` — one sampled-mode row (base model, gcc, tiny): the
+//!   per-interval `(start, instrs, cycles)` triples and the aggregate
+//!   estimate of a checkpointed fast-forward + detailed-interval run.
+//!   Pins the whole sampled pipeline — functional warming, the binary
+//!   checkpoint round-trip, warm boots, and interval accounting — at
+//!   cycle granularity.
 //!
 //! Both tests run in tier-1 (`cargo test`). On an *intentional* behaviour
 //! change, bless new fixtures with:
@@ -74,6 +80,37 @@ fn oracle_probes_match_golden() {
     let mut actual = tp_bench::corpus::probe_rows().join("\n");
     actual.push('\n');
     check_against_golden("oracle_probes.txt", &actual);
+}
+
+/// The sampled-mode golden row (base model, gcc, tiny): interval-exact
+/// behaviour of the checkpoint/fast-forward/warm-boot pipeline.
+#[test]
+fn sampled_row_matches_golden() {
+    use tp_bench::sampled::{run_sampled, SampleConfig};
+    let w = trace_processor::tp_workloads::by_name("gcc", Size::Tiny);
+    let cfg = TraceProcessorConfig::paper(CiModel::None);
+    // A deliberately small regime so the tiny run exercises several
+    // warm-boot rounds and fast-forward legs.
+    let sample = SampleConfig { warmup: 100, interval: 400, skip: 200 };
+    let run = run_sampled(&w.program, &cfg, &sample);
+    let mut actual = format!(
+        "gcc None sampled total={} detailed={} warmup={} ffwd={} intervals={} est_cycles={:.3} est_ipc={:.6}\n",
+        run.total_instrs,
+        run.detailed_instrs,
+        run.warmup_instrs,
+        run.ffwd_instrs,
+        run.intervals.len(),
+        run.estimated_cycles(),
+        run.ipc_estimate(),
+    );
+    for i in &run.intervals {
+        let _ = writeln!(
+            actual,
+            "  interval start={} instrs={} cycles={}",
+            i.start_retired, i.instrs, i.cycles
+        );
+    }
+    check_against_golden("sampled.txt", &actual);
 }
 
 /// Per-workload `SimStats` snapshots (tiny suite x all five models) must
