@@ -28,7 +28,7 @@ fn bench(name: &str, iters: u32, batches: u32, mut f: impl FnMut()) {
 }
 
 fn bench_fgci_algorithm() {
-    let w = by_name("gcc", Size::Tiny);
+    let w = by_name("gcc", Size::Tiny).unwrap();
     let branches: Vec<u32> = w
         .program
         .insts()
@@ -61,7 +61,7 @@ fn bench_trace_predictor() {
 }
 
 fn bench_trace_selection() {
-    let w = by_name("compress", Size::Tiny);
+    let w = by_name("compress", Size::Tiny).unwrap();
     let selector = Selector::new(SelectionConfig::with_fg_ntb());
     let mut bit = Bit::paper();
     bench("trace_selection_fg_ntb", 1000, 5, || {
@@ -71,7 +71,7 @@ fn bench_trace_selection() {
 }
 
 fn bench_simulator_throughput() {
-    let w = by_name("compress", Size::Small);
+    let w = by_name("compress", Size::Small).unwrap();
     bench("simulate_compress_small", 1, 3, || {
         let cfg = TraceProcessorConfig::paper(CiModel::FgMlbRet);
         let mut sim = TraceProcessor::new(&w.program, cfg);

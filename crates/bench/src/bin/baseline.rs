@@ -5,22 +5,24 @@
 //! Usage:
 //!
 //! ```text
-//! baseline [--smoke | --size tiny|small|full|long] [--pes N[,N..]|--pe-sweep]
-//!          [--guard] [--sample] [--out PATH]
+//! baseline [--smoke | --size tiny|small|full|long] [--suite synth|rv|all]
+//!          [--pes N[,N..]|--pe-sweep] [--guard] [--sample] [--out PATH]
 //! ```
 //!
 //! `--smoke` (alias for `--size small`) is what CI runs; the checked-in
-//! `BENCH_speed.json` comes from a `--size full` run. `--pe-sweep` adds the
-//! 4/8/16 PE-count axis. `--guard` exits non-zero if any CI model loses
-//! more than 1% IPC to the base model on any cell. `--sample` switches to
-//! sampled execution (the only tractable mode for `--size long`) and emits
-//! the `tp-bench/sampled/v1` schema instead, defaulting `--out` to
-//! `BENCH_sampled.json`; it rejects `--guard`/`--pes`/`--pe-sweep`, which
-//! only apply to the detailed grid.
+//! `BENCH_speed.json` comes from a `--size full --suite all` run (both
+//! suites' cells, the rv section last). `--suite` selects the synthetic
+//! kernels, the RV64 corpus, or both (default: synth). `--pe-sweep` adds
+//! the 4/8/16 PE-count axis. `--guard` exits non-zero if any CI model
+//! loses more than 1% IPC to the base model on any cell. `--sample`
+//! switches to sampled execution (the only tractable mode for `--size
+//! long`) and emits the `tp-bench/sampled/v1` schema instead, defaulting
+//! `--out` to `BENCH_sampled.json`; it rejects
+//! `--guard`/`--pes`/`--pe-sweep`, which only apply to the detailed grid.
 
-use tp_bench::sampled::{default_sample_for, run_sampled_grid, sampled_to_json};
+use tp_bench::sampled::{default_sample_for, run_sampled_grid_on, sampled_to_json};
 use tp_bench::speed::{
-    guard_violations, parse_size, run_grid, to_json, BASELINE_MODELS, SWEEP_PES,
+    guard_violations, parse_size, run_grid_on, to_json, SuiteChoice, BASELINE_MODELS, SWEEP_PES,
 };
 use tp_core::TraceProcessorConfig;
 use tp_workloads::Size;
@@ -32,6 +34,7 @@ fn main() {
     let mut pes_set = false;
     let mut guard = false;
     let mut sample = false;
+    let mut suite_choice = SuiteChoice::Synth;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -42,6 +45,15 @@ fn main() {
                     Some(s) => s,
                     None => {
                         eprintln!("unknown --size (tiny|small|full|long)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--suite" => {
+                suite_choice = match args.next().as_deref().and_then(SuiteChoice::parse) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("unknown --suite (synth|rv|all)");
                         std::process::exit(2);
                     }
                 }
@@ -80,7 +92,8 @@ fn main() {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: baseline [--smoke | --size tiny|small|full|long] \
-                     [--pes N[,N..]|--pe-sweep] [--guard] [--sample] [--out PATH]"
+                     [--suite synth|rv|all] [--pes N[,N..]|--pe-sweep] [--guard] [--sample] \
+                     [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -110,7 +123,8 @@ fn main() {
         // checked-in detailed baseline.
         let out = out.unwrap_or_else(|| String::from("BENCH_sampled.json"));
         let sample_cfg = default_sample_for(size);
-        let cells = run_sampled_grid(size, &BASELINE_MODELS, &sample_cfg);
+        let cells =
+            run_sampled_grid_on(&suite_choice.workloads(size), &BASELINE_MODELS, &sample_cfg);
         println!(
             "{:<10} {:<11} {:>10} {:>4} {:>7} {:>6} {:>8} {:>7}",
             "bench", "model", "instrs", "K", "frac%", "ipc", "ci95", "secs"
@@ -135,7 +149,7 @@ fn main() {
         return;
     }
     let out = out.unwrap_or_else(|| String::from("BENCH_speed.json"));
-    let cells = run_grid(size, &BASELINE_MODELS, &pes);
+    let cells = run_grid_on(&suite_choice.workloads(size), &BASELINE_MODELS, &pes);
     println!(
         "{:<10} {:<11} {:>3} {:>9} {:>9} {:>6} {:>8} {:>7} {:>7} {:>12}",
         "bench",

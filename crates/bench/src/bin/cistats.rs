@@ -30,7 +30,13 @@ fn main() {
     }
     let name = positional.first().cloned().unwrap_or_else(|| "compress".into());
     let model_arg = positional.get(1).cloned();
-    let w = tp_workloads::by_name(&name, tp_workloads::Size::Full);
+    let w = match tp_workloads::by_name(&name, tp_workloads::Size::Full) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     if json && model_arg.is_none() {
         eprintln!("--json requires a model (base|RET|MLB-RET|FG|FG+MLB-RET)");
         std::process::exit(2);

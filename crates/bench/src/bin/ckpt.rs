@@ -25,8 +25,9 @@ use tp_bench::speed::{parse_size, size_name};
 use tp_ckpt::{Checkpoint, FastForward};
 use tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
 use tp_isa::func::Machine;
+use tp_isa::Frontend;
 use tp_isa::Program;
-use tp_workloads::{by_name, suite, Size};
+use tp_workloads::{all_workloads, Size, Workload};
 
 fn usage() -> ! {
     eprintln!(
@@ -37,6 +38,14 @@ fn usage() -> ! {
          \x20      ckpt smoke [--out PATH]"
     );
     std::process::exit(2);
+}
+
+/// Workload lookup with the registry's friendly unknown-name message.
+fn by_name(name: &str, size: Size) -> Workload {
+    tp_workloads::by_name(name, size).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 fn parse_model(s: &str) -> CiModel {
@@ -95,14 +104,16 @@ fn create(args: &[String]) {
     let w = by_name(&workload, size);
     let cfg = validated_config(model);
     let mut ff = FastForward::new(&w.program, &cfg);
+    ff.set_frontend(w.frontend);
     let s = ff.skip(ffwd_budget).unwrap_or_else(|e| panic!("{workload}: {e}"));
     let ckpt = ff.checkpoint();
     let bytes = ckpt.encode();
     std::fs::write(&out, &bytes).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!(
-        "{out}: {} bytes; {workload}/{} {} after {} retired ({} traces{})",
+        "{out}: {} bytes; {workload}/{} ({}) {} after {} retired ({} traces{})",
         bytes.len(),
         size_name(size),
+        w.frontend,
         cfg.selection.name(),
         ckpt.retired,
         s.traces,
@@ -125,6 +136,7 @@ fn inspect(args: &[String]) {
     let Some(path) = args.first() else { usage() };
     let ckpt = read_checkpoint(path);
     println!("program   : {} (fingerprint {:016x})", ckpt.program_name, ckpt.program_fingerprint);
+    println!("frontend  : {}", ckpt.frontend);
     println!("pc        : {}", ckpt.pc);
     println!("retired   : {}", ckpt.retired);
     println!("halted    : {}", ckpt.halted);
@@ -158,16 +170,36 @@ fn inspect(args: &[String]) {
 }
 
 /// Finds the workload program a checkpoint was captured from by
-/// fingerprint search over the suite at every size.
-fn find_program(ckpt: &Checkpoint) -> Option<(Program, Size)> {
+/// fingerprint search over both suites at every size. A fingerprint hit
+/// is additionally frontend-checked; on a miss, a same-name workload in
+/// the *other* frontend's suite produces a named mismatch diagnosis
+/// instead of a bare "not found".
+fn find_program(ckpt: &Checkpoint) -> Result<(Program, Size, Frontend), String> {
+    let mut name_twin: Option<Frontend> = None;
     for size in [Size::Tiny, Size::Small, Size::Full, Size::Long] {
-        for w in suite(size) {
+        for w in all_workloads(size) {
             if ckpt.verify_program(&w.program).is_ok() {
-                return Some((w.program, size));
+                return match ckpt.verify_frontend(w.frontend) {
+                    Ok(()) => Ok((w.program, size, w.frontend)),
+                    Err(e) => Err(e.to_string()),
+                };
+            }
+            if w.name == ckpt.program_name && w.frontend != ckpt.frontend {
+                name_twin = Some(w.frontend);
             }
         }
     }
-    None
+    match name_twin {
+        Some(twin) => Err(format!(
+            "checkpoint records the {} frontend for `{}`; the workload of that name in this \
+             build is {twin} — wrong ISA (no fingerprint matches)",
+            ckpt.frontend, ckpt.program_name
+        )),
+        None => Err(format!(
+            "no {} workload matches fingerprint {:016x} (captured from `{}`)",
+            ckpt.frontend, ckpt.program_fingerprint, ckpt.program_name
+        )),
+    }
 }
 
 fn verify(args: &[String]) {
@@ -183,14 +215,11 @@ fn verify(args: &[String]) {
         }
     }
     let ckpt = read_checkpoint(path);
-    let Some((program, size)) = find_program(&ckpt) else {
-        eprintln!(
-            "{path}: no workload matches fingerprint {:016x} (captured from `{}`)",
-            ckpt.program_fingerprint, ckpt.program_name
-        );
+    let (program, size, frontend) = find_program(&ckpt).unwrap_or_else(|msg| {
+        eprintln!("{path}: {msg}");
         std::process::exit(1);
-    };
-    println!("program   : {} at size {}", ckpt.program_name, size_name(size));
+    });
+    println!("program   : {} at size {} ({frontend})", ckpt.program_name, size_name(size));
 
     // 1. Functional resume equals a straight run.
     let mut resumed = ckpt.machine(&program).expect("fingerprint verified");

@@ -1,19 +1,22 @@
 //! Quick calibration probe: IPC and misprediction profile per workload.
 //!
-//! Usage: `speed [--size tiny|small|full|long] [--sample] [--ckpt DIR]`
+//! Usage: `speed [--size tiny|small|full|long] [--suite synth|rv|all]
+//! [--sample] [--ckpt DIR]`
 //!
 //! Default is a full detailed run of each workload under the base model.
-//! `--sample` switches to sampled execution (fast-forward + detailed
-//! intervals; the only tractable mode for `--size long`), printing the
-//! sampled IPC with its confidence interval, coverage, and estimated
-//! cycles. `--ckpt DIR` additionally writes, per workload, a functionally
-//! warmed checkpoint captured after one skip-length of fast-forward from
-//! program start — a ready-made resume point for `ckpt inspect`/
-//! `ckpt verify` or `TraceProcessor::from_checkpoint` experiments.
+//! `--suite` selects the synthetic kernels, the RV64 corpus, or both
+//! (default: synth). `--sample` switches to sampled execution
+//! (fast-forward + detailed intervals; the only tractable mode for
+//! `--size long`), printing the sampled IPC with its confidence interval,
+//! coverage, and estimated cycles. `--ckpt DIR` additionally writes, per
+//! workload, a functionally warmed checkpoint captured after one
+//! skip-length of fast-forward from program start — a ready-made resume
+//! point for `ckpt inspect`/`ckpt verify` or
+//! `TraceProcessor::from_checkpoint` experiments.
 
 use std::time::Instant;
-use tp_bench::sampled::{default_sample_for, run_sampled};
-use tp_bench::speed::parse_size;
+use tp_bench::sampled::{default_sample_for, run_sampled_as};
+use tp_bench::speed::{parse_size, SuiteChoice};
 use tp_ckpt::FastForward;
 use tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
 use tp_workloads::Size;
@@ -22,6 +25,7 @@ fn main() {
     let mut size = Size::Full;
     let mut sample = false;
     let mut ckpt_dir: Option<String> = None;
+    let mut suite_choice = SuiteChoice::Synth;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -29,6 +33,13 @@ fn main() {
                 Some(s) => size = s,
                 None => {
                     eprintln!("--size requires tiny|small|full|long");
+                    std::process::exit(2);
+                }
+            },
+            "--suite" => match args.next().as_deref().and_then(SuiteChoice::parse) {
+                Some(s) => suite_choice = s,
+                None => {
+                    eprintln!("--suite requires synth|rv|all");
                     std::process::exit(2);
                 }
             },
@@ -42,7 +53,10 @@ fn main() {
             },
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: speed [--size tiny|small|full|long] [--sample] [--ckpt DIR]");
+                eprintln!(
+                    "usage: speed [--size tiny|small|full|long] [--suite synth|rv|all] \
+                     [--sample] [--ckpt DIR]"
+                );
                 std::process::exit(2);
             }
         }
@@ -53,13 +67,13 @@ fn main() {
         std::process::exit(2);
     }
     if sample {
-        run_sampled_table(size, &cfg, ckpt_dir.as_deref());
+        run_sampled_table(size, suite_choice, &cfg, ckpt_dir.as_deref());
     } else {
-        run_detailed_table(size, &cfg);
+        run_detailed_table(size, suite_choice, &cfg);
     }
 }
 
-fn run_detailed_table(size: Size, cfg: &TraceProcessorConfig) {
+fn run_detailed_table(size: Size, suite_choice: SuiteChoice, cfg: &TraceProcessorConfig) {
     println!(
         "{:<10} {:>9} {:>8} {:>6} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6} {:>7} {:>7}",
         "bench",
@@ -75,7 +89,7 @@ fn run_detailed_table(size: Size, cfg: &TraceProcessorConfig) {
         "fullsq",
         "disp"
     );
-    for w in tp_workloads::suite(size) {
+    for w in suite_choice.workloads(size) {
         let mut sim = TraceProcessor::new(&w.program, cfg.clone());
         let t = Instant::now();
         match sim.run(100_000_000) {
@@ -97,7 +111,12 @@ fn run_detailed_table(size: Size, cfg: &TraceProcessorConfig) {
     }
 }
 
-fn run_sampled_table(size: Size, cfg: &TraceProcessorConfig, ckpt_dir: Option<&str>) {
+fn run_sampled_table(
+    size: Size,
+    suite_choice: SuiteChoice,
+    cfg: &TraceProcessorConfig,
+    ckpt_dir: Option<&str>,
+) {
     let sample = default_sample_for(size);
     println!(
         "sampled mode: warmup {} / interval {} / mean skip {} instructions",
@@ -107,8 +126,8 @@ fn run_sampled_table(size: Size, cfg: &TraceProcessorConfig, ckpt_dir: Option<&s
         "{:<10} {:>10} {:>4} {:>7} {:>9} {:>6} {:>8} {:>10} {:>6}",
         "bench", "instrs", "K", "frac%", "est-cyc", "ipc", "ci95", "ffwd", "secs"
     );
-    for w in tp_workloads::suite(size) {
-        let run = run_sampled(&w.program, cfg, &sample);
+    for w in suite_choice.workloads(size) {
+        let run = run_sampled_as(&w.program, w.frontend, cfg, &sample);
         println!(
             "{:<10} {:>10} {:>4} {:>7.1} {:>9.0} {:>6.2} {:>8.3} {:>10} {:>6.1}",
             w.name,
@@ -124,6 +143,7 @@ fn run_sampled_table(size: Size, cfg: &TraceProcessorConfig, ckpt_dir: Option<&s
         if let Some(dir) = ckpt_dir {
             std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {dir}: {e}"));
             let mut ff = FastForward::new(&w.program, cfg);
+            ff.set_frontend(w.frontend);
             ff.skip(sample.skip.max(sample.interval)).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let path = format!("{dir}/{}.tpckpt", w.name);
             std::fs::write(&path, ff.checkpoint().encode())

@@ -61,8 +61,8 @@ pub fn probe_programs() -> Vec<(&'static str, Program)> {
         ("quickstart", quickstart_program()),
         ("synth-small-7", synth::generate(&SynthConfig::small(), 7)),
         ("synth-default-3", synth::generate(&SynthConfig::default(), 3)),
-        ("compress-tiny", by_name("compress", Size::Tiny).program),
-        ("li-tiny", by_name("li", Size::Tiny).program),
+        ("compress-tiny", by_name("compress", Size::Tiny).unwrap().program),
+        ("li-tiny", by_name("li", Size::Tiny).unwrap().program),
     ]
 }
 

@@ -240,7 +240,7 @@ mod tests {
 
     #[test]
     fn profiles_compress_as_fgci_heavy() {
-        let w = by_name("compress", Size::Small);
+        let w = by_name("compress", Size::Small).unwrap();
         let p = profile_branches(&w.program, 10_000_000);
         assert!(p.total_branches() > 1000);
         // Most mispredictions sit in small FGCI regions.
@@ -250,21 +250,21 @@ mod tests {
 
     #[test]
     fn profiles_li_as_backward_dominated() {
-        let w = by_name("li", Size::Small);
+        let w = by_name("li", Size::Small).unwrap();
         let p = profile_branches(&w.program, 10_000_000);
         assert!(p.frac_mispredicts(BranchClass::Backward) > 35.0, "{p:?}");
     }
 
     #[test]
     fn m88ksim_is_predictable() {
-        let w = by_name("m88ksim", Size::Small);
+        let w = by_name("m88ksim", Size::Small).unwrap();
         let p = profile_branches(&w.program, 10_000_000);
         assert!(p.overall_misp_rate() < 8.0, "{}", p.overall_misp_rate());
     }
 
     #[test]
     fn class_fractions_sum_to_100() {
-        let w = by_name("go", Size::Tiny);
+        let w = by_name("go", Size::Tiny).unwrap();
         let p = profile_branches(&w.program, 10_000_000);
         let sum: f64 = BranchClass::ALL.iter().map(|&c| p.frac_branches(c)).sum();
         assert!((sum - 100.0).abs() < 1e-6);

@@ -60,7 +60,7 @@ mod tests {
 
     #[test]
     fn baseline_and_model_runs_complete() {
-        let w = by_name("m88ksim", Size::Tiny);
+        let w = by_name("m88ksim", Size::Tiny).unwrap();
         let a = run_selection(&w.program, SelectionConfig::base());
         assert!(a.halted);
         let b = run_model(&w.program, CiModel::FgMlbRet);

@@ -23,9 +23,9 @@ use std::time::Instant;
 use tp_ckpt::{Checkpoint, FastForward};
 use tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
 use tp_isa::func::MachineState;
-use tp_isa::Program;
+use tp_isa::{Frontend, Program};
 use tp_stats::RecoveryAttribution;
-use tp_workloads::{suite, Size};
+use tp_workloads::{suite, Size, Workload};
 
 /// The sampling regime: how much detail per round, and how far to
 /// fast-forward between rounds.
@@ -199,9 +199,26 @@ pub fn run_sampled(
     cfg: &TraceProcessorConfig,
     sample: &SampleConfig,
 ) -> SampledRun {
+    run_sampled_as(program, Frontend::Synth, cfg, sample)
+}
+
+/// [`run_sampled`] with an explicit frontend kind, recorded in every
+/// internal checkpoint the run round-trips through (rv workloads pass
+/// [`Frontend::Rv64`]).
+///
+/// # Panics
+///
+/// As [`run_sampled`].
+pub fn run_sampled_as(
+    program: &Program,
+    frontend: Frontend,
+    cfg: &TraceProcessorConfig,
+    sample: &SampleConfig,
+) -> SampledRun {
     let name = program.name().to_string();
     let t = Instant::now();
     let mut ff = FastForward::new(program, cfg);
+    ff.set_frontend(frontend);
     let mut intervals = Vec::new();
     let mut attribution = RecoveryAttribution::new();
     let mut warmup_instrs = 0;
@@ -315,14 +332,27 @@ pub struct SampledCell {
 ///
 /// As [`run_sampled`].
 pub fn run_sampled_grid(size: Size, models: &[CiModel], sample: &SampleConfig) -> Vec<SampledCell> {
+    run_sampled_grid_on(&suite(size), models, sample)
+}
+
+/// [`run_sampled_grid`] over an explicit workload list (any suite mix).
+///
+/// # Panics
+///
+/// As [`run_sampled`].
+pub fn run_sampled_grid_on(
+    workloads: &[Workload],
+    models: &[CiModel],
+    sample: &SampleConfig,
+) -> Vec<SampledCell> {
     let mut cells = Vec::new();
-    for w in suite(size) {
+    for w in workloads {
         for &model in models {
             let cfg = TraceProcessorConfig::paper(model);
             cells.push(SampledCell {
                 workload: w.name,
                 model,
-                run: run_sampled(&w.program, &cfg, sample),
+                run: run_sampled_as(&w.program, w.frontend, &cfg, sample),
             });
         }
     }
@@ -452,7 +482,7 @@ mod tests {
 
     #[test]
     fn sampled_run_covers_the_whole_program() {
-        let w = by_name("compress", Size::Tiny).program;
+        let w = by_name("compress", Size::Tiny).unwrap().program;
         let cfg = TraceProcessorConfig::paper(CiModel::None);
         let run = run_sampled(&w, &cfg, &SampleConfig::dense());
         assert!(run.halted);
@@ -468,7 +498,7 @@ mod tests {
 
     #[test]
     fn sampled_runs_are_deterministic() {
-        let w = by_name("li", Size::Tiny).program;
+        let w = by_name("li", Size::Tiny).unwrap().program;
         let cfg = TraceProcessorConfig::paper(CiModel::MlbRet);
         let a = run_sampled(&w, &cfg, &SampleConfig::dense());
         let b = run_sampled(&w, &cfg, &SampleConfig::dense());

@@ -17,7 +17,48 @@ use std::time::Instant;
 use tp_core::{CiModel, SimStats, TraceProcessor, TraceProcessorConfig};
 use tp_predict::TracePredictorStats;
 use tp_stats::RecoveryAttribution;
-use tp_workloads::{suite, Size};
+use tp_workloads::{all_workloads, rv_suite, suite, Size, Workload};
+
+/// Which workload suite a measurement grid runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuiteChoice {
+    /// The eight synthetic SPEC95-like kernels.
+    Synth,
+    /// The six RV64 corpus programs.
+    Rv,
+    /// Both, synthetic first.
+    All,
+}
+
+impl SuiteChoice {
+    /// The label used in CLI parsing and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SuiteChoice::Synth => "synth",
+            SuiteChoice::Rv => "rv",
+            SuiteChoice::All => "all",
+        }
+    }
+
+    /// Parses a suite label (the inverse of [`SuiteChoice::name`]).
+    pub fn parse(s: &str) -> Option<SuiteChoice> {
+        match s {
+            "synth" => Some(SuiteChoice::Synth),
+            "rv" => Some(SuiteChoice::Rv),
+            "all" => Some(SuiteChoice::All),
+            _ => None,
+        }
+    }
+
+    /// Builds the chosen workloads at `size`.
+    pub fn workloads(self, size: Size) -> Vec<Workload> {
+        match self {
+            SuiteChoice::Synth => suite(size),
+            SuiteChoice::Rv => rv_suite(size),
+            SuiteChoice::All => all_workloads(size),
+        }
+    }
+}
 
 /// The model grid of the speed baseline: the paper's full five-model
 /// matrix (§6.2).
@@ -71,8 +112,21 @@ impl SpeedCell {
 /// Panics if any cell deadlocks or fails to halt — a baseline must never
 /// be recorded from a broken run.
 pub fn run_grid(size: Size, models: &[CiModel], pe_counts: &[usize]) -> Vec<SpeedCell> {
+    run_grid_on(&suite(size), models, pe_counts)
+}
+
+/// [`run_grid`] over an explicit workload list (any suite mix).
+///
+/// # Panics
+///
+/// As [`run_grid`].
+pub fn run_grid_on(
+    workloads: &[Workload],
+    models: &[CiModel],
+    pe_counts: &[usize],
+) -> Vec<SpeedCell> {
     let mut cells = Vec::new();
-    for w in suite(size) {
+    for w in workloads {
         for &pes in pe_counts {
             for &model in models {
                 let mut cfg = TraceProcessorConfig::paper(model);

@@ -121,7 +121,7 @@ mod tests {
     /// per-config stats as sequential runs.
     #[test]
     fn parallel_sweep_matches_sequential() {
-        let w = by_name("compress", Size::Tiny);
+        let w = by_name("compress", Size::Tiny).unwrap();
         let jobs = || {
             vec![
                 SweepJob {

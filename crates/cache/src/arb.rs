@@ -175,6 +175,13 @@ impl Arb {
     pub fn versions_at(&self, addr: Addr) -> impl Iterator<Item = SeqHandle> + '_ {
         self.versions.get(&(addr >> 3)).into_iter().flatten().map(|v| v.handle)
     }
+
+    /// Iterates over every speculative version as `(word index, handle)` —
+    /// the coherence checker walks this to prove no version outlives its
+    /// window slot.
+    pub fn all_versions(&self) -> impl Iterator<Item = (u64, SeqHandle)> + '_ {
+        self.versions.iter().flat_map(|(&w, list)| list.iter().map(move |v| (w, v.handle)))
+    }
 }
 
 #[cfg(test)]

@@ -12,9 +12,12 @@
 //!
 //! ```text
 //! magic      b"TPCK"
-//! version    u32 (= 1)
+//! version    u32 (= 2; version-1 streams still decode)
 //! name       str          program name
 //! fpr       u64          program fingerprint (FNV-1a; see below)
+//! frontend   u8           frontend/ISA kind (version >= 2; 0 = synth,
+//!            1 = rv64 — [`tp_isa::Frontend::code`]). A version-1 stream
+//!            predates the RV frontend and decodes as synth.
 //! pc         u32          resume PC
 //! retired    u64          instructions retired before the checkpoint
 //! halted     u8           0 | 1
@@ -54,7 +57,7 @@ use std::sync::Arc;
 use tp_cache::{DCache, ICache, TraceCache};
 use tp_core::{BootImage, TraceProcessorConfig, WarmBoot};
 use tp_isa::func::{Machine, MachineState};
-use tp_isa::{Pc, Program, Reg, Word};
+use tp_isa::{Frontend, Pc, Program, Reg, Word};
 use tp_predict::trace_pred::ImageEntry;
 use tp_predict::{
     Btb, BtbImage, GshareImage, NextTracePredictor, Ras, TraceHistory, TracePredictorConfig,
@@ -67,7 +70,9 @@ use crate::wire::{Reader, WireError, Writer};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"TPCK";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest version this build still decodes (v1 lacked the frontend kind).
+const MIN_VERSION: u32 = 1;
 
 /// Errors producing or consuming a checkpoint.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -78,6 +83,17 @@ pub enum CkptError {
     BadMagic,
     /// The file's format version is not supported.
     UnsupportedVersion(u32),
+    /// The checkpoint was captured through a different frontend than the
+    /// workload it is being matched against — e.g. an rv64 checkpoint
+    /// offered a synthetic workload's program.
+    FrontendMismatch {
+        /// Program name recorded in the checkpoint.
+        name: String,
+        /// Frontend recorded in the checkpoint.
+        stored: Frontend,
+        /// Frontend of the workload offered at load.
+        offered: Frontend,
+    },
     /// The checkpoint was captured from a different program.
     ProgramMismatch {
         /// Program name recorded in the checkpoint.
@@ -111,6 +127,11 @@ impl fmt::Display for CkptError {
             CkptError::UnsupportedVersion(v) => {
                 write!(f, "unsupported checkpoint version {v} (this build reads {VERSION})")
             }
+            CkptError::FrontendMismatch { name, stored, offered } => write!(
+                f,
+                "checkpoint for `{name}` was captured through the {stored} frontend, \
+                 but the offered workload is {offered} — wrong ISA"
+            ),
             CkptError::ProgramMismatch { name, stored, offered } => write!(
                 f,
                 "checkpoint was captured from program `{name}` (fingerprint {stored:016x}), \
@@ -187,6 +208,10 @@ pub struct Checkpoint {
     pub program_name: String,
     /// Fingerprint of the source program (see [`program_fingerprint`]).
     pub program_fingerprint: u64,
+    /// The frontend (source ISA) the program came from. Part of the
+    /// program's identity: workload lookup is per-frontend, so a capture
+    /// can never silently boot against the other ISA's suite.
+    pub frontend: Frontend,
     /// Resume PC.
     pub pc: Pc,
     /// Instructions retired before the checkpoint.
@@ -229,7 +254,12 @@ pub fn program_fingerprint(program: &Program) -> u64 {
 impl Checkpoint {
     /// Captures a checkpoint from a machine state and optional warm set.
     /// (Most callers use [`FastForward::checkpoint`].)
-    pub fn capture(program: &Program, state: &MachineState, warm: Option<&Warm>) -> Checkpoint {
+    pub fn capture(
+        program: &Program,
+        frontend: Frontend,
+        state: &MachineState,
+        warm: Option<&Warm>,
+    ) -> Checkpoint {
         let initial: std::collections::BTreeMap<u64, Word> =
             program.data().map(|(a, w)| (a >> 3, w)).collect();
         let mem_delta: Vec<(u64, Word)> = state
@@ -241,6 +271,7 @@ impl Checkpoint {
         Checkpoint {
             program_name: program.name().to_string(),
             program_fingerprint: program_fingerprint(program),
+            frontend,
             pc: state.pc,
             retired: state.retired,
             halted: state.halted,
@@ -272,6 +303,24 @@ impl Checkpoint {
             return Err(CkptError::ProgramMismatch {
                 name: self.program_name.clone(),
                 stored: self.program_fingerprint,
+                offered,
+            });
+        }
+        Ok(())
+    }
+
+    /// Verifies this checkpoint was captured through the `offered`
+    /// frontend.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::FrontendMismatch`] naming both kinds when they
+    /// differ.
+    pub fn verify_frontend(&self, offered: Frontend) -> Result<(), CkptError> {
+        if offered != self.frontend {
+            return Err(CkptError::FrontendMismatch {
+                name: self.program_name.clone(),
+                stored: self.frontend,
                 offered,
             });
         }
@@ -380,13 +429,14 @@ impl Checkpoint {
         })
     }
 
-    /// Encodes the checkpoint into the version-1 wire format.
+    /// Encodes the checkpoint into the version-2 wire format.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.bytes(MAGIC);
         w.u32(VERSION);
         w.str(&self.program_name);
         w.u64(self.program_fingerprint);
+        w.u8(self.frontend.code());
         w.u32(self.pc);
         w.u64(self.retired);
         w.u8(self.halted as u8);
@@ -427,7 +477,9 @@ impl Checkpoint {
         w.into_bytes()
     }
 
-    /// Decodes a version-1 checkpoint.
+    /// Decodes a checkpoint (current version 2; version-1 streams decode
+    /// with the frontend defaulted to [`Frontend::Synth`], which is the
+    /// only frontend that existed when they were written).
     ///
     /// # Errors
     ///
@@ -439,16 +491,23 @@ impl Checkpoint {
             return Err(CkptError::BadMagic);
         }
         let version = r.u32("version").map_err(CkptError::Wire)?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(CkptError::UnsupportedVersion(version));
         }
-        decode_body(&mut r).map_err(CkptError::Wire)
+        decode_body(&mut r, version).map_err(CkptError::Wire)
     }
 }
 
-fn decode_body(r: &mut Reader<'_>) -> Result<Checkpoint, WireError> {
+fn decode_body(r: &mut Reader<'_>, version: u32) -> Result<Checkpoint, WireError> {
     let program_name = r.str("program name")?;
     let program_fingerprint = r.u64("program fingerprint")?;
+    let frontend = if version >= 2 {
+        let code = r.u8("frontend")?;
+        Frontend::from_code(code)
+            .ok_or_else(|| WireError::Corrupt(format!("frontend: unknown kind {code}")))?
+    } else {
+        Frontend::Synth
+    };
     let pc = r.u32("pc")?;
     let retired = r.u64("retired")?;
     let halted = r.u8("halted")? != 0;
@@ -481,7 +540,17 @@ fn decode_body(r: &mut Reader<'_>) -> Result<Checkpoint, WireError> {
         1 => Some(decode_warm(r)?),
         other => return Err(WireError::Corrupt(format!("warm flag: {other}"))),
     };
-    Ok(Checkpoint { program_name, program_fingerprint, pc, retired, halted, regs, mem_delta, warm })
+    Ok(Checkpoint {
+        program_name,
+        program_fingerprint,
+        frontend,
+        pc,
+        retired,
+        halted,
+        regs,
+        mem_delta,
+        warm,
+    })
 }
 
 fn encode_trace_id(w: &mut Writer, id: TraceId) {
@@ -717,6 +786,11 @@ impl Warm {
 impl FastForward<'_> {
     /// Captures a checkpoint of the current machine state and warm set.
     pub fn checkpoint(&self) -> Checkpoint {
-        Checkpoint::capture(self.machine().program(), &self.machine().capture(), Some(self.warm()))
+        Checkpoint::capture(
+            self.machine().program(),
+            self.frontend(),
+            &self.machine().capture(),
+            Some(self.warm()),
+        )
     }
 }

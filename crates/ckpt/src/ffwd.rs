@@ -25,7 +25,7 @@ use std::sync::Arc;
 use tp_cache::{DCache, ICache, TraceCache};
 use tp_core::{TraceProcessorConfig, WarmBoot};
 use tp_isa::func::{Machine, MachineState, PcOutOfRange, Step};
-use tp_isa::{Inst, Pc, Program};
+use tp_isa::{Frontend, Inst, Pc, Program};
 use tp_predict::{Btb, Gshare, NextTracePredictor, Ras, TraceHistory};
 use tp_trace::{Bit, OutcomeSource, SelectionConfig, Selector};
 
@@ -183,6 +183,7 @@ pub struct FastForward<'p> {
     machine: Machine<'p>,
     selector: Selector,
     warm: Warm,
+    frontend: Frontend,
 }
 
 impl<'p> FastForward<'p> {
@@ -201,7 +202,19 @@ impl<'p> FastForward<'p> {
             machine: Machine::from_state(program, state),
             selector: Selector::new(warm.selection),
             warm,
+            frontend: Frontend::Synth,
         }
+    }
+
+    /// Declares which frontend produced the program; recorded in every
+    /// checkpoint this driver captures (default: [`Frontend::Synth`]).
+    pub fn set_frontend(&mut self, frontend: Frontend) {
+        self.frontend = frontend;
+    }
+
+    /// The frontend recorded in captured checkpoints.
+    pub fn frontend(&self) -> Frontend {
+        self.frontend
     }
 
     /// Adopts the architectural frontier and trained structures of a

@@ -60,9 +60,9 @@ mod tests {
     #[test]
     fn roundtrip_equals_straight_run() {
         let programs: Vec<(&str, Program)> = vec![
-            ("compress", by_name("compress", Size::Tiny).program),
-            ("gcc", by_name("gcc", Size::Tiny).program),
-            ("li", by_name("li", Size::Tiny).program),
+            ("compress", by_name("compress", Size::Tiny).unwrap().program),
+            ("gcc", by_name("gcc", Size::Tiny).unwrap().program),
+            ("li", by_name("li", Size::Tiny).unwrap().program),
             ("synth", tp_isa::synth::generate(&tp_isa::synth::SynthConfig::small(), 11)),
         ];
         let cfg = TraceProcessorConfig::paper(CiModel::None);
@@ -99,7 +99,7 @@ mod tests {
     /// every warm image.
     #[test]
     fn encode_decode_is_identity() {
-        let w = by_name("go", Size::Tiny).program;
+        let w = by_name("go", Size::Tiny).unwrap().program;
         for model in [CiModel::None, CiModel::MlbRet, CiModel::FgMlbRet] {
             let cfg = TraceProcessorConfig::paper(model);
             let mut ff = FastForward::new(&w, &cfg);
@@ -116,7 +116,7 @@ mod tests {
     /// during warming (id, instruction sequence, renames, end metadata).
     #[test]
     fn warm_traces_rebuild_exactly() {
-        let w = by_name("jpeg", Size::Tiny).program;
+        let w = by_name("jpeg", Size::Tiny).unwrap().program;
         let cfg = TraceProcessorConfig::paper(CiModel::FgMlbRet);
         let mut ff = FastForward::new(&w, &cfg);
         ff.skip(u64::MAX).unwrap();
@@ -136,7 +136,7 @@ mod tests {
     /// functional machine's architectural state (oracle-verified run).
     #[test]
     fn detailed_interval_from_checkpoint_is_oracle_exact() {
-        let w = by_name("compress", Size::Tiny).program;
+        let w = by_name("compress", Size::Tiny).unwrap().program;
         let cfg = TraceProcessorConfig::paper(CiModel::MlbRet).with_oracle();
         let mut ff = FastForward::new(&w, &cfg);
         ff.skip(1200).unwrap();
@@ -158,8 +158,8 @@ mod tests {
     /// Checkpoints refuse to boot against a different program.
     #[test]
     fn program_mismatch_is_rejected() {
-        let a = by_name("compress", Size::Tiny).program;
-        let b = by_name("li", Size::Tiny).program;
+        let a = by_name("compress", Size::Tiny).unwrap().program;
+        let b = by_name("li", Size::Tiny).unwrap().program;
         let cfg = TraceProcessorConfig::paper(CiModel::None);
         let mut ff = FastForward::new(&a, &cfg);
         ff.skip(100).unwrap();
@@ -171,7 +171,7 @@ mod tests {
     /// A selection mismatch between checkpoint and boot config is caught.
     #[test]
     fn selection_mismatch_is_rejected() {
-        let w = by_name("compress", Size::Tiny).program;
+        let w = by_name("compress", Size::Tiny).unwrap().program;
         let warm_cfg = TraceProcessorConfig::paper(CiModel::MlbRet);
         let mut ff = FastForward::new(&w, &warm_cfg);
         ff.skip(100).unwrap();
@@ -180,11 +180,66 @@ mod tests {
         assert!(matches!(ckpt.boot_image(&w, &other), Err(CkptError::SelectionMismatch { .. })));
     }
 
+    /// The frontend kind round-trips through the wire format, and a
+    /// frontend mismatch is reported by name.
+    #[test]
+    fn frontend_kind_roundtrips_and_mismatch_is_named() {
+        use tp_isa::Frontend;
+        let w = by_name("compress", Size::Tiny).unwrap().program;
+        let cfg = TraceProcessorConfig::paper(CiModel::None);
+        let mut ff = FastForward::new(&w, &cfg);
+        ff.set_frontend(Frontend::Rv64);
+        assert_eq!(ff.frontend(), Frontend::Rv64);
+        ff.skip(50).unwrap();
+        let ckpt = Checkpoint::decode(&ff.checkpoint().encode()).unwrap();
+        assert_eq!(ckpt.frontend, Frontend::Rv64);
+        assert!(ckpt.verify_frontend(Frontend::Rv64).is_ok());
+        let err = ckpt.verify_frontend(Frontend::Synth).unwrap_err();
+        assert!(matches!(
+            err,
+            CkptError::FrontendMismatch { stored: Frontend::Rv64, offered: Frontend::Synth, .. }
+        ));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("rv64") && msg.contains("synth") && msg.contains("wrong ISA"),
+            "{msg}"
+        );
+    }
+
+    /// A version-1 stream (no frontend byte) still decodes, defaulting the
+    /// frontend to synth — the only frontend that existed when v1 streams
+    /// were written.
+    #[test]
+    fn version_1_streams_decode_as_synth() {
+        use tp_isa::Frontend;
+        let w = by_name("compress", Size::Tiny).unwrap().program;
+        let cfg = TraceProcessorConfig::paper(CiModel::None);
+        let mut ff = FastForward::new(&w, &cfg);
+        ff.skip(50).unwrap();
+        let v2 = ff.checkpoint().encode();
+        // Reconstruct the v1 layout: version 1 and no frontend byte. The
+        // frontend byte sits immediately after the length-prefixed name and
+        // the u64 fingerprint.
+        let name_len = u32::from_le_bytes(v2[8..12].try_into().unwrap()) as usize;
+        let frontend_pos = 12 + name_len + 8;
+        let mut v1 = v2.clone();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        v1.remove(frontend_pos);
+        let ckpt = Checkpoint::decode(&v1).expect("v1 stream decodes");
+        assert_eq!(ckpt.frontend, Frontend::Synth);
+        assert_eq!(ckpt, Checkpoint::decode(&v2).unwrap(), "payload identical apart from kind");
+        // An unknown frontend code in a v2 stream is named corrupt.
+        let mut bad = v2.clone();
+        bad[frontend_pos] = 7;
+        let err = Checkpoint::decode(&bad).unwrap_err();
+        assert!(err.to_string().contains("frontend"), "{err}");
+    }
+
     /// Truncated and corrupted streams produce named errors, not panics.
     #[test]
     fn decode_rejects_garbage() {
         assert_eq!(Checkpoint::decode(b"nope"), Err(CkptError::BadMagic));
-        let w = by_name("compress", Size::Tiny).program;
+        let w = by_name("compress", Size::Tiny).unwrap().program;
         let cfg = TraceProcessorConfig::paper(CiModel::None);
         let mut ff = FastForward::new(&w, &cfg);
         ff.skip(50).unwrap();

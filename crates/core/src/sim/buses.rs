@@ -156,7 +156,12 @@ impl TraceProcessor<'_> {
                 let result = self.arb.load(ea, h, |sh: SeqHandle| {
                     let pe = (sh.0 >> 8) as usize;
                     if !list.contains(pe) {
-                        return 0;
+                        // A version whose owner left the window cannot be
+                        // architectural (commit removes versions), so it
+                        // must never win forwarding: rank it younger than
+                        // every live access. The paranoid ARB sweep proves
+                        // this is unreachable; keep it safe, not oldest.
+                        return u64::MAX;
                     }
                     ((list.logical(pe) + 1) << 8) | (sh.0 & 0xff)
                 });
@@ -179,11 +184,16 @@ impl TraceProcessor<'_> {
                 };
                 let _ = old_value;
                 // A reissued store that moved must undo its old version.
+                // The undo snoop must NOT skip this store's own PE: the PE
+                // is alive, and a program-order-later load in the same
+                // trace may have forwarded from the dying version (same-PE
+                // skipping is only sound on squash paths, where every
+                // same-PE slot dies with the store).
                 if old_performed {
                     if let Some(old) = old_addr {
                         if old >> 3 != ea >> 3 {
                             self.arb.undo(old, h);
-                            self.snoop_undo(old, h, pe);
+                            self.snoop_undo(old, h, usize::MAX);
                         }
                     }
                 }
@@ -199,6 +209,32 @@ impl TraceProcessor<'_> {
                 self.snoop_store(ea, h, data, pe);
             }
             _ => unreachable!("only memory ops use cache buses"),
+        }
+    }
+
+    /// A committed store *is* architectural memory: every live load that
+    /// recorded it as its forwarding source must stop naming it. The
+    /// sequence handle encodes only `(pe, slot)`, so once the store's PE is
+    /// recycled by a younger trace the handle starts ranking as *young* in
+    /// `seq_key` — and a later snoop by a genuinely-older store would
+    /// conclude the load's source is younger and wrongly skip the reissue
+    /// (committed-path loads then retire stale forwarded values).
+    pub(super) fn demote_committed_source(&mut self, addr: Addr, store_h: SeqHandle) {
+        let word = addr >> 3;
+        let Some(entries) = self.wakeup.loads_by_word.get(&word) else { return };
+        let victims: Vec<(usize, usize)> = entries
+            .iter()
+            .filter(|&&(pe, gen, slot)| {
+                let p = &self.pes[pe];
+                p.occupied
+                    && p.gen == gen
+                    && slot < p.slots.len()
+                    && p.slots[slot].load_src == Some(store_h.0)
+            })
+            .map(|&(pe, _, slot)| (pe, slot))
+            .collect();
+        for (pe, slot) in victims {
+            self.pes[pe].slots[slot].load_src = None;
         }
     }
 

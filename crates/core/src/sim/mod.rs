@@ -720,6 +720,26 @@ impl<'p> TraceProcessor<'p> {
             return;
         }
         self.assert_event_index_coherent();
+        // ARB coherence: every speculative version must belong to a live,
+        // in-window store slot that performed at that word. An orphaned
+        // version is a use-after-free of memory state: the forwarding key
+        // function can only order versions whose owners are still in the
+        // window.
+        for (word, h) in self.arb.all_versions() {
+            let (pe, slot) = ((h.0 >> 8) as usize, (h.0 & 0xff) as usize);
+            let owner_ok = self.list.contains(pe)
+                && self.pes[pe].occupied
+                && slot < self.pes[pe].slots.len()
+                && self.pes[pe].slots[slot].store_performed
+                && self.pes[pe].slots[slot].mem_addr.map(|a| a >> 3) == Some(word);
+            assert!(
+                owner_ok,
+                "cycle {} after {stage}: ARB version at word {word:#x} owned by pe{pe} slot \
+                 {slot} has no live performed store\n{}",
+                self.now,
+                self.dump_window()
+            );
+        }
         let order: Vec<usize> = self.list.iter().collect();
         for (qi, &q) in order.iter().enumerate() {
             for r in Reg::all().skip(1) {

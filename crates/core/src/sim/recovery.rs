@@ -143,11 +143,16 @@ impl TraceProcessor<'_> {
                     self.squash_pe(v);
                 }
                 self.fetch_queue.clear();
-                self.redispatch = None;
+                // An in-flight re-dispatch pass may still owe rename walks
+                // to surviving traces at or before this one; carry that
+                // debt instead of dropping it (see `resume_walk_debt`).
+                if !self.resume_walk_debt(pe, Vec::new(), "repair-debt", None) {
+                    self.redispatch = None;
+                    self.current_map = self.pes[pe].map_after;
+                }
                 self.set_mode(FetchMode::Normal);
                 self.pes[pe].slots[slot].fault = None;
                 self.fetch_hist = self.rebuild_history();
-                self.current_map = self.pes[pe].map_after;
                 self.expected = match actual {
                     Some(t) => ExpectedNext::Known(t),
                     None => ExpectedNext::Stalled,
@@ -427,23 +432,24 @@ impl TraceProcessor<'_> {
                 cell.traces_preserved += preserved.len() as u64;
                 self.begin_redispatch(pe, preserved, Some(rec.attr));
             }
-            RecoveryPlan::Cgci => {
-                // Fetch will insert correct control-dependent traces before
-                // the preserved trace; re-dispatch happens at re-convergence.
+            RecoveryPlan::Cgci | RecoveryPlan::Full => {
+                // Under CGCI, fetch will insert correct control-dependent
+                // traces before the preserved trace (re-dispatch happens at
+                // re-convergence); under a full squash nothing younger
+                // survives. Either way the fetch frontier restarts after
+                // the repaired trace — but an in-flight re-dispatch pass
+                // may still owe rename walks to *older* surviving traces,
+                // and that debt must be paid, not dropped (a preempted
+                // walk leaves committed-path live-ins renamed through a
+                // stale map chain).
                 let mut h = self.pes[pe].hist_before.clone();
                 h.push(rec.repaired.id());
-                self.redispatch = None;
                 self.fetch_hist = h;
-                self.current_map = self.pes[pe].map_after;
                 self.expected = self.expected_after_pe(pe);
-            }
-            RecoveryPlan::Full => {
-                let mut h = self.pes[pe].hist_before.clone();
-                h.push(rec.repaired.id());
-                self.redispatch = None;
-                self.fetch_hist = h;
-                self.current_map = self.pes[pe].map_after;
-                self.expected = self.expected_after_pe(pe);
+                if !self.resume_walk_debt(pe, Vec::new(), "repair-debt", None) {
+                    self.redispatch = None;
+                    self.current_map = self.pes[pe].map_after;
+                }
             }
         }
     }

@@ -27,16 +27,84 @@ use super::*;
 use tp_trace::OperandRef;
 
 impl TraceProcessor<'_> {
+    /// What an in-flight re-dispatch pass still owes when a new recovery at
+    /// `pivot` wants to replace it: the pending PEs at or before `pivot` in
+    /// logical order, plus the old pass's walk position (its rolling
+    /// history; `self.current_map` *is* the walk map at that position).
+    ///
+    /// A replacement pass that walks only from `pivot` forward would
+    /// silently drop these — the older traces would commit live-in values
+    /// renamed through a map chain that a previous repair already
+    /// invalidated. `None` means the old pass (if any) owes nothing older:
+    /// plain replacement is safe.
+    pub(super) fn stale_walk_prefix(&self, pivot: usize) -> Option<(TraceHistory, Vec<usize>)> {
+        let old = self.redispatch.as_ref()?;
+        let pl = self.list.logical(pivot);
+        let prefix: Vec<usize> = old
+            .queue
+            .iter()
+            .copied()
+            .filter(|&pe| {
+                self.list.contains(pe) && self.pes[pe].occupied && self.list.logical(pe) <= pl
+            })
+            .collect();
+        if prefix.is_empty() {
+            return None;
+        }
+        Some((old.rolling.clone(), prefix))
+    }
+
+    /// If an in-flight pass owes rename walks at or before `pivot`
+    /// ([`Self::stale_walk_prefix`]), installs a replacement pass that
+    /// resumes from the old walk position and covers the debt, then
+    /// `pivot` itself, then `suffix` — and returns `true`.
+    /// `self.current_map` is left untouched in that case: the pass owns it
+    /// while in flight, so the chain re-derives every map from the old
+    /// position, including `pivot`'s own (whose `map_before` predates the
+    /// older repair). Returns `false` when nothing is owed; the caller
+    /// then starts its walk fresh from `pivot`'s map.
+    pub(super) fn resume_walk_debt(
+        &mut self,
+        pivot: usize,
+        suffix: Vec<usize>,
+        origin: &'static str,
+        attr: Option<AttrKey>,
+    ) -> bool {
+        let Some((rolling, mut queue)) = self.stale_walk_prefix(pivot) else { return false };
+        if queue.last() != Some(&pivot) {
+            queue.push(pivot);
+        }
+        queue.extend(suffix);
+        self.redispatch = Some(RedispatchPass { queue: queue.into(), rolling, origin, attr });
+        true
+    }
+
+    /// Restores the speculative fetch past to cover everything the active
+    /// pass will walk (its rolling history plus every queued trace).
+    fn restore_fetch_from_pass(&mut self) {
+        let Some(pass) = &self.redispatch else { return };
+        let rolling = pass.rolling.clone();
+        let queue: Vec<usize> = pass.queue.iter().copied().collect();
+        self.restore_fetch_past(&rolling, &queue);
+    }
+
     /// Starts a re-dispatch pass over the given preserved traces (in logical
     /// order), which updates their live-in renames one trace per cycle.
-    /// Always replaces any pass already in flight: the new recovery's map
-    /// chain supersedes the old one.
+    /// Replaces any pass already in flight, but never drops its debt: if
+    /// the old pass still had pending traces at or before the repair
+    /// point, the new pass resumes from the old walk position and covers
+    /// them (and the repaired trace itself) before the preserved suffix.
     pub(super) fn begin_redispatch(
         &mut self,
         repaired_pe: usize,
         preserved: Vec<usize>,
         attr: Option<AttrKey>,
     ) {
+        if self.resume_walk_debt(repaired_pe, preserved.clone(), "fgci", attr) {
+            self.restore_fetch_from_pass();
+            self.set_mode(FetchMode::Normal);
+            return;
+        }
         let mut rolling = self.pes[repaired_pe].hist_before.clone();
         rolling.push(self.pes[repaired_pe].trace.id());
         self.current_map = self.pes[repaired_pe].map_after;
@@ -55,13 +123,18 @@ impl TraceProcessor<'_> {
 
     /// Starts the CGCI re-dispatch pass: `preserved` traces re-rename from
     /// the map after `pred` (the last inserted control-dependent trace or
-    /// the repaired trace itself).
+    /// the repaired trace itself). Like [`begin_redispatch`], an in-flight
+    /// pass's pending older traces are carried over, not dropped.
     pub(super) fn begin_redispatch_from_map(
         &mut self,
         preserved: Vec<usize>,
         pred: usize,
         attr: Option<AttrKey>,
     ) {
+        if self.resume_walk_debt(pred, preserved.clone(), "cgci", attr) {
+            self.restore_fetch_from_pass();
+            return;
+        }
         let mut rolling = self.pes[pred].hist_before.clone();
         rolling.push(self.pes[pred].trace.id());
         self.current_map = self.pes[pred].map_after;

@@ -6,10 +6,13 @@
 //! predictor is trained, and the trace-level predictor/trace cache are
 //! updated with the *actual* trace. Under
 //! [`TraceProcessorConfig::verify_with_oracle`] every retiring instruction
-//! is checked against the functional oracle. The stage also contains the
-//! repair safety nets for recovery corner cases (§3/§4): re-grounding the
-//! head's live-ins to retired state, and squashing an inconsistent tail
-//! left behind by an abandoned CGCI insertion.
+//! is checked against the functional oracle — per-instruction PC,
+//! committed store address/value against the oracle's memory, and
+//! per-trace register state. The stage also contains the repair safety
+//! nets for recovery corner cases (§3/§4): re-grounding the head's
+//! live-ins to retired state, squashing a head that does not continue the
+//! committed frontier, and squashing an inconsistent tail left behind by
+//! an abandoned CGCI insertion.
 //!
 //! **Mutates:** architectural registers and the retired rename map, the
 //! ARB (store commit), predictors and trace cache (training/fill), the PE
@@ -46,6 +49,29 @@ impl TraceProcessor<'_> {
             if before == head {
                 return Ok(());
             }
+        }
+        // Safety net: the head must continue the committed path. A
+        // recovery-corner sequence (e.g. an indirect fault whose correct
+        // successor was later squashed by an abandoned CGCI attempt) can
+        // promote stale wrong-path residue to the head position; its
+        // predecessors retired, so no successor check upstream can see it
+        // any more. Committing it would teleport the architectural
+        // frontier — squash the whole window and refetch from the frontier
+        // instead.
+        if !self.halted && self.pes[head].trace.id().start() != self.retired_next_pc {
+            self.stats.full_squashes += 1;
+            let victims: Vec<usize> = self.list.iter().collect();
+            for v in victims {
+                self.squash_pe(v);
+            }
+            self.fetch_queue.clear();
+            self.redispatch = None;
+            self.recovery = None;
+            self.set_mode(FetchMode::Normal);
+            self.fetch_hist = self.rebuild_history();
+            self.current_map = self.retired_map;
+            self.expected = ExpectedNext::Known(self.retired_next_pc);
+            return Ok(());
         }
         // Safety net: the head must be followed by a consistent successor.
         // An abandoned CGCI insertion (e.g. preempted by a younger recovery)
@@ -162,7 +188,9 @@ impl TraceProcessor<'_> {
             }
             if is_store {
                 let addr = addr.expect("completed store has an address");
-                self.arb.commit(addr, Self::handle(pe, slot));
+                let h = Self::handle(pe, slot);
+                self.arb.commit(addr, h);
+                self.demote_committed_source(addr, h);
             }
             if inst.is_cond_branch() {
                 let taken = outcome.expect("completed branch has an outcome");
@@ -206,6 +234,37 @@ impl TraceProcessor<'_> {
                         ),
                     });
                 }
+                // Memory commits are verified here, store by store — a
+                // wrong committed store would otherwise stay silent until
+                // an arbitrarily-later load reads it back (the per-trace
+                // register check cannot see it).
+                if is_store {
+                    let committed = addr.expect("completed store has an address");
+                    let oracle_ea = step.ea.unwrap_or(u64::MAX);
+                    if committed >> 3 != oracle_ea >> 3 {
+                        return Err(SimError::OracleMismatch {
+                            cycle: self.now,
+                            detail: format!(
+                                "store at pc {pc} committed word {:#x} but oracle wrote {:#x} \
+                                 (trace {})",
+                                committed >> 3,
+                                oracle_ea >> 3,
+                                trace.id()
+                            ),
+                        });
+                    }
+                    let oracle_val = oracle.mem_word(oracle_ea);
+                    if oracle_val != value {
+                        return Err(SimError::OracleMismatch {
+                            cycle: self.now,
+                            detail: format!(
+                                "store at pc {pc} committed value {value} but oracle wrote \
+                                 {oracle_val} (trace {})",
+                                trace.id()
+                            ),
+                        });
+                    }
+                }
             }
         }
         if let Some(oracle) = &self.oracle {
@@ -214,10 +273,14 @@ impl TraceProcessor<'_> {
                     return Err(SimError::OracleMismatch {
                         cycle: self.now,
                         detail: format!(
-                            "after trace {}: {r} committed {} but oracle has {}",
+                            "after trace {}: {r} committed {} but oracle has {} (oracle retired \
+                             {} halted {}, sim retired {})",
                             trace.id(),
                             self.arch_regs[r.index()],
-                            oracle.reg(r)
+                            oracle.reg(r),
+                            oracle.retired(),
+                            oracle.halted(),
+                            self.stats.retired_instrs
                         ),
                     });
                 }

@@ -33,6 +33,13 @@ pub enum AluOp {
     Shr,
     /// Set-if-less-than (signed): `(lhs < rhs) as i64`.
     Slt,
+    /// Set-if-less-than (unsigned): `((lhs as u64) < (rhs as u64)) as i64`.
+    /// Decoded from RV64 `sltu`/`sltiu`; the synthetic workloads never emit
+    /// it.
+    Sltu,
+    /// Logical shift right by `rhs & 63` (zero-filling). Decoded from RV64
+    /// `srl`/`srli`; [`AluOp::Shr`] stays arithmetic.
+    Shru,
 }
 
 impl AluOp {
@@ -72,6 +79,8 @@ impl AluOp {
             AluOp::Shl => lhs.wrapping_shl((rhs & 63) as u32),
             AluOp::Shr => lhs.wrapping_shr((rhs & 63) as u32),
             AluOp::Slt => (lhs < rhs) as Word,
+            AluOp::Sltu => ((lhs as u64) < (rhs as u64)) as Word,
+            AluOp::Shru => ((lhs as u64).wrapping_shr((rhs & 63) as u32)) as Word,
         }
     }
 
@@ -102,6 +111,11 @@ pub enum Cond {
     Le,
     /// Signed greater-than.
     Gt,
+    /// Unsigned less-than. Decoded from RV64 `bltu`; the synthetic
+    /// workloads never emit it.
+    Ltu,
+    /// Unsigned greater-or-equal. Decoded from RV64 `bgeu`.
+    Geu,
 }
 
 impl Cond {
@@ -123,6 +137,8 @@ impl Cond {
             Cond::Ge => lhs >= rhs,
             Cond::Le => lhs <= rhs,
             Cond::Gt => lhs > rhs,
+            Cond::Ltu => (lhs as u64) < (rhs as u64),
+            Cond::Geu => (lhs as u64) >= (rhs as u64),
         }
     }
 
@@ -136,6 +152,8 @@ impl Cond {
             Cond::Ge => Cond::Lt,
             Cond::Le => Cond::Gt,
             Cond::Gt => Cond::Le,
+            Cond::Ltu => Cond::Geu,
+            Cond::Geu => Cond::Ltu,
         }
     }
 }
@@ -354,6 +372,19 @@ mod tests {
         assert_eq!(AluOp::Rem.apply(5, 0), 0);
         assert_eq!(AluOp::Shl.apply(1, 200), 1 << (200 & 63));
         assert_eq!(AluOp::Add.apply(i64::MAX, 1), i64::MIN);
+        assert_eq!(AluOp::Shru.apply(-1, 63), 1);
+        assert_eq!(AluOp::Shr.apply(-8, 1), -4);
+        assert_eq!(AluOp::Shru.apply(-8, 1), (u64::MAX / 2 - 3) as i64);
+    }
+
+    #[test]
+    fn unsigned_compares_treat_negative_as_large() {
+        assert_eq!(AluOp::Sltu.apply(-1, 1), 0); // -1 is u64::MAX
+        assert_eq!(AluOp::Sltu.apply(1, -1), 1);
+        assert!(Cond::Geu.eval(-1, 1));
+        assert!(Cond::Ltu.eval(1, -1));
+        assert!(!Cond::Ltu.eval(5, 5));
+        assert!(Cond::Geu.eval(5, 5));
     }
 
     #[test]
@@ -365,7 +396,8 @@ mod tests {
 
     #[test]
     fn cond_negation_is_involutive_and_complementary() {
-        let conds = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Le, Cond::Gt];
+        let conds =
+            [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Le, Cond::Gt, Cond::Ltu, Cond::Geu];
         for c in conds {
             assert_eq!(c.negate().negate(), c);
             for (a, b) in [(0, 0), (1, 2), (2, 1), (-5, 5)] {

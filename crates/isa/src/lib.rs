@@ -50,6 +50,54 @@ pub use inst::{AluOp, Cond, Inst};
 pub use program::{Program, ProgramError};
 pub use reg::Reg;
 
+/// The frontend (source ISA) a [`Program`] was produced by.
+///
+/// Programs are always *executed* as the internal [`Inst`] stream; the
+/// frontend records where that stream came from. The distinction matters
+/// wherever a program is looked up or resumed by identity — workload
+/// registries keep one namespace per frontend, and checkpoints record the
+/// kind so a capture can never boot against the wrong ISA's workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Frontend {
+    /// Hand-assembled internal-ISA programs (the synthetic kernels).
+    Synth,
+    /// Programs decoded from 32-bit RV64 encodings by the `tp-rv` frontend.
+    Rv64,
+}
+
+impl Frontend {
+    /// Short stable label (used in reports and wire formats' error text).
+    pub fn name(self) -> &'static str {
+        match self {
+            Frontend::Synth => "synth",
+            Frontend::Rv64 => "rv64",
+        }
+    }
+
+    /// Stable one-byte wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            Frontend::Synth => 0,
+            Frontend::Rv64 => 1,
+        }
+    }
+
+    /// Decodes a wire code (inverse of [`Frontend::code`]).
+    pub fn from_code(code: u8) -> Option<Frontend> {
+        match code {
+            0 => Some(Frontend::Synth),
+            1 => Some(Frontend::Rv64),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A program counter: an index into [`Program::insts`].
 pub type Pc = u32;
 

@@ -1,0 +1,182 @@
+//! Decoding 32-bit RV64 encodings into [`RvInst`].
+//!
+//! [`decode`] is the exact inverse of [`RvInst::encode`] over the supported
+//! subset; anything outside it — compressed instructions, W-form arithmetic,
+//! sub-word memory accesses, unsigned divide, CSR ops — is rejected with an
+//! error naming the offending fields, never silently mis-decoded.
+
+use std::fmt;
+
+use crate::inst::{opcode, RvCond, RvIOp, RvInst, RvOp, RvShift};
+
+/// Error produced when a 32-bit word is not a supported instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The raw word that failed to decode.
+    pub word: u32,
+    /// What the decoder recognized (or didn't) about it.
+    pub reason: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#010x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn err(word: u32, reason: impl Into<String>) -> DecodeError {
+    DecodeError { word, reason: reason.into() }
+}
+
+/// Sign-extends the low `bits` bits of `v`.
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+/// Decodes one 32-bit word into the supported RV64IM subset.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] naming the unsupported opcode/funct
+/// combination. Decoding is total over the subset: for every `RvInst`,
+/// `decode(inst.encode()) == Ok(inst)`.
+pub fn decode(word: u32) -> Result<RvInst, DecodeError> {
+    let op = word & 0x7f;
+    if word & 0b11 != 0b11 {
+        return Err(err(word, "compressed (16-bit) encodings are not supported"));
+    }
+    let rd = (word >> 7 & 0x1f) as u8;
+    let f3 = word >> 12 & 0b111;
+    let rs1 = (word >> 15 & 0x1f) as u8;
+    let rs2 = (word >> 20 & 0x1f) as u8;
+    let f7 = word >> 25;
+    let imm_i = sext(word >> 20, 12);
+    match op {
+        opcode::LUI => Ok(RvInst::Lui { rd, imm20: sext(word >> 12, 20) }),
+        opcode::JAL => {
+            let imm = (word >> 31 & 1) << 20
+                | (word >> 12 & 0xff) << 12
+                | (word >> 20 & 1) << 11
+                | (word >> 21 & 0x3ff) << 1;
+            Ok(RvInst::Jal { rd, offset: sext(imm, 21) })
+        }
+        opcode::JALR => {
+            if f3 != 0 {
+                return Err(err(word, format!("JALR funct3 {f3:#b} (only 000 exists)")));
+            }
+            Ok(RvInst::Jalr { rd, rs1, imm: imm_i })
+        }
+        opcode::BRANCH => {
+            let cond = RvCond::ALL
+                .into_iter()
+                .find(|c| c.funct3() == f3)
+                .ok_or_else(|| err(word, format!("BRANCH funct3 {f3:#b}")))?;
+            let imm = (word >> 31 & 1) << 12
+                | (word >> 7 & 1) << 11
+                | (word >> 25 & 0x3f) << 5
+                | (word >> 8 & 0xf) << 1;
+            Ok(RvInst::Branch { cond, rs1, rs2, offset: sext(imm, 13) })
+        }
+        opcode::LOAD => {
+            if f3 != 0b011 {
+                return Err(err(
+                    word,
+                    format!("LOAD funct3 {f3:#b} (only 64-bit `ld` is supported)"),
+                ));
+            }
+            Ok(RvInst::Ld { rd, rs1, imm: imm_i })
+        }
+        opcode::STORE => {
+            if f3 != 0b011 {
+                return Err(err(
+                    word,
+                    format!("STORE funct3 {f3:#b} (only 64-bit `sd` is supported)"),
+                ));
+            }
+            let imm = (word >> 25) << 5 | (word >> 7 & 0x1f);
+            Ok(RvInst::Sd { rs2, rs1, imm: sext(imm, 12) })
+        }
+        opcode::OP_IMM => match f3 {
+            0b001 | 0b101 => {
+                let hi6 = word >> 26;
+                let shamt = (word >> 20 & 0x3f) as u8;
+                let op = RvShift::ALL
+                    .into_iter()
+                    .find(|s| s.functs() == (hi6, f3))
+                    .ok_or_else(|| err(word, format!("shift funct {hi6:#08b}/{f3:#b}")))?;
+                Ok(RvInst::ShiftImm { op, rd, rs1, shamt })
+            }
+            _ => {
+                let op = RvIOp::ALL
+                    .into_iter()
+                    .find(|o| o.funct3() == f3)
+                    .ok_or_else(|| err(word, format!("OP-IMM funct3 {f3:#b}")))?;
+                Ok(RvInst::OpImm { op, rd, rs1, imm: imm_i })
+            }
+        },
+        opcode::OP => {
+            let op = RvOp::ALL
+                .into_iter()
+                .find(|o| o.functs() == (f7, f3))
+                .ok_or_else(|| err(word, format!("OP funct7/funct3 {f7:#09b}/{f3:#b}")))?;
+            Ok(RvInst::Op { op, rd, rs1, rs2 })
+        }
+        opcode::SYSTEM => {
+            if word == RvInst::Ecall.encode() {
+                Ok(RvInst::Ecall)
+            } else {
+                Err(err(word, "SYSTEM: only `ecall` is supported (CSR/ebreak are not)"))
+            }
+        }
+        _ => Err(err(word, format!("opcode {op:#09b}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_inverts_encode_on_known_cases() {
+        let cases = [
+            RvInst::Lui { rd: 7, imm20: -1 },
+            RvInst::Lui { rd: 7, imm20: 0x7ffff },
+            RvInst::Jal { rd: 1, offset: -1048576 },
+            RvInst::Jal { rd: 0, offset: 1048574 },
+            RvInst::Jalr { rd: 1, rs1: 5, imm: -2048 },
+            RvInst::Branch { cond: RvCond::Bgeu, rs1: 3, rs2: 4, offset: -4096 },
+            RvInst::Branch { cond: RvCond::Blt, rs1: 3, rs2: 4, offset: 4094 },
+            RvInst::Ld { rd: 31, rs1: 2, imm: 2047 },
+            RvInst::Sd { rs2: 31, rs1: 2, imm: -2048 },
+            RvInst::OpImm { op: RvIOp::Sltiu, rd: 9, rs1: 10, imm: -1 },
+            RvInst::ShiftImm { op: RvShift::Srli, rd: 9, rs1: 10, shamt: 63 },
+            RvInst::Op { op: RvOp::Rem, rd: 11, rs1: 12, rs2: 13 },
+            RvInst::Ecall,
+        ];
+        for inst in cases {
+            assert_eq!(decode(inst.encode()), Ok(inst), "{inst}");
+        }
+    }
+
+    #[test]
+    fn unsupported_forms_are_named() {
+        // lw (LOAD funct3=010)
+        let e = decode(0x0081_2503).unwrap_err();
+        assert!(e.to_string().contains("ld"), "{e}");
+        // addiw (opcode 0011011)
+        let e = decode(0x0015_051b).unwrap_err();
+        assert!(e.to_string().contains("opcode"), "{e}");
+        // divu (OP f7=1, f3=101)
+        let e = decode(0x0231_5133).unwrap_err();
+        assert!(e.to_string().contains("OP funct7"), "{e}");
+        // ebreak
+        let e = decode(0x0010_0073).unwrap_err();
+        assert!(e.to_string().contains("ecall"), "{e}");
+        // a compressed halfword pair
+        let e = decode(0x0000_4501).unwrap_err();
+        assert!(e.to_string().contains("compressed"), "{e}");
+    }
+}

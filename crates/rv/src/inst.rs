@@ -1,0 +1,505 @@
+//! The supported RV64IM instruction forms and their 32-bit encodings.
+//!
+//! [`RvInst`] models exactly the subset the frontend accepts (see the crate
+//! docs for the subset rationale). [`RvInst::encode`] produces the standard
+//! RISC-V encoding; [`crate::decode::decode`] is its inverse, and the pair
+//! is property-tested for equivalence over the whole subset.
+
+use std::fmt;
+
+/// An RV register number, `x0`..`x31`.
+pub type RvReg = u8;
+
+/// Canonical ABI name of an RV register (`x10` → `a0`).
+pub fn reg_name(r: RvReg) -> &'static str {
+    const NAMES: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
+    ];
+    NAMES[(r & 31) as usize]
+}
+
+/// Parses an RV register name: `x0`..`x31` or any standard ABI name.
+pub fn parse_reg(s: &str) -> Option<RvReg> {
+    if let Some(num) = s.strip_prefix('x') {
+        let n: u8 = num.parse().ok()?;
+        return (n < 32).then_some(n);
+    }
+    if s == "fp" {
+        return Some(8);
+    }
+    (0..32u8).find(|&r| reg_name(r) == s)
+}
+
+/// A register-register operation (`OP` opcode, including the M extension).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RvOp {
+    /// `add`
+    Add,
+    /// `sub`
+    Sub,
+    /// `sll`
+    Sll,
+    /// `slt`
+    Slt,
+    /// `sltu`
+    Sltu,
+    /// `xor`
+    Xor,
+    /// `srl`
+    Srl,
+    /// `sra`
+    Sra,
+    /// `or`
+    Or,
+    /// `and`
+    And,
+    /// `mul` (M extension)
+    Mul,
+    /// `div` (M extension, signed)
+    Div,
+    /// `rem` (M extension, signed)
+    Rem,
+}
+
+impl RvOp {
+    /// `(funct7, funct3)` of the encoding.
+    pub fn functs(self) -> (u32, u32) {
+        match self {
+            RvOp::Add => (0b000_0000, 0b000),
+            RvOp::Sub => (0b010_0000, 0b000),
+            RvOp::Sll => (0b000_0000, 0b001),
+            RvOp::Slt => (0b000_0000, 0b010),
+            RvOp::Sltu => (0b000_0000, 0b011),
+            RvOp::Xor => (0b000_0000, 0b100),
+            RvOp::Srl => (0b000_0000, 0b101),
+            RvOp::Sra => (0b010_0000, 0b101),
+            RvOp::Or => (0b000_0000, 0b110),
+            RvOp::And => (0b000_0000, 0b111),
+            RvOp::Mul => (0b000_0001, 0b000),
+            RvOp::Div => (0b000_0001, 0b100),
+            RvOp::Rem => (0b000_0001, 0b110),
+        }
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            RvOp::Add => "add",
+            RvOp::Sub => "sub",
+            RvOp::Sll => "sll",
+            RvOp::Slt => "slt",
+            RvOp::Sltu => "sltu",
+            RvOp::Xor => "xor",
+            RvOp::Srl => "srl",
+            RvOp::Sra => "sra",
+            RvOp::Or => "or",
+            RvOp::And => "and",
+            RvOp::Mul => "mul",
+            RvOp::Div => "div",
+            RvOp::Rem => "rem",
+        }
+    }
+
+    /// Every operation of the class, for subset enumeration in tests.
+    pub const ALL: [RvOp; 13] = [
+        RvOp::Add,
+        RvOp::Sub,
+        RvOp::Sll,
+        RvOp::Slt,
+        RvOp::Sltu,
+        RvOp::Xor,
+        RvOp::Srl,
+        RvOp::Sra,
+        RvOp::Or,
+        RvOp::And,
+        RvOp::Mul,
+        RvOp::Div,
+        RvOp::Rem,
+    ];
+}
+
+/// A register-immediate operation (`OP-IMM` opcode, non-shift forms).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RvIOp {
+    /// `addi`
+    Addi,
+    /// `slti`
+    Slti,
+    /// `sltiu`
+    Sltiu,
+    /// `xori`
+    Xori,
+    /// `ori`
+    Ori,
+    /// `andi`
+    Andi,
+}
+
+impl RvIOp {
+    /// funct3 of the encoding.
+    pub fn funct3(self) -> u32 {
+        match self {
+            RvIOp::Addi => 0b000,
+            RvIOp::Slti => 0b010,
+            RvIOp::Sltiu => 0b011,
+            RvIOp::Xori => 0b100,
+            RvIOp::Ori => 0b110,
+            RvIOp::Andi => 0b111,
+        }
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            RvIOp::Addi => "addi",
+            RvIOp::Slti => "slti",
+            RvIOp::Sltiu => "sltiu",
+            RvIOp::Xori => "xori",
+            RvIOp::Ori => "ori",
+            RvIOp::Andi => "andi",
+        }
+    }
+
+    /// Every operation of the class.
+    pub const ALL: [RvIOp; 6] =
+        [RvIOp::Addi, RvIOp::Slti, RvIOp::Sltiu, RvIOp::Xori, RvIOp::Ori, RvIOp::Andi];
+}
+
+/// An immediate shift (`OP-IMM` opcode, RV64 6-bit shamt).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RvShift {
+    /// `slli`
+    Slli,
+    /// `srli`
+    Srli,
+    /// `srai`
+    Srai,
+}
+
+impl RvShift {
+    /// `(imm[11:6] pattern, funct3)` of the encoding.
+    pub fn functs(self) -> (u32, u32) {
+        match self {
+            RvShift::Slli => (0b000000, 0b001),
+            RvShift::Srli => (0b000000, 0b101),
+            RvShift::Srai => (0b010000, 0b101),
+        }
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            RvShift::Slli => "slli",
+            RvShift::Srli => "srli",
+            RvShift::Srai => "srai",
+        }
+    }
+
+    /// Every shift of the class.
+    pub const ALL: [RvShift; 3] = [RvShift::Slli, RvShift::Srli, RvShift::Srai];
+}
+
+/// A conditional branch comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RvCond {
+    /// `beq`
+    Beq,
+    /// `bne`
+    Bne,
+    /// `blt`
+    Blt,
+    /// `bge`
+    Bge,
+    /// `bltu`
+    Bltu,
+    /// `bgeu`
+    Bgeu,
+}
+
+impl RvCond {
+    /// funct3 of the encoding.
+    pub fn funct3(self) -> u32 {
+        match self {
+            RvCond::Beq => 0b000,
+            RvCond::Bne => 0b001,
+            RvCond::Blt => 0b100,
+            RvCond::Bge => 0b101,
+            RvCond::Bltu => 0b110,
+            RvCond::Bgeu => 0b111,
+        }
+    }
+
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            RvCond::Beq => "beq",
+            RvCond::Bne => "bne",
+            RvCond::Blt => "blt",
+            RvCond::Bge => "bge",
+            RvCond::Bltu => "bltu",
+            RvCond::Bgeu => "bgeu",
+        }
+    }
+
+    /// Every branch comparison.
+    pub const ALL: [RvCond; 6] =
+        [RvCond::Beq, RvCond::Bne, RvCond::Blt, RvCond::Bge, RvCond::Bltu, RvCond::Bgeu];
+}
+
+/// One instruction of the supported RV64IM subset.
+///
+/// Branch/jump offsets are *byte* offsets relative to the instruction's own
+/// address, exactly as encoded (always multiples of 4 here: every target is
+/// a 4-byte-aligned instruction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RvInst {
+    /// `lui rd, imm20` — `rd = imm20 << 12` (sign-extended to 64 bits).
+    Lui {
+        /// Destination register.
+        rd: RvReg,
+        /// Sign-extended 20-bit immediate (`-2^19 .. 2^19`).
+        imm20: i32,
+    },
+    /// `jal rd, offset`.
+    Jal {
+        /// Link register (`x0` = plain jump, `x1` = call).
+        rd: RvReg,
+        /// Byte offset, 21-bit signed, multiple of 2.
+        offset: i32,
+    },
+    /// `jalr rd, rs1, imm`.
+    Jalr {
+        /// Link register.
+        rd: RvReg,
+        /// Target-holding register.
+        rs1: RvReg,
+        /// 12-bit signed immediate.
+        imm: i32,
+    },
+    /// A conditional branch.
+    Branch {
+        /// Comparison.
+        cond: RvCond,
+        /// Left operand.
+        rs1: RvReg,
+        /// Right operand.
+        rs2: RvReg,
+        /// Byte offset, 13-bit signed, multiple of 2.
+        offset: i32,
+    },
+    /// `ld rd, imm(rs1)`.
+    Ld {
+        /// Destination register.
+        rd: RvReg,
+        /// Base register.
+        rs1: RvReg,
+        /// 12-bit signed displacement.
+        imm: i32,
+    },
+    /// `sd rs2, imm(rs1)`.
+    Sd {
+        /// Source register.
+        rs2: RvReg,
+        /// Base register.
+        rs1: RvReg,
+        /// 12-bit signed displacement.
+        imm: i32,
+    },
+    /// A non-shift register-immediate operation.
+    OpImm {
+        /// Operation.
+        op: RvIOp,
+        /// Destination register.
+        rd: RvReg,
+        /// Source register.
+        rs1: RvReg,
+        /// 12-bit signed immediate.
+        imm: i32,
+    },
+    /// An immediate shift.
+    ShiftImm {
+        /// Shift kind.
+        op: RvShift,
+        /// Destination register.
+        rd: RvReg,
+        /// Source register.
+        rs1: RvReg,
+        /// Shift amount, `0..64`.
+        shamt: u8,
+    },
+    /// A register-register operation.
+    Op {
+        /// Operation.
+        op: RvOp,
+        /// Destination register.
+        rd: RvReg,
+        /// Left source register.
+        rs1: RvReg,
+        /// Right source register.
+        rs2: RvReg,
+    },
+    /// `ecall` — the frontend's halt convention (there is no OS below the
+    /// simulated machine; environment call = "program done").
+    Ecall,
+}
+
+/// Opcode field constants (bits `[6:0]`).
+pub mod opcode {
+    /// `LUI`
+    pub const LUI: u32 = 0b011_0111;
+    /// `JAL`
+    pub const JAL: u32 = 0b110_1111;
+    /// `JALR`
+    pub const JALR: u32 = 0b110_0111;
+    /// `BRANCH`
+    pub const BRANCH: u32 = 0b110_0011;
+    /// `LOAD`
+    pub const LOAD: u32 = 0b000_0011;
+    /// `STORE`
+    pub const STORE: u32 = 0b010_0011;
+    /// `OP-IMM`
+    pub const OP_IMM: u32 = 0b001_0011;
+    /// `OP`
+    pub const OP: u32 = 0b011_0011;
+    /// `SYSTEM`
+    pub const SYSTEM: u32 = 0b111_0011;
+}
+
+fn r_type(f7: u32, rs2: RvReg, rs1: RvReg, f3: u32, rd: RvReg, op: u32) -> u32 {
+    (f7 << 25) | ((rs2 as u32) << 20) | ((rs1 as u32) << 15) | (f3 << 12) | ((rd as u32) << 7) | op
+}
+
+fn i_type(imm: i32, rs1: RvReg, f3: u32, rd: RvReg, op: u32) -> u32 {
+    ((imm as u32 & 0xfff) << 20) | ((rs1 as u32) << 15) | (f3 << 12) | ((rd as u32) << 7) | op
+}
+
+fn s_type(imm: i32, rs2: RvReg, rs1: RvReg, f3: u32, op: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 5 & 0x7f) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (f3 << 12)
+        | ((imm & 0x1f) << 7)
+        | op
+}
+
+fn b_type(offset: i32, rs2: RvReg, rs1: RvReg, f3: u32, op: u32) -> u32 {
+    let imm = offset as u32;
+    ((imm >> 12 & 1) << 31)
+        | ((imm >> 5 & 0x3f) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (f3 << 12)
+        | ((imm >> 1 & 0xf) << 8)
+        | ((imm >> 11 & 1) << 7)
+        | op
+}
+
+fn j_type(offset: i32, rd: RvReg, op: u32) -> u32 {
+    let imm = offset as u32;
+    ((imm >> 20 & 1) << 31)
+        | ((imm >> 1 & 0x3ff) << 21)
+        | ((imm >> 11 & 1) << 20)
+        | ((imm >> 12 & 0xff) << 12)
+        | ((rd as u32) << 7)
+        | op
+}
+
+impl RvInst {
+    /// Encodes the instruction into its standard 32-bit RISC-V encoding.
+    ///
+    /// Immediates are truncated to their field widths (the assembler range-
+    /// checks before constructing an `RvInst`; [`crate::decode::decode`] of
+    /// the result always reproduces a field-width-respecting instruction).
+    pub fn encode(self) -> u32 {
+        match self {
+            RvInst::Lui { rd, imm20 } => {
+                ((imm20 as u32 & 0xf_ffff) << 12) | ((rd as u32) << 7) | opcode::LUI
+            }
+            RvInst::Jal { rd, offset } => j_type(offset, rd, opcode::JAL),
+            RvInst::Jalr { rd, rs1, imm } => i_type(imm, rs1, 0b000, rd, opcode::JALR),
+            RvInst::Branch { cond, rs1, rs2, offset } => {
+                b_type(offset, rs2, rs1, cond.funct3(), opcode::BRANCH)
+            }
+            RvInst::Ld { rd, rs1, imm } => i_type(imm, rs1, 0b011, rd, opcode::LOAD),
+            RvInst::Sd { rs2, rs1, imm } => s_type(imm, rs2, rs1, 0b011, opcode::STORE),
+            RvInst::OpImm { op, rd, rs1, imm } => i_type(imm, rs1, op.funct3(), rd, opcode::OP_IMM),
+            RvInst::ShiftImm { op, rd, rs1, shamt } => {
+                let (hi6, f3) = op.functs();
+                i_type(((hi6 << 6) | (shamt as u32 & 0x3f)) as i32, rs1, f3, rd, opcode::OP_IMM)
+            }
+            RvInst::Op { op, rd, rs1, rs2 } => {
+                let (f7, f3) = op.functs();
+                r_type(f7, rs2, rs1, f3, rd, opcode::OP)
+            }
+            RvInst::Ecall => i_type(0, 0, 0b000, 0, opcode::SYSTEM),
+        }
+    }
+}
+
+impl fmt::Display for RvInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = reg_name;
+        match *self {
+            RvInst::Lui { rd, imm20 } => write!(f, "lui {}, {:#x}", r(rd), imm20),
+            RvInst::Jal { rd, offset } => write!(f, "jal {}, . {offset:+}", r(rd)),
+            RvInst::Jalr { rd, rs1, imm } => write!(f, "jalr {}, {}, {imm}", r(rd), r(rs1)),
+            RvInst::Branch { cond, rs1, rs2, offset } => {
+                write!(f, "{} {}, {}, . {offset:+}", cond.mnemonic(), r(rs1), r(rs2))
+            }
+            RvInst::Ld { rd, rs1, imm } => write!(f, "ld {}, {imm}({})", r(rd), r(rs1)),
+            RvInst::Sd { rs2, rs1, imm } => write!(f, "sd {}, {imm}({})", r(rs2), r(rs1)),
+            RvInst::OpImm { op, rd, rs1, imm } => {
+                write!(f, "{} {}, {}, {imm}", op.mnemonic(), r(rd), r(rs1))
+            }
+            RvInst::ShiftImm { op, rd, rs1, shamt } => {
+                write!(f, "{} {}, {}, {shamt}", op.mnemonic(), r(rd), r(rs1))
+            }
+            RvInst::Op { op, rd, rs1, rs2 } => {
+                write!(f, "{} {}, {}, {}", op.mnemonic(), r(rd), r(rs1), r(rs2))
+            }
+            RvInst::Ecall => write!(f, "ecall"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_names_roundtrip() {
+        for x in 0..32u8 {
+            assert_eq!(parse_reg(reg_name(x)), Some(x), "abi name of x{x}");
+            assert_eq!(parse_reg(&format!("x{x}")), Some(x));
+        }
+        assert_eq!(parse_reg("fp"), Some(8));
+        assert_eq!(parse_reg("x32"), None);
+        assert_eq!(parse_reg("q7"), None);
+    }
+
+    #[test]
+    fn known_encodings_match_the_spec() {
+        // Cross-checked against riscv-tests / an external assembler.
+        assert_eq!(RvInst::OpImm { op: RvIOp::Addi, rd: 10, rs1: 0, imm: 1 }.encode(), 0x0010_0513);
+        assert_eq!(RvInst::Lui { rd: 5, imm20: 0x10 }.encode(), 0x0001_02b7);
+        assert_eq!(RvInst::Op { op: RvOp::Add, rd: 1, rs1: 2, rs2: 3 }.encode(), 0x0031_00b3);
+        assert_eq!(RvInst::Op { op: RvOp::Sub, rd: 1, rs1: 2, rs2: 3 }.encode(), 0x4031_00b3);
+        assert_eq!(RvInst::Op { op: RvOp::Mul, rd: 1, rs1: 2, rs2: 3 }.encode(), 0x0231_00b3);
+        assert_eq!(RvInst::Ld { rd: 10, rs1: 2, imm: 8 }.encode(), 0x0081_3503);
+        assert_eq!(RvInst::Sd { rs2: 10, rs1: 2, imm: 8 }.encode(), 0x00a1_3423);
+        assert_eq!(
+            RvInst::Branch { cond: RvCond::Beq, rs1: 10, rs2: 11, offset: -4 }.encode(),
+            0xfeb5_0ee3
+        );
+        assert_eq!(RvInst::Jal { rd: 0, offset: 8 }.encode(), 0x0080_006f);
+        assert_eq!(RvInst::Jalr { rd: 0, rs1: 1, imm: 0 }.encode(), 0x0000_8067);
+        assert_eq!(RvInst::Ecall.encode(), 0x0000_0073);
+        assert_eq!(
+            RvInst::ShiftImm { op: RvShift::Srai, rd: 1, rs1: 2, shamt: 63 }.encode(),
+            0x43f1_5093
+        );
+    }
+}

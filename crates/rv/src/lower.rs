@@ -1,0 +1,302 @@
+//! Lowering decoded [`RvInst`]s onto the internal [`tp_isa::Inst`] stream.
+//!
+//! The mapping is one instruction to one instruction, so dynamic behaviour
+//! (branch populations, region sizes, trace shapes) is exactly the RV
+//! program's. Three conventions make that possible:
+//!
+//! * **PCs are word-indexed.** RV text address `4*i` becomes internal PC
+//!   `i`. Branch/`jal` byte offsets divide by 4 at lowering.
+//! * **Code addresses the program can observe are word-indexed too.** A
+//!   `jal ra` link value, and any jump-table entry the program loads and
+//!   jumps through, holds an instruction *index*, not a byte address (the
+//!   assembler's `.wordpc` directive emits indices for exactly this
+//!   reason). Data addresses are ordinary byte addresses throughout.
+//! * **Register numbers are permuted, not renamed away.** The internal ISA
+//!   hardwires `r31` as the link register and `r30` as the conventional
+//!   stack pointer where RV uses `x1`/`x2`, so lowering swaps those pairs
+//!   (`x1↔r31`, `x2↔r30`) and maps every other register to itself. The map
+//!   is an involution — applying it twice is the identity — which keeps it
+//!   trivially invertible for debugging.
+//!
+//! `jal`/`jalr` lower onto the internal control classes the trace selector,
+//! CGCI detection and the attribution ledger already understand:
+//!
+//! | RV form                  | internal class  |
+//! |--------------------------|-----------------|
+//! | `beq`..`bgeu`            | `Branch` (conditional direct) |
+//! | `jal x0`                 | `Jump`          |
+//! | `jal x1`                 | `Call`          |
+//! | `jalr x0, x1, 0` (`ret`) | `Ret`           |
+//! | `jalr x0, rs, 0`         | `JumpIndirect`  |
+//! | `jalr x1, rs, 0`         | `CallIndirect`  |
+//! | `ecall`                  | `Halt`          |
+//!
+//! `jal`/`jalr` with any other link register, or `jalr` with a non-zero
+//! displacement, have no internal equivalent and are rejected (compilers
+//! emit them only for millicode thunks the corpus doesn't use).
+//!
+//! One semantic divergence is deliberate: `div`/`rem` by zero follow the
+//! simulator's total-ALU convention (result 0) rather than the RV spec's
+//! (-1 / dividend), so wrong-path execution can never fault. Corpus
+//! programs must not divide by zero on the committed path.
+
+use std::fmt;
+
+use tp_isa::{AluOp, Cond, Inst, Pc, Reg};
+
+use crate::inst::{reg_name, RvCond, RvIOp, RvInst, RvOp, RvShift};
+
+/// Maps an RV register number onto the internal architectural register.
+///
+/// The permutation swaps `x1↔r31` (link) and `x2↔r30` (stack pointer) and
+/// is the identity elsewhere; `x0` stays the hardwired zero.
+pub fn map_reg(x: u8) -> Reg {
+    Reg::new(match x {
+        1 => 31,
+        31 => 1,
+        2 => 30,
+        30 => 2,
+        r => r,
+    })
+}
+
+/// Error produced when a decoded instruction has no internal equivalent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LowerError {
+    /// `jal` with a link register other than `x0`/`x1`.
+    JalLinkReg {
+        /// The unsupported link register.
+        rd: u8,
+    },
+    /// `jalr` outside the three supported forms.
+    JalrForm {
+        /// Link register.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Displacement.
+        imm: i32,
+    },
+    /// A branch or jump whose byte offset is not a multiple of 4, or whose
+    /// resolved target is before instruction 0.
+    BadTarget {
+        /// PC (word index) of the instruction.
+        pc: Pc,
+        /// The encoded byte offset.
+        offset: i32,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LowerError::JalLinkReg { rd } => {
+                write!(f, "jal with link register {} (only x0/x1 lower)", reg_name(rd))
+            }
+            LowerError::JalrForm { rd, rs1, imm } => write!(
+                f,
+                "jalr {}, {}, {imm} has no internal equivalent (need rd in x0/x1 and imm 0)",
+                reg_name(rd),
+                reg_name(rs1)
+            ),
+            LowerError::BadTarget { pc, offset } => {
+                write!(f, "instruction {pc}: byte offset {offset} is not a valid word target")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Resolves a byte offset relative to word-indexed `pc` into a target PC.
+fn target(pc: Pc, offset: i32) -> Result<Pc, LowerError> {
+    if offset % 4 != 0 {
+        return Err(LowerError::BadTarget { pc, offset });
+    }
+    let t = pc as i64 + (offset / 4) as i64;
+    u32::try_from(t).map_err(|_| LowerError::BadTarget { pc, offset })
+}
+
+impl RvCond {
+    /// The internal branch condition (same operand order).
+    pub fn cond(self) -> Cond {
+        match self {
+            RvCond::Beq => Cond::Eq,
+            RvCond::Bne => Cond::Ne,
+            RvCond::Blt => Cond::Lt,
+            RvCond::Bge => Cond::Ge,
+            RvCond::Bltu => Cond::Ltu,
+            RvCond::Bgeu => Cond::Geu,
+        }
+    }
+}
+
+impl RvOp {
+    /// The internal ALU operation.
+    pub fn alu(self) -> AluOp {
+        match self {
+            RvOp::Add => AluOp::Add,
+            RvOp::Sub => AluOp::Sub,
+            RvOp::Sll => AluOp::Shl,
+            RvOp::Slt => AluOp::Slt,
+            RvOp::Sltu => AluOp::Sltu,
+            RvOp::Xor => AluOp::Xor,
+            RvOp::Srl => AluOp::Shru,
+            RvOp::Sra => AluOp::Shr,
+            RvOp::Or => AluOp::Or,
+            RvOp::And => AluOp::And,
+            RvOp::Mul => AluOp::Mul,
+            RvOp::Div => AluOp::Div,
+            RvOp::Rem => AluOp::Rem,
+        }
+    }
+}
+
+impl RvIOp {
+    /// The internal ALU operation.
+    pub fn alu(self) -> AluOp {
+        match self {
+            RvIOp::Addi => AluOp::Add,
+            RvIOp::Slti => AluOp::Slt,
+            RvIOp::Sltiu => AluOp::Sltu,
+            RvIOp::Xori => AluOp::Xor,
+            RvIOp::Ori => AluOp::Or,
+            RvIOp::Andi => AluOp::And,
+        }
+    }
+}
+
+impl RvShift {
+    /// The internal ALU operation.
+    pub fn alu(self) -> AluOp {
+        match self {
+            RvShift::Slli => AluOp::Shl,
+            RvShift::Srli => AluOp::Shru,
+            RvShift::Srai => AluOp::Shr,
+        }
+    }
+}
+
+/// Lowers one decoded instruction at word-indexed `pc` onto the internal
+/// ISA.
+///
+/// # Errors
+///
+/// Returns a [`LowerError`] for the `jal`/`jalr` forms and offsets
+/// documented in the module docs.
+pub fn lower(inst: RvInst, pc: Pc) -> Result<Inst, LowerError> {
+    Ok(match inst {
+        RvInst::Lui { rd, imm20 } => {
+            Inst::AluImm { op: AluOp::Add, rd: map_reg(rd), rs: Reg::ZERO, imm: imm20 << 12 }
+        }
+        RvInst::Jal { rd: 0, offset } => Inst::Jump { target: target(pc, offset)? },
+        RvInst::Jal { rd: 1, offset } => Inst::Call { target: target(pc, offset)? },
+        RvInst::Jal { rd, .. } => return Err(LowerError::JalLinkReg { rd }),
+        RvInst::Jalr { rd: 0, rs1: 1, imm: 0 } => Inst::Ret,
+        RvInst::Jalr { rd: 0, rs1, imm: 0 } => Inst::JumpIndirect { rs: map_reg(rs1) },
+        RvInst::Jalr { rd: 1, rs1, imm: 0 } => Inst::CallIndirect { rs: map_reg(rs1) },
+        RvInst::Jalr { rd, rs1, imm } => return Err(LowerError::JalrForm { rd, rs1, imm }),
+        RvInst::Branch { cond, rs1, rs2, offset } => Inst::Branch {
+            cond: cond.cond(),
+            rs: map_reg(rs1),
+            rt: map_reg(rs2),
+            target: target(pc, offset)?,
+        },
+        RvInst::Ld { rd, rs1, imm } => {
+            Inst::Load { rd: map_reg(rd), base: map_reg(rs1), offset: imm }
+        }
+        RvInst::Sd { rs2, rs1, imm } => {
+            Inst::Store { rs: map_reg(rs2), base: map_reg(rs1), offset: imm }
+        }
+        RvInst::OpImm { op, rd, rs1, imm } => {
+            Inst::AluImm { op: op.alu(), rd: map_reg(rd), rs: map_reg(rs1), imm }
+        }
+        RvInst::ShiftImm { op, rd, rs1, shamt } => {
+            Inst::AluImm { op: op.alu(), rd: map_reg(rd), rs: map_reg(rs1), imm: shamt as i32 }
+        }
+        RvInst::Op { op, rd, rs1, rs2 } => {
+            Inst::Alu { op: op.alu(), rd: map_reg(rd), rs: map_reg(rs1), rt: map_reg(rs2) }
+        }
+        RvInst::Ecall => Inst::Halt,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_map_is_an_involution_and_a_bijection() {
+        let mut seen = [false; 32];
+        for x in 0..32u8 {
+            let r = map_reg(x);
+            assert!(!seen[r.index()], "x{x} collides");
+            seen[r.index()] = true;
+            assert_eq!(map_reg(r.index() as u8), Reg::new(x), "involution at x{x}");
+        }
+        assert_eq!(map_reg(0), Reg::ZERO);
+        assert_eq!(map_reg(1), Reg::RA);
+        assert_eq!(map_reg(2), Reg::SP);
+    }
+
+    #[test]
+    fn control_classes_map_per_the_table() {
+        assert_eq!(lower(RvInst::Jal { rd: 0, offset: 8 }, 10), Ok(Inst::Jump { target: 12 }));
+        assert_eq!(lower(RvInst::Jal { rd: 1, offset: -8 }, 10), Ok(Inst::Call { target: 8 }));
+        assert_eq!(lower(RvInst::Jalr { rd: 0, rs1: 1, imm: 0 }, 0), Ok(Inst::Ret));
+        assert_eq!(
+            lower(RvInst::Jalr { rd: 0, rs1: 5, imm: 0 }, 0),
+            Ok(Inst::JumpIndirect { rs: Reg::new(5) })
+        );
+        assert_eq!(
+            lower(RvInst::Jalr { rd: 1, rs1: 5, imm: 0 }, 0),
+            Ok(Inst::CallIndirect { rs: Reg::new(5) })
+        );
+        assert_eq!(lower(RvInst::Ecall, 0), Ok(Inst::Halt));
+    }
+
+    #[test]
+    fn unsupported_link_forms_error() {
+        assert_eq!(
+            lower(RvInst::Jal { rd: 5, offset: 8 }, 0),
+            Err(LowerError::JalLinkReg { rd: 5 })
+        );
+        assert_eq!(
+            lower(RvInst::Jalr { rd: 0, rs1: 5, imm: 8 }, 0),
+            Err(LowerError::JalrForm { rd: 0, rs1: 5, imm: 8 })
+        );
+        assert_eq!(
+            lower(RvInst::Jalr { rd: 2, rs1: 5, imm: 0 }, 0),
+            Err(LowerError::JalrForm { rd: 2, rs1: 5, imm: 0 })
+        );
+    }
+
+    #[test]
+    fn branch_offsets_become_word_targets() {
+        let b = RvInst::Branch { cond: RvCond::Bltu, rs1: 10, rs2: 11, offset: -16 };
+        assert_eq!(
+            lower(b, 20),
+            Ok(Inst::Branch { cond: Cond::Ltu, rs: Reg::new(10), rt: Reg::new(11), target: 16 })
+        );
+        // Underflow and misalignment are rejected.
+        assert!(matches!(
+            lower(RvInst::Branch { cond: RvCond::Beq, rs1: 0, rs2: 0, offset: -16 }, 2),
+            Err(LowerError::BadTarget { .. })
+        ));
+        assert!(matches!(
+            lower(RvInst::Jal { rd: 0, offset: 6 }, 0),
+            Err(LowerError::BadTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn lui_materializes_the_sign_extended_page() {
+        let i = lower(RvInst::Lui { rd: 10, imm20: 0x10 }, 0).unwrap();
+        assert_eq!(
+            i,
+            Inst::AluImm { op: AluOp::Add, rd: Reg::new(10), rs: Reg::ZERO, imm: 0x10000 }
+        );
+        let i = lower(RvInst::Lui { rd: 10, imm20: -1 }, 0).unwrap();
+        assert_eq!(i, Inst::AluImm { op: AluOp::Add, rd: Reg::new(10), rs: Reg::ZERO, imm: -4096 });
+    }
+}

@@ -48,17 +48,23 @@ pub mod m88ksim;
 pub mod perl;
 pub mod vortex;
 
-use tp_isa::Program;
+use std::fmt;
+
+use tp_isa::{Frontend, Program};
 
 /// A named benchmark kernel.
 #[derive(Clone, Debug)]
 pub struct Workload {
-    /// Benchmark name (matches the paper's Table 2).
+    /// Benchmark name (Table 2 for the synthetic suite, the corpus name
+    /// for the rv suite).
     pub name: &'static str,
-    /// One-line description of the synthetic kernel.
+    /// One-line description of the kernel.
     pub description: &'static str,
     /// The program.
     pub program: Program,
+    /// Which frontend produced the program (the two suites keep separate
+    /// identities: checkpoints record this, and lookups report it).
+    pub frontend: Frontend,
 }
 
 /// Workload size presets (iteration counts scale roughly linearly).
@@ -88,63 +94,109 @@ impl Size {
     }
 }
 
-/// Builds all eight benchmarks at the given size, in the paper's order.
+/// Builds all eight synthetic benchmarks at the given size, in the
+/// paper's order.
 pub fn suite(size: Size) -> Vec<Workload> {
     let n = size.iters();
+    let synth = |name, description, program| Workload {
+        name,
+        description,
+        program,
+        frontend: Frontend::Synth,
+    };
     vec![
-        Workload {
-            name: "compress",
-            description: "LZW-style hash-table kernel: unpredictable small hammocks",
-            program: compress::build(n),
-        },
-        Workload {
-            name: "gcc",
-            description: "IR-walk with switch dispatch, medium hammocks and helpers",
-            program: gcc::build(n),
-        },
-        Workload {
-            name: "go",
-            description: "board evaluation with deep data-dependent conditionals",
-            program: go::build(n),
-        },
-        Workload {
-            name: "jpeg",
-            description: "block transform with counted loops and a large clamp region",
-            program: jpeg::build(n),
-        },
-        Workload {
-            name: "li",
-            description: "interpreter with short data-dependent list walks",
-            program: li::build(n),
-        },
-        Workload {
-            name: "m88ksim",
-            description: "decode/dispatch over a repeating instruction pattern",
-            program: m88ksim::build(n),
-        },
-        Workload {
-            name: "perl",
-            description: "text scan with occasional short match loops",
-            program: perl::build(n),
-        },
-        Workload {
-            name: "vortex",
-            description: "record validation with predictable error checks",
-            program: vortex::build(n),
-        },
+        synth(
+            "compress",
+            "LZW-style hash-table kernel: unpredictable small hammocks",
+            compress::build(n),
+        ),
+        synth("gcc", "IR-walk with switch dispatch, medium hammocks and helpers", gcc::build(n)),
+        synth("go", "board evaluation with deep data-dependent conditionals", go::build(n)),
+        synth(
+            "jpeg",
+            "block transform with counted loops and a large clamp region",
+            jpeg::build(n),
+        ),
+        synth("li", "interpreter with short data-dependent list walks", li::build(n)),
+        synth("m88ksim", "decode/dispatch over a repeating instruction pattern", m88ksim::build(n)),
+        synth("perl", "text scan with occasional short match loops", perl::build(n)),
+        synth("vortex", "record validation with predictable error checks", vortex::build(n)),
     ]
 }
 
-/// Looks up a single workload by name at the given size.
-///
-/// # Panics
-///
-/// Panics if `name` is not one of the eight benchmark names.
-pub fn by_name(name: &str, size: Size) -> Workload {
-    suite(size)
+/// Builds the six-program RV64 suite at the given size, in the corpus's
+/// canonical order. Construction runs the full assemble → encode →
+/// decode path of the `tp-rv` frontend.
+pub fn rv_suite(size: Size) -> Vec<Workload> {
+    tp_rv::corpus::all(size.iters())
         .into_iter()
-        .find(|w| w.name == name)
-        .unwrap_or_else(|| panic!("unknown workload `{name}`"))
+        .map(|p| Workload {
+            name: p.name,
+            description: p.description,
+            program: p.program,
+            frontend: Frontend::Rv64,
+        })
+        .collect()
+}
+
+/// Every workload of both suites (synthetic first, then rv).
+pub fn all_workloads(size: Size) -> Vec<Workload> {
+    let mut all = suite(size);
+    all.extend(rv_suite(size));
+    all
+}
+
+/// Error returned by [`by_name`] for a name in neither suite.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Every valid workload name, both suites, in canonical order.
+    pub available: Vec<&'static str>,
+}
+
+impl fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown workload `{}` (available: {})", self.name, self.available.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+/// The synthetic-suite names, in the paper's order.
+pub fn suite_names() -> [&'static str; 8] {
+    ["compress", "gcc", "go", "jpeg", "li", "m88ksim", "perl", "vortex"]
+}
+
+/// The rv-suite names, in the corpus's canonical order.
+pub fn rv_names() -> [&'static str; 6] {
+    ["crc32", "qsort", "dijkstra", "matmul", "strhash", "fsm"]
+}
+
+/// The names of both suites without building any program (cheap; used
+/// for error messages and CLI listings).
+pub fn workload_names() -> Vec<&'static str> {
+    suite_names().into_iter().chain(rv_names()).collect()
+}
+
+/// Looks up a single workload by name at the given size, across both
+/// suites.
+///
+/// # Errors
+///
+/// Returns [`UnknownWorkload`] listing every valid name when `name`
+/// matches neither suite.
+pub fn by_name(name: &str, size: Size) -> Result<Workload, UnknownWorkload> {
+    // Resolve the name first, then build only the suite that holds it —
+    // a lookup never pays for assembling the other frontend's programs.
+    let found = if suite_names().contains(&name) {
+        suite(size).into_iter().find(|w| w.name == name)
+    } else if rv_names().contains(&name) {
+        rv_suite(size).into_iter().find(|w| w.name == name)
+    } else {
+        None
+    };
+    found.ok_or_else(|| UnknownWorkload { name: name.to_string(), available: workload_names() })
 }
 
 #[cfg(test)]
@@ -170,9 +222,32 @@ mod tests {
     }
 
     #[test]
+    fn rv_suite_has_six_benchmarks_that_halt() {
+        let ws = rv_suite(Size::Tiny);
+        let names: Vec<&str> = ws.iter().map(|w| w.name).collect();
+        assert_eq!(names, rv_names().to_vec());
+        for w in &ws {
+            assert_eq!(w.frontend, tp_isa::Frontend::Rv64);
+            let mut m = Machine::new(&w.program);
+            let s = m.run(50_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(s.halted, "{}", w.name);
+        }
+        for w in suite(Size::Tiny) {
+            assert_eq!(w.frontend, tp_isa::Frontend::Synth);
+        }
+    }
+
+    #[test]
+    fn all_workloads_concatenates_both_suites() {
+        let all = all_workloads(Size::Tiny);
+        let names: Vec<&str> = all.iter().map(|w| w.name).collect();
+        assert_eq!(names, workload_names());
+    }
+
+    #[test]
     fn sizes_scale_dynamic_length() {
         for w_small in suite(Size::Tiny) {
-            let w_big = by_name(w_small.name, Size::Small);
+            let w_big = by_name(w_small.name, Size::Small).unwrap();
             let mut a = Machine::new(&w_small.program);
             let mut b = Machine::new(&w_big.program);
             let ra = a.run(50_000_000).unwrap();
@@ -188,16 +263,19 @@ mod tests {
     }
 
     #[test]
-    fn by_name_finds_each() {
-        for name in ["compress", "gcc", "go", "jpeg", "li", "m88ksim", "perl", "vortex"] {
-            assert_eq!(by_name(name, Size::Tiny).name, name);
+    fn by_name_finds_each_across_both_suites() {
+        for name in workload_names() {
+            assert_eq!(by_name(name, Size::Tiny).unwrap().name, name);
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown workload")]
-    fn by_name_rejects_unknown() {
-        let _ = by_name("spice", Size::Tiny);
+    fn by_name_rejects_unknown_listing_available() {
+        let e = by_name("spice", Size::Tiny).unwrap_err();
+        assert_eq!(e.name, "spice");
+        let msg = e.to_string();
+        assert!(msg.contains("unknown workload `spice`"), "{msg}");
+        assert!(msg.contains("compress") && msg.contains("crc32"), "{msg}");
     }
 
     #[test]

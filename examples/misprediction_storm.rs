@@ -12,7 +12,7 @@ use trace_processor::{
 
 fn main() {
     for name in ["compress", "go"] {
-        let w = by_name(name, Size::Small);
+        let w = by_name(name, Size::Small).unwrap();
         println!("== {name}: {}", w.description);
         let mut base_ipc = 0.0;
         for model in [CiModel::None, CiModel::Ret, CiModel::MlbRet, CiModel::Fg, CiModel::FgMlbRet]

@@ -37,10 +37,21 @@ sweep SIZE="small":
 oracle:
     cargo run --release --example oracle_verify
 
-# Perf-trajectory baseline: full workload suite x all five CI models,
-# writes BENCH_speed.json (tp-bench/speed/v2; see README "Benchmarking").
+# Perf-trajectory baseline: both workload suites (synthetic + rv) x all
+# five CI models, writes BENCH_speed.json (tp-bench/speed/v2; see README
+# "Benchmarking"). The rv cells are the file's "rv section".
 baseline SIZE="full":
-    cargo run --release -p tp-bench --bin baseline -- --size {{SIZE}}
+    cargo run --release -p tp-bench --bin baseline -- --size {{SIZE}} --suite all
+
+# Quick IPC/misprediction table for the RISC-V suite (base model).
+rv SIZE="full":
+    cargo run --release -p tp-bench --bin speed -- --size {{SIZE}} --suite rv
+
+# Five-model baseline over the RISC-V suite only, with the CI-model
+# dominance guard enforced; writes BENCH_speed_rv.json (scratch artifact —
+# the checked-in rv numbers live in BENCH_speed.json via `just baseline`).
+rv-baseline SIZE="full":
+    cargo run --release -p tp-bench --bin baseline -- --size {{SIZE}} --suite rv --guard --out BENCH_speed_rv.json
 
 # CI-model dominance guard on the tiny suite: fails if any CI model loses
 # >1% IPC to base on any cell.

@@ -11,7 +11,10 @@
 //! This crate is a facade that re-exports the workspace's crates:
 //!
 //! * [`tp_isa`] — instruction set, assembler, functional simulator;
-//! * [`tp_workloads`] — the eight synthetic SPEC95-integer-like kernels;
+//! * [`tp_rv`] — RV64IM frontend: decoder, embedded assembler, and the
+//!   real-ISA workload corpus;
+//! * [`tp_workloads`] — the eight synthetic SPEC95-integer-like kernels
+//!   plus the six-program RV64 suite;
 //! * [`tp_predict`] — BTB, return address stack, next-trace predictor;
 //! * [`tp_cache`] — instruction/data/trace caches and the ARB;
 //! * [`tp_trace`] — traces, trace selection, the FGCI-algorithm, the BIT;
@@ -30,7 +33,7 @@
 //! use trace_processor::tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
 //! use trace_processor::tp_workloads::{by_name, Size};
 //!
-//! let w = by_name("compress", Size::Tiny);
+//! let w = by_name("compress", Size::Tiny).expect("a known workload");
 //! let mut sim = TraceProcessor::new(&w.program, TraceProcessorConfig::paper(CiModel::FgMlbRet));
 //! let result = sim.run(1_000_000).expect("no deadlock");
 //! assert!(result.halted);
@@ -41,6 +44,7 @@ pub use tp_ckpt;
 pub use tp_core;
 pub use tp_isa;
 pub use tp_predict;
+pub use tp_rv;
 pub use tp_stats;
 pub use tp_trace;
 pub use tp_workloads;

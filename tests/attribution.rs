@@ -104,7 +104,7 @@ fn hammock_kernel() -> Program {
 #[test]
 fn ledger_retired_counts_sum_to_mispredicts() {
     for (name, size) in [("compress", Size::Tiny), ("li", Size::Tiny), ("go", Size::Tiny)] {
-        let w = by_name(name, size);
+        let w = by_name(name, size).unwrap();
         for model in ALL_MODELS {
             let r = run(&w.program, model);
             assert_eq!(
@@ -122,7 +122,7 @@ fn ledger_retired_counts_sum_to_mispredicts() {
 /// heuristic, and preserves nothing.
 #[test]
 fn base_model_ledger_is_full_squash_only() {
-    let w = by_name("compress", Size::Tiny);
+    let w = by_name("compress", Size::Tiny).unwrap();
     let r = run(&w.program, CiModel::None);
     assert!(r.stats.retired_cond_mispredicts > 0, "kernel must mispredict");
     for ((_, heur, outcome), cell) in r.attribution.nonzero() {
@@ -197,7 +197,7 @@ fn fg_dominates_base_on_hammock_kernel() {
 /// failure outcome the go regression hid inside aggregate counters.
 #[test]
 fn failed_cgci_attempts_are_attributed() {
-    let w = by_name("go", Size::Tiny);
+    let w = by_name("go", Size::Tiny).unwrap();
     let r = run(&w.program, CiModel::MlbRet);
     let failed: u64 = r
         .attribution

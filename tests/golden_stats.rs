@@ -12,6 +12,11 @@
 //!   of the tiny suite under all five control-independence models. Any
 //!   change to dispatch, issue, recovery, bus, or snoop behaviour shows up
 //!   here as a counter diff.
+//! * `rv_simstats.txt` — the same full-counter snapshots for every
+//!   workload of the tiny **RV64 suite** (`tp-rv` frontend) under all five
+//!   models. Pins the real-ISA corpus end to end: assembler, decoder,
+//!   lowering, and the cycle model's behaviour on compiler-shaped control
+//!   flow.
 //! * `sampled.txt` — one sampled-mode row (base model, gcc, tiny): the
 //!   per-interval `(start, instrs, cycles)` triples and the aggregate
 //!   estimate of a checkpointed fast-forward + detailed-interval run.
@@ -87,7 +92,7 @@ fn oracle_probes_match_golden() {
 #[test]
 fn sampled_row_matches_golden() {
     use tp_bench::sampled::{run_sampled, SampleConfig};
-    let w = trace_processor::tp_workloads::by_name("gcc", Size::Tiny);
+    let w = trace_processor::tp_workloads::by_name("gcc", Size::Tiny).unwrap();
     let cfg = TraceProcessorConfig::paper(CiModel::None);
     // A deliberately small regime so the tiny run exercises several
     // warm-boot rounds and fast-forward legs.
@@ -113,14 +118,12 @@ fn sampled_row_matches_golden() {
     check_against_golden("sampled.txt", &actual);
 }
 
-/// Per-workload `SimStats` snapshots (tiny suite x all five models) must
-/// match the fixture field-for-field.
-#[test]
-fn simstats_match_golden() {
-    const MODELS: [CiModel; 5] =
-        [CiModel::None, CiModel::Ret, CiModel::MlbRet, CiModel::Fg, CiModel::FgMlbRet];
+const MODELS: [CiModel; 5] =
+    [CiModel::None, CiModel::Ret, CiModel::MlbRet, CiModel::Fg, CiModel::FgMlbRet];
+
+fn simstats_rows(workloads: &[trace_processor::tp_workloads::Workload]) -> String {
     let mut actual = String::new();
-    for w in suite(Size::Tiny) {
+    for w in workloads {
         for model in MODELS {
             let cfg = TraceProcessorConfig::paper(model);
             let mut sim = TraceProcessor::new(&w.program, cfg);
@@ -129,5 +132,21 @@ fn simstats_match_golden() {
             let _ = writeln!(actual, "{} {model:?} {:?}", w.name, r.stats);
         }
     }
-    check_against_golden("simstats.txt", &actual);
+    actual
+}
+
+/// Per-workload `SimStats` snapshots (tiny suite x all five models) must
+/// match the fixture field-for-field.
+#[test]
+fn simstats_match_golden() {
+    check_against_golden("simstats.txt", &simstats_rows(&suite(Size::Tiny)));
+}
+
+/// The RV64 suite's `SimStats` snapshots (tiny rv suite x all five models):
+/// any change to the frontend (assembler, decoder, lowering) or to how the
+/// cycle model treats the corpus's control flow shows up here.
+#[test]
+fn rv_simstats_match_golden() {
+    use trace_processor::tp_workloads::rv_suite;
+    check_against_golden("rv_simstats.txt", &simstats_rows(&rv_suite(Size::Tiny)));
 }

@@ -8,7 +8,7 @@ use trace_processor::tp_workloads::{by_name, suite, Size};
 #[test]
 fn fgci_fires_on_hammock_heavy_workloads() {
     for name in ["compress", "jpeg"] {
-        let w = by_name(name, Size::Small);
+        let w = by_name(name, Size::Small).unwrap();
         let mut sim = TraceProcessor::new(&w.program, TraceProcessorConfig::paper(CiModel::Fg));
         let r = sim.run(20_000_000).expect("completes");
         assert!(r.halted);
@@ -20,7 +20,7 @@ fn fgci_fires_on_hammock_heavy_workloads() {
 #[test]
 fn cgci_reconverges_on_loop_and_call_workloads() {
     for name in ["li", "go", "compress"] {
-        let w = by_name(name, Size::Small);
+        let w = by_name(name, Size::Small).unwrap();
         let mut sim = TraceProcessor::new(&w.program, TraceProcessorConfig::paper(CiModel::MlbRet));
         let r = sim.run(20_000_000).expect("completes");
         assert!(r.halted);
@@ -53,7 +53,7 @@ fn stats_stay_consistent_across_suite() {
 
 #[test]
 fn models_commit_identical_instruction_counts() {
-    let w = by_name("perl", Size::Tiny);
+    let w = by_name("perl", Size::Tiny).unwrap();
     let mut counts = Vec::new();
     for model in [CiModel::None, CiModel::Ret, CiModel::MlbRet, CiModel::Fg, CiModel::FgMlbRet] {
         let mut sim = TraceProcessor::new(&w.program, TraceProcessorConfig::paper(model));
