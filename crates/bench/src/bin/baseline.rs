@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! baseline [--smoke | --size tiny|small|full|long] [--suite synth|rv|all]
-//!          [--pes N[,N..]|--pe-sweep] [--guard] [--sample] [--out PATH]
+//!          [--pes N[,N..]|--pe-sweep] [--guard] [--sample] [--ffwd-bench]
+//!          [--out PATH]
 //! ```
 //!
 //! `--smoke` (alias for `--size small`) is what CI runs; the checked-in
@@ -16,15 +17,21 @@
 //! the 4/8/16 PE-count axis. `--guard` exits non-zero if any CI model
 //! loses more than 1% IPC to the base model on any cell. `--sample`
 //! switches to sampled execution (the only tractable mode for `--size
-//! long`) and emits the `tp-bench/sampled/v1` schema instead, defaulting
+//! long`) and emits the `tp-bench/sampled/v2` schema instead, defaulting
 //! `--out` to `BENCH_sampled.json`; it rejects
 //! `--guard`/`--pes`/`--pe-sweep`, which only apply to the detailed grid.
+//! `--ffwd-bench` additionally benchmarks the fast-forward engines
+//! (interpreter vs superblock) on the *long*-size suite and embeds the
+//! throughput report as the detailed document's `sampled` section — how
+//! the checked-in `BENCH_speed.json` records the measured ffwd speedup.
 
+use tp_bench::ffwd::{ffwd_section_json, run_ffwd_bench, speedup_geomean};
 use tp_bench::sampled::{default_sample_for, run_sampled_grid_on, sampled_to_json};
 use tp_bench::speed::{
-    guard_violations, parse_size, run_grid_on, to_json, SuiteChoice, BASELINE_MODELS, SWEEP_PES,
+    guard_violations, parse_size, run_grid_on, to_json_with_sampled, SuiteChoice, BASELINE_MODELS,
+    SWEEP_PES,
 };
-use tp_core::TraceProcessorConfig;
+use tp_core::{CiModel, TraceProcessorConfig};
 use tp_workloads::Size;
 
 fn main() {
@@ -34,12 +41,14 @@ fn main() {
     let mut pes_set = false;
     let mut guard = false;
     let mut sample = false;
+    let mut ffwd_bench = false;
     let mut suite_choice = SuiteChoice::Synth;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => size = Size::Small,
             "--sample" => sample = true,
+            "--ffwd-bench" => ffwd_bench = true,
             "--size" => {
                 size = match args.next().as_deref().and_then(parse_size) {
                     Some(s) => s,
@@ -93,7 +102,7 @@ fn main() {
                 eprintln!(
                     "usage: baseline [--smoke | --size tiny|small|full|long] \
                      [--suite synth|rv|all] [--pes N[,N..]|--pe-sweep] [--guard] [--sample] \
-                     [--out PATH]"
+                     [--ffwd-bench] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -115,8 +124,8 @@ fn main() {
     if sample {
         // Reject flags the sampled grid does not honour rather than
         // silently ignoring them (a no-op --guard would be a false green).
-        if guard || pes_set {
-            eprintln!("--sample does not support --guard/--pes/--pe-sweep");
+        if guard || pes_set || ffwd_bench {
+            eprintln!("--sample does not support --guard/--pes/--pe-sweep/--ffwd-bench");
             std::process::exit(2);
         }
         // Sampled output is a different schema; never default onto the
@@ -187,7 +196,34 @@ fn main() {
         total_wall,
         total_instrs as f64 / total_wall.max(1e-9)
     );
-    let json = to_json(&cells, size);
+    // The fast-forward throughput section always measures the long-size
+    // suite — the regime where fast-forward is the wall-clock floor and
+    // where the ≥10x gate is defined — regardless of the detailed grid's
+    // `--size`.
+    let sampled_section = if ffwd_bench {
+        let model = CiModel::MlbRet;
+        let ffwd_cells = run_ffwd_bench(&suite_choice.workloads(Size::Long), model);
+        for c in &ffwd_cells {
+            println!(
+                "ffwd: {:<10} {:>10} instrs, interp {:>12.0} i/s, superblock {:>12.0} i/s \
+                 ({:.1}x)",
+                c.workload,
+                c.instrs,
+                c.interp_ips,
+                c.superblock_ips,
+                c.speedup()
+            );
+        }
+        println!(
+            "ffwd: geomean speedup {:.1}x (long suite, {})",
+            speedup_geomean(&ffwd_cells),
+            model.name()
+        );
+        Some(ffwd_section_json(&ffwd_cells, Size::Long, model, 4))
+    } else {
+        None
+    };
+    let json = to_json_with_sampled(&cells, size, sampled_section.as_deref());
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("wrote {out}");
     if guard {

@@ -11,15 +11,21 @@
 //! `verify` identifies the source program by fingerprint (searching the
 //! workload suite across sizes), then proves the checkpoint resumes
 //! bit-exactly: the resumed functional machine is compared against a
-//! straight run, and a detailed interval booted from the checkpoint runs
+//! straight run, the interpreter and superblock fast-forward engines are
+//! re-run to the checkpoint's position and must produce byte-identical
+//! TPCK captures, and a detailed interval booted from the checkpoint runs
 //! under full oracle verification.
 //!
 //! `smoke` is what CI runs (`just sample-smoke`): create + inspect +
 //! verify a checkpoint (written to `--out` and uploaded as an artifact),
-//! cross-check sampled vs. full IPC on the tiny suite for base and
-//! MLB-RET (must agree within 5%), and demonstrate the >= 3x wall-clock
-//! speedup of sampled execution on the long gcc/go/compress variants.
+//! prove the interpreter and superblock fast-forward engines agree byte
+//! for byte on every workload of both suites (and the superblock engine
+//! is no slower), cross-check sampled vs. full IPC on the tiny suite for
+//! base and MLB-RET (must agree within 5%), and demonstrate the >= 3x
+//! wall-clock speedup of sampled execution on the long gcc/go/compress
+//! variants.
 
+use tp_bench::ffwd::{run_ffwd_bench, speedup_geomean};
 use tp_bench::sampled::{cross_check, run_sampled, SampleConfig};
 use tp_bench::speed::{parse_size, size_name};
 use tp_ckpt::{Checkpoint, FastForward};
@@ -233,7 +239,6 @@ fn verify(args: &[String]) {
         resumed.retired() - ckpt.retired
     );
 
-    // 2. A detailed interval boots and runs under full oracle verification.
     let warm_selection = ckpt.warm.as_ref().map(|w| w.selection);
     let model = match warm_selection {
         Some(sel) if sel.fg && sel.ntb => CiModel::FgMlbRet,
@@ -241,6 +246,32 @@ fn verify(args: &[String]) {
         Some(sel) if sel.ntb => CiModel::MlbRet,
         _ => CiModel::None,
     };
+
+    // 2. The interpreter and superblock fast-forward engines agree byte
+    // for byte at this checkpoint's position (meaningful for warmed
+    // checkpoints, where the capture includes the warm images the two
+    // engines build along different code paths).
+    if ckpt.warm.is_some() && !ckpt.halted {
+        let cfg = validated_config(model);
+        let mut fast = FastForward::new(&program, &cfg);
+        fast.set_frontend(frontend);
+        fast.skip(ckpt.retired).expect("superblock fast-forward stays in program");
+        let mut slow = FastForward::new(&program, &cfg);
+        slow.set_frontend(frontend);
+        slow.set_superblock(false);
+        slow.skip(ckpt.retired).expect("interpreter fast-forward stays in program");
+        assert_eq!(
+            fast.checkpoint().encode(),
+            slow.checkpoint().encode(),
+            "superblock and interpreter fast-forward TPCK bytes diverge"
+        );
+        println!(
+            "engines   : OK (interpreter and superblock TPCK bytes identical at {} retired)",
+            ckpt.retired
+        );
+    }
+
+    // 3. A detailed interval boots and runs under full oracle verification.
     let cfg = validated_config(model).with_oracle();
     let boot = ckpt.boot_image(&program, &cfg).unwrap_or_else(|e| {
         eprintln!("{path}: boot failed: {e}");
@@ -288,7 +319,32 @@ fn smoke(args: &[String]) {
     inspect(std::slice::from_ref(&out));
     verify(std::slice::from_ref(&out));
 
-    // 2. Sampled IPC within 5% of the full run on the tiny suite.
+    // 2. The two fast-forward engines halt with byte-identical TPCK
+    // checkpoints on every workload of both suites (run_ffwd_bench
+    // asserts it), and the superblock engine is no slower than the
+    // interpreter in aggregate.
+    let ffwd_cells = run_ffwd_bench(&all_workloads(Size::Tiny), CiModel::MlbRet);
+    for c in &ffwd_cells {
+        println!(
+            "ffwd      : {:<10} interp {:>12.0} i/s, superblock {:>12.0} i/s ({:.1}x, tpck ok)",
+            c.workload,
+            c.interp_ips,
+            c.superblock_ips,
+            c.speedup()
+        );
+    }
+    let ffwd_geomean = speedup_geomean(&ffwd_cells);
+    assert!(
+        ffwd_geomean >= 1.0,
+        "superblock fast-forward slower than the interpreter on the tiny suite \
+         ({ffwd_geomean:.2}x)"
+    );
+    println!(
+        "ffwd      : OK (all {} workloads byte-identical, geomean speedup {ffwd_geomean:.1}x)",
+        ffwd_cells.len()
+    );
+
+    // 3. Sampled IPC within 5% of the full run on the tiny suite.
     let checks = cross_check(Size::Tiny, &[CiModel::None, CiModel::MlbRet], &SampleConfig::dense());
     let mut worst: f64 = 0.0;
     for c in &checks {
@@ -308,7 +364,7 @@ fn smoke(args: &[String]) {
     );
     println!("accuracy  : OK (worst error {worst:.2}% <= 5%)");
 
-    // 3. Sampled execution of the long variants is >= 3x faster than a
+    // 4. Sampled execution of the long variants is >= 3x faster than a
     // full detailed run.
     let (mut full_wall, mut sampled_wall) = (0.0f64, 0.0f64);
     for name in ["gcc", "go", "compress"] {

@@ -1,7 +1,7 @@
 //! Quick calibration probe: IPC and misprediction profile per workload.
 //!
 //! Usage: `speed [--size tiny|small|full|long] [--suite synth|rv|all]
-//! [--sample] [--ckpt DIR]`
+//! [--sample] [--ckpt DIR] [--ffwd-bench [--out PATH] [--gate MIN]]`
 //!
 //! Default is a full detailed run of each workload under the base model.
 //! `--suite` selects the synthetic kernels, the RV64 corpus, or both
@@ -13,8 +13,17 @@
 //! skip-length of fast-forward from program start — a ready-made resume
 //! point for `ckpt inspect`/`ckpt verify` or
 //! `TraceProcessor::from_checkpoint` experiments.
+//!
+//! `--ffwd-bench` benchmarks the functional fast-forward engines instead:
+//! each workload runs to halt under the reference interpreter and under
+//! the superblock engine (asserting byte-identical TPCK checkpoints),
+//! printing per-workload throughput and speedup. `--out PATH` writes the
+//! `tp-bench/sampled/v2` throughput JSON (the CI artifact); `--gate MIN`
+//! exits non-zero if the geometric-mean speedup falls below `MIN` (CI
+//! gates at 1.0: the superblock engine must never be slower).
 
 use std::time::Instant;
+use tp_bench::ffwd::{ffwd_to_json, run_ffwd_bench, speedup_geomean};
 use tp_bench::sampled::{default_sample_for, run_sampled_as};
 use tp_bench::speed::{parse_size, SuiteChoice};
 use tp_ckpt::FastForward;
@@ -24,6 +33,9 @@ use tp_workloads::Size;
 fn main() {
     let mut size = Size::Full;
     let mut sample = false;
+    let mut ffwd_bench = false;
+    let mut out: Option<String> = None;
+    let mut gate: Option<f64> = None;
     let mut ckpt_dir: Option<String> = None;
     let mut suite_choice = SuiteChoice::Synth;
     let mut args = std::env::args().skip(1);
@@ -44,6 +56,21 @@ fn main() {
                 }
             },
             "--sample" => sample = true,
+            "--ffwd-bench" => ffwd_bench = true,
+            "--out" => match args.next() {
+                Some(p) => out = Some(p),
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--gate" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(g) => gate = Some(g),
+                None => {
+                    eprintln!("--gate requires a minimum speedup, e.g. 1.0");
+                    std::process::exit(2);
+                }
+            },
             "--ckpt" => match args.next() {
                 Some(d) => ckpt_dir = Some(d),
                 None => {
@@ -55,11 +82,19 @@ fn main() {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: speed [--size tiny|small|full|long] [--suite synth|rv|all] \
-                     [--sample] [--ckpt DIR]"
+                     [--sample] [--ckpt DIR] [--ffwd-bench [--out PATH] [--gate MIN]]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if ffwd_bench {
+        run_ffwd_table(size, suite_choice, out.as_deref(), gate);
+        return;
+    }
+    if out.is_some() || gate.is_some() {
+        eprintln!("--out/--gate only apply to --ffwd-bench");
+        std::process::exit(2);
     }
     let cfg = TraceProcessorConfig::paper(CiModel::None);
     if let Err(e) = cfg.validate() {
@@ -70,6 +105,42 @@ fn main() {
         run_sampled_table(size, suite_choice, &cfg, ckpt_dir.as_deref());
     } else {
         run_detailed_table(size, suite_choice, &cfg);
+    }
+}
+
+fn run_ffwd_table(size: Size, suite_choice: SuiteChoice, out: Option<&str>, gate: Option<f64>) {
+    // MLB-RET is the sampled flow's usual model; its selection (ntb cuts,
+    // no fg padding) is the realistic per-trace warming cost.
+    let model = CiModel::MlbRet;
+    let cells = run_ffwd_bench(&suite_choice.workloads(size), model);
+    println!(
+        "{:<10} {:>10} {:>14} {:>14} {:>8} {:>5}",
+        "bench", "instrs", "interp-i/s", "superblk-i/s", "speedup", "tpck"
+    );
+    for c in &cells {
+        println!(
+            "{:<10} {:>10} {:>14.0} {:>14.0} {:>7.1}x {:>5}",
+            c.workload,
+            c.instrs,
+            c.interp_ips,
+            c.superblock_ips,
+            c.speedup(),
+            if c.tpck_equal { "ok" } else { "FAIL" }
+        );
+    }
+    let geomean = speedup_geomean(&cells);
+    println!("geomean speedup: {geomean:.1}x (superblock over interpreter, {})", model.name());
+    if let Some(path) = out {
+        std::fs::write(path, ffwd_to_json(&cells, size, model))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+    if let Some(min) = gate {
+        if geomean < min {
+            eprintln!("ffwd gate FAILED: geomean speedup {geomean:.2}x < {min:.2}x");
+            std::process::exit(1);
+        }
+        println!("ffwd gate: OK ({geomean:.1}x >= {min:.1}x)");
     }
 }
 

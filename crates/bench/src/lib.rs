@@ -3,6 +3,7 @@
 //! `benches/`.
 
 pub mod corpus;
+pub mod ffwd;
 pub mod paper;
 pub mod profile;
 pub mod runner;
@@ -10,6 +11,7 @@ pub mod sampled;
 pub mod speed;
 pub mod sweep;
 
+pub use ffwd::{ffwd_to_json, run_ffwd_bench, speedup_geomean, FfwdBenchCell};
 pub use profile::{profile_branches, BranchClass, BranchProfile};
 pub use runner::{run_model, run_selection, RunSummary};
 pub use sampled::{

@@ -108,6 +108,9 @@ pub struct SampledRun {
     pub halted: bool,
     /// Host wall-clock seconds for the whole sampled run.
     pub wall_seconds: f64,
+    /// Host wall-clock seconds spent inside the functional fast-forward
+    /// legs (a subset of [`SampledRun::wall_seconds`]).
+    pub ffwd_wall_seconds: f64,
     /// Merged misprediction outcome-attribution ledger of the intervals.
     pub attribution: RecoveryAttribution,
 }
@@ -176,6 +179,17 @@ impl SampledRun {
         1.96 * (var / k as f64).sqrt()
     }
 
+    /// Fast-forward throughput: functionally skipped instructions per
+    /// host second spent in the fast-forward legs (zero when the regime
+    /// never skips, e.g. dense sampling).
+    pub fn ffwd_instrs_per_sec(&self) -> f64 {
+        if self.ffwd_wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.ffwd_instrs as f64 / self.ffwd_wall_seconds
+        }
+    }
+
     /// Fraction of the program that ran in the detailed model (measured
     /// plus warmup).
     pub fn detailed_fraction(&self) -> f64 {
@@ -225,6 +239,7 @@ pub fn run_sampled_as(
     let mut detailed_instrs = 0;
     let mut halted = false;
     let mut round = 0u64;
+    let mut ffwd_wall = 0.0f64;
     while !halted && !ff.halted() {
         // Detailed leg, booted through the binary checkpoint format.
         let ckpt = Checkpoint::decode(&ff.checkpoint().encode())
@@ -289,9 +304,11 @@ pub fn run_sampled_as(
             let h = round.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 33;
             sample.skip / 2 + h % sample.skip
         };
+        let leg = Instant::now();
         let s = ff
             .skip(jittered)
             .unwrap_or_else(|e| panic!("{name}: fast-forward left the program: {e}"));
+        ffwd_wall += leg.elapsed().as_secs_f64();
         halted = s.halted;
     }
     SampledRun {
@@ -302,6 +319,7 @@ pub fn run_sampled_as(
         ffwd_instrs: ff.retired() - detailed_instrs - warmup_instrs,
         halted: true,
         wall_seconds: t.elapsed().as_secs_f64(),
+        ffwd_wall_seconds: ffwd_wall,
         attribution,
     }
 }
@@ -359,8 +377,11 @@ pub fn run_sampled_grid_on(
     cells
 }
 
-/// Renders a sampled grid as the `tp-bench/sampled/v1` JSON document
-/// (see README "Sampled simulation").
+/// Renders a sampled grid as the `tp-bench/sampled/v2` JSON document
+/// (see README "Sampled simulation"). v2 adds the per-cell fast-forward
+/// throughput (`ffwd_instrs_per_sec`, superblock engine) and its wall
+/// time; the interpreter-vs-superblock comparison lives in the `sampled`
+/// section of `BENCH_speed.json` (see [`crate::ffwd`]).
 pub fn sampled_to_json(cells: &[SampledCell], size: Size, sample: &SampleConfig) -> String {
     fn num(x: f64) -> String {
         if x.is_finite() {
@@ -372,7 +393,7 @@ pub fn sampled_to_json(cells: &[SampledCell], size: Size, sample: &SampleConfig)
     let total_wall: f64 = cells.iter().map(|c| c.run.wall_seconds).sum();
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"tp-bench/sampled/v1\",\n");
+    s.push_str("  \"schema\": \"tp-bench/sampled/v2\",\n");
     s.push_str(&format!("  \"suite_size\": \"{}\",\n", crate::speed::size_name(size)));
     s.push_str(&format!(
         "  \"sample\": {{\"warmup\": {}, \"interval\": {}, \"skip\": {}}},\n",
@@ -390,6 +411,8 @@ pub fn sampled_to_json(cells: &[SampledCell], size: Size, sample: &SampleConfig)
         s.push_str(&format!("\"detailed_instrs\": {}, ", r.detailed_instrs));
         s.push_str(&format!("\"warmup_instrs\": {}, ", r.warmup_instrs));
         s.push_str(&format!("\"ffwd_instrs\": {}, ", r.ffwd_instrs));
+        s.push_str(&format!("\"ffwd_wall_seconds\": {}, ", num(r.ffwd_wall_seconds)));
+        s.push_str(&format!("\"ffwd_instrs_per_sec\": {}, ", num(r.ffwd_instrs_per_sec())));
         s.push_str(&format!("\"ipc_estimate\": {}, ", num(r.ipc_estimate())));
         s.push_str(&format!("\"ipc_ci95\": {}, ", num(r.ipc_ci95())));
         s.push_str(&format!("\"estimated_cycles\": {}, ", num(r.estimated_cycles())));
@@ -521,6 +544,7 @@ mod tests {
             ffwd_instrs: 750,
             halted: true,
             wall_seconds: 0.1,
+            ffwd_wall_seconds: 0.05,
             attribution: RecoveryAttribution::new(),
         };
         // Cold interval exact (100 cycles), remaining 900 instructions at

@@ -225,6 +225,13 @@ fn num(x: f64) -> String {
 /// Renders the grid as the `BENCH_speed.json` document
 /// (`tp-bench/speed/v2` schema; see README "Benchmarking").
 pub fn to_json(cells: &[SpeedCell], size: Size) -> String {
+    to_json_with_sampled(cells, size, None)
+}
+
+/// [`to_json`] with an optional pre-rendered `sampled` section — the
+/// fast-forward throughput report from [`crate::ffwd::ffwd_section_json`]
+/// (a JSON object, embedded verbatim the way attribution ledgers are).
+pub fn to_json_with_sampled(cells: &[SpeedCell], size: Size, sampled: Option<&str>) -> String {
     let total_wall: f64 = cells.iter().map(|c| c.wall_seconds).sum();
     let total_instrs: u64 = cells.iter().map(|c| c.stats.retired_instrs).sum();
     let mut s = String::new();
@@ -237,6 +244,9 @@ pub fn to_json(cells: &[SpeedCell], size: Size) -> String {
         "  \"instrs_per_sec_total\": {},\n",
         num(if total_wall > 0.0 { total_instrs as f64 / total_wall } else { 0.0 })
     ));
+    if let Some(section) = sampled {
+        s.push_str(&format!("  \"sampled\": {section},\n"));
+    }
     s.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let st = &c.stats;

@@ -20,7 +20,8 @@ use tp_isa::Addr;
 #[derive(Clone, Debug)]
 pub struct DCache {
     tags: SetAssocCache,
-    line_bytes: u64,
+    /// log2 of the line size: line id = `addr >> line_shift`.
+    line_shift: u32,
     hit_latency: u32,
     miss_penalty: u32,
 }
@@ -30,7 +31,8 @@ impl DCache {
     ///
     /// # Panics
     ///
-    /// Panics if `line_bytes` is zero or the geometry is invalid.
+    /// Panics if `line_bytes` is not a power of two or the geometry is
+    /// invalid.
     pub fn new(
         sets: usize,
         ways: usize,
@@ -38,8 +40,13 @@ impl DCache {
         hit_latency: u32,
         miss_penalty: u32,
     ) -> DCache {
-        assert!(line_bytes > 0, "line size must be non-zero");
-        DCache { tags: SetAssocCache::new(sets, ways), line_bytes, hit_latency, miss_penalty }
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        DCache {
+            tags: SetAssocCache::new(sets, ways),
+            line_shift: line_bytes.trailing_zeros(),
+            hit_latency,
+            miss_penalty,
+        }
     }
 
     /// The paper's configuration: 64 kB / 4-way / 64 B lines, 2-cycle hit,
@@ -51,7 +58,7 @@ impl DCache {
     /// Accesses the line containing `addr`, returning the total access
     /// latency in cycles (hit latency, plus the miss penalty on a miss).
     pub fn access(&mut self, addr: Addr) -> u32 {
-        let line = addr / self.line_bytes;
+        let line = addr >> self.line_shift;
         if self.tags.access(line) {
             self.hit_latency
         } else {
@@ -62,7 +69,7 @@ impl DCache {
     /// Touches the line containing `addr` without counting statistics
     /// (functional warming).
     pub fn warm_access(&mut self, addr: Addr) {
-        self.tags.fill_quiet(addr / self.line_bytes);
+        self.tags.fill_quiet(addr >> self.line_shift);
     }
 
     /// Resident line ids, least-recently-used first (checkpoint capture).

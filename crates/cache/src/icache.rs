@@ -22,6 +22,8 @@ use tp_isa::Pc;
 pub struct ICache {
     tags: SetAssocCache,
     line_insts: u32,
+    /// log2 of `line_insts`: line id = `pc >> line_shift`.
+    line_shift: u32,
     miss_penalty: u32,
 }
 
@@ -30,10 +32,16 @@ impl ICache {
     ///
     /// # Panics
     ///
-    /// Panics if `line_insts` is zero or the geometry is invalid.
+    /// Panics if `line_insts` is not a power of two or the geometry is
+    /// invalid.
     pub fn new(sets: usize, ways: usize, line_insts: u32, miss_penalty: u32) -> ICache {
-        assert!(line_insts > 0, "line size must be non-zero");
-        ICache { tags: SetAssocCache::new(sets, ways), line_insts, miss_penalty }
+        assert!(line_insts.is_power_of_two(), "line size must be a power of two");
+        ICache {
+            tags: SetAssocCache::new(sets, ways),
+            line_insts,
+            line_shift: line_insts.trailing_zeros(),
+            miss_penalty,
+        }
     }
 
     /// The paper's configuration: 64 kB / 4-way / 16-instruction (64 B)
@@ -46,7 +54,7 @@ impl ICache {
     /// Accesses the line containing `pc`, returning the stall penalty in
     /// cycles (0 on a hit).
     pub fn access(&mut self, pc: Pc) -> u32 {
-        let line = pc as u64 / self.line_insts as u64;
+        let line = pc as u64 >> self.line_shift;
         if self.tags.access(line) {
             0
         } else {
@@ -58,8 +66,8 @@ impl ICache {
     /// accessing every line the range touches.
     pub fn access_range(&mut self, from: Pc, to: Pc) -> u32 {
         let mut penalty = 0;
-        let first = from as u64 / self.line_insts as u64;
-        let last = to.max(from) as u64 / self.line_insts as u64;
+        let first = from as u64 >> self.line_shift;
+        let last = to.max(from) as u64 >> self.line_shift;
         for line in first..=last {
             if !self.tags.access(line) {
                 penalty += self.miss_penalty;
@@ -71,8 +79,8 @@ impl ICache {
     /// Touches every line of the instruction range `[from, to]` without
     /// counting statistics (functional warming).
     pub fn warm_range(&mut self, from: Pc, to: Pc) {
-        let first = from as u64 / self.line_insts as u64;
-        let last = to.max(from) as u64 / self.line_insts as u64;
+        let first = from as u64 >> self.line_shift;
+        let last = to.max(from) as u64 >> self.line_shift;
         for line in first..=last {
             self.tags.fill_quiet(line);
         }

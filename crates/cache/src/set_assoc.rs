@@ -19,6 +19,8 @@
 pub struct SetAssocCache {
     sets: Vec<Vec<Line>>,
     ways: usize,
+    /// log2 of the set count: line ids split as `tag << set_bits | set`.
+    set_bits: u32,
     tick: u64,
     stats: CacheStats,
 }
@@ -58,7 +60,13 @@ impl SetAssocCache {
     pub fn new(sets: usize, ways: usize) -> SetAssocCache {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(ways > 0, "associativity must be non-zero");
-        SetAssocCache { sets: vec![Vec::new(); sets], ways, tick: 0, stats: CacheStats::default() }
+        SetAssocCache {
+            sets: vec![Vec::new(); sets],
+            ways,
+            set_bits: sets.trailing_zeros(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// Accesses `line_id`, returning whether it hit. On a miss the line is
@@ -80,7 +88,7 @@ impl SetAssocCache {
         let ways = self.ways;
         let tick = self.tick;
         let n = self.sets.len() as u64;
-        let (set, tag) = ((line_id & (n - 1)) as usize, line_id / n);
+        let (set, tag) = ((line_id & (n - 1)) as usize, line_id >> self.set_bits);
         let set = &mut self.sets[set];
         if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
             line.lru = tick;
@@ -104,12 +112,12 @@ impl SetAssocCache {
     /// [`SetAssocCache::fill_quiet`] reproduces the relative LRU ranking
     /// within every set).
     pub fn resident_lines_lru(&self) -> Vec<u64> {
-        let n = self.sets.len() as u64;
+        let bits = self.set_bits;
         let mut lines: Vec<(u64, u64)> = self
             .sets
             .iter()
             .enumerate()
-            .flat_map(|(set, ways)| ways.iter().map(move |l| (l.tag * n + set as u64, l.lru)))
+            .flat_map(|(set, ways)| ways.iter().map(move |l| ((l.tag << bits) | set as u64, l.lru)))
             .collect();
         lines.sort_by_key(|&(_, lru)| lru);
         lines.into_iter().map(|(id, _)| id).collect()
@@ -125,7 +133,7 @@ impl SetAssocCache {
     /// Probes for `line_id` without updating LRU, filling or counting.
     pub fn contains(&self, line_id: u64) -> bool {
         let n = self.sets.len() as u64;
-        let (set, tag) = ((line_id & (n - 1)) as usize, line_id / n);
+        let (set, tag) = ((line_id & (n - 1)) as usize, line_id >> self.set_bits);
         self.sets[set].iter().any(|l| l.tag == tag)
     }
 

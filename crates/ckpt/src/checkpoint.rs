@@ -281,6 +281,32 @@ impl Checkpoint {
         }
     }
 
+    /// Captures a checkpoint straight from a live machine, using its
+    /// incrementally tracked dirty pages ([`Machine::mem_delta`]) instead
+    /// of rescanning every touched memory word against the initial image
+    /// — the cost scales with the store working set, so multi-round
+    /// sampled runs stop paying O(mem) per capture. Produces bytes
+    /// identical to [`Checkpoint::capture`] of the same machine's
+    /// [`Machine::capture`] state.
+    pub fn capture_machine(
+        machine: &Machine<'_>,
+        frontend: Frontend,
+        warm: Option<&Warm>,
+    ) -> Checkpoint {
+        let program = machine.program();
+        Checkpoint {
+            program_name: program.name().to_string(),
+            program_fingerprint: program_fingerprint(program),
+            frontend,
+            pc: machine.pc(),
+            retired: machine.retired(),
+            halted: machine.halted(),
+            regs: machine.regs(),
+            mem_delta: machine.mem_delta(),
+            warm: warm.map(Warm::images),
+        }
+    }
+
     /// The full memory image (initial data plus the dirty delta) as
     /// `(word index, value)` pairs.
     pub fn mem_image(&self, program: &Program) -> Vec<(u64, Word)> {
@@ -784,13 +810,10 @@ impl Warm {
 }
 
 impl FastForward<'_> {
-    /// Captures a checkpoint of the current machine state and warm set.
+    /// Captures a checkpoint of the current machine state and warm set
+    /// (via the incremental dirty-page path; see
+    /// [`Checkpoint::capture_machine`]).
     pub fn checkpoint(&self) -> Checkpoint {
-        Checkpoint::capture(
-            self.machine().program(),
-            self.frontend(),
-            &self.machine().capture(),
-            Some(self.warm()),
-        )
+        Checkpoint::capture_machine(self.machine(), self.frontend(), Some(self.warm()))
     }
 }

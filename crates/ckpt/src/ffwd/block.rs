@@ -1,0 +1,271 @@
+//! Pre-decoded straight-line superblocks and their cache.
+//!
+//! A [`Block`] is the unit the superblock engine executes: the run of
+//! instructions from a start PC to the next control transfer (or a length
+//! cap), decoded once from the immutable [`Program`] and replayed with
+//! [`tp_isa::func::Machine::exec_decoded`] — no per-instruction re-fetch.
+//! Blocks *chain* to their observed successors (taken / sequential /
+//! per-target indirect edges), so steady-state dispatch is block→block
+//! without touching the hash index.
+//!
+//! Chains carry the cache [`epoch`](BlockCache::bump_epoch) they were made
+//! in; invalidation (a store hitting a cached code page) bumps the epoch,
+//! lazily severing every chain, and kills the affected blocks so they
+//! re-decode on next entry.
+
+use tp_isa::fxhash::FxHashMap;
+use tp_isa::{Inst, Pc, Program};
+
+/// Maximum instructions decoded into one block. Longer than the 32-inst
+/// trace cap so a trace crosses as few block boundaries as possible, yet
+/// small enough that a capped block stays cache-resident.
+pub(crate) const BLOCK_CAP: usize = 64;
+
+/// Why a block's decode stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BlockEnd {
+    /// Last instruction is a conditional branch (consumes one outcome).
+    Cond,
+    /// Last instruction is a direct jump or call to `target`.
+    Jump { target: Pc },
+    /// Last instruction is an indirect transfer (jump/call indirect, ret).
+    Indirect,
+    /// Last instruction halts the program.
+    Halt,
+    /// Hit [`BLOCK_CAP`] with no control transfer; falls through.
+    Cap,
+    /// Decode ran off the program image without a terminator.
+    OutOfProgram,
+}
+
+/// A successor edge out of a block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Edge {
+    /// Conditional branch taken.
+    Taken,
+    /// The unique sequential successor: branch fall-through, direct
+    /// jump/call target, or cap fall-through. Static per block.
+    Seq,
+    /// Indirect transfer to this observed target (one chain slot; a
+    /// megamorphic site simply keeps re-chaining its latest target).
+    Ind(Pc),
+}
+
+/// A chained successor: the edge target and the epoch it was recorded in.
+#[derive(Clone, Copy, Debug)]
+struct Chain {
+    epoch: u32,
+    to: u32,
+}
+
+/// One pre-decoded straight-line block.
+#[derive(Clone, Debug)]
+pub(crate) struct Block {
+    /// First PC of the block.
+    pub start: Pc,
+    /// The decoded run; `insts[i]` sits at `start + i`.
+    pub insts: Box<[Inst]>,
+    /// Terminator class.
+    pub end: BlockEnd,
+    dead: bool,
+    taken: Option<Chain>,
+    seq: Option<Chain>,
+    ind: Option<(Pc, Chain)>,
+}
+
+impl Block {
+    /// Number of instructions in the block (≥ 1).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+}
+
+/// The block cache: decoded blocks, a start-PC index, and the chain epoch.
+#[derive(Debug, Default)]
+pub(crate) struct BlockCache {
+    blocks: Vec<Block>,
+    index: FxHashMap<Pc, u32>,
+    epoch: u32,
+    /// Blocks decoded over the cache's lifetime (stats).
+    pub built: u64,
+}
+
+impl BlockCache {
+    pub fn new() -> BlockCache {
+        BlockCache::default()
+    }
+
+    /// The id of the live block starting at `pc`, if cached.
+    pub fn lookup(&self, pc: Pc) -> Option<u32> {
+        self.index.get(&pc).copied()
+    }
+
+    pub fn get(&self, id: u32) -> &Block {
+        &self.blocks[id as usize]
+    }
+
+    /// Follows `edge` out of block `from`, if a current-epoch chain exists.
+    pub fn follow_chain(&self, from: u32, edge: Edge) -> Option<u32> {
+        let b = &self.blocks[from as usize];
+        let chain = match edge {
+            Edge::Taken => b.taken,
+            Edge::Seq => b.seq,
+            Edge::Ind(target) => match b.ind {
+                Some((t, c)) if t == target => Some(c),
+                _ => None,
+            },
+        }?;
+        (chain.epoch == self.epoch).then_some(chain.to)
+    }
+
+    /// Records that `edge` out of block `from` leads to block `to`.
+    pub fn chain(&mut self, from: u32, edge: Edge, to: u32) {
+        let chain = Chain { epoch: self.epoch, to };
+        let b = &mut self.blocks[from as usize];
+        match edge {
+            Edge::Taken => b.taken = Some(chain),
+            Edge::Seq => b.seq = Some(chain),
+            Edge::Ind(target) => b.ind = Some((target, chain)),
+        }
+    }
+
+    /// Decodes and caches the block starting at `start`, returning its id
+    /// (`None` when `start` is outside the program image).
+    pub fn decode(&mut self, program: &Program, start: Pc) -> Option<u32> {
+        let mut insts = Vec::new();
+        let mut pc = start;
+        let end = loop {
+            let Some(inst) = program.fetch(pc) else {
+                if insts.is_empty() {
+                    return None;
+                }
+                break BlockEnd::OutOfProgram;
+            };
+            insts.push(inst);
+            if inst.is_control() {
+                break match inst {
+                    Inst::Branch { .. } => BlockEnd::Cond,
+                    Inst::Jump { target } | Inst::Call { target } => BlockEnd::Jump { target },
+                    Inst::Halt => BlockEnd::Halt,
+                    i => {
+                        debug_assert!(i.is_indirect());
+                        BlockEnd::Indirect
+                    }
+                };
+            }
+            if insts.len() == BLOCK_CAP {
+                break BlockEnd::Cap;
+            }
+            pc += 1;
+        };
+        let id = self.blocks.len() as u32;
+        self.blocks.push(Block {
+            start,
+            insts: insts.into_boxed_slice(),
+            end,
+            dead: false,
+            taken: None,
+            seq: None,
+            ind: None,
+        });
+        self.index.insert(start, id);
+        self.built += 1;
+        Some(id)
+    }
+
+    /// Kills block `id` (a store dirtied one of its code pages): removes it
+    /// from the index so the next entry re-decodes. Returns whether the
+    /// block was still live. Chains into it stay until the caller bumps the
+    /// epoch.
+    pub fn kill(&mut self, id: u32) -> bool {
+        let b = &mut self.blocks[id as usize];
+        if b.dead {
+            return false;
+        }
+        b.dead = true;
+        let start = b.start;
+        if self.index.get(&start) == Some(&id) {
+            self.index.remove(&start);
+        }
+        true
+    }
+
+    /// Severs every chain in the cache (used after invalidation; dangling
+    /// chains into killed blocks become unreachable in O(1)).
+    pub fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_isa::asm::Asm;
+    use tp_isa::{Cond, Reg};
+
+    fn branchy_program() -> Program {
+        let mut a = Asm::new("branchy");
+        let r1 = Reg::new(1);
+        a.li(r1, 10); // 0..2: li expands; keep symbolic below
+        a.label("top");
+        a.addi(r1, r1, -1);
+        a.branch(Cond::Gt, r1, Reg::ZERO, "top");
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn decode_splits_at_control_transfers() {
+        let p = branchy_program();
+        let mut cache = BlockCache::new();
+        let id = cache.decode(&p, 0).expect("entry decodes");
+        let b = cache.get(id);
+        assert_eq!(b.start, 0);
+        assert_eq!(b.end, BlockEnd::Cond, "first block ends at the loop branch");
+        assert!(b.insts[b.len() - 1].is_cond_branch());
+        // Every earlier instruction is straight-line.
+        for i in &b.insts[..b.len() - 1] {
+            assert!(!i.is_control());
+        }
+        let halt_pc = b.start + b.len() as Pc;
+        let hid = cache.decode(&p, halt_pc).expect("halt block decodes");
+        assert_eq!(cache.get(hid).end, BlockEnd::Halt);
+        assert!(cache.decode(&p, 10_000).is_none(), "out-of-image start");
+    }
+
+    #[test]
+    fn chains_survive_until_epoch_bump() {
+        let p = branchy_program();
+        let mut cache = BlockCache::new();
+        let a = cache.decode(&p, 0).unwrap();
+        let b = cache.decode(&p, cache.get(a).len() as Pc).unwrap();
+        cache.chain(a, Edge::Seq, b);
+        cache.chain(a, Edge::Taken, a);
+        cache.chain(a, Edge::Ind(7), b);
+        assert_eq!(cache.follow_chain(a, Edge::Seq), Some(b));
+        assert_eq!(cache.follow_chain(a, Edge::Taken), Some(a));
+        assert_eq!(cache.follow_chain(a, Edge::Ind(7)), Some(b));
+        assert_eq!(cache.follow_chain(a, Edge::Ind(8)), None, "indirect chains match by target");
+        cache.bump_epoch();
+        assert_eq!(cache.follow_chain(a, Edge::Seq), None);
+        assert_eq!(cache.follow_chain(a, Edge::Taken), None);
+        assert_eq!(cache.follow_chain(a, Edge::Ind(7)), None);
+    }
+
+    #[test]
+    fn kill_removes_from_index_once() {
+        let p = branchy_program();
+        let mut cache = BlockCache::new();
+        let a = cache.decode(&p, 0).unwrap();
+        assert_eq!(cache.lookup(0), Some(a));
+        assert!(cache.kill(a));
+        assert_eq!(cache.lookup(0), None);
+        assert!(!cache.kill(a), "double kill reports dead");
+        // Re-decode gets a fresh id; killing the old id again must not
+        // evict the replacement from the index.
+        let a2 = cache.decode(&p, 0).unwrap();
+        assert_ne!(a, a2);
+        assert!(!cache.kill(a));
+        assert_eq!(cache.lookup(0), Some(a2));
+    }
+}

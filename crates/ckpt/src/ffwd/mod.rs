@@ -19,15 +19,30 @@
 //! *actual* outcome. The selected path and the executed path coincide by
 //! construction, so the traces are exactly the canonical actual-outcome
 //! traces the detailed simulator trains with at retirement.
+//!
+//! Two execution engines produce that identical stream:
+//!
+//! - the **interpreter** path above (one selection plus per-instruction
+//!   stepping and warming per trace), kept as the reference;
+//! - the **superblock** path ([`engine`]): straight-line code is decoded
+//!   once into chained blocks ([`block`]), whole traces are memoized by
+//!   start PC and outcome path, and warming updates replay from
+//!   precomputed per-trace arrays. It is the default; see
+//!   [`FastForward::set_superblock`].
+
+mod block;
+mod engine;
 
 use std::sync::Arc;
 
+use engine::Engine;
+pub use engine::EngineStats;
 use tp_cache::{DCache, ICache, TraceCache};
 use tp_core::{TraceProcessorConfig, WarmBoot};
 use tp_isa::func::{Machine, MachineState, PcOutOfRange, Step};
 use tp_isa::{Frontend, Inst, Pc, Program};
 use tp_predict::{Btb, Gshare, NextTracePredictor, Ras, TraceHistory};
-use tp_trace::{Bit, OutcomeSource, SelectionConfig, Selector};
+use tp_trace::{Bit, OutcomeSource, SelectionConfig, Selector, Trace};
 
 /// The warm structures maintained during fast-forward: everything
 /// [`WarmBoot`] carries into the detailed simulator, plus a gshare
@@ -184,6 +199,8 @@ pub struct FastForward<'p> {
     selector: Selector,
     warm: Warm,
     frontend: Frontend,
+    /// `Some` = superblock engine (default), `None` = interpreter.
+    engine: Option<Engine>,
 }
 
 impl<'p> FastForward<'p> {
@@ -201,9 +218,34 @@ impl<'p> FastForward<'p> {
             program,
             machine: Machine::from_state(program, state),
             selector: Selector::new(warm.selection),
+            engine: Some(Engine::new(warm.selection)),
             warm,
             frontend: Frontend::Synth,
         }
+    }
+
+    /// Selects the execution engine: `true` (the default) runs the
+    /// superblock engine, `false` the reference interpreter. Both produce
+    /// bit-identical machine state and warm images; the toggle exists for
+    /// benchmarking and differential testing. Turning the engine off and
+    /// back on drops its block cache and trace memos.
+    pub fn set_superblock(&mut self, on: bool) {
+        match (on, self.engine.is_some()) {
+            (true, false) => self.engine = Some(Engine::new(self.warm.selection)),
+            (false, true) => self.engine = None,
+            _ => {}
+        }
+    }
+
+    /// Whether the superblock engine is active.
+    pub fn superblock(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// Superblock-engine counters (memo hits/misses, blocks decoded,
+    /// invalidations); `None` while the interpreter is selected.
+    pub fn engine_stats(&self) -> Option<EngineStats> {
+        self.engine.as_ref().map(Engine::stats)
     }
 
     /// Declares which frontend produced the program; recorded in every
@@ -223,6 +265,11 @@ impl<'p> FastForward<'p> {
     /// warming and simply misses the interval's branches).
     pub fn adopt(&mut self, state: MachineState, warm: WarmBoot) {
         self.machine = Machine::from_state(self.program, state);
+        // The adopted structures invalidate the engine's record of what it
+        // filled last; its refill dedupes must start over.
+        if let Some(engine) = &mut self.engine {
+            engine.warm_reset();
+        }
         self.warm.btb = warm.btb;
         self.warm.ras = warm.ras;
         self.warm.predictor = warm.predictor;
@@ -270,7 +317,10 @@ impl<'p> FastForward<'p> {
         let start = self.machine.retired();
         let mut traces = 0;
         while !self.machine.halted() && self.machine.retired() - start < budget {
-            self.advance_trace()?;
+            match &mut self.engine {
+                Some(eng) => eng.advance_trace(self.program, &mut self.machine, &mut self.warm)?,
+                None => self.advance_trace()?,
+            }
             traces += 1;
         }
         Ok(SkipSummary {
@@ -311,48 +361,59 @@ impl<'p> FastForward<'p> {
             trace.len() as u64,
             "machine and selection disagree on trace length at pc {start}"
         );
-        // Per-instruction warming, in commit order.
-        for ti in trace.insts() {
-            match ti.inst {
-                Inst::Branch { .. } => {
-                    let taken = ti.embedded_taken.expect("actual-outcome trace embeds outcomes");
-                    self.warm.btb.update_cond(ti.pc, taken);
-                    self.warm.gshare.update(ti.pc, taken);
-                }
-                Inst::Call { .. } | Inst::CallIndirect { .. } => self.warm.ras.push(ti.pc + 1),
-                Inst::Ret => {
-                    let _ = self.warm.ras.pop();
-                }
-                _ => {}
-            }
-        }
-        // Instruction-cache warming: touch each contiguous fetch segment,
-        // as trace construction through the instruction cache would.
-        {
-            let insts = trace.insts();
-            let mut seg_start = insts[0].pc;
-            let mut prev = insts[0].pc;
-            for ti in &insts[1..] {
-                if ti.pc != prev + 1 {
-                    self.warm.icache.warm_range(seg_start, prev);
-                    seg_start = ti.pc;
-                }
-                prev = ti.pc;
-            }
-            self.warm.icache.warm_range(seg_start, prev);
-        }
-        // Indirect-target training, as the detailed completion stage does.
-        if let (Some(last), Some(target)) = (trace.insts().last(), trace.next_pc()) {
-            if last.inst.is_indirect() && self.program.contains(target) {
-                self.warm.btb.update_indirect(last.pc, target);
-            }
-        }
-        // Trace-level warming, as the detailed retirement stage does.
-        self.warm.predictor.train(&self.warm.history, trace.id());
-        self.warm.history.push(trace.id());
-        self.warm.tcache.fill(trace);
+        apply_trace_warming(self.program, &mut self.warm, &trace);
         Ok(())
     }
+}
+
+/// Applies every post-selection warming update one committed trace
+/// implies, in the order the detailed pipeline would: BTB and gshare per
+/// branch, RAS per call/return, icache per contiguous fetch segment,
+/// indirect-target training at the trace end, then next-trace predictor
+/// and trace cache. Shared by the interpreter path and the superblock
+/// engine's miss path (the engine's hit path replays a precomputed image
+/// of exactly these updates).
+pub(crate) fn apply_trace_warming(program: &Program, warm: &mut Warm, trace: &Arc<Trace>) {
+    // Per-instruction warming, in commit order.
+    for ti in trace.insts() {
+        match ti.inst {
+            Inst::Branch { .. } => {
+                let taken = ti.embedded_taken.expect("actual-outcome trace embeds outcomes");
+                warm.btb.update_cond(ti.pc, taken);
+                warm.gshare.update(ti.pc, taken);
+            }
+            Inst::Call { .. } | Inst::CallIndirect { .. } => warm.ras.push(ti.pc + 1),
+            Inst::Ret => {
+                let _ = warm.ras.pop();
+            }
+            _ => {}
+        }
+    }
+    // Instruction-cache warming: touch each contiguous fetch segment,
+    // as trace construction through the instruction cache would.
+    {
+        let insts = trace.insts();
+        let mut seg_start = insts[0].pc;
+        let mut prev = insts[0].pc;
+        for ti in &insts[1..] {
+            if ti.pc != prev + 1 {
+                warm.icache.warm_range(seg_start, prev);
+                seg_start = ti.pc;
+            }
+            prev = ti.pc;
+        }
+        warm.icache.warm_range(seg_start, prev);
+    }
+    // Indirect-target training, as the detailed completion stage does.
+    if let (Some(last), Some(target)) = (trace.insts().last(), trace.next_pc()) {
+        if last.inst.is_indirect() && program.contains(target) {
+            warm.btb.update_indirect(last.pc, target);
+        }
+    }
+    // Trace-level warming, as the detailed retirement stage does.
+    warm.predictor.train(&warm.history, trace.id());
+    warm.history.push(trace.id());
+    warm.tcache.fill(Arc::clone(trace));
 }
 
 #[cfg(test)]
@@ -401,6 +462,91 @@ mod tests {
         assert!(ff.warm().btb.predict_cond(2));
         assert!(!ff.warm().tcache.lines_lru().is_empty());
         assert!(ff.warm().predictor.stats().updates > 0);
+    }
+
+    /// A kernel with data-dependent hammocks, two call sites into one
+    /// helper (its `Ret` trace ends at two different targets), and
+    /// store/load churn — every path class the superblock engine
+    /// specializes.
+    fn branchy_program(iters: i32) -> Program {
+        let mut a = Asm::new("branchy");
+        let (s, i, m, t, sc) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4), Reg::new(5));
+        a.li64(m, 0x5DEE_CE66_D601);
+        a.li64(s, 0x1234_5678_9ABC);
+        a.li(i, iters);
+        a.label("top");
+        a.alu(tp_isa::AluOp::Mul, s, s, m);
+        a.addi(s, s, 0xB);
+        a.alui(tp_isa::AluOp::And, t, s, 1);
+        a.branch(Cond::Eq, t, Reg::ZERO, "even");
+        a.call("helper");
+        a.jump("join");
+        a.label("even");
+        a.alui(tp_isa::AluOp::Xor, s, s, 0x55);
+        a.alui(tp_isa::AluOp::And, t, s, 2);
+        a.branch(Cond::Eq, t, Reg::ZERO, "join");
+        a.call("helper");
+        a.label("join");
+        a.alui(tp_isa::AluOp::And, t, s, 0xFF8);
+        a.addi(t, t, tp_isa::DATA_BASE as i32);
+        a.store(s, t, 0);
+        a.load(sc, t, 0);
+        a.alu(tp_isa::AluOp::Add, s, s, sc);
+        a.addi(i, i, -1);
+        a.branch(Cond::Gt, i, Reg::ZERO, "top");
+        a.halt();
+        a.label("helper");
+        a.alui(tp_isa::AluOp::Shr, sc, s, 3);
+        a.alu(tp_isa::AluOp::Add, s, s, sc);
+        a.ret();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn superblock_matches_interpreter_exactly() {
+        let p = branchy_program(300);
+        let cfg = TraceProcessorConfig::small(CiModel::FgMlbRet);
+        let mut fast = FastForward::new(&p, &cfg);
+        let mut slow = FastForward::new(&p, &cfg);
+        slow.set_superblock(false);
+        assert!(fast.superblock() && !slow.superblock());
+        for chunk in [137u64, 64, 333, 1000, u64::MAX] {
+            let a = fast.skip(chunk).unwrap();
+            let b = slow.skip(chunk).unwrap();
+            assert_eq!(a, b, "skip summaries diverge at chunk {chunk}");
+            assert_eq!(fast.machine().capture(), slow.machine().capture());
+            assert_eq!(
+                fast.checkpoint().encode(),
+                slow.checkpoint().encode(),
+                "checkpoint bytes diverge at chunk {chunk}"
+            );
+            assert_eq!(
+                format!("{:?}", fast.warm().bit),
+                format!("{:?}", slow.warm().bit),
+                "BIT state diverges at chunk {chunk}"
+            );
+        }
+        assert!(fast.halted() && slow.halted());
+        let stats = fast.engine_stats().unwrap();
+        assert!(stats.memo_hits > stats.memo_misses, "hot loop should hit the memo: {stats:?}");
+        assert!(stats.blocks_built > 0);
+        assert_eq!(stats.pages_invalidated, 0, "no stores touch code pages: {stats:?}");
+    }
+
+    #[test]
+    fn interpreter_toggle_round_trips() {
+        let p = loop_program(100);
+        let cfg = TraceProcessorConfig::small(CiModel::None);
+        let mut ff = FastForward::new(&p, &cfg);
+        ff.skip(30).unwrap();
+        ff.set_superblock(false);
+        assert!(ff.engine_stats().is_none());
+        ff.skip(30).unwrap();
+        ff.set_superblock(true);
+        ff.skip(u64::MAX).unwrap();
+        let mut straight = Machine::new(&p);
+        straight.run(u64::MAX).unwrap();
+        assert_eq!(ff.machine().capture(), straight.capture());
     }
 
     #[test]

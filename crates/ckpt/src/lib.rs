@@ -30,7 +30,7 @@ pub mod ffwd;
 pub mod wire;
 
 pub use checkpoint::{program_fingerprint, Checkpoint, CkptError, TraceLine, WarmImages};
-pub use ffwd::{FastForward, SkipSummary, Warm};
+pub use ffwd::{EngineStats, FastForward, SkipSummary, Warm};
 pub use wire::WireError;
 
 #[cfg(test)]
@@ -93,6 +93,33 @@ mod tests {
                 assert_eq!(resumed.retired(), straight.retired(), "{name} split {split}");
             }
         }
+    }
+
+    /// The incremental dirty-page capture ([`Checkpoint::capture_machine`],
+    /// what [`FastForward::checkpoint`] uses) equals the full-rescan
+    /// capture byte for byte — at every split point, and across a
+    /// `from_state` resume boundary (where resumed-but-unchanged words
+    /// must not re-enter the delta).
+    #[test]
+    fn incremental_capture_equals_full_rescan() {
+        let w = by_name("vortex", Size::Tiny).unwrap().program;
+        let cfg = TraceProcessorConfig::paper(CiModel::FgMlbRet);
+        let mut ff = FastForward::new(&w, &cfg);
+        for split in [1u64, 63, 500, 1777] {
+            ff.skip(split).unwrap();
+            let fast = ff.checkpoint();
+            let slow =
+                Checkpoint::capture(&w, ff.frontend(), &ff.machine().capture(), Some(ff.warm()));
+            assert_eq!(fast, slow, "split {split}");
+            assert_eq!(fast.encode(), slow.encode(), "split {split}");
+        }
+        // Resume from a captured state and keep running both drivers in
+        // lockstep: the rebuilt machine's stored-word classification must
+        // keep its deltas identical to the continuously tracked one's.
+        let mut resumed = FastForward::with_warm(&w, ff.machine().capture(), ff.warm().clone());
+        resumed.skip(500).unwrap();
+        ff.skip(500).unwrap();
+        assert_eq!(resumed.checkpoint().encode(), ff.checkpoint().encode());
     }
 
     /// Encode/decode is the identity on the checkpoint value, including

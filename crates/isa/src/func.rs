@@ -7,9 +7,10 @@
 //! way. It is also used by the Table 5 profiling harness, which replays the
 //! dynamic instruction stream through a branch predictor.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::fxhash::FxHashMap;
 use crate::{Addr, Inst, Pc, Program, Reg, Word};
 
 /// Error produced when execution leaves the program image.
@@ -91,6 +92,144 @@ pub struct MachineState {
     pub retired: u64,
 }
 
+/// Words per memory page (matches the checkpoint format's dirty-page
+/// granularity: page index = word index >> 6).
+const PAGE_WORDS: usize = 64;
+
+/// One 64-word memory page with word-granular bookkeeping bitmaps.
+///
+/// `touched` marks words the machine knows about (initial data image plus
+/// every stored word) — the set [`Machine::capture`] must reproduce.
+/// `stored` marks words written by a `Store` (or resumed already differing
+/// from the initial image): only these can diverge from the program's data
+/// image, so a checkpoint delta never has to scan the rest.
+#[derive(Clone, Debug)]
+struct Page {
+    /// Page number (`word index >> 6`).
+    no: u64,
+    words: [Word; PAGE_WORDS],
+    touched: u64,
+    stored: u64,
+}
+
+impl Page {
+    fn empty(no: u64) -> Page {
+        Page { no, words: [0; PAGE_WORDS], touched: 0, stored: 0 }
+    }
+}
+
+/// Sparse paged memory: 64-word zero-initialized pages keyed by
+/// `word index >> 6`.
+///
+/// Pages live in a flat vector; the hash index maps page number → slot and
+/// is consulted only when the one-entry lookup cache (the last page
+/// touched) misses, so the hot execution loop pays one compare plus one
+/// array index per access instead of a hash probe.
+#[derive(Clone, Debug)]
+struct PagedMem {
+    pages: Vec<Page>,
+    index: FxHashMap<u64, u32>,
+    /// Page number of the cached slot; `u64::MAX` when nothing is cached.
+    last_page: u64,
+    last_slot: u32,
+}
+
+impl Default for PagedMem {
+    fn default() -> PagedMem {
+        PagedMem {
+            pages: Vec::new(),
+            index: FxHashMap::default(),
+            last_page: u64::MAX,
+            last_slot: 0,
+        }
+    }
+}
+
+impl PagedMem {
+    /// Slot of `page_no` if the page exists, refreshing the lookup cache.
+    #[inline]
+    fn slot_of(&mut self, page_no: u64) -> Option<u32> {
+        if self.last_page == page_no {
+            return Some(self.last_slot);
+        }
+        let slot = *self.index.get(&page_no)?;
+        self.last_page = page_no;
+        self.last_slot = slot;
+        Some(slot)
+    }
+
+    /// Reads a word (0 if untouched). Never allocates.
+    #[inline]
+    fn load(&mut self, word: u64) -> Word {
+        match self.slot_of(word >> 6) {
+            Some(s) => self.pages[s as usize].words[(word & 63) as usize],
+            None => 0,
+        }
+    }
+
+    /// Reads a word without refreshing the lookup cache (shared-reference
+    /// inspection paths).
+    fn peek(&self, word: u64) -> Word {
+        let page_no = word >> 6;
+        let slot = if self.last_page == page_no {
+            Some(self.last_slot)
+        } else {
+            self.index.get(&page_no).copied()
+        };
+        match slot {
+            Some(s) => self.pages[s as usize].words[(word & 63) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes a word, marking it touched and (when `stored`) dirty.
+    #[inline]
+    fn set(&mut self, word: u64, value: Word, stored: bool) {
+        let page_no = word >> 6;
+        let slot = match self.slot_of(page_no) {
+            Some(s) => s,
+            None => {
+                let s = self.pages.len() as u32;
+                self.pages.push(Page::empty(page_no));
+                self.index.insert(page_no, s);
+                self.last_page = page_no;
+                self.last_slot = s;
+                s
+            }
+        };
+        let page = &mut self.pages[slot as usize];
+        let bit = 1u64 << (word & 63);
+        page.words[(word & 63) as usize] = value;
+        page.touched |= bit;
+        if stored {
+            page.stored |= bit;
+        }
+    }
+
+    /// Whether `word` is touched (in the capture image).
+    fn is_touched(&self, word: u64) -> bool {
+        self.index
+            .get(&(word >> 6))
+            .is_some_and(|&s| self.pages[s as usize].touched >> (word & 63) & 1 == 1)
+    }
+
+    /// Every touched word as `(word index, value)`, unordered.
+    fn iter_touched(&self) -> impl Iterator<Item = (u64, Word)> + '_ {
+        self.pages.iter().flat_map(|p| {
+            (0..PAGE_WORDS)
+                .filter(move |&i| p.touched >> i & 1 == 1)
+                .map(move |i| ((p.no << 6) | i as u64, p.words[i]))
+        })
+    }
+
+    /// Pages holding at least one stored word, ascending by page number.
+    fn stored_pages(&self) -> Vec<&Page> {
+        let mut pages: Vec<&Page> = self.pages.iter().filter(|p| p.stored != 0).collect();
+        pages.sort_unstable_by_key(|p| p.no);
+        pages
+    }
+}
+
 /// The functional simulator.
 ///
 /// # Example
@@ -113,7 +252,10 @@ pub struct MachineState {
 pub struct Machine<'p> {
     program: &'p Program,
     regs: [Word; Reg::COUNT],
-    mem: HashMap<u64, Word>,
+    mem: PagedMem,
+    /// The program's initial data image by word index; the reference the
+    /// dirty delta ([`Machine::mem_delta`]) is computed against.
+    initial: FxHashMap<u64, Word>,
     pc: Pc,
     halted: bool,
     retired: u64,
@@ -123,14 +265,17 @@ impl<'p> Machine<'p> {
     /// Creates a machine at the program's entry point with the initial data
     /// image loaded.
     pub fn new(program: &'p Program) -> Machine<'p> {
-        let mut mem = HashMap::new();
+        let mut mem = PagedMem::default();
+        let mut initial = FxHashMap::default();
         for (addr, word) in program.data() {
-            mem.insert(addr >> 3, word);
+            mem.set(addr >> 3, word, false);
+            initial.insert(addr >> 3, word);
         }
         Machine {
             program,
             regs: [0; Reg::COUNT],
             mem,
+            initial,
             pc: program.entry(),
             halted: false,
             retired: 0,
@@ -143,10 +288,21 @@ impl<'p> Machine<'p> {
     /// program (the caller is responsible for that pairing; the checkpoint
     /// format records a program fingerprint for exactly this check).
     pub fn from_state(program: &'p Program, state: MachineState) -> Machine<'p> {
+        let initial: FxHashMap<u64, Word> =
+            program.data().map(|(addr, word)| (addr >> 3, word)).collect();
+        let mut mem = PagedMem::default();
+        for (&word, &value) in &state.mem {
+            // Words still holding their initial value cannot contribute to
+            // a dirty delta; only resumed words that already diverged need
+            // the `stored` mark.
+            let stored = initial.get(&word).copied().unwrap_or(0) != value;
+            mem.set(word, value, stored);
+        }
         Machine {
             program,
             regs: state.regs,
-            mem: state.mem.into_iter().collect(),
+            mem,
+            initial,
             pc: state.pc,
             halted: state.halted,
             retired: state.retired,
@@ -157,7 +313,7 @@ impl<'p> Machine<'p> {
     pub fn capture(&self) -> MachineState {
         MachineState {
             regs: self.regs,
-            mem: self.mem.iter().map(|(&a, &w)| (a, w)).collect(),
+            mem: self.mem.iter_touched().collect(),
             pc: self.pc,
             halted: self.halted,
             retired: self.retired,
@@ -167,7 +323,31 @@ impl<'p> Machine<'p> {
     /// Iterates every touched memory word as `(word index, value)`,
     /// including words holding zero (unlike [`Machine::arch_state`]).
     pub fn mem_words(&self) -> impl Iterator<Item = (u64, Word)> + '_ {
-        self.mem.iter().map(|(&a, &w)| (a, w))
+        self.mem.iter_touched()
+    }
+
+    /// The dirty memory delta against the program's initial data image, as
+    /// ascending `(word index, value)` pairs — exactly the word set a
+    /// checkpoint records.
+    ///
+    /// Computed incrementally: only pages holding at least one stored word
+    /// are visited, so the cost scales with the store working set, not
+    /// with every word the machine has ever touched.
+    pub fn mem_delta(&self) -> Vec<(u64, Word)> {
+        let mut delta = Vec::new();
+        for p in self.mem.stored_pages() {
+            let mut bits = p.stored;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let word = (p.no << 6) | i as u64;
+                let value = p.words[i];
+                if self.initial.get(&word).copied().unwrap_or(0) != value {
+                    delta.push((word, value));
+                }
+            }
+        }
+        delta
     }
 
     /// The program being executed.
@@ -195,16 +375,27 @@ impl<'p> Machine<'p> {
         self.regs[r.index()]
     }
 
+    /// The full register file (a cheap copy; no memory materialization).
+    pub fn regs(&self) -> [Word; Reg::COUNT] {
+        self.regs
+    }
+
     /// Reads the memory word containing byte address `addr` (0 if untouched).
     pub fn mem_word(&self, addr: Addr) -> Word {
-        self.mem.get(&(addr >> 3)).copied().unwrap_or(0)
+        self.mem.peek(addr >> 3)
+    }
+
+    /// Whether the word containing byte address `addr` is in the capture
+    /// image (initial data or written by a store).
+    pub fn mem_touched(&self, addr: Addr) -> bool {
+        self.mem.is_touched(addr >> 3)
     }
 
     /// Takes a normalized snapshot of the architectural state.
     pub fn arch_state(&self) -> ArchState {
         ArchState {
             regs: self.regs,
-            mem: self.mem.iter().filter(|(_, &w)| w != 0).map(|(&a, &w)| (a, w)).collect(),
+            mem: self.mem.iter_touched().filter(|&(_, w)| w != 0).collect(),
         }
     }
 
@@ -222,6 +413,21 @@ impl<'p> Machine<'p> {
         if self.halted {
             return Ok(Step { pc, inst, next_pc: pc, taken: None, ea: None, halted: true });
         }
+        Ok(self.exec_decoded(pc, inst))
+    }
+
+    /// Executes one *pre-decoded* instruction without re-fetching it from
+    /// the program image — the fast path for block-cached execution
+    /// engines, with semantics identical to [`Machine::step`].
+    ///
+    /// The caller owns the fetch contract: `inst` must be the instruction
+    /// at `pc`, `pc` must be the machine's current PC, and the machine must
+    /// not be halted (all debug-asserted).
+    #[inline]
+    pub fn exec_decoded(&mut self, pc: Pc, inst: Inst) -> Step {
+        debug_assert_eq!(pc, self.pc, "exec_decoded pc diverged from machine pc");
+        debug_assert_eq!(self.program.fetch(pc), Some(inst), "exec_decoded inst mismatch");
+        debug_assert!(!self.halted, "exec_decoded on a halted machine");
         self.retired += 1;
         let mut taken = None;
         let mut ea = None;
@@ -238,14 +444,14 @@ impl<'p> Machine<'p> {
             Inst::Load { rd, base, offset } => {
                 let addr = effective_address(self.read(base), offset);
                 ea = Some(addr);
-                let v = self.mem.get(&(addr >> 3)).copied().unwrap_or(0);
+                let v = self.mem.load(addr >> 3);
                 self.write(rd, v);
             }
             Inst::Store { rs, base, offset } => {
                 let addr = effective_address(self.read(base), offset);
                 ea = Some(addr);
                 let v = self.read(rs);
-                self.mem.insert(addr >> 3, v);
+                self.mem.set(addr >> 3, v, true);
             }
             Inst::Branch { cond, rs, rt, target } => {
                 let t = cond.eval(self.read(rs), self.read(rt));
@@ -273,7 +479,7 @@ impl<'p> Machine<'p> {
             Inst::Nop => {}
         }
         self.pc = next_pc;
-        Ok(Step { pc, inst, next_pc, taken, ea, halted: self.halted })
+        Step { pc, inst, next_pc, taken, ea, halted: self.halted }
     }
 
     /// Runs for at most `budget` instructions or until `Halt`.
@@ -510,6 +716,68 @@ mod tests {
             a.halt();
         });
         assert!(m.mem_words().any(|(w, v)| w == 0x300 >> 3 && v == 0));
+    }
+
+    #[test]
+    fn exec_decoded_matches_step_in_lockstep() {
+        let mut a = Asm::new("t");
+        a.li(Reg::new(1), 0x200);
+        a.li(Reg::new(2), 3);
+        a.label("top");
+        a.store(Reg::new(2), Reg::new(1), 0);
+        a.load(Reg::new(3), Reg::new(1), 0);
+        a.addi(Reg::new(2), Reg::new(2), -1);
+        a.branch(Cond::Gt, Reg::new(2), Reg::ZERO, "top");
+        a.call("f");
+        a.halt();
+        a.label("f");
+        a.ret();
+        let p = a.assemble().unwrap();
+        let mut by_step = Machine::new(&p);
+        let mut by_decoded = Machine::new(&p);
+        while !by_step.halted() {
+            let pc = by_decoded.pc();
+            let inst = p.fetch(pc).unwrap();
+            let a = by_step.step().unwrap();
+            let b = by_decoded.exec_decoded(pc, inst);
+            assert_eq!(a, b);
+        }
+        assert_eq!(by_step.capture(), by_decoded.capture());
+    }
+
+    #[test]
+    fn mem_delta_matches_brute_force_recompute() {
+        let mut a = Asm::new("t");
+        a.li(Reg::new(1), 0x200);
+        a.li(Reg::new(2), 7);
+        a.store(Reg::new(2), Reg::new(1), 0); // fresh dirty word
+        a.store(Reg::ZERO, Reg::new(1), 8); // touched, equals untouched 0: no delta
+        a.li(Reg::new(3), 99);
+        a.store(Reg::new(3), Reg::ZERO, 0x100); // store initial value back: no delta
+        a.li(Reg::new(4), 5);
+        a.store(Reg::new(4), Reg::ZERO, 0x108); // overwrite initial data
+        a.halt();
+        a.data_word(0x100, 99);
+        a.data_word(0x108, 1);
+        let p = a.assemble().unwrap();
+        let mut m = Machine::new(&p);
+        m.run(u64::MAX).unwrap();
+
+        let initial: BTreeMap<u64, Word> = p.data().map(|(a, w)| (a >> 3, w)).collect();
+        let brute: Vec<(u64, Word)> = m
+            .capture()
+            .mem
+            .iter()
+            .filter(|(w, v)| initial.get(w).copied().unwrap_or(0) != **v)
+            .map(|(&w, &v)| (w, v))
+            .collect();
+        assert_eq!(m.mem_delta(), brute);
+        assert_eq!(m.mem_delta(), vec![(0x108 >> 3, 5), (0x200 >> 3, 7)]);
+
+        // A resume round-trips the delta computation too.
+        let resumed = Machine::from_state(&p, m.capture());
+        assert_eq!(resumed.mem_delta(), m.mem_delta());
+        assert_eq!(resumed.capture(), m.capture());
     }
 
     #[test]

@@ -120,6 +120,22 @@ impl Btb {
         self.targets[i] = Some(target);
     }
 
+    /// Whether replaying `updates` through [`Btb::update_cond`] would leave
+    /// every counter unchanged: each update's counter already saturated in
+    /// the update's direction. Checkpoint images carry counters but not
+    /// statistics, so a saturated run is unobservable in captured state.
+    pub fn cond_run_saturated(&self, updates: &[(Pc, bool)]) -> bool {
+        updates
+            .iter()
+            .all(|&(pc, taken)| self.counters[self.index(pc)] == if taken { 3 } else { 0 })
+    }
+
+    /// Whether the indirect target trained for `pc` is already `target`
+    /// (an [`Btb::update_indirect`] with it would be a no-op).
+    pub fn indirect_is(&self, pc: Pc, target: Pc) -> bool {
+        self.targets[self.index(pc)] == Some(target)
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> BtbStats {
         self.stats

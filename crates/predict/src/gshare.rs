@@ -90,6 +90,39 @@ impl Gshare {
         self.history = (self.history << 1) | taken as u64;
     }
 
+    /// The history bits that currently feed table indexing.
+    #[inline]
+    pub fn masked_history(&self) -> u64 {
+        self.history & self.history_mask
+    }
+
+    /// Whether replaying `updates` through [`Gshare::update`] would leave
+    /// every counter unchanged: simulating the history shifts each update
+    /// performs, every indexed counter is already saturated in the
+    /// update's direction. The history register itself still advances on a
+    /// replay — apply that part with [`Gshare::push_outcomes`].
+    pub fn run_saturated(&self, updates: &[(Pc, bool)]) -> bool {
+        let mut h = self.history;
+        for &(pc, taken) in updates {
+            let i = ((pc as u64 ^ (h & self.history_mask)) & self.mask) as usize;
+            if self.counters[i] != if taken { 3 } else { 0 } {
+                return false;
+            }
+            h = (h << 1) | taken as u64;
+        }
+        true
+    }
+
+    /// Shifts `n` outcome bits into the global history without training —
+    /// the history half of a run [`Gshare::run_saturated`] proved to be a
+    /// counter no-op. `bits` holds the outcomes with the first update in
+    /// the most significant of the low `n` bits, exactly as `n` successive
+    /// [`Gshare::update`] calls would shift them in.
+    #[inline]
+    pub fn push_outcomes(&mut self, n: u32, bits: u64) {
+        self.history = (self.history << n) | bits;
+    }
+
     /// Captures the trained state as a plain-data [`GshareImage`].
     pub fn image(&self) -> GshareImage {
         GshareImage {

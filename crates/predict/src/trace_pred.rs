@@ -158,6 +158,13 @@ impl Component {
         self.entries[idx].filter(|e| e.tag == tag)
     }
 
+    /// Whether training `(hash, actual)` would leave the table unchanged:
+    /// the slot already holds this context's entry, predicting `actual`
+    /// at saturated confidence.
+    fn train_is_noop(&self, hash: u64, actual: TraceId) -> bool {
+        self.probe(hash).is_some_and(|e| e.pred == actual && e.confidence == 3)
+    }
+
     fn train(&mut self, hash: u64, actual: TraceId) -> TrainEvent {
         let idx = (hash & self.mask) as usize;
         let tag = (hash >> 16) as u16;
@@ -359,6 +366,16 @@ impl NextTracePredictor {
             TrainEvent::Repointed => self.stats.simple_repoints += 1,
             TrainEvent::Trained | TrainEvent::Allocated => {}
         }
+    }
+
+    /// Whether [`NextTracePredictor::train`] with this `(history, actual)`
+    /// pair would leave both component tables unchanged (each slot already
+    /// predicts `actual` at saturated confidence). Images carry tables but
+    /// not statistics, so such a training round is unobservable in
+    /// captured state.
+    pub fn train_is_noop(&self, history: &TraceHistory, actual: TraceId) -> bool {
+        self.path.train_is_noop(history.path_hash(), actual)
+            && self.simple.train_is_noop(history.last_hash(), actual)
     }
 
     /// Accumulated statistics.

@@ -248,6 +248,48 @@ impl Selector {
         outcomes: &mut impl OutcomeSource,
         stop_before: Option<(Pc, usize)>,
     ) -> Selection {
+        self.select_inner(program, start, bit, outcomes, stop_before, None)
+    }
+
+    /// Like [`Selector::select_bounded`], recording into `consults` the PC
+    /// of every BIT query the selection makes, in query order.
+    ///
+    /// The consulted PCs are a function of the selected path alone (BIT
+    /// contents change stats and LRU order, never the path), so a caller
+    /// that memoizes a selection can later replay the exact BIT
+    /// lookup/insert sequence with [`Selector::replay_bit`] instead of
+    /// re-running selection.
+    pub fn select_bounded_recording(
+        &self,
+        program: &Program,
+        start: Pc,
+        bit: &mut Bit,
+        outcomes: &mut impl OutcomeSource,
+        stop_before: Option<(Pc, usize)>,
+        consults: &mut Vec<Pc>,
+    ) -> Selection {
+        self.select_inner(program, start, bit, outcomes, stop_before, Some(consults))
+    }
+
+    /// Replays one recorded BIT consult: an LRU-touching lookup, with the
+    /// miss path re-running the (pure) FGCI region analysis and inserting
+    /// the result — exactly the BIT state transition
+    /// [`Selector::select_bounded`] performs at a forward branch.
+    pub fn replay_bit(&self, program: &Program, bit: &mut Bit, pc: Pc) {
+        if bit.lookup(pc).is_none() {
+            bit.insert(pc, analyze_region(program, pc, self.config.max_len));
+        }
+    }
+
+    fn select_inner(
+        &self,
+        program: &Program,
+        start: Pc,
+        bit: &mut Bit,
+        outcomes: &mut impl OutcomeSource,
+        stop_before: Option<(Pc, usize)>,
+        mut consults: Option<&mut Vec<Pc>>,
+    ) -> Selection {
         assert!(program.contains(start), "trace start pc {start} out of program");
         let cfg = self.config;
         let mut raw: Vec<(Pc, Inst, Option<bool>, bool)> = Vec::with_capacity(cfg.max_len as usize);
@@ -294,6 +336,9 @@ impl Selector {
             // FGCI region padding: consult the BIT at forward conditional
             // branches outside any active region.
             if cfg.fg && region_end.is_none() && inst.is_forward_branch(pc) {
+                if let Some(rec) = consults.as_deref_mut() {
+                    rec.push(pc);
+                }
                 let info = match bit.lookup(pc) {
                     Some(info) => info,
                     None => {
@@ -627,6 +672,32 @@ mod tests {
         let s2 = sel.select_with(&p, 0, &mut bit, |_, _, _| false, |_, _| None);
         assert_eq!(s2.stats.bit_misses, 0);
         assert_eq!(s2.stats.bit_miss_cycles, 0);
+    }
+
+    #[test]
+    fn recorded_bit_consults_replay_to_equivalent_bit_state() {
+        let p = hammock_program();
+        let sel = Selector::new(SelectionConfig::with_fg());
+        let mut bit_a = Bit::paper();
+        let mut consults = Vec::new();
+        let mut outcomes = ClosureOutcomes::new(|_, _, _| false, |_, _| None);
+        let s1 =
+            sel.select_bounded_recording(&p, 0, &mut bit_a, &mut outcomes, None, &mut consults);
+        assert!(!consults.is_empty());
+        assert_eq!(consults.len() as u32, s1.stats.bit_misses);
+
+        // Replaying the consult list on a fresh BIT reproduces the lookup
+        // and insert sequence: a re-selection afterwards misses nowhere on
+        // either table and picks identical traces.
+        let mut bit_b = Bit::paper();
+        for &pc in &consults {
+            sel.replay_bit(&p, &mut bit_b, pc);
+        }
+        let s_a = sel.select_with(&p, 0, &mut bit_a, |_, _, _| false, |_, _| None);
+        let s_b = sel.select_with(&p, 0, &mut bit_b, |_, _, _| false, |_, _| None);
+        assert_eq!(s_a.stats.bit_misses, 0);
+        assert_eq!(s_b.stats.bit_misses, 0);
+        assert_eq!(s_a.trace, s_b.trace);
     }
 
     #[test]

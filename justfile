@@ -39,9 +39,18 @@ oracle:
 
 # Perf-trajectory baseline: both workload suites (synthetic + rv) x all
 # five CI models, writes BENCH_speed.json (tp-bench/speed/v2; see README
-# "Benchmarking"). The rv cells are the file's "rv section".
+# "Benchmarking"). The rv cells are the file's "rv section"; the sampled
+# section is the long-suite fast-forward throughput report.
 baseline SIZE="full":
-    cargo run --release -p tp-bench --bin baseline -- --size {{SIZE}} --suite all
+    cargo run --release -p tp-bench --bin baseline -- --size {{SIZE}} --suite all --ffwd-bench
+
+# Fast-forward engine benchmark: interpreter vs superblock on both suites,
+# asserting byte-identical TPCK checkpoints per cell; writes
+# BENCH_ffwd.json (the `sampled` throughput schema, standalone). CI runs
+# the small variant with `--gate 1.0` — the superblock engine must never
+# be slower than the interpreter.
+ffwd-bench SIZE="long":
+    cargo run --release -p tp-bench --bin speed -- --ffwd-bench --size {{SIZE}} --suite all --out BENCH_ffwd.json
 
 # Quick IPC/misprediction table for the RISC-V suite (base model).
 rv SIZE="full":
