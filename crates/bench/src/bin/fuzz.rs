@@ -1,0 +1,179 @@
+//! Differential fuzzer driver: generated structured programs through all
+//! five control-independence models on both frontends, against the
+//! functional oracle.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p tp-bench --bin fuzz -- \
+//!     [--seed S] [--count N] [--budget B] [--config default|small] \
+//!     [--jobs J] [--shrink] [--quiet]
+//! ```
+//!
+//! * `--seed S`   first seed (default 0)
+//! * `--count N`  number of seeds; `0` fuzzes forever (default 500)
+//! * `--budget B` functional-oracle instruction budget per program
+//! * `--config`   generator configuration (default `default`)
+//! * `--machine`  simulated machine: `paper` (16 PEs) or `small` (4 PEs,
+//!   short traces — keeps the window saturated; default `paper`)
+//! * `--jobs J`   worker threads (default: available cores)
+//! * `--shrink`   on divergence, shrink to a minimal reproducer and print
+//!   its AST and RV64 source
+//! * `--quiet`    suppress per-chunk progress
+//!
+//! Exit status is non-zero iff any seed diverged. Every divergent seed is
+//! printed (`DIVERGE seed=... [isa model] detail`), so a failing run can
+//! be replayed exactly with `--seed <seed> --count 1 --shrink`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use tp_fuzz::gen::generate;
+use tp_fuzz::harness::{Harness, Outcome};
+use tp_fuzz::shrink::shrink;
+use tp_fuzz::{emit_rv_source, FuzzConfig};
+
+struct Args {
+    seed: u64,
+    count: u64,
+    budget: u64,
+    config: FuzzConfig,
+    small_machine: bool,
+    jobs: usize,
+    do_shrink: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 0,
+        count: 500,
+        budget: 2_000_000,
+        config: FuzzConfig::default(),
+        small_machine: false,
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        do_shrink: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--seed" => args.seed = val("--seed").parse().expect("--seed: u64"),
+            "--count" => args.count = val("--count").parse().expect("--count: u64"),
+            "--budget" => args.budget = val("--budget").parse().expect("--budget: u64"),
+            "--jobs" => args.jobs = val("--jobs").parse().expect("--jobs: usize"),
+            "--config" => match val("--config").as_str() {
+                "default" => args.config = FuzzConfig::default(),
+                "small" => args.config = FuzzConfig::small(),
+                other => {
+                    eprintln!("unknown config {other:?}; expected default|small");
+                    std::process::exit(2);
+                }
+            },
+            "--machine" => match val("--machine").as_str() {
+                "paper" => args.small_machine = false,
+                "small" => args.small_machine = true,
+                other => {
+                    eprintln!("unknown machine {other:?}; expected paper|small");
+                    std::process::exit(2);
+                }
+            },
+            "--shrink" => args.do_shrink = true,
+            "--quiet" => args.quiet = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let harness = Harness {
+        oracle_budget: args.budget,
+        small_machine: args.small_machine,
+        ..Harness::default()
+    };
+    let next = AtomicU64::new(args.seed);
+    let end = if args.count == 0 { u64::MAX } else { args.seed.saturating_add(args.count) };
+    let checked = AtomicU64::new(0);
+    let skipped = AtomicU64::new(0);
+    let failures: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..args.jobs.max(1) {
+            scope.spawn(|| loop {
+                let seed = next.fetch_add(1, Ordering::Relaxed);
+                if seed >= end {
+                    break;
+                }
+                match harness.check_seed(&args.config, seed) {
+                    Outcome::Pass { .. } => {}
+                    Outcome::TooLong => {
+                        skipped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Outcome::Diverged(d) => {
+                        println!("DIVERGE seed={seed} {d}");
+                        failures.lock().unwrap().push((seed, d.to_string()));
+                    }
+                }
+                let n = checked.fetch_add(1, Ordering::Relaxed) + 1;
+                if !args.quiet && n.is_multiple_of(500) {
+                    eprintln!(
+                        "fuzz: {n} programs checked (through seed ~{seed}), {} skipped, {} divergent",
+                        skipped.load(Ordering::Relaxed),
+                        failures.lock().unwrap().len()
+                    );
+                }
+            });
+        }
+    });
+
+    let n = checked.load(Ordering::Relaxed);
+    let failures = failures.into_inner().unwrap();
+    eprintln!(
+        "fuzz: done — {n} programs, {} skipped (over budget), {} divergent",
+        skipped.load(Ordering::Relaxed),
+        failures.len()
+    );
+    if failures.is_empty() {
+        return;
+    }
+    if args.do_shrink {
+        for (seed, _) in &failures {
+            shrink_and_print(&harness, &args.config, *seed);
+        }
+    }
+    std::process::exit(1);
+}
+
+/// Shrinks a divergent seed, preserving its first divergence's (isa,
+/// model), and prints the minimal AST plus its RV64 rendering.
+fn shrink_and_print(harness: &Harness, config: &FuzzConfig, seed: u64) {
+    let ast = generate(config, seed);
+    let Outcome::Diverged(orig) = harness.check_ast(&ast, "shrink") else {
+        eprintln!("seed {seed}: divergence did not reproduce for shrinking");
+        return;
+    };
+    let pred = |a: &tp_fuzz::FuzzAst| match harness.check_ast(a, "shrink") {
+        Outcome::Diverged(d) => d.isa == orig.isa && d.model == orig.model,
+        _ => false,
+    };
+    let before = ast.size();
+    let (small, stats) = shrink(&ast, pred, 4_000);
+    println!(
+        "--- seed {seed}: shrunk {before} -> {} statements ({} evals) ---",
+        small.size(),
+        stats.evals
+    );
+    println!("{small:#?}");
+    println!("--- rv64 rendering ---\n{}", emit_rv_source(&small));
+}

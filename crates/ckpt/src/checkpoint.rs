@@ -6,13 +6,13 @@
 //! functionally warmed predictor images accumulated by
 //! [`FastForward`](crate::FastForward).
 //!
-//! # Wire layout (version 1)
+//! # Wire layout
 //!
 //! All scalars little-endian; see [`crate::wire`] for the codec.
 //!
 //! ```text
 //! magic      b"TPCK"
-//! version    u32 (= 2; version-1 streams still decode)
+//! version    u32 (= 3; version-1/2 streams still decode)
 //! name       str          program name
 //! fpr       u64          program fingerprint (FNV-1a; see below)
 //! frontend   u8           frontend/ISA kind (version >= 2; 0 = synth,
@@ -40,6 +40,10 @@
 //!   dcache   u32 lines, lines x u64 line id               -- LRU-first
 //!   history  u32 depth, u32 len, len x trace id
 //!   selection u32 max len, u8 ntb, u8 fg
+//! checksum   u64          FNV-1a over every preceding byte (version >= 3;
+//!            verified before the body is decoded, so any corruption —
+//!            bit flip, truncation, appended garbage — is reported as a
+//!            checksum mismatch rather than a field-level symptom)
 //! ```
 //!
 //! A trace id is `u32 start, u32 mask, u8 branches`.
@@ -70,9 +74,20 @@ use crate::wire::{Reader, WireError, Writer};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"TPCK";
-const VERSION: u32 = 2;
-/// Oldest version this build still decodes (v1 lacked the frontend kind).
+const VERSION: u32 = 3;
+/// Oldest version this build still decodes (v1 lacked the frontend kind,
+/// v2 the trailing integrity checksum).
 const MIN_VERSION: u32 = 1;
+
+/// FNV-1a over a byte slice (the same hash the program fingerprint uses).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
 
 /// Errors producing or consuming a checkpoint.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -117,6 +132,14 @@ pub enum CkptError {
         /// The trace id that failed to rebuild.
         id: TraceId,
     },
+    /// The trailing integrity checksum does not match the stream contents
+    /// (version >= 3): the file was corrupted after capture.
+    ChecksumMismatch {
+        /// Checksum recorded in the stream.
+        stored: u64,
+        /// Checksum computed over the stream contents.
+        computed: u64,
+    },
 }
 
 impl fmt::Display for CkptError {
@@ -146,6 +169,11 @@ impl fmt::Display for CkptError {
             CkptError::TraceReconstruct { id } => {
                 write!(f, "cached trace {id} did not rebuild from the program image")
             }
+            CkptError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:016x}, \
+                 contents hash to {computed:016x} — the file is corrupt"
+            ),
         }
     }
 }
@@ -455,7 +483,8 @@ impl Checkpoint {
         })
     }
 
-    /// Encodes the checkpoint into the version-2 wire format.
+    /// Encodes the checkpoint into the version-3 wire format (trailing
+    /// FNV-1a checksum over everything before it).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.bytes(MAGIC);
@@ -500,17 +529,25 @@ impl Checkpoint {
                 encode_warm(&mut w, images);
             }
         }
-        w.into_bytes()
+        let mut bytes = w.into_bytes();
+        let sum = fnv1a(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        bytes
     }
 
-    /// Decodes a checkpoint (current version 2; version-1 streams decode
+    /// Decodes a checkpoint (current version 3; version-1 streams decode
     /// with the frontend defaulted to [`Frontend::Synth`], which is the
-    /// only frontend that existed when they were written).
+    /// only frontend that existed when they were written, and pre-3
+    /// streams carry no checksum).
     ///
     /// # Errors
     ///
-    /// [`CkptError::BadMagic`], [`CkptError::UnsupportedVersion`], or a
-    /// [`CkptError::Wire`] naming the field that was truncated or corrupt.
+    /// [`CkptError::BadMagic`], [`CkptError::UnsupportedVersion`],
+    /// [`CkptError::ChecksumMismatch`] when the stream contents do not
+    /// hash to the trailing checksum, or a [`CkptError::Wire`] naming the
+    /// field that was truncated or corrupt. Decoding never panics and
+    /// never silently misloads: a stream that decodes `Ok` is, up to the
+    /// checked invariants, exactly what was encoded.
     pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CkptError> {
         let mut r = Reader::new(bytes);
         if r.bytes(4, "magic").map_err(CkptError::Wire)? != MAGIC {
@@ -520,7 +557,32 @@ impl Checkpoint {
         if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(CkptError::UnsupportedVersion(version));
         }
-        decode_body(&mut r, version).map_err(CkptError::Wire)
+        // Verify the trailing checksum before touching the body: any
+        // corruption — bit flips, truncation, appended bytes — fails here
+        // with one uniform error instead of whatever field-level symptom
+        // it happens to produce.
+        let body_end = if version >= 3 {
+            let Some(split) = bytes.len().checked_sub(8).filter(|&s| s >= 8) else {
+                return Err(CkptError::Wire(WireError::Truncated { field: "checksum" }));
+            };
+            let stored = u64::from_le_bytes(bytes[split..].try_into().expect("length checked"));
+            let computed = fnv1a(&bytes[..split]);
+            if stored != computed {
+                return Err(CkptError::ChecksumMismatch { stored, computed });
+            }
+            split
+        } else {
+            bytes.len()
+        };
+        let mut r = Reader::new(&bytes[8..body_end]);
+        let ckpt = decode_body(&mut r, version).map_err(CkptError::Wire)?;
+        if r.remaining() != 0 {
+            return Err(CkptError::Wire(WireError::Corrupt(format!(
+                "{} trailing bytes after checkpoint body",
+                r.remaining()
+            ))));
+        }
+        Ok(ckpt)
     }
 }
 

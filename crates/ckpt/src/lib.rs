@@ -243,18 +243,22 @@ mod tests {
         let cfg = TraceProcessorConfig::paper(CiModel::None);
         let mut ff = FastForward::new(&w, &cfg);
         ff.skip(50).unwrap();
-        let v2 = ff.checkpoint().encode();
-        // Reconstruct the v1 layout: version 1 and no frontend byte. The
-        // frontend byte sits immediately after the length-prefixed name and
-        // the u64 fingerprint.
-        let name_len = u32::from_le_bytes(v2[8..12].try_into().unwrap()) as usize;
+        let v3 = ff.checkpoint().encode();
+        // Reconstruct the v1 layout: version 1, no frontend byte, no
+        // trailing checksum. The frontend byte sits immediately after the
+        // length-prefixed name and the u64 fingerprint.
+        let name_len = u32::from_le_bytes(v3[8..12].try_into().unwrap()) as usize;
         let frontend_pos = 12 + name_len + 8;
-        let mut v1 = v2.clone();
+        let mut v1 = v3[..v3.len() - 8].to_vec();
         v1[4..8].copy_from_slice(&1u32.to_le_bytes());
         v1.remove(frontend_pos);
         let ckpt = Checkpoint::decode(&v1).expect("v1 stream decodes");
         assert_eq!(ckpt.frontend, Frontend::Synth);
-        assert_eq!(ckpt, Checkpoint::decode(&v2).unwrap(), "payload identical apart from kind");
+        assert_eq!(ckpt, Checkpoint::decode(&v3).unwrap(), "payload identical apart from kind");
+        // A version-2 stream (frontend byte, no checksum) also decodes.
+        let mut v2 = v3[..v3.len() - 8].to_vec();
+        v2[4..8].copy_from_slice(&2u32.to_le_bytes());
+        assert_eq!(Checkpoint::decode(&v2).expect("v2 stream decodes"), ckpt);
         // An unknown frontend code in a v2 stream is named corrupt.
         let mut bad = v2.clone();
         bad[frontend_pos] = 7;

@@ -1,0 +1,96 @@
+//! Checkpoint (TPCK) robustness fuzz: a corrupted byte stream must
+//! produce a *named error* — never a panic, and never a silent misload
+//! (an `Ok` decode whose contents differ from what was captured). The
+//! version-3 trailing FNV-1a checksum makes this categorical: every
+//! truncation, bit flip, and appended byte fails closed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tp_ckpt::{Checkpoint, FastForward};
+use tp_core::{CiModel, TraceProcessorConfig};
+use tp_workloads::{by_name, Size};
+
+/// A real checkpoint with warm predictor images (the richest stream the
+/// format produces).
+fn sample_bytes() -> (Checkpoint, Vec<u8>) {
+    let w = by_name("compress", Size::Tiny).unwrap().program;
+    let cfg = TraceProcessorConfig::paper(CiModel::MlbRet);
+    let mut ff = FastForward::new(&w, &cfg);
+    ff.skip(600).unwrap();
+    let ckpt = ff.checkpoint();
+    assert!(ckpt.warm.is_some(), "sample should include warm images");
+    let bytes = ckpt.encode();
+    assert_eq!(Checkpoint::decode(&bytes).unwrap(), ckpt);
+    (ckpt, bytes)
+}
+
+/// Every proper prefix of a checkpoint fails to decode (and names what
+/// broke) — a partially written file can never load.
+#[test]
+fn every_truncation_is_rejected() {
+    let (_, bytes) = sample_bytes();
+    for cut in 0..bytes.len() {
+        let err = Checkpoint::decode(&bytes[..cut])
+            .expect_err(&format!("prefix of {cut}/{} decoded", bytes.len()));
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+/// Every single-bit flip anywhere in the stream is either rejected or —
+/// only when the flip downgrades the version field so the checksum is
+/// not consulted — decodes to the *identical* checkpoint. Nothing ever
+/// decodes to different contents.
+#[test]
+fn every_bit_flip_fails_closed() {
+    let (original, bytes) = sample_bytes();
+    // Keep the sweep bounded: every bit of every byte for small streams,
+    // striding for large ones (the stride still visits every field).
+    let stride = (bytes.len() / 4096).max(1);
+    for pos in (0..bytes.len()).step_by(stride) {
+        for bit in 0..8 {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 1 << bit;
+            match Checkpoint::decode(&flipped) {
+                Err(e) => assert!(!e.to_string().is_empty()),
+                Ok(decoded) => assert_eq!(
+                    decoded, original,
+                    "bit {bit} of byte {pos}: corrupt stream decoded to different contents"
+                ),
+            }
+        }
+    }
+}
+
+/// Appending bytes to a valid stream invalidates it (the checksum no
+/// longer sits at the tail).
+#[test]
+fn trailing_garbage_is_rejected() {
+    let (_, bytes) = sample_bytes();
+    for extra in [1usize, 7, 64] {
+        let mut grown = bytes.clone();
+        grown.extend(std::iter::repeat_n(0xabu8, extra));
+        assert!(Checkpoint::decode(&grown).is_err(), "{extra} appended bytes accepted");
+    }
+}
+
+/// Random byte soup — raw, magic-prefixed, and header-prefixed — never
+/// panics the decoder and never decodes.
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x7bc4);
+    let header: &[u8] = b"TPCK\x03\x00\x00\x00";
+    for i in 0..20_000 {
+        let len = rng.gen_range(0..192usize);
+        let mut buf: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+        match i % 3 {
+            0 => {}
+            1 => {
+                buf.splice(0..0, b"TPCK".iter().copied());
+            }
+            _ => {
+                buf.splice(0..0, header.iter().copied());
+            }
+        }
+        assert!(Checkpoint::decode(&buf).is_err());
+    }
+}

@@ -177,6 +177,14 @@ pub struct TraceProcessorConfig {
     pub log_mispredicts: bool,
     /// Abort the run if no instruction retires for this many cycles.
     pub deadlock_cycles: u64,
+    /// Re-introduces a fixed recovery bug — during CGCI insertion, a
+    /// stalled fetch whose entire control-dependent upstream has retired
+    /// keeps stalling instead of falling back to the committed frontier,
+    /// wedging the machine. Exists solely so the differential fuzzer's
+    /// shrinker can be self-tested against a known-bad machine
+    /// (`tp-fuzz`); never set this outside tests.
+    #[doc(hidden)]
+    pub inject_cgci_stall_bug: bool,
 }
 
 impl TraceProcessorConfig {
@@ -215,6 +223,7 @@ impl TraceProcessorConfig {
             verify_with_oracle: false,
             log_mispredicts: false,
             deadlock_cycles: 50_000,
+            inject_cgci_stall_bug: false,
         }
     }
 

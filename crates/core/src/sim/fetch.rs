@@ -53,8 +53,20 @@ impl TraceProcessor<'_> {
                 FetchMode::CgciInsert { before, .. } => self.list.prev(before),
                 FetchMode::Normal => self.list.tail(),
             };
-            if let Some(t) = effective_tail {
-                self.expected = self.expected_after_pe(t);
+            match effective_tail {
+                Some(t) => self.expected = self.expected_after_pe(t),
+                // The effective predecessor window is empty: everything
+                // upstream committed (during insertion, the whole
+                // control-dependent path can retire before its final
+                // indirect resolves to fetch). The committed frontier is
+                // the next fetch PC — without this the stall never clears
+                // and the processor deadlocks with the preserved trace
+                // pinned at the head (the behaviour `inject_cgci_stall_bug`
+                // re-introduces for the shrinker self-test).
+                None if !self.cfg.inject_cgci_stall_bug => {
+                    self.expected = ExpectedNext::Known(self.retired_next_pc)
+                }
+                None => {}
             }
         }
         // Resolve the expected PC.
@@ -93,8 +105,10 @@ impl TraceProcessor<'_> {
                 let attr = self.cgci_pending.take().map(|p| {
                     self.resolve_cgci(p, RecoveryOutcome::CgciReconverged, preserved.len() as u64)
                 });
-                let repaired_pred =
-                    self.list.prev(before).expect("faulting trace precedes the preserved trace");
+                // The predecessor is usually the repaired faulting trace,
+                // but the entire control-dependent path may already have
+                // retired — then the pass chains from retired state.
+                let repaired_pred = self.list.prev(before);
                 self.begin_redispatch_from_map(preserved, repaired_pred, attr);
                 self.set_mode(FetchMode::Normal);
                 return;

@@ -1270,7 +1270,11 @@ impl<'p> TraceProcessor<'p> {
     fn expected_after_tail(&self) -> ExpectedNext {
         match self.list.tail() {
             Some(t) => self.expected_after_pe(t),
-            None => ExpectedNext::Stalled,
+            // An empty window means everything committed: the next fetch is
+            // the retired frontier, exactly. (Returning `Stalled` here
+            // wedges fetch permanently — nothing is left in flight to
+            // resolve a stall.)
+            None => ExpectedNext::Known(self.retired_next_pc),
         }
     }
 }

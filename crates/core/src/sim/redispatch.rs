@@ -123,14 +123,29 @@ impl TraceProcessor<'_> {
 
     /// Starts the CGCI re-dispatch pass: `preserved` traces re-rename from
     /// the map after `pred` (the last inserted control-dependent trace or
-    /// the repaired trace itself). Like [`begin_redispatch`], an in-flight
-    /// pass's pending older traces are carried over, not dropped.
+    /// the repaired trace itself), or from *retired* state when the whole
+    /// control-dependent path committed before re-convergence was observed
+    /// (`pred == None` — the preserved trace is then the window head).
+    /// Like [`begin_redispatch`], an in-flight pass's pending older traces
+    /// are carried over, not dropped.
     pub(super) fn begin_redispatch_from_map(
         &mut self,
         preserved: Vec<usize>,
-        pred: usize,
+        pred: Option<usize>,
         attr: Option<AttrKey>,
     ) {
+        let Some(pred) = pred else {
+            // No live predecessor: the pass chains from the committed
+            // frontier. The preserved list spans the entire remaining
+            // window, so any in-flight pass's unwalked traces are re-walked
+            // from scratch here — no debt can be dropped.
+            let rolling = self.retire_hist.clone();
+            self.current_map = self.retired_map;
+            self.restore_fetch_past(&rolling, &preserved);
+            self.redispatch =
+                Some(RedispatchPass { queue: preserved.into(), rolling, origin: "cgci", attr });
+            return;
+        };
         if self.resume_walk_debt(pred, preserved.clone(), "cgci", attr) {
             self.restore_fetch_from_pass();
             return;

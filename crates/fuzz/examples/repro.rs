@@ -1,0 +1,41 @@
+//! Scratch reproducer runner: generate a seed, shrink it, and print the
+//! deadlock window dump for the first diverging model.
+
+use tp_core::{SimError, TraceProcessor};
+use tp_fuzz::gen::generate;
+use tp_fuzz::harness::{Harness, Isa, Outcome};
+use tp_fuzz::{emit_rv, emit_synth, shrink, FuzzConfig};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(386);
+    let harness = Harness::default();
+    let cfg = FuzzConfig::default();
+    let ast = generate(&cfg, seed);
+    let Outcome::Diverged(orig) = harness.check_ast(&ast, "repro") else {
+        eprintln!("seed {seed} does not diverge");
+        return;
+    };
+    eprintln!("seed {seed}: {orig}");
+    let pred = |a: &tp_fuzz::FuzzAst| match harness.check_ast(a, "repro") {
+        Outcome::Diverged(d) => d.isa == orig.isa && d.model == orig.model,
+        _ => false,
+    };
+    let (small, _) = shrink(&ast, pred, 4_000);
+    let program = match orig.isa {
+        Isa::Synth => emit_synth(&small, "repro"),
+        Isa::Rv => emit_rv(&small, "repro").expect("rv emission"),
+    };
+    eprintln!("--- program ---");
+    for (i, inst) in program.insts().iter().enumerate() {
+        eprintln!("{i:4}: {inst:?}");
+    }
+    let model = orig.model.expect("model-level divergence");
+    let mut sim = TraceProcessor::new(&program, harness.config(model));
+    match sim.run(1_000_000) {
+        Err(SimError::Deadlock { cycle, detail }) => {
+            eprintln!("deadlock at {cycle}\n{detail}");
+        }
+        Err(e) => eprintln!("error: {e}"),
+        Ok(r) => eprintln!("ran: halted={} retired={}", r.halted, r.stats.retired_instrs),
+    }
+}

@@ -1,0 +1,197 @@
+//! The structured program AST the fuzzer generates, emits, and shrinks.
+//!
+//! A [`FuzzAst`] is an abstract, ISA-neutral description of a terminating
+//! program: an acyclic call graph of functions whose bodies are trees of
+//! structured statements. The same AST is emitted to *both* frontends
+//! ([`crate::emit::emit_synth`] for the internal ISA,
+//! [`crate::emit::emit_rv`] through the `tp-rv` assembler → encoder →
+//! decoder), so one generated control-flow shape exercises both pipelines
+//! and one shrinker serves both.
+//!
+//! Termination is guaranteed by construction:
+//!
+//! * every loop is counted — the counter strictly decrements each
+//!   iteration, and a data-dependent trip count is masked into `1..=16`;
+//!   an optional early `break` can only *shorten* the loop;
+//! * switches index their jump table with an AND mask, so a store-mutated
+//!   index still lands inside the table;
+//! * jump tables live in a region disjoint from the store-addressable
+//!   data words, so table entries (code addresses) can never be clobbered;
+//! * function `i` may only call functions with larger indices;
+//! * loop-counter registers are callee-saved (spilled in every function
+//!   prologue), so a callee's loop — in particular one exiting early via
+//!   `break`, which leaves its counter positive — can never re-arm a
+//!   caller's counter.
+
+use tp_isa::{AluOp, Cond};
+
+/// Number of scratch registers the generated code computes in
+/// (`x4..x11` / `r4..r11` — fixed points of the rv↔internal register
+/// involution, so both emissions use the *same* architectural registers).
+pub const NUM_SCRATCH: u8 = 8;
+
+/// Maximum value of a masked data-dependent trip count (`mask <= 15`).
+pub const MAX_TRIP_MASK: u8 = 15;
+
+/// A straight-line operation on scratch registers and the data region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Three-register ALU op between scratch registers.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination scratch index (`0..NUM_SCRATCH`).
+        rd: u8,
+        /// Left source scratch index.
+        rs: u8,
+        /// Right source scratch index.
+        rt: u8,
+    },
+    /// Register-immediate ALU op between scratch registers.
+    AluImm {
+        /// The operation.
+        op: AluOp,
+        /// Destination scratch index.
+        rd: u8,
+        /// Source scratch index.
+        rs: u8,
+        /// Immediate (kept within ±2047 so it fits an RV I-immediate).
+        imm: i32,
+    },
+    /// Load data word `word` into a scratch register.
+    Load {
+        /// Destination scratch index.
+        rd: u8,
+        /// Data-region word index.
+        word: u16,
+    },
+    /// Store a scratch register to data word `word`.
+    Store {
+        /// Source scratch index.
+        rs: u8,
+        /// Data-region word index.
+        word: u16,
+    },
+}
+
+/// Where a branch condition's left operand comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CondSrc {
+    /// A scratch register.
+    Reg(u8),
+    /// A data word loaded immediately before the compare — when the word
+    /// was stored earlier in the program, this is a memory-carried
+    /// control dependence (a store feeding a later branch).
+    Mem(u16),
+}
+
+/// A branch condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CondSpec {
+    /// The comparison.
+    pub cond: Cond,
+    /// Left operand source.
+    pub lhs: CondSrc,
+    /// Right operand: a scratch register, or `None` for the zero register.
+    pub rhs: Option<u8>,
+}
+
+/// How a loop's trip count is produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trip {
+    /// A constant count (`1..=16`).
+    Const(u8),
+    /// `(data[word] & mask) + 1` — a data-dependent trip count in
+    /// `1..=mask+1`; the load makes the loop-exit branch unpredictable
+    /// and, when the word was stored earlier, store-fed.
+    Data {
+        /// Data-region word index of the count source.
+        word: u16,
+        /// Mask applied to the loaded value (`<= MAX_TRIP_MASK`).
+        mask: u8,
+    },
+}
+
+/// A structured statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// Straight-line operations.
+    Ops(Vec<Op>),
+    /// An if/else region (`else_b` may be empty: a simple forward skip).
+    Hammock {
+        /// The branch condition.
+        cond: CondSpec,
+        /// Taken when the condition is *false* (fall-through side).
+        then_b: Vec<Stmt>,
+        /// Taken when the condition is *true*.
+        else_b: Vec<Stmt>,
+    },
+    /// A counted loop, optionally with a second, data-dependent exit.
+    Loop {
+        /// Trip-count source.
+        trip: Trip,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Early exit: `(condition, position)` — after `position` body
+        /// statements, branch out of the loop when the condition holds.
+        brk: Option<(CondSpec, usize)>,
+    },
+    /// An indirect jump through a data-resident table of code addresses.
+    Switch {
+        /// Data-region word index supplying the arm index.
+        word: u16,
+        /// Index mask; `arms.len() == mask + 1` (power of two).
+        mask: u8,
+        /// The switch arms; each falls out to the common join point.
+        arms: Vec<Vec<Stmt>>,
+    },
+    /// A direct call to a later function (acyclic by construction).
+    Call {
+        /// Callee function index (`> ` the containing function's).
+        callee: usize,
+    },
+    /// An indirect call to a later function through a table entry.
+    CallIndirect {
+        /// Callee function index (`>` the containing function's).
+        callee: usize,
+    },
+}
+
+/// One function: a statement list bracketed by the emitters with a
+/// push-RA prologue and pop-RA/return epilogue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Func {
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// A complete generated program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzAst {
+    /// Functions; index 0 is the root called from the entry stub.
+    pub funcs: Vec<Func>,
+    /// Initial values of the store-addressable data words.
+    pub data: Vec<i64>,
+    /// Initial values of the scratch registers.
+    pub scratch_init: Vec<i32>,
+}
+
+impl FuzzAst {
+    /// Number of statements in the whole program (shrinking progress
+    /// metric; emitted instruction count is roughly proportional).
+    pub fn size(&self) -> usize {
+        fn stmts(list: &[Stmt]) -> usize {
+            list.iter().map(stmt).sum()
+        }
+        fn stmt(s: &Stmt) -> usize {
+            match s {
+                Stmt::Ops(ops) => ops.len().max(1),
+                Stmt::Hammock { then_b, else_b, .. } => 1 + stmts(then_b) + stmts(else_b),
+                Stmt::Loop { body, .. } => 2 + stmts(body),
+                Stmt::Switch { arms, .. } => 2 + arms.iter().map(|a| stmts(a)).sum::<usize>(),
+                Stmt::Call { .. } | Stmt::CallIndirect { .. } => 1,
+            }
+        }
+        self.funcs.iter().map(|f| stmts(&f.body)).sum()
+    }
+}

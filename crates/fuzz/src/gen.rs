@@ -1,0 +1,405 @@
+//! Seeded adversarial generator of [`FuzzAst`] programs.
+//!
+//! Compared to the property-test generator in `tp_isa::synth`, this one is
+//! tuned to *attack the selective-recovery machinery*: it biases toward
+//! the shapes that historically exposed bugs (PR 5's compiler-shaped
+//! corpus) — nested hammocks around unpredictable conditions, loops with
+//! data-dependent trip counts and second exits, indirect jump tables,
+//! call/return ladders, and stores that feed later branches through
+//! memory. Every `(config, seed)` pair yields the same AST.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tp_isa::{AluOp, Cond};
+
+use crate::ast::{CondSpec, CondSrc, Func, FuzzAst, Op, Stmt, Trip, MAX_TRIP_MASK, NUM_SCRATCH};
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Number of functions (acyclic call graph).
+    pub functions: usize,
+    /// Structured items per function body.
+    pub items_per_function: usize,
+    /// Maximum straight-line ops per block.
+    pub max_block_ops: usize,
+    /// Maximum nesting depth of hammocks/loops/switches.
+    pub max_depth: usize,
+    /// Maximum constant loop trip count.
+    pub max_trip: u8,
+    /// Number of store-addressable data words.
+    pub data_words: u16,
+    /// Worst-case dynamic instruction budget per function (including its
+    /// callees). Without this bound, calls nested inside loop nests
+    /// multiply across the call ladder and worst-case program length is
+    /// exponential in the number of functions.
+    pub max_fn_cost: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            functions: 5,
+            items_per_function: 5,
+            max_block_ops: 5,
+            max_depth: 3,
+            max_trip: 6,
+            data_words: 48,
+            max_fn_cost: 12_000,
+        }
+    }
+}
+
+impl FuzzConfig {
+    /// A small configuration for quick smoke tests.
+    pub fn small() -> FuzzConfig {
+        FuzzConfig {
+            functions: 3,
+            items_per_function: 3,
+            max_block_ops: 3,
+            max_depth: 2,
+            max_trip: 4,
+            data_words: 16,
+            max_fn_cost: 3_000,
+        }
+    }
+}
+
+struct Gen<'a> {
+    rng: StdRng,
+    cfg: &'a FuzzConfig,
+    /// Data words stored somewhere earlier in generation order — preferred
+    /// sources for later branch conditions and trip counts (store→branch
+    /// memory dependences).
+    stored_words: Vec<u16>,
+}
+
+/// Generates a random, terminating AST. Deterministic per `(config, seed)`.
+///
+/// # Example
+///
+/// ```
+/// use tp_fuzz::gen::{generate, FuzzConfig};
+/// let a = generate(&FuzzConfig::default(), 7);
+/// let b = generate(&FuzzConfig::default(), 7);
+/// assert_eq!(a, b);
+/// ```
+pub fn generate(config: &FuzzConfig, seed: u64) -> FuzzAst {
+    let mut g = Gen { rng: StdRng::seed_from_u64(seed), cfg: config, stored_words: Vec::new() };
+    let functions = config.functions.max(1);
+    // Functions are generated leaf-first so every call site knows its
+    // callee's worst-case dynamic cost and can be charged for it — this is
+    // what keeps whole-program length bounded even with calls nested
+    // inside loop nests.
+    let mut funcs: Vec<Func> = (0..functions).map(|_| Func { body: Vec::new() }).collect();
+    let mut costs = vec![0u64; functions];
+    for f in (0..functions).rev() {
+        let items = g.cfg.items_per_function.max(1);
+        let mut budget = g.cfg.max_fn_cost.max(64);
+        let mut body = Vec::new();
+        // Call ladder bias: non-terminal functions often start by calling
+        // straight down the chain, producing deep call/return nests with
+        // work stacked above every return.
+        if f + 1 < functions && g.rng.gen_bool(0.4) {
+            let cost = CALL_OVERHEAD + costs[f + 1];
+            if cost <= budget {
+                body.push(Stmt::Call { callee: f + 1 });
+                budget -= cost;
+            }
+        }
+        for _ in 0..items {
+            let (s, cost) = g.stmt(f, functions, 0, budget, &costs);
+            budget = budget.saturating_sub(cost);
+            body.push(s);
+        }
+        // Prologue, epilogue, and the entry-stub call.
+        costs[f] = (g.cfg.max_fn_cost.max(64) - budget) + 8;
+        funcs[f] = Func { body };
+    }
+    let data = (0..config.data_words).map(|_| g.rng.gen_range(-1000..1000i64)).collect();
+    let scratch_init = (0..NUM_SCRATCH).map(|_| g.rng.gen_range(-64..64i32)).collect();
+    FuzzAst { funcs, data, scratch_init }
+}
+
+/// Estimated dynamic instructions for a call's prologue/epilogue/linkage
+/// (including the callee-saved loop-counter spills).
+const CALL_OVERHEAD: u64 = 22;
+/// Minimum allowance worth spending on a nested region; below this the
+/// generator falls back to straight-line ops.
+const MIN_REGION: u64 = 24;
+
+impl Gen<'_> {
+    fn scratch(&mut self) -> u8 {
+        self.rng.gen_range(0..NUM_SCRATCH)
+    }
+
+    fn word(&mut self) -> u16 {
+        self.rng.gen_range(0..self.cfg.data_words.max(1))
+    }
+
+    /// A data word biased toward ones already stored to (store→branch).
+    fn cond_word(&mut self) -> u16 {
+        if !self.stored_words.is_empty() && self.rng.gen_bool(0.6) {
+            let i = self.rng.gen_range(0..self.stored_words.len());
+            self.stored_words[i]
+        } else {
+            self.word()
+        }
+    }
+
+    fn cond(&mut self) -> CondSpec {
+        let cond = match self.rng.gen_range(0..8) {
+            0 => Cond::Eq,
+            1 => Cond::Ne,
+            2 => Cond::Lt,
+            3 => Cond::Ge,
+            4 => Cond::Le,
+            5 => Cond::Gt,
+            6 => Cond::Ltu,
+            _ => Cond::Geu,
+        };
+        // Most conditions read memory: unpredictable, and often store-fed.
+        let lhs = if self.rng.gen_bool(0.6) {
+            CondSrc::Mem(self.cond_word())
+        } else {
+            CondSrc::Reg(self.scratch())
+        };
+        let rhs = if self.rng.gen_bool(0.4) { None } else { Some(self.scratch()) };
+        CondSpec { cond, lhs, rhs }
+    }
+
+    /// Generates one statement whose worst-case dynamic cost fits
+    /// `allowance`, returning the statement and its cost estimate.
+    fn stmt(
+        &mut self,
+        func: usize,
+        functions: usize,
+        depth: usize,
+        allowance: u64,
+        costs: &[u64],
+    ) -> (Stmt, u64) {
+        // Depth is clamped to the callee-saved loop-counter register file.
+        let max_depth = self.cfg.max_depth.min(crate::emit::NUM_COUNTERS as usize - 1);
+        let can_nest = depth < max_depth && allowance >= MIN_REGION;
+        let can_call = func + 1 < functions
+            && (func + 1..functions).any(|c| CALL_OVERHEAD + costs[c] <= allowance);
+        match self.rng.gen_range(0..100) {
+            0..=24 => self.ops(),
+            25..=49 if can_nest => self.hammock(func, functions, depth, allowance, costs),
+            50..=69 if can_nest => self.loop_(func, functions, depth, allowance, costs),
+            70..=84 if can_nest => self.switch(func, functions, depth, allowance, costs),
+            85..=99 if can_call => {
+                let fits: Vec<usize> = (func + 1..functions)
+                    .filter(|&c| CALL_OVERHEAD + costs[c] <= allowance)
+                    .collect();
+                let callee = fits[self.rng.gen_range(0..fits.len())];
+                let cost = CALL_OVERHEAD + costs[callee];
+                if self.rng.gen_bool(0.35) {
+                    (Stmt::CallIndirect { callee }, cost + 2)
+                } else {
+                    (Stmt::Call { callee }, cost)
+                }
+            }
+            _ => self.ops(),
+        }
+    }
+
+    /// Generates `1..=max_items` statements within `allowance`, spent
+    /// greedily left to right; returns the list and its total cost.
+    fn body(
+        &mut self,
+        func: usize,
+        functions: usize,
+        depth: usize,
+        max_items: usize,
+        allowance: u64,
+        costs: &[u64],
+    ) -> (Vec<Stmt>, u64) {
+        let n = self.rng.gen_range(1..=max_items.max(1));
+        let mut remaining = allowance;
+        let mut total = 0;
+        let list = (0..n)
+            .map(|_| {
+                let (s, cost) = self.stmt(func, functions, depth, remaining, costs);
+                remaining = remaining.saturating_sub(cost);
+                total += cost;
+                s
+            })
+            .collect();
+        (list, total)
+    }
+
+    fn ops(&mut self) -> (Stmt, u64) {
+        let n = self.rng.gen_range(1..=self.cfg.max_block_ops.max(1));
+        let ops = (0..n)
+            .map(|_| match self.rng.gen_range(0..100) {
+                0..=44 => {
+                    let op = match self.rng.gen_range(0..16) {
+                        0 => AluOp::Mul,
+                        1 => AluOp::Div,
+                        2 => AluOp::Rem,
+                        3 => AluOp::Xor,
+                        4 => AluOp::And,
+                        5 => AluOp::Or,
+                        6 => AluOp::Slt,
+                        7 => AluOp::Sltu,
+                        8 => AluOp::Sub,
+                        9 => AluOp::Shl,
+                        10 => AluOp::Shr,
+                        11 => AluOp::Shru,
+                        _ => AluOp::Add,
+                    };
+                    let (rd, rs, rt) = (self.scratch(), self.scratch(), self.scratch());
+                    if self.rng.gen_bool(0.5) {
+                        Op::Alu { op, rd, rs, rt }
+                    } else {
+                        Op::AluImm { op, rd, rs, imm: self.rng.gen_range(-32..32) }
+                    }
+                }
+                45..=69 => Op::Load { rd: self.scratch(), word: self.word() },
+                _ => {
+                    let w = self.word();
+                    self.stored_words.push(w);
+                    Op::Store { rs: self.scratch(), word: w }
+                }
+            })
+            .collect();
+        (Stmt::Ops(ops), n as u64)
+    }
+
+    fn hammock(
+        &mut self,
+        func: usize,
+        functions: usize,
+        depth: usize,
+        allowance: u64,
+        costs: &[u64],
+    ) -> (Stmt, u64) {
+        let cond = self.cond();
+        // Both sides charged in full: either may execute on any given run.
+        let inner = allowance.saturating_sub(4);
+        let (then_b, then_cost) = self.body(func, functions, depth + 1, 2, inner, costs);
+        let (else_b, else_cost) = if self.rng.gen_bool(0.5) {
+            self.body(func, functions, depth + 1, 2, inner.saturating_sub(then_cost), costs)
+        } else {
+            (Vec::new(), 0)
+        };
+        (Stmt::Hammock { cond, then_b, else_b }, 4 + then_cost + else_cost)
+    }
+
+    fn loop_(
+        &mut self,
+        func: usize,
+        functions: usize,
+        depth: usize,
+        allowance: u64,
+        costs: &[u64],
+    ) -> (Stmt, u64) {
+        let mut trip = if self.rng.gen_bool(0.5) {
+            Trip::Const(self.rng.gen_range(1..=self.cfg.max_trip.max(1)))
+        } else {
+            // Mask chosen so deep nests stay tractable: 1..=4 or 1..=8.
+            let mask = if self.rng.gen_bool(0.7) { 3 } else { 7 }.min(MAX_TRIP_MASK);
+            Trip::Data { word: self.cond_word(), mask }
+        };
+        // Worst-case trip count; shrink the trip rather than starve the
+        // body when the allowance cannot cover the full count.
+        let mut t = match trip {
+            Trip::Const(n) => n as u64,
+            Trip::Data { mask, .. } => mask as u64 + 1,
+        };
+        if allowance / t < MIN_REGION {
+            t = (allowance / MIN_REGION).max(1);
+            trip = Trip::Const(t as u8);
+        }
+        let per_iter = allowance.saturating_sub(4) / t;
+        let (body, body_cost) =
+            self.body(func, functions, depth + 1, 2, per_iter.saturating_sub(6), costs);
+        let brk = if self.rng.gen_bool(0.45) {
+            let pos = self.rng.gen_range(0..=body.len());
+            Some((self.cond(), pos))
+        } else {
+            None
+        };
+        let iter_cost = body_cost + 4 + if brk.is_some() { 3 } else { 0 };
+        (Stmt::Loop { trip, body, brk }, 4 + t * iter_cost)
+    }
+
+    fn switch(
+        &mut self,
+        func: usize,
+        functions: usize,
+        depth: usize,
+        allowance: u64,
+        costs: &[u64],
+    ) -> (Stmt, u64) {
+        let mask: u8 = if self.rng.gen_bool(0.5) { 3 } else { 7 };
+        // Only one arm executes, so arms share the allowance; the cost is
+        // the dispatch overhead plus the most expensive arm.
+        let inner = allowance.saturating_sub(8);
+        let mut worst = 0;
+        let arms = (0..=mask)
+            .map(|_| {
+                let (arm, cost) = self.body(func, functions, depth + 1, 2, inner, costs);
+                worst = worst.max(cost);
+                arm
+            })
+            .collect();
+        (Stmt::Switch { word: self.cond_word(), mask, arms }, 8 + worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = FuzzConfig::default();
+        assert_eq!(generate(&cfg, 3), generate(&cfg, 3));
+        assert_ne!(generate(&cfg, 3), generate(&cfg, 4));
+    }
+
+    #[test]
+    fn generates_all_adversarial_shapes_across_seeds() {
+        let cfg = FuzzConfig::default();
+        let (mut loops, mut switches, mut breaks, mut icalls, mut mem_conds) =
+            (false, false, false, false, false);
+        for seed in 0..40 {
+            let ast = generate(&cfg, seed);
+            visit(&ast, &mut |s| match s {
+                Stmt::Loop { brk, .. } => {
+                    loops = true;
+                    breaks |= brk.is_some();
+                }
+                Stmt::Switch { .. } => switches = true,
+                Stmt::CallIndirect { .. } => icalls = true,
+                Stmt::Hammock { cond, .. } => {
+                    mem_conds |= matches!(cond.lhs, CondSrc::Mem(_));
+                }
+                _ => {}
+            });
+        }
+        assert!(loops && switches && breaks && icalls && mem_conds);
+    }
+
+    fn visit(ast: &FuzzAst, f: &mut impl FnMut(&Stmt)) {
+        fn walk(list: &[Stmt], f: &mut impl FnMut(&Stmt)) {
+            for s in list {
+                f(s);
+                match s {
+                    Stmt::Hammock { then_b, else_b, .. } => {
+                        walk(then_b, f);
+                        walk(else_b, f);
+                    }
+                    Stmt::Loop { body, .. } => walk(body, f),
+                    Stmt::Switch { arms, .. } => arms.iter().for_each(|a| walk(a, f)),
+                    _ => {}
+                }
+            }
+        }
+        for func in &ast.funcs {
+            walk(&func.body, f);
+        }
+    }
+}

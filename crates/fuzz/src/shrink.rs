@@ -1,0 +1,289 @@
+//! Greedy structural shrinker for failing [`FuzzAst`] programs.
+//!
+//! Given an AST and a predicate "does this program still fail?", the
+//! shrinker repeatedly tries one-step simplifications — delete a
+//! statement, splice a region's body in place of the region, collapse a
+//! switch to a single arm, force a trip count to one, drop a loop's early
+//! exit, empty a whole function — and keeps any candidate that still
+//! fails while being strictly simpler. It runs to a fixpoint or until the
+//! evaluation budget is exhausted.
+//!
+//! Shrinking does not preserve semantics (it freely changes what the
+//! program computes); it preserves only the predicate, which is exactly
+//! what a minimal reproducer needs.
+
+use crate::ast::{Func, FuzzAst, Stmt, Trip};
+
+/// Statistics from a shrink run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Number of predicate evaluations performed.
+    pub evals: usize,
+    /// Number of accepted simplification steps.
+    pub steps: usize,
+}
+
+/// Shrinks `ast` while `still_fails` holds, evaluating the predicate at
+/// most `max_evals` times. Returns the smallest failing AST found and the
+/// run statistics. The input is assumed to fail (it is returned unchanged
+/// if nothing simpler still fails).
+pub fn shrink(
+    ast: &FuzzAst,
+    mut still_fails: impl FnMut(&FuzzAst) -> bool,
+    max_evals: usize,
+) -> (FuzzAst, ShrinkStats) {
+    let mut best = ast.clone();
+    let mut stats = ShrinkStats::default();
+    'outer: loop {
+        let mut cands = candidates(&best);
+        // Smallest candidates first: the biggest cuts (emptying a whole
+        // function, splicing out a nest) are tried before local tweaks.
+        cands.sort_by_key(complexity);
+        let bar = complexity(&best);
+        for c in cands {
+            if complexity(&c) >= bar {
+                continue;
+            }
+            if stats.evals >= max_evals {
+                break 'outer;
+            }
+            stats.evals += 1;
+            if still_fails(&c) {
+                best = c;
+                stats.steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (best, stats)
+}
+
+/// Strictly decreasing shrink metric: statement count dominates, feature
+/// richness (data-dependent trips, breaks, switch arms, indirect calls,
+/// large constants) breaks ties so "same size but simpler" steps make
+/// progress.
+fn complexity(ast: &FuzzAst) -> usize {
+    let mut features = 0usize;
+    visit(ast, &mut |s| {
+        features += match s {
+            Stmt::Loop { trip, brk, .. } => {
+                let t = match trip {
+                    Trip::Const(n) => *n as usize,
+                    Trip::Data { mask, .. } => 8 + *mask as usize,
+                };
+                t + if brk.is_some() { 4 } else { 0 }
+            }
+            Stmt::Switch { arms, .. } => 2 * arms.len(),
+            Stmt::CallIndirect { .. } => 2,
+            _ => 0,
+        };
+    });
+    // Non-zero initial state counts too, so zeroing data/registers is an
+    // accepted step even though it removes no statements.
+    features += ast.data.iter().filter(|&&v| v != 0).count();
+    features += ast.scratch_init.iter().filter(|&&v| v != 0).count();
+    ast.size() * 4096 + features
+}
+
+fn visit(ast: &FuzzAst, f: &mut impl FnMut(&Stmt)) {
+    fn walk(list: &[Stmt], f: &mut impl FnMut(&Stmt)) {
+        for s in list {
+            f(s);
+            match s {
+                Stmt::Hammock { then_b, else_b, .. } => {
+                    walk(then_b, f);
+                    walk(else_b, f);
+                }
+                Stmt::Loop { body, .. } => walk(body, f),
+                Stmt::Switch { arms, .. } => arms.iter().for_each(|a| walk(a, f)),
+                _ => {}
+            }
+        }
+    }
+    for func in &ast.funcs {
+        walk(&func.body, f);
+    }
+}
+
+/// All one-step simplifications of `ast`.
+fn candidates(ast: &FuzzAst) -> Vec<FuzzAst> {
+    let mut out = Vec::new();
+    // Empty a whole function body (functions cannot be removed outright —
+    // call sites address them by index).
+    for (i, f) in ast.funcs.iter().enumerate() {
+        if !f.body.is_empty() {
+            let mut a = ast.clone();
+            a.funcs[i] = Func { body: Vec::new() };
+            out.push(a);
+        }
+    }
+    // Structural edits inside each function.
+    for (i, f) in ast.funcs.iter().enumerate() {
+        for body in list_variants(&f.body) {
+            let mut a = ast.clone();
+            a.funcs[i] = Func { body };
+            out.push(a);
+        }
+    }
+    // Data simplification: zero the whole region, or one word at a time.
+    if ast.data.iter().any(|&v| v != 0) {
+        let mut a = ast.clone();
+        a.data.iter_mut().for_each(|v| *v = 0);
+        out.push(a);
+    }
+    if ast.scratch_init.iter().any(|&v| v != 0) {
+        let mut a = ast.clone();
+        a.scratch_init.iter_mut().for_each(|v| *v = 0);
+        out.push(a);
+    }
+    out
+}
+
+/// One-step variants of a statement list: delete one statement, or apply
+/// one [`stmt_variants`] edit to one statement.
+fn list_variants(list: &[Stmt]) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    for i in 0..list.len() {
+        let mut v = list.to_vec();
+        v.remove(i);
+        out.push(v);
+    }
+    for (i, s) in list.iter().enumerate() {
+        for change in stmt_variants(s) {
+            let mut v = list.to_vec();
+            match change {
+                Change::Replace(s) => v[i] = s,
+                Change::Splice(ss) => {
+                    v.splice(i..=i, ss);
+                }
+            }
+            out.push(v);
+        }
+    }
+    out
+}
+
+enum Change {
+    /// Replace the statement with a simplified form.
+    Replace(Stmt),
+    /// Replace the statement with (a subset of) its children, hoisted.
+    Splice(Vec<Stmt>),
+}
+
+fn stmt_variants(s: &Stmt) -> Vec<Change> {
+    let mut out = Vec::new();
+    match s {
+        Stmt::Ops(ops) => {
+            // Halve the block (deletion of the whole block is covered by
+            // the list-level remove).
+            if ops.len() > 1 {
+                out.push(Change::Replace(Stmt::Ops(ops[..ops.len() / 2].to_vec())));
+            }
+        }
+        Stmt::Hammock { cond, then_b, else_b } => {
+            out.push(Change::Splice(then_b.clone()));
+            if !else_b.is_empty() {
+                out.push(Change::Splice(else_b.clone()));
+                // Make the hammock one-sided before dissolving it.
+                out.push(Change::Replace(Stmt::Hammock {
+                    cond: *cond,
+                    then_b: then_b.clone(),
+                    else_b: Vec::new(),
+                }));
+            }
+            for b in list_variants(then_b) {
+                out.push(Change::Replace(Stmt::Hammock {
+                    cond: *cond,
+                    then_b: b,
+                    else_b: else_b.clone(),
+                }));
+            }
+            for b in list_variants(else_b) {
+                out.push(Change::Replace(Stmt::Hammock {
+                    cond: *cond,
+                    then_b: then_b.clone(),
+                    else_b: b,
+                }));
+            }
+        }
+        Stmt::Loop { trip, body, brk } => {
+            out.push(Change::Splice(body.clone()));
+            if !matches!(trip, Trip::Const(1)) {
+                out.push(Change::Replace(Stmt::Loop {
+                    trip: Trip::Const(1),
+                    body: body.clone(),
+                    brk: *brk,
+                }));
+            }
+            if brk.is_some() {
+                out.push(Change::Replace(Stmt::Loop {
+                    trip: *trip,
+                    body: body.clone(),
+                    brk: None,
+                }));
+            }
+            for b in list_variants(body) {
+                // Keep the break position in range as the body shrinks.
+                let brk = brk.map(|(c, pos)| (c, pos.min(b.len())));
+                out.push(Change::Replace(Stmt::Loop { trip: *trip, body: b, brk }));
+            }
+        }
+        Stmt::Switch { word, mask, arms } => {
+            for arm in arms {
+                out.push(Change::Splice(arm.clone()));
+            }
+            for (k, arm) in arms.iter().enumerate() {
+                for b in list_variants(arm) {
+                    let mut arms = arms.clone();
+                    arms[k] = b;
+                    out.push(Change::Replace(Stmt::Switch { word: *word, mask: *mask, arms }));
+                }
+            }
+        }
+        Stmt::Call { .. } => {}
+        Stmt::CallIndirect { callee } => {
+            out.push(Change::Replace(Stmt::Call { callee: *callee }));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, FuzzConfig};
+
+    /// With an always-true predicate the shrinker drives any program to
+    /// the empty AST (every function emptied, data zeroed).
+    #[test]
+    fn shrinks_to_nothing_under_trivial_predicate() {
+        let ast = generate(&FuzzConfig::default(), 11);
+        let (small, stats) = shrink(&ast, |_| true, 100_000);
+        assert_eq!(small.size(), 0, "left: {small:?}");
+        assert!(small.data.iter().all(|&v| v == 0));
+        assert!(stats.steps > 0);
+    }
+
+    /// A predicate pinned to a deep structural property (an indirect call
+    /// somewhere) keeps that property while discarding everything else.
+    #[test]
+    fn preserves_predicate_while_shrinking() {
+        let cfg = FuzzConfig::default();
+        let has_icall = |a: &FuzzAst| {
+            let mut found = false;
+            visit(a, &mut |s| found |= matches!(s, Stmt::CallIndirect { .. }));
+            found
+        };
+        let ast = (0..64)
+            .map(|seed| generate(&cfg, seed))
+            .find(|a| has_icall(a))
+            .expect("some seed has an indirect call");
+        let before = ast.size();
+        let (small, _) = shrink(&ast, has_icall, 100_000);
+        assert!(has_icall(&small));
+        assert!(small.size() < before);
+        // A single indirect call (plus the emptied scaffolding) remains.
+        assert!(small.size() <= 2, "size {} — {small:?}", small.size());
+    }
+}

@@ -1,0 +1,66 @@
+//! Shrinker self-test against a machine that is *known* bad: the fixed
+//! CGCI retired-upstream stall bug is re-introduced through the
+//! `inject_cgci_stall_bug` config knob, giving the whole
+//! divergence-detection → predicate → shrink pipeline a real bug to
+//! chew on. This guards the tooling itself — a shrinker that silently
+//! stopped reducing (or a harness that stopped detecting) would
+//! otherwise only be noticed during the next real campaign.
+
+use tp_core::CiModel;
+use tp_fuzz::gen::generate;
+use tp_fuzz::harness::{Harness, Isa, Outcome};
+use tp_fuzz::{shrink, FuzzConfig};
+
+/// Known-bad seed under the injected bug (small generator config, small
+/// machine, synth frontend, `Ret` model).
+const BAD_SEED: u64 = 41;
+
+/// The shrink budget the known-bad program must fit: evaluations the
+/// shrinker may spend, and the statement count the reproducer must
+/// reach. Both are fixed so a shrinker regression (fewer reductions per
+/// eval, or none at all) fails loudly instead of just getting slower.
+const MAX_EVALS: usize = 600;
+const MAX_SHRUNK_SIZE: usize = 12;
+
+#[test]
+fn injected_bug_is_found_and_shrinks_within_budget() {
+    let buggy = Harness {
+        models: vec![CiModel::Ret],
+        isas: vec![Isa::Synth],
+        small_machine: true,
+        inject_cgci_stall_bug: true,
+        ..Harness::default()
+    };
+    let cfg = FuzzConfig::small();
+    let ast = generate(&cfg, BAD_SEED);
+
+    // The harness detects the injected bug...
+    let Outcome::Diverged(orig) = buggy.check_ast(&ast, "selftest") else {
+        panic!("seed {BAD_SEED} no longer diverges under the injected bug");
+    };
+    assert_eq!(orig.isa, Isa::Synth);
+    assert_eq!(orig.model, Some(CiModel::Ret));
+    assert!(orig.detail.contains("deadlock"), "{orig}");
+
+    // ...the fixed machine does not trip on the same program...
+    let fixed = Harness { inject_cgci_stall_bug: false, ..buggy.clone() };
+    let out = fixed.check_ast(&ast, "selftest-fixed");
+    assert!(!out.is_divergence(), "fix regressed: {out:?}");
+
+    // ...and the shrinker reduces it to a minimal reproducer within the
+    // fixed budget, preserving the failure.
+    let pred = |a: &tp_fuzz::FuzzAst| match buggy.check_ast(a, "selftest-shrink") {
+        Outcome::Diverged(d) => d.isa == orig.isa && d.model == orig.model,
+        _ => false,
+    };
+    let before = ast.size();
+    let (small, stats) = shrink(&ast, pred, MAX_EVALS);
+    assert!(
+        small.size() <= MAX_SHRUNK_SIZE,
+        "shrunk only {before} -> {} statements in {} evals",
+        small.size(),
+        stats.evals
+    );
+    assert!(stats.evals <= MAX_EVALS);
+    assert!(pred(&small), "shrunk reproducer no longer reproduces");
+}

@@ -76,6 +76,21 @@ attr WORKLOAD="compress" MODEL="MLB-RET":
 bless:
     TP_BLESS=1 cargo test --release --test golden_stats
 
+# Bounded differential fuzz pass, exactly as CI runs it: SEEDS generated
+# programs through all five CI models on both frontends against the
+# functional oracle (exit non-zero on any divergence).
+fuzz-ci SEEDS="500":
+    cargo run --release -p tp-bench --bin fuzz -- --count {{SEEDS}}
+
+# Unbounded fuzz loop (Ctrl-C to stop). Every seed is logged on
+# divergence, so a failure replays exactly:
+#   cargo run --release -p tp-bench --bin fuzz -- --seed N --count 1 --shrink
+# MACHINE is paper|small (small saturates the 4-PE window — different
+# recovery paths). START offsets the seed range so successive sessions
+# explore fresh programs.
+fuzz MACHINE="paper" START="0":
+    cargo run --release -p tp-bench --bin fuzz -- --count 0 --seed {{START}} --machine {{MACHINE}}
+
 # Sampled-simulation smoke (CI): create/inspect/verify a checkpoint
 # (artifact: ckpt_smoke.tpckpt), assert sampled IPC within 5% of full
 # detailed runs on the tiny suite, and demonstrate the >= 3x wall-clock
