@@ -98,9 +98,9 @@ fn create(args: &[String]) {
         match a.as_str() {
             "--workload" => workload = it.next().cloned(),
             "--size" => size = it.next().and_then(|s| parse_size(s)).unwrap_or_else(|| usage()),
-            "--model" => model = parse_model(it.next().map(String::as_str).unwrap_or("")),
+            "--model" => model = parse_model(it.next().map_or("", String::as_str)),
             "--ffwd" => {
-                ffwd_budget = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                ffwd_budget = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
             "--out" => out = it.next().cloned(),
             _ => usage(),
@@ -215,7 +215,7 @@ fn verify(args: &[String]) {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--resume" => {
-                resume = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                resume = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
             _ => usage(),
         }

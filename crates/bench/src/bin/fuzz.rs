@@ -7,7 +7,7 @@
 //! ```text
 //! cargo run --release -p tp-bench --bin fuzz -- \
 //!     [--seed S] [--count N] [--budget B] [--config default|small] \
-//!     [--jobs J] [--shrink] [--quiet]
+//!     [--jobs J] [--cfg-oracle] [--shrink] [--quiet]
 //! ```
 //!
 //! * `--seed S`   first seed (default 0)
@@ -17,6 +17,9 @@
 //! * `--machine`  simulated machine: `paper` (16 PEs) or `small` (4 PEs,
 //!   short traces — keeps the window saturated; default `paper`)
 //! * `--jobs J`   worker threads (default: available cores)
+//! * `--cfg-oracle` also check every CGCI re-convergence detection against
+//!   the static post-dominator analysis (`tp-cfg`); an unjustifiable
+//!   detection is reported as a divergence
 //! * `--shrink`   on divergence, shrink to a minimal reproducer and print
 //!   its AST and RV64 source
 //! * `--quiet`    suppress per-chunk progress
@@ -40,6 +43,7 @@ struct Args {
     config: FuzzConfig,
     small_machine: bool,
     jobs: usize,
+    cfg_oracle: bool,
     do_shrink: bool,
     quiet: bool,
 }
@@ -51,7 +55,8 @@ fn parse_args() -> Args {
         budget: 2_000_000,
         config: FuzzConfig::default(),
         small_machine: false,
-        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        jobs: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        cfg_oracle: false,
         do_shrink: false,
         quiet: false,
     };
@@ -84,6 +89,7 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }
             },
+            "--cfg-oracle" => args.cfg_oracle = true,
             "--shrink" => args.do_shrink = true,
             "--quiet" => args.quiet = true,
             other => {
@@ -100,6 +106,7 @@ fn main() {
     let harness = Harness {
         oracle_budget: args.budget,
         small_machine: args.small_machine,
+        cfg_oracle: args.cfg_oracle,
         ..Harness::default()
     };
     let next = AtomicU64::new(args.seed);

@@ -55,7 +55,7 @@ fn main() {
         })
         .collect();
     let cells = jobs.len();
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     eprintln!("sweeping {cells} cells on {cores} cores...");
     let t = Instant::now();
     let results = run_sweep_parallel(jobs);

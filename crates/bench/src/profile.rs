@@ -191,10 +191,7 @@ pub fn profile_branches(program: &Program, budget: u64) -> BranchProfile {
     let mut regions: HashMap<Pc, Option<RegionInfo>> = HashMap::new();
     let mut profile = BranchProfile::default();
     while !machine.halted() && machine.retired() < budget {
-        let step = match machine.step() {
-            Ok(s) => s,
-            Err(_) => break,
-        };
+        let Ok(step) = machine.step() else { break };
         let Some(taken) = step.taken else { continue };
         let pc = step.pc;
         let predicted = predictor.predict(pc);

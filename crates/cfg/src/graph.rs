@@ -1,0 +1,146 @@
+//! A small directed-graph representation for control-flow analysis.
+//!
+//! Nodes are dense `u32` indices (instruction PCs plus the virtual
+//! entry/exit nodes the analysis adds). Degrees are tiny — at most two
+//! successors for ordinary instructions, one per table slot for resolved
+//! indirect jumps — so adjacency lists with linear-duplicate suppression
+//! are both compact and fast.
+
+/// A directed graph over dense `u32` node indices.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    succs: Vec<Vec<u32>>,
+    preds: Vec<Vec<u32>>,
+}
+
+impl Graph {
+    /// An edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Graph {
+        Graph { succs: vec![Vec::new(); n], preds: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Adds the edge `from -> to`, ignoring exact duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: u32, to: u32) {
+        assert!((from as usize) < self.len() && (to as usize) < self.len(), "edge out of range");
+        if self.succs[from as usize].contains(&to) {
+            return;
+        }
+        self.succs[from as usize].push(to);
+        self.preds[to as usize].push(from);
+    }
+
+    /// Successors of `v`.
+    pub fn succs(&self, v: u32) -> &[u32] {
+        &self.succs[v as usize]
+    }
+
+    /// Predecessors of `v`.
+    pub fn preds(&self, v: u32) -> &[u32] {
+        &self.preds[v as usize]
+    }
+
+    /// The graph with every edge reversed.
+    pub fn reversed(&self) -> Graph {
+        Graph { succs: self.preds.clone(), preds: self.succs.clone() }
+    }
+
+    /// Reverse post-order of the nodes reachable from `root` (root first).
+    ///
+    /// Uses an explicit stack so deep chain-shaped CFGs (one node per
+    /// instruction) cannot overflow the call stack.
+    pub fn rpo(&self, root: u32) -> Vec<u32> {
+        let mut seen = vec![false; self.len()];
+        let mut post = Vec::new();
+        // (node, next-successor-index) pairs emulate the recursion.
+        let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+        seen[root as usize] = true;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if let Some(&s) = self.succs(v).get(*i) {
+                *i += 1;
+                if !seen[s as usize] {
+                    seen[s as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(v);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// The set of nodes reachable from `root` (as a membership vector).
+    pub fn reachable(&self, root: u32) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![root];
+        seen[root as usize] = true;
+        while let Some(v) = stack.pop() {
+            for &s in self.succs(v) {
+                if !seen[s as usize] {
+                    seen[s as usize] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_deduplicate_and_reverse() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert_eq!(g.succs(0), &[1]);
+        assert_eq!(g.preds(2), &[1]);
+        let r = g.reversed();
+        assert_eq!(r.succs(2), &[1]);
+        assert_eq!(r.succs(1), &[0]);
+    }
+
+    #[test]
+    fn rpo_starts_at_root_and_covers_reachable() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1); // cycle
+        let order = g.rpo(0);
+        assert_eq!(order[0], 0);
+        assert_eq!(order.len(), 3); // node 3 unreachable
+        let reach = g.reachable(0);
+        assert_eq!(reach, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn rpo_handles_deep_chains_without_recursion() {
+        let n = 200_000;
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i as u32, i as u32 + 1);
+        }
+        let order = g.rpo(0);
+        assert_eq!(order.len(), n);
+        assert_eq!(order[0], 0);
+        assert_eq!(order[n - 1], n as u32 - 1);
+    }
+}

@@ -702,7 +702,7 @@ impl Engine {
                     ti.embedded_taken.expect("actual-outcome trace embeds outcomes"),
                 )),
                 Inst::Call { .. } | Inst::CallIndirect { .. } => {
-                    ras_ops.push(RasOp::Push(ti.pc + 1))
+                    ras_ops.push(RasOp::Push(ti.pc + 1));
                 }
                 Inst::Ret => ras_ops.push(RasOp::Pop),
                 _ => {}

@@ -278,7 +278,7 @@ mod tests {
         for cut in [3, 9, 30, bytes.len() / 2, bytes.len() - 1] {
             assert!(Checkpoint::decode(&bytes[..cut]).is_err(), "cut at {cut}");
         }
-        let mut versioned = bytes.clone();
+        let mut versioned = bytes;
         versioned[4] = 9; // version little-endian low byte
         assert_eq!(Checkpoint::decode(&versioned), Err(CkptError::UnsupportedVersion(9)));
     }

@@ -175,6 +175,15 @@ pub struct TraceProcessorConfig {
     /// Record the PC of every retired mispredicted conditional branch
     /// (diagnostics; off by default — the log grows with mispredictions).
     pub log_mispredicts: bool,
+    /// Check every CGCI re-convergence detection against the static
+    /// post-dominator analysis (`tp-cfg`) and abort with
+    /// [`SimError::OracleMismatch`](crate::SimError::OracleMismatch) on an
+    /// unclassifiable detection. Read-only: the check never alters model
+    /// behaviour. Also enabled by the `TP_CFG_ORACLE` environment
+    /// variable (read once at construction).
+    ///
+    /// [`SimError::OracleMismatch`]: crate::SimError::OracleMismatch
+    pub cfg_oracle: bool,
     /// Abort the run if no instruction retires for this many cycles.
     pub deadlock_cycles: u64,
     /// Re-introduces a fixed recovery bug — during CGCI insertion, a
@@ -222,6 +231,7 @@ impl TraceProcessorConfig {
             tcache_ways: 4,
             verify_with_oracle: false,
             log_mispredicts: false,
+            cfg_oracle: false,
             deadlock_cycles: 50_000,
             inject_cgci_stall_bug: false,
         }
@@ -249,6 +259,13 @@ impl TraceProcessorConfig {
     /// Enables per-trace verification against the functional oracle.
     pub fn with_oracle(mut self) -> TraceProcessorConfig {
         self.verify_with_oracle = true;
+        self
+    }
+
+    /// Enables the static-CFG re-convergence oracle
+    /// (see [`TraceProcessorConfig::cfg_oracle`]).
+    pub fn with_cfg_oracle(mut self) -> TraceProcessorConfig {
+        self.cfg_oracle = true;
         self
     }
 

@@ -16,11 +16,20 @@ pub enum SlotState {
     /// issue port.
     Waiting,
     /// Issued; completes at the contained cycle.
-    Executing { done_at: u64 },
+    Executing {
+        /// Cycle at which execution completes.
+        done_at: u64,
+    },
     /// Load/store after address generation, waiting for a cache bus.
-    WaitingBus { since: u64 },
+    WaitingBus {
+        /// Cycle at which the wait began (for occupancy accounting).
+        since: u64,
+    },
     /// Load/store granted a bus, accessing memory.
-    MemAccess { done_at: u64 },
+    MemAccess {
+        /// Cycle at which the access completes.
+        done_at: u64,
+    },
     /// Completed (may still reissue if an input value changes).
     Done,
 }

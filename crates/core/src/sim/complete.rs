@@ -123,7 +123,9 @@ impl TraceProcessor<'_> {
         if let Some(t) = actual {
             self.btb.update_indirect(pc, t);
         }
-        debug_assert_eq!(slot, self.pes[pe].slots.len() - 1, "indirect must end its trace");
+        if self.paranoid {
+            assert_eq!(slot, self.pes[pe].slots.len() - 1, "indirect must end its trace");
+        }
         match self.list.next(pe) {
             Some(succ) => {
                 let ok = Some(self.pes[succ].trace.id().start()) == actual;

@@ -65,39 +65,36 @@ impl TraceProcessor<'_> {
         }
         // Find a free PE.
         let free = (0..self.cfg.num_pes).find(|&i| !self.pes[i].occupied);
-        let pe = match free {
-            Some(pe) => pe,
-            None => {
-                match self.mode {
-                    FetchMode::CgciInsert { before, .. } => {
-                        // The window filled before re-convergence: the
-                        // correct control-dependent path needs more room
-                        // than the squash freed, so the attempt cannot pay
-                        // off. Abandon it outright — squash the preserved
-                        // suffix and resume normal fetch — rather than
-                        // reclaiming the suffix one tail per cycle, which
-                        // made a failed attempt cost strictly more than
-                        // the full squash it degenerates to.
-                        let victims: Vec<usize> = {
-                            let mut v = vec![before];
-                            v.extend(self.list.iter_after(before));
-                            v
-                        };
-                        if let Some(p) = self.cgci_pending.as_mut() {
-                            p.squashed += victims.len() as u64;
-                        }
-                        for v in victims {
-                            self.squash_pe(v);
-                            self.stats.tail_reclaims += 1;
-                        }
-                        self.set_mode(FetchMode::Normal);
-                        // The fetch queue holds correct-path (post-branch)
-                        // traces and the fetch history tracks them; both
-                        // stay — dispatch simply continues at the tail.
-                        return; // dispatch resumes next cycle
+        let Some(pe) = free else {
+            match self.mode {
+                FetchMode::CgciInsert { before, .. } => {
+                    // The window filled before re-convergence: the
+                    // correct control-dependent path needs more room
+                    // than the squash freed, so the attempt cannot pay
+                    // off. Abandon it outright — squash the preserved
+                    // suffix and resume normal fetch — rather than
+                    // reclaiming the suffix one tail per cycle, which
+                    // made a failed attempt cost strictly more than
+                    // the full squash it degenerates to.
+                    let victims: Vec<usize> = {
+                        let mut v = vec![before];
+                        v.extend(self.list.iter_after(before));
+                        v
+                    };
+                    if let Some(p) = self.cgci_pending.as_mut() {
+                        p.squashed += victims.len() as u64;
                     }
-                    FetchMode::Normal => return, // window full: stall
+                    for v in victims {
+                        self.squash_pe(v);
+                        self.stats.tail_reclaims += 1;
+                    }
+                    self.set_mode(FetchMode::Normal);
+                    // The fetch queue holds correct-path (post-branch)
+                    // traces and the fetch history tracks them; both
+                    // stay — dispatch simply continues at the tail.
+                    return; // dispatch resumes next cycle
                 }
+                FetchMode::Normal => return, // window full: stall
             }
         };
         let pending = self.fetch_queue.pop_front().expect("checked front");

@@ -64,7 +64,7 @@ impl TraceProcessor<'_> {
                 // pinned at the head (the behaviour `inject_cgci_stall_bug`
                 // re-introduces for the shrinker self-test).
                 None if !self.cfg.inject_cgci_stall_bug => {
-                    self.expected = ExpectedNext::Known(self.retired_next_pc)
+                    self.expected = ExpectedNext::Known(self.retired_next_pc);
                 }
                 None => {}
             }
@@ -84,7 +84,7 @@ impl TraceProcessor<'_> {
             (Some(id), Some(e)) if expected_certain && id.start() != e => None,
             (p, _) => p,
         };
-        let start = match prediction.map(|id| id.start()).or(expected_pc) {
+        let start = match prediction.map(TraceId::start).or(expected_pc) {
             Some(s) if self.program.contains(s) => s,
             _ => return, // fetch stalled
         };

@@ -42,6 +42,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use tp_cache::{Arb, DCache, ICache, SeqHandle, TraceCache};
+use tp_cfg::{CfgAnalysis, ReconvClass};
 use tp_isa::func::{ArchState, Machine, MachineState};
 use tp_isa::fxhash::FxHashMap;
 use tp_isa::{Addr, Pc, Program, Reg, Word};
@@ -364,6 +365,18 @@ pub struct TraceProcessor<'p> {
     // Architectural state.
     arch_regs: [Word; Reg::COUNT],
     oracle: Option<Machine<'p>>,
+    /// Static post-dominator re-convergence oracle
+    /// ([`TraceProcessorConfig::cfg_oracle`] or `TP_CFG_ORACLE`).
+    /// Read-only with respect to model behaviour: it observes CGCI
+    /// attempts, it never steers them.
+    reconv_oracle: Option<Box<CfgAnalysis>>,
+    /// First unclassifiable detection, surfaced from `step_cycle` as
+    /// [`SimError::OracleMismatch`] (stages themselves return `()`).
+    reconv_oracle_violation: Option<String>,
+    /// CGCI detections per [`ReconvClass`] (index order of
+    /// [`ReconvClass::ALL`]). Kept out of [`SimStats`] so golden
+    /// statistics rows are byte-identical with the oracle on or off.
+    reconv_oracle_counts: [u64; ReconvClass::ALL.len()],
     // Time.
     now: u64,
     last_retire_cycle: u64,
@@ -551,6 +564,10 @@ impl<'p> TraceProcessor<'p> {
             paranoid: std::env::var("TP_PARANOID").is_ok(),
             arch_regs: boot.regs,
             oracle,
+            reconv_oracle: (cfg.cfg_oracle || std::env::var("TP_CFG_ORACLE").is_ok())
+                .then(|| Box::new(CfgAnalysis::build(program))),
+            reconv_oracle_violation: None,
+            reconv_oracle_counts: [0; ReconvClass::ALL.len()],
             now: 0,
             last_retire_cycle: 0,
             halted: boot.halted,
@@ -586,6 +603,17 @@ impl<'p> TraceProcessor<'p> {
     /// (empty unless [`TraceProcessorConfig::log_mispredicts`]).
     pub fn mispredict_log(&self) -> &[MispredictRecord] {
         &self.misp_log
+    }
+
+    /// CGCI re-convergence detections by static classification (all zero
+    /// unless the `tp-cfg` oracle is enabled; see
+    /// [`TraceProcessorConfig::cfg_oracle`]).
+    pub fn cfg_oracle_counts(&self) -> [(ReconvClass, u64); ReconvClass::ALL.len()] {
+        let mut out = [(ReconvClass::Exact, 0); ReconvClass::ALL.len()];
+        for (i, &c) in ReconvClass::ALL.iter().enumerate() {
+            out[i] = (c, self.reconv_oracle_counts[i]);
+        }
+        out
     }
 
     /// Committed architectural state (registers plus memory), normalized for
@@ -699,6 +727,9 @@ impl<'p> TraceProcessor<'p> {
         self.paranoid_check("retire");
         self.recovery_stage(&ctx);
         self.paranoid_check("recovery");
+        if let Some(detail) = self.reconv_oracle_violation.take() {
+            return Err(SimError::OracleMismatch { cycle: self.now, detail });
+        }
         self.fetch_stage(&ctx);
         self.paranoid_check("fetch");
         self.dispatch_stage(&ctx);
@@ -943,8 +974,10 @@ impl<'p> TraceProcessor<'p> {
     /// called on every transition into `Waiting` and after every source
     /// rebind of a `Waiting` slot.
     fn index_enqueue(&mut self, pe: usize, slot: usize) {
-        debug_assert_eq!(self.pes[pe].slots[slot].state, SlotState::Waiting);
-        debug_assert!(slot < 64, "trace longer than the ready bitmask");
+        if self.paranoid {
+            assert_eq!(self.pes[pe].slots[slot].state, SlotState::Waiting);
+            assert!(slot < 64, "trace longer than the ready bitmask");
+        }
         let gen = self.pes[pe].gen;
         let srcs = self.pes[pe].slots[slot].srcs;
         let mut all_produced = true;

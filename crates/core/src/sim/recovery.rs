@@ -183,6 +183,7 @@ impl TraceProcessor<'_> {
                     (RecoveryPlan::Fgci, key)
                 } else if let Some((reconv, matched, victims)) = self.viable_reconv(pe, slot) {
                     self.stats.cgci_attempts += 1;
+                    self.check_reconv_oracle(ti.pc, matched, self.pes[reconv].trace.id().start());
                     // Squash strictly between the faulting PE and the first
                     // control independent trace.
                     let squashed = victims.len() as u64;
@@ -247,6 +248,29 @@ impl TraceProcessor<'_> {
             None => Heuristic::None,
             Some(CgciHeuristic::MlbRet) if class == BranchClass::Backward => Heuristic::Mlb,
             Some(_) => Heuristic::Ret,
+        }
+    }
+
+    /// Checks one CGCI re-convergence detection against the static
+    /// post-dominator oracle (no-op unless
+    /// [`TraceProcessorConfig::cfg_oracle`] is on). Every detection must
+    /// land in a classified bucket of [`ReconvClass`]; the first
+    /// unclassifiable one is recorded and surfaced from `step_cycle` as
+    /// [`SimError::OracleMismatch`]. Observation-only: the attempt
+    /// proceeds unchanged either way, so enabling the oracle can never
+    /// alter simulated behaviour.
+    fn check_reconv_oracle(&mut self, branch_pc: Pc, matched: Heuristic, detected: Pc) {
+        let Some(oracle) = &self.reconv_oracle else { return };
+        let class = oracle.classify(branch_pc, detected);
+        self.reconv_oracle_counts[class.index()] += 1;
+        if class == ReconvClass::Unclassified && self.reconv_oracle_violation.is_none() {
+            self.reconv_oracle_violation = Some(format!(
+                "cfg-oracle: CGCI attempt at branch pc {branch_pc} ({} heuristic) detected \
+                 re-convergence at pc {detected}, which the static CFG cannot justify \
+                 (static ipdom: {:?})",
+                matched.label(),
+                oracle.reconv_point(branch_pc),
+            ));
         }
     }
 
@@ -495,7 +519,9 @@ impl TraceProcessor<'_> {
         let old_len = self.pes[pe].slots.len();
         let new_len = repaired.len();
         let prefix_len = (fault_slot + 1).min(new_len);
-        debug_assert!(fault_slot < old_len);
+        if self.paranoid {
+            assert!(fault_slot < old_len);
+        }
         let common = self.common_suffix_len(pe, prefix_len, &repaired);
         let middle_end = new_len - common;
         // Undo stores in the squashed middle. Unlike a full-suffix squash,
@@ -529,7 +555,9 @@ impl TraceProcessor<'_> {
         // instructions; embedded outcomes/coverage may differ).
         for (i, s) in slots.iter_mut().enumerate() {
             let new_ti = repaired.insts()[i];
-            debug_assert_eq!(s.ti.inst, new_ti.inst, "repair changed a prefix instruction");
+            if self.paranoid {
+                assert_eq!(s.ti.inst, new_ti.inst, "repair changed a prefix instruction");
+            }
             s.ti = new_ti;
             // Re-verify the (former) fault branch against its new embedded
             // outcome.
@@ -552,7 +580,9 @@ impl TraceProcessor<'_> {
         // only meaningful while the slot's inputs still stand.
         for (k, mut s) in suffix.into_iter().enumerate() {
             let new_ti = repaired.insts()[middle_end + k];
-            debug_assert_eq!(s.ti.inst, new_ti.inst, "suffix match changed an instruction");
+            if self.paranoid {
+                assert_eq!(s.ti.inst, new_ti.inst, "suffix match changed an instruction");
+            }
             s.ti = new_ti;
             slots.push(s);
         }

@@ -331,7 +331,9 @@ impl TraceProcessor<'_> {
         // Free the PE. The gen bump invalidates its wakeup-index entries;
         // a fully-complete trace holds no ready bits to clear, but reset
         // defensively to keep the positional mask invariant unconditional.
-        debug_assert_eq!(self.wakeup.ready[pe], 0, "retiring pe{pe} with ready bits set");
+        if self.paranoid {
+            assert_eq!(self.wakeup.ready[pe], 0, "retiring pe{pe} with ready bits set");
+        }
         self.index_reset_pe(pe);
         self.list.remove(pe);
         self.pes[pe].occupied = false;

@@ -25,10 +25,27 @@
 //! | `sp`, `ra` | stack / link (per-ISA conventional registers) |
 
 use tp_isa::asm::Asm;
-use tp_isa::{AluOp, Cond, Program, Reg, Word, DATA_BASE, STACK_BASE};
-use tp_rv::RvError;
+use tp_isa::{AluOp, Cond, Pc, Program, Reg, Word, DATA_BASE, STACK_BASE};
+use tp_rv::{RvAsm, RvError};
 
 use crate::ast::{CondSpec, CondSrc, FuzzAst, Op, Stmt, Trip};
+
+/// Structural re-convergence ground truth, recorded *during* emission:
+/// the emitters know exactly where every hammock joins, every loop
+/// exits, and every jump table points, because they placed the labels.
+/// This is what the static analysis (`tp-cfg`) must recover from the
+/// decoded instruction stream alone — per branch, the exact immediate
+/// post-dominator, with no classified-exception slack.
+#[derive(Clone, Debug, Default)]
+pub struct ReconvTruth {
+    /// `(conditional branch PC, its re-convergent point)`: the hammock's
+    /// join label, or the loop's exit label for back-edge and break
+    /// branches.
+    pub branches: Vec<(Pc, Pc)>,
+    /// `(indirect transfer PC, exact target set)`: the switch's arm
+    /// labels, or the indirectly called function's entry (sorted).
+    pub indirects: Vec<(Pc, Vec<Pc>)>,
+}
 
 /// Byte base address of the jump-table region. Disjoint from the data
 /// words (at [`DATA_BASE`]) so stores can never clobber a code address,
@@ -52,7 +69,17 @@ const LOOP_BASE: u8 = 20;
 
 /// Emits the AST as an internal-ISA [`Program`].
 pub fn emit_synth(ast: &FuzzAst, name: &str) -> Program {
-    let mut e = SynthEmit { a: Asm::new(name), tables: Vec::new() };
+    emit_synth_with_truth(ast, name).0
+}
+
+/// [`emit_synth`], also returning the emission's [`ReconvTruth`].
+pub fn emit_synth_with_truth(ast: &FuzzAst, name: &str) -> (Program, ReconvTruth) {
+    let mut e = SynthEmit {
+        a: Asm::new(name),
+        tables: Vec::new(),
+        branch_truth: Vec::new(),
+        indirect_truth: Vec::new(),
+    };
     e.a.li64(Reg::SP, STACK_BASE as i64);
     e.a.li64(Reg::new(DATA_PTR), DATA_BASE as i64);
     e.a.li64(Reg::new(TABLE_PTR), TABLE_BASE as i64);
@@ -83,13 +110,33 @@ pub fn emit_synth(ast: &FuzzAst, name: &str) -> Program {
     for (i, label) in e.tables.iter().enumerate() {
         e.a.data_label(TABLE_BASE + 8 * i as u64, label.clone());
     }
-    e.a.assemble().expect("emitted program is always valid")
+    // Resolve the recorded truth labels before assembly consumes the
+    // symbol table. Every label was defined by the emission above.
+    let resolve = |l: &str| e.a.resolve_label(l).expect("truth label is defined");
+    let truth = ReconvTruth {
+        branches: e.branch_truth.iter().map(|&(pc, ref l)| (pc, resolve(l))).collect(),
+        indirects: e
+            .indirect_truth
+            .iter()
+            .map(|&(pc, ref ls)| {
+                let mut ts: Vec<Pc> = ls.iter().map(|l| resolve(l)).collect();
+                ts.sort_unstable();
+                ts.dedup();
+                (pc, ts)
+            })
+            .collect(),
+    };
+    (e.a.assemble().expect("emitted program is always valid"), truth)
 }
 
 struct SynthEmit {
     a: Asm,
     /// Jump-table entries (labels), in allocation order.
     tables: Vec<String>,
+    /// `(branch PC, re-convergence label)` recorded at each branch.
+    branch_truth: Vec<(Pc, String)>,
+    /// `(indirect site PC, target labels)` recorded at each site.
+    indirect_truth: Vec<(Pc, Vec<String>)>,
 }
 
 impl SynthEmit {
@@ -125,6 +172,7 @@ impl SynthEmit {
             Stmt::Hammock { cond, then_b, else_b } => {
                 let end = self.a.fresh_label("end");
                 let (lhs, rhs) = self.cond_operands(cond);
+                self.branch_truth.push((self.a.here(), end.clone()));
                 if else_b.is_empty() {
                     self.a.branch(cond.cond, lhs, rhs, end.clone());
                     self.stmts(then_b, depth);
@@ -155,6 +203,7 @@ impl SynthEmit {
                     if let Some((c, pos)) = brk {
                         if *pos == i {
                             let (lhs, rhs) = self.cond_operands(c);
+                            self.branch_truth.push((self.a.here(), out.clone()));
                             self.a.branch(c.cond, lhs, rhs, out.clone());
                         }
                     }
@@ -163,10 +212,12 @@ impl SynthEmit {
                 if let Some((c, pos)) = brk {
                     if *pos >= body.len() {
                         let (lhs, rhs) = self.cond_operands(c);
+                        self.branch_truth.push((self.a.here(), out.clone()));
                         self.a.branch(c.cond, lhs, rhs, out.clone());
                     }
                 }
                 self.a.addi(counter, counter, -1);
+                self.branch_truth.push((self.a.here(), out.clone()));
                 self.a.branch(Cond::Gt, counter, Reg::ZERO, top);
                 self.a.label(out);
             }
@@ -184,6 +235,7 @@ impl SynthEmit {
                 self.a.alui(AluOp::Shl, t1, t1, 3);
                 self.a.alu(AluOp::Add, t1, Reg::new(TABLE_PTR), t1);
                 self.a.load(t2, t1, 8 * base as i32);
+                self.indirect_truth.push((self.a.here(), labels.clone()));
                 self.a.jump_indirect(t2);
                 for (arm, l) in arms.iter().zip(&labels) {
                     self.a.label(l.clone());
@@ -198,6 +250,7 @@ impl SynthEmit {
                 self.tables.push(format!("f{callee}"));
                 let t2 = Reg::new(TBL_TGT);
                 self.a.load(t2, Reg::new(TABLE_PTR), 8 * slot as i32);
+                self.indirect_truth.push((self.a.here(), vec![format!("f{callee}")]));
                 self.a.call_indirect(t2);
             }
         }
@@ -216,7 +269,19 @@ impl SynthEmit {
 
 /// Renders the AST as RV64 assembly source (the input to [`emit_rv`]).
 pub fn emit_rv_source(ast: &FuzzAst) -> String {
-    let mut e = RvEmit { out: String::new(), tables: Vec::new(), fresh: 0 };
+    emit_rv_render(ast).out
+}
+
+/// Renders the AST, keeping the emitter (and so its recorded truth
+/// labels) alive for [`emit_rv_with_truth`] to resolve after assembly.
+fn emit_rv_render(ast: &FuzzAst) -> RvEmit {
+    let mut e = RvEmit {
+        out: String::new(),
+        tables: Vec::new(),
+        fresh: 0,
+        branch_truth: Vec::new(),
+        indirect_truth: Vec::new(),
+    };
     let line = |e: &mut RvEmit, s: &str| {
         e.out.push_str(s);
         e.out.push('\n');
@@ -253,7 +318,7 @@ pub fn emit_rv_source(ast: &FuzzAst) -> String {
     for label in &e.tables.clone() {
         line(&mut e, &format!("    .wordpc {label}"));
     }
-    e.out
+    e
 }
 
 /// Emits the AST through the RV64 frontend: renders assembly text,
@@ -269,10 +334,46 @@ pub fn emit_rv(ast: &FuzzAst, name: &str) -> Result<Program, RvError> {
     tp_rv::assemble_program(name, &emit_rv_source(ast))
 }
 
+/// [`emit_rv`], also returning the emission's [`ReconvTruth`]. Branch
+/// sites are marked with fresh labels in the rendered source (zero-size;
+/// the encoded words are identical), then resolved to PCs through the
+/// assembled module's symbol table.
+///
+/// # Errors
+///
+/// As [`emit_rv`].
+pub fn emit_rv_with_truth(ast: &FuzzAst, name: &str) -> Result<(Program, ReconvTruth), RvError> {
+    let e = emit_rv_render(ast);
+    let mut a = RvAsm::new(name);
+    a.source(&e.out)?;
+    // Labels resolve at parse time, so they can be read out before
+    // `assemble` consumes the assembler.
+    let resolve = |l: &str| a.label_pc(l).expect("truth label is defined");
+    let truth = ReconvTruth {
+        branches: e.branch_truth.iter().map(|(s, l)| (resolve(s), resolve(l))).collect(),
+        indirects: e
+            .indirect_truth
+            .iter()
+            .map(|(s, ls)| {
+                let mut ts: Vec<Pc> = ls.iter().map(|l| resolve(l)).collect();
+                ts.sort_unstable();
+                ts.dedup();
+                (resolve(s), ts)
+            })
+            .collect(),
+    };
+    let program = tp_rv::module_to_program(&a.assemble()?)?;
+    Ok((program, truth))
+}
+
 struct RvEmit {
     out: String,
     tables: Vec<String>,
     fresh: u32,
+    /// `(branch site label, re-convergence label)` per branch.
+    branch_truth: Vec<(String, String)>,
+    /// `(indirect site label, target labels)` per site.
+    indirect_truth: Vec<(String, Vec<String>)>,
 }
 
 impl RvEmit {
@@ -309,9 +410,20 @@ impl RvEmit {
         (lhs, rhs)
     }
 
-    /// Emits a conditional branch to `label` taken when `c` holds.
-    fn branch(&mut self, c: &CondSpec, label: &str) {
+    /// Emits a fresh zero-size label naming the *next* instruction as a
+    /// truth site (the encodings are unchanged; only the symbol table
+    /// grows).
+    fn site(&mut self) -> String {
+        let site = self.fresh("brsite");
+        self.line(format!("{site}:"));
+        site
+    }
+
+    /// Emits a conditional branch to `label` taken when `c` holds,
+    /// returning the label of the branch instruction itself.
+    fn branch(&mut self, c: &CondSpec, label: &str) -> String {
         let (lhs, rhs) = self.cond_operands(c);
+        let site = self.site();
         // `ble`/`bgt`/`bleu`/`bgtu` are the assembler's operand-swapping
         // pseudos for the conditions RV lacks natively.
         let mnemonic = match c.cond {
@@ -325,6 +437,7 @@ impl RvEmit {
             Cond::Geu => "bgeu",
         };
         self.line(format!("    {mnemonic} {lhs}, {rhs}, {label}"));
+        site
     }
 
     fn stmt(&mut self, s: &Stmt, depth: usize) {
@@ -337,11 +450,13 @@ impl RvEmit {
             Stmt::Hammock { cond, then_b, else_b } => {
                 let end = self.fresh("end");
                 if else_b.is_empty() {
-                    self.branch(cond, &end);
+                    let site = self.branch(cond, &end);
+                    self.branch_truth.push((site, end.clone()));
                     self.stmts(then_b, depth);
                 } else {
                     let els = self.fresh("else");
-                    self.branch(cond, &els);
+                    let site = self.branch(cond, &els);
+                    self.branch_truth.push((site, end.clone()));
                     self.stmts(then_b, depth);
                     self.line(format!("    j {end}"));
                     self.line(format!("{els}:"));
@@ -365,18 +480,22 @@ impl RvEmit {
                 for (i, s) in body.iter().enumerate() {
                     if let Some((c, pos)) = brk {
                         if *pos == i {
-                            self.branch(c, &out);
+                            let site = self.branch(c, &out);
+                            self.branch_truth.push((site, out.clone()));
                         }
                     }
                     self.stmt(s, depth + 1);
                 }
                 if let Some((c, pos)) = brk {
                     if *pos >= body.len() {
-                        self.branch(c, &out);
+                        let site = self.branch(c, &out);
+                        self.branch_truth.push((site, out.clone()));
                     }
                 }
                 self.line(format!("    addi {counter}, {counter}, -1"));
+                let site = self.site();
                 self.line(format!("    bgt {counter}, zero, {top}"));
+                self.branch_truth.push((site, out.clone()));
                 self.line(format!("{out}:"));
             }
             Stmt::Switch { word, mask, arms } => {
@@ -391,7 +510,9 @@ impl RvEmit {
                 self.line(format!("    slli x{TBL_ADDR}, x{TBL_ADDR}, 3"));
                 self.line(format!("    add x{TBL_ADDR}, x{TABLE_PTR}, x{TBL_ADDR}"));
                 self.table_load(8 * base as i64);
+                let site = self.site();
                 self.line(format!("    jr x{TBL_TGT}"));
+                self.indirect_truth.push((site, labels.clone()));
                 for (arm, l) in arms.iter().zip(&labels) {
                     self.line(format!("{l}:"));
                     self.stmts(arm, depth);
@@ -405,7 +526,9 @@ impl RvEmit {
                 self.tables.push(format!("f{callee}"));
                 self.line(format!("    mv x{TBL_ADDR}, x{TABLE_PTR}"));
                 self.table_load(8 * slot as i64);
+                let site = self.site();
                 self.line(format!("    jalr x{TBL_TGT}"));
+                self.indirect_truth.push((site, vec![format!("f{callee}")]));
             }
         }
     }
@@ -454,13 +577,13 @@ impl RvEmit {
                 AluOp::Slt => self.line(format!("    slti {}, {}, {imm}", r(rd), r(rs))),
                 AluOp::Sltu => self.line(format!("    sltiu {}, {}, {imm}", r(rd), r(rs))),
                 AluOp::Shl => {
-                    self.line(format!("    slli {}, {}, {}", r(rd), r(rs), imm.rem_euclid(64)))
+                    self.line(format!("    slli {}, {}, {}", r(rd), r(rs), imm.rem_euclid(64)));
                 }
                 AluOp::Shr => {
-                    self.line(format!("    srai {}, {}, {}", r(rd), r(rs), imm.rem_euclid(64)))
+                    self.line(format!("    srai {}, {}, {}", r(rd), r(rs), imm.rem_euclid(64)));
                 }
                 AluOp::Shru => {
-                    self.line(format!("    srli {}, {}, {}", r(rd), r(rs), imm.rem_euclid(64)))
+                    self.line(format!("    srli {}, {}, {}", r(rd), r(rs), imm.rem_euclid(64)));
                 }
                 AluOp::Sub | AluOp::Mul | AluOp::Div | AluOp::Rem => {
                     let m = match op {
@@ -474,10 +597,10 @@ impl RvEmit {
                 }
             },
             Op::Load { rd, word } => {
-                self.line(format!("    ld {}, {}(x{DATA_PTR})", r(rd), 8 * word as i32))
+                self.line(format!("    ld {}, {}(x{DATA_PTR})", r(rd), 8 * word as i32));
             }
             Op::Store { rs, word } => {
-                self.line(format!("    sd {}, {}(x{DATA_PTR})", r(rs), 8 * word as i32))
+                self.line(format!("    sd {}, {}(x{DATA_PTR})", r(rs), 8 * word as i32));
             }
         }
     }

@@ -108,6 +108,12 @@ pub struct Harness {
     /// from divergence through shrinking can be tested against a machine
     /// that is *known* bad. Only the shrinker self-test sets this.
     pub inject_cgci_stall_bug: bool,
+    /// Additionally run the static CFG re-convergence oracle
+    /// ([`TraceProcessorConfig::with_cfg_oracle`]): every CGCI attempt's
+    /// detected re-convergent PC must be statically classifiable, turning
+    /// a heuristic that "merely" loses coverage silently into a loud
+    /// divergence.
+    pub cfg_oracle: bool,
 }
 
 impl Default for Harness {
@@ -119,6 +125,7 @@ impl Default for Harness {
             isas: vec![Isa::Synth, Isa::Rv],
             small_machine: false,
             inject_cgci_stall_bug: false,
+            cfg_oracle: false,
         }
     }
 }
@@ -133,6 +140,7 @@ impl Harness {
             TraceProcessorConfig::paper(model)
         };
         cfg.inject_cgci_stall_bug = self.inject_cgci_stall_bug;
+        cfg.cfg_oracle = self.cfg_oracle;
         cfg.with_oracle()
     }
 

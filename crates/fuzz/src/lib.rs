@@ -33,7 +33,10 @@ pub mod harness;
 pub mod shrink;
 
 pub use ast::FuzzAst;
-pub use emit::{emit_rv, emit_rv_source, emit_synth, TABLE_BASE};
+pub use emit::{
+    emit_rv, emit_rv_source, emit_rv_with_truth, emit_synth, emit_synth_with_truth, ReconvTruth,
+    TABLE_BASE,
+};
 pub use gen::{generate, FuzzConfig};
 pub use harness::{Divergence, Harness, Isa, Outcome, MODELS};
 pub use shrink::{shrink, ShrinkStats};

@@ -126,6 +126,13 @@ impl Asm {
         format!("{prefix}${}", self.fresh)
     }
 
+    /// The PC a defined label resolves to, or `None` if the label has not
+    /// been defined (yet). Useful for exporting ground-truth metadata about
+    /// an emitted program after all labels have been placed.
+    pub fn resolve_label(&self, label: &str) -> Option<Pc> {
+        self.labels.get(label).copied()
+    }
+
     /// Sets the program entry point to `label` (defaults to PC 0).
     pub fn set_entry(&mut self, label: impl Into<String>) {
         self.entry = Some(Target::Label(label.into()));
@@ -293,7 +300,16 @@ impl Asm {
             };
             data.push((*addr, value));
         }
-        Ok(Program::new(self.name, insts, entry, data)?)
+        // Slots placed via `data_label` hold resolved instruction PCs; record
+        // them as code-pointer metadata so static analysis can bound the
+        // targets of indirect jumps and calls.
+        let code_ptrs: Vec<Addr> = self
+            .data
+            .iter()
+            .filter(|(_, w)| matches!(w, DataWord::LabelPc(_)))
+            .map(|(addr, _)| *addr)
+            .collect();
+        Ok(Program::new(self.name, insts, entry, data)?.with_code_ptrs(code_ptrs)?)
     }
 }
 
@@ -358,6 +374,19 @@ mod tests {
         let p = a.assemble().unwrap();
         let data: Vec<_> = p.data().collect();
         assert_eq!(data, vec![(0x100, 1), (0x108, -9)]);
+        // The jump-table slot is recorded as code-pointer metadata; the plain
+        // data word is not.
+        assert_eq!(p.code_ptrs().collect::<Vec<_>>(), vec![0x100]);
+    }
+
+    #[test]
+    fn resolve_label_reads_the_symbol_table() {
+        let mut a = Asm::new("t");
+        a.nop();
+        a.label("tgt");
+        a.halt();
+        assert_eq!(a.resolve_label("tgt"), Some(1));
+        assert_eq!(a.resolve_label("missing"), None);
     }
 
     #[test]

@@ -166,6 +166,7 @@ impl Cond {
 /// direct jumps/calls, and the indirect class `jump indirect` / `call
 /// indirect` / `return` at which default trace selection terminates traces).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant docs name every operand field
 pub enum Inst {
     /// Three-register ALU operation: `rd = op(rs, rt)`.
     Alu { op: AluOp, rd: Reg, rs: Reg, rt: Reg },

@@ -1,6 +1,6 @@
 //! Programs: instruction images plus initial data.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::{Addr, Inst, Pc, Word};
@@ -18,10 +18,16 @@ pub struct Program {
     insts: Vec<Inst>,
     entry: Pc,
     data: BTreeMap<Addr, Word>,
+    /// Data-image addresses whose words are known to hold code pointers
+    /// (instruction PCs): jump-table slots and function-pointer slots. Pure
+    /// metadata for static analysis — execution and checkpoint fingerprints
+    /// ignore it.
+    code_ptrs: BTreeSet<Addr>,
 }
 
 /// Error returned when a [`Program`] fails validation.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant docs name every field
 pub enum ProgramError {
     /// The program contains no instructions.
     Empty,
@@ -77,9 +83,39 @@ impl Program {
         entry: Pc,
         data: impl IntoIterator<Item = (Addr, Word)>,
     ) -> Result<Program, ProgramError> {
-        let program = Program { name: name.into(), insts, entry, data: data.into_iter().collect() };
+        let program = Program {
+            name: name.into(),
+            insts,
+            entry,
+            data: data.into_iter().collect(),
+            code_ptrs: BTreeSet::new(),
+        };
         program.validate()?;
         Ok(program)
+    }
+
+    /// Attaches code-pointer metadata: the data-image addresses whose words
+    /// are resolved instruction PCs (jump-table and function-pointer slots).
+    ///
+    /// Both assemblers record these automatically (synth `data_label`, RV64
+    /// `.wordpc`); static analysis uses them to bound indirect-transfer
+    /// targets. Addresses must name existing data words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::UnalignedData`] if an address is not 8-byte
+    /// aligned or does not name a word present in the data image.
+    pub fn with_code_ptrs(
+        mut self,
+        addrs: impl IntoIterator<Item = Addr>,
+    ) -> Result<Program, ProgramError> {
+        for addr in addrs {
+            if addr % 8 != 0 || !self.data.contains_key(&addr) {
+                return Err(ProgramError::UnalignedData { addr });
+            }
+            self.code_ptrs.insert(addr);
+        }
+        Ok(self)
     }
 
     fn validate(&self) -> Result<(), ProgramError> {
@@ -94,11 +130,10 @@ impl Program {
             return Err(ProgramError::EntryOutOfRange { entry: self.entry, len });
         }
         for (pc, inst) in self.insts.iter().enumerate() {
-            let target = match *inst {
-                Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Call { target } => {
-                    target
-                }
-                _ => continue,
+            let (Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Call { target }) =
+                *inst
+            else {
+                continue;
             };
             if target as usize >= len {
                 return Err(ProgramError::TargetOutOfRange { pc: pc as Pc, target, len });
@@ -141,6 +176,12 @@ impl Program {
     /// The initial data image as `(byte address, word)` pairs.
     pub fn data(&self) -> impl Iterator<Item = (Addr, Word)> + '_ {
         self.data.iter().map(|(&a, &w)| (a, w))
+    }
+
+    /// Data-image addresses known to hold code pointers (see
+    /// [`Program::with_code_ptrs`]), in ascending order.
+    pub fn code_ptrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.code_ptrs.iter().copied()
     }
 
     /// Fetches the instruction at `pc`, or `None` when out of range.
@@ -232,6 +273,17 @@ mod tests {
         assert!(!p.contains(2));
         assert_eq!(p.data().collect::<Vec<_>>(), vec![(8, 42)]);
         assert_eq!(p.static_cond_branches(), 0);
+    }
+
+    #[test]
+    fn code_ptrs_must_name_existing_aligned_words() {
+        let p = Program::new("t", nop_program(2), 0, [(8u64, 1i64), (16u64, 0i64)]).unwrap();
+        assert_eq!(p.code_ptrs().count(), 0);
+        let p = p.with_code_ptrs([16u64, 8u64]).unwrap();
+        assert_eq!(p.code_ptrs().collect::<Vec<_>>(), vec![8, 16]);
+        // An address with no backing data word is rejected.
+        let p2 = Program::new("t", nop_program(2), 0, [(8u64, 1i64)]).unwrap();
+        assert!(p2.with_code_ptrs([24u64]).is_err());
     }
 
     #[test]

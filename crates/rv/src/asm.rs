@@ -97,6 +97,11 @@ pub struct RvModule {
     pub entry: Pc,
     /// Initial data image as `(byte address, word)` pairs.
     pub data: Vec<(Addr, Word)>,
+    /// Data addresses placed via `.wordpc` — their words are resolved
+    /// instruction PCs (jump-table / function-pointer slots). Carried into
+    /// [`Program`](tp_isa::Program) code-pointer metadata for static
+    /// analysis; execution ignores it.
+    pub code_ptrs: Vec<Addr>,
 }
 
 /// The assembler.
@@ -162,6 +167,13 @@ impl RvAsm {
     /// Places `value` at byte address `addr` in the data image.
     pub fn data_word(&mut self, addr: Addr, value: Word) {
         self.data.push((addr, DataVal::Value(value)));
+    }
+
+    /// The word-indexed PC a defined label resolves to, or `None` if the
+    /// label has not been defined. Labels resolve at parse time, so this is
+    /// exact once the defining source block has been fed to [`RvAsm::source`].
+    pub fn label_pc(&self, label: &str) -> Option<Pc> {
+        self.labels.get(label).copied()
     }
 
     fn define_label(&mut self, label: &str) {
@@ -487,7 +499,13 @@ impl RvAsm {
             };
             data.push((*addr, value));
         }
-        Ok(RvModule { name: self.name, words, entry, data })
+        let code_ptrs = self
+            .data
+            .iter()
+            .filter(|(_, v)| matches!(v, DataVal::LabelPc(_)))
+            .map(|(addr, _)| *addr)
+            .collect();
+        Ok(RvModule { name: self.name, words, entry, data, code_ptrs })
     }
 }
 
@@ -615,6 +633,8 @@ mod tests {
         );
         assert_eq!(m.data, vec![(0x100, 42), (0x108, 1)]);
         assert_eq!(m.entry, 1);
+        // Only the `.wordpc` slot is recorded as a code pointer.
+        assert_eq!(m.code_ptrs, vec![0x108]);
     }
 
     #[test]

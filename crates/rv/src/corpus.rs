@@ -174,7 +174,7 @@ fn qsort_spec(n: u32) -> Spec {
     let src = format!(
         "
         main:
-            li   sp, {stack:#x}
+            li   sp, {RV_STACK:#x}
             li   a0, {DATA:#x}
             li   a1, {last:#x}
             call qsort
@@ -235,7 +235,6 @@ fn qsort_spec(n: u32) -> Spec {
             addi sp, sp, 32
             ret
         ",
-        stack = RV_STACK,
     );
     let data: Vec<(Addr, Word)> =
         qsort_data(n).into_iter().enumerate().map(|(i, v)| (DATA + 8 * i as Addr, v)).collect();
@@ -724,7 +723,7 @@ mod tests {
                 for j in 0..k {
                     c[i * k + j] = (0..k)
                         .map(|l| a[i * k + l].wrapping_mul(b[l * k + j]))
-                        .fold(0i64, |x, y| x.wrapping_add(y));
+                        .fold(0i64, i64::wrapping_add);
                 }
             }
             a[0] ^= c[k * k - 1] >> 3;

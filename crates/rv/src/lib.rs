@@ -141,7 +141,8 @@ pub fn module_to_program(module: &RvModule) -> Result<Program, RvError> {
         let rv = decode::decode(word).map_err(|err| RvError::Decode { pc, err })?;
         insts.push(lower::lower(rv, pc).map_err(|err| RvError::Lower { pc, err })?);
     }
-    Ok(Program::new(module.name.clone(), insts, module.entry, module.data.iter().copied())?)
+    Ok(Program::new(module.name.clone(), insts, module.entry, module.data.iter().copied())?
+        .with_code_ptrs(module.code_ptrs.iter().copied())?)
 }
 
 /// Assembles source text straight into a validated [`Program`]

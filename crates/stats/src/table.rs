@@ -28,7 +28,7 @@ impl Table {
     pub fn new(corner: impl Into<String>, columns: &[&str]) -> Table {
         Table {
             corner: corner.into(),
-            columns: columns.iter().map(|s| s.to_string()).collect(),
+            columns: columns.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
             precision: 2,
         }

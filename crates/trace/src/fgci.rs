@@ -134,9 +134,8 @@ pub fn analyze_region(program: &Program, branch_pc: Pc, max_len: u32) -> RegionI
 
         if pc == most_distant {
             // Re-convergence: every path through the region meets here.
-            let region_size = match incoming {
-                Some(v) => v,
-                None => return RegionInfo::not_embeddable(scanned),
+            let Some(region_size) = incoming else {
+                return RegionInfo::not_embeddable(scanned);
             };
             if region_size > max_len {
                 return RegionInfo::not_embeddable(scanned);
@@ -151,9 +150,8 @@ pub fn analyze_region(program: &Program, branch_pc: Pc, max_len: u32) -> RegionI
             };
         }
 
-        let inst = match program.fetch(pc) {
-            Some(i) => i,
-            None => return RegionInfo::not_embeddable(scanned),
+        let Some(inst) = program.fetch(pc) else {
+            return RegionInfo::not_embeddable(scanned);
         };
 
         // The node's value: longest path reaching it, plus itself. Dead

@@ -328,9 +328,8 @@ impl Selector {
                 break (EndReason::MaxLen, Some(pc));
             }
 
-            let inst = match program.fetch(pc) {
-                Some(i) => i,
-                None => break (EndReason::OutOfProgram, None),
+            let Some(inst) = program.fetch(pc) else {
+                break (EndReason::OutOfProgram, None);
             };
 
             // FGCI region padding: consult the BIT at forward conditional

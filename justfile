@@ -67,6 +67,22 @@ rv-baseline SIZE="full":
 guard:
     cargo run --release -p tp-bench --bin baseline -- --size tiny --guard --out BENCH_speed_tiny.json
 
+# Static CFG + post-dominator analysis test battery: the tp-cfg unit
+# tests, the dom/pdom fixtures, the CGCI-vs-static differential oracle
+# over every workload x model, the 1000-seed fuzzer ground-truth
+# exactness test, and the workload corpus lint fixture.
+cfg:
+    cargo test --release -p tp-cfg
+    cargo test --release -p tp-fuzz --test cfg_truth
+    cargo test --release --test cfg_oracle --test cfg_lint
+
+# Static control-independence opportunity report (the static ceiling on
+# what CGCI/FGCI can exploit). Without WORKLOAD: one summary line per
+# workload of both suites; with one: its full branch table. Add --json
+# for the tp-bench/cfgstats/v1 document.
+cfgstats WORKLOAD="":
+    cargo run --release -p tp-bench --bin cfgstats -- {{WORKLOAD}}
+
 # Misprediction outcome-attribution table for one workload under one model
 # (base|RET|MLB-RET|FG|FG+MLB-RET); without MODEL, prints every model.
 attr WORKLOAD="compress" MODEL="MLB-RET":
@@ -81,6 +97,11 @@ bless:
 # functional oracle (exit non-zero on any divergence).
 fuzz-ci SEEDS="500":
     cargo run --release -p tp-bench --bin fuzz -- --count {{SEEDS}}
+
+# Bounded fuzz pass with the static re-convergence oracle armed: every
+# CGCI detection must be classifiable by tp-cfg or the seed diverges.
+fuzz-cfg SEEDS="500":
+    cargo run --release -p tp-bench --bin fuzz -- --count {{SEEDS}} --cfg-oracle
 
 # Unbounded fuzz loop (Ctrl-C to stop). Every seed is logged on
 # divergence, so a failure replays exactly:

@@ -40,6 +40,7 @@
 //! ```
 
 pub use tp_cache;
+pub use tp_cfg;
 pub use tp_ckpt;
 pub use tp_core;
 pub use tp_isa;

@@ -1,0 +1,51 @@
+//! Workload lint corpus: the static CFG lint (`tp_cfg::lint`) must stay
+//! clean over every workload of both suites.
+//!
+//! The fixture `tests/golden/cfg_lint.txt` pins one line per workload.
+//! Today every line reads `clean`; a finding (unreachable code, a block
+//! falling off the end of the program, an escaping jump-table entry)
+//! shows up as a fixture diff and fails tier-1 — broken workload control
+//! flow is caught at build time, not as a mysterious simulator hang. On an
+//! intentional corpus change, re-bless with:
+//!
+//! ```text
+//! TP_BLESS=1 cargo test --test cfg_lint
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use trace_processor::tp_cfg::{lint, CfgAnalysis};
+use trace_processor::tp_workloads::{all_workloads, Size};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/cfg_lint.txt")
+}
+
+#[test]
+fn workload_corpus_lints_clean() {
+    let mut actual = String::new();
+    for w in all_workloads(Size::Tiny) {
+        let analysis = CfgAnalysis::build(&w.program);
+        let findings = lint(&w.program, &analysis);
+        if findings.is_empty() {
+            writeln!(actual, "{}: clean", w.name).unwrap();
+        } else {
+            for f in &findings {
+                writeln!(actual, "{}: {f}", w.name).unwrap();
+            }
+        }
+    }
+    let path = golden_path();
+    if std::env::var("TP_BLESS").is_ok() {
+        std::fs::write(&path, &actual).unwrap_or_else(|e| panic!("blessing {path:?}: {e}"));
+        eprintln!("blessed {path:?}");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{path:?} missing ({e}); bless with TP_BLESS=1"));
+    assert_eq!(
+        actual, expected,
+        "workload lint findings changed; if intentional, re-bless with TP_BLESS=1"
+    );
+}
