@@ -22,17 +22,28 @@
 //!   detection is reported as a divergence
 //! * `--shrink`   on divergence, shrink to a minimal reproducer and print
 //!   its AST and RV64 source
+//! * `--inject-bug` re-introduce the fixed CGCI retired-upstream stall
+//!   bug, making divergences certain — a self-test of the whole
+//!   divergence pipeline (reporting, event capture, shrinking)
 //! * `--quiet`    suppress per-chunk progress
 //!
 //! Exit status is non-zero iff any seed diverged. Every divergent seed is
 //! printed (`DIVERGE seed=... [isa model] detail`), so a failing run can
-//! be replayed exactly with `--seed <seed> --count 1 --shrink`.
+//! be replayed exactly with `--seed <seed> --count 1 --shrink`. Each
+//! divergent seed whose failure reached simulation is additionally
+//! re-run with the `tp-events` bus attached and the Chrome trace capture
+//! is written to `divergence-<seed>.trace.json` in the working directory,
+//! so the cycles leading up to the divergence can be inspected in
+//! perfetto (the `tracetap` binary's `--fuzz-seed` mode reproduces the
+//! same capture on demand).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use tp_bench::tap::capture_program;
+use tp_fuzz::emit::{emit_rv, emit_synth};
 use tp_fuzz::gen::generate;
-use tp_fuzz::harness::{Harness, Outcome};
+use tp_fuzz::harness::{Divergence, Harness, Isa, Outcome};
 use tp_fuzz::shrink::shrink;
 use tp_fuzz::{emit_rv_source, FuzzConfig};
 
@@ -44,6 +55,7 @@ struct Args {
     small_machine: bool,
     jobs: usize,
     cfg_oracle: bool,
+    inject_bug: bool,
     do_shrink: bool,
     quiet: bool,
 }
@@ -57,6 +69,7 @@ fn parse_args() -> Args {
         small_machine: false,
         jobs: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         cfg_oracle: false,
+        inject_bug: false,
         do_shrink: false,
         quiet: false,
     };
@@ -90,6 +103,7 @@ fn parse_args() -> Args {
                 }
             },
             "--cfg-oracle" => args.cfg_oracle = true,
+            "--inject-bug" => args.inject_bug = true,
             "--shrink" => args.do_shrink = true,
             "--quiet" => args.quiet = true,
             other => {
@@ -107,13 +121,14 @@ fn main() {
         oracle_budget: args.budget,
         small_machine: args.small_machine,
         cfg_oracle: args.cfg_oracle,
+        inject_cgci_stall_bug: args.inject_bug,
         ..Harness::default()
     };
     let next = AtomicU64::new(args.seed);
     let end = if args.count == 0 { u64::MAX } else { args.seed.saturating_add(args.count) };
     let checked = AtomicU64::new(0);
     let skipped = AtomicU64::new(0);
-    let failures: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+    let failures: Mutex<Vec<(u64, Divergence)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for _ in 0..args.jobs.max(1) {
@@ -129,7 +144,7 @@ fn main() {
                     }
                     Outcome::Diverged(d) => {
                         println!("DIVERGE seed={seed} {d}");
-                        failures.lock().unwrap().push((seed, d.to_string()));
+                        failures.lock().unwrap().push((seed, d));
                     }
                 }
                 let n = checked.fetch_add(1, Ordering::Relaxed) + 1;
@@ -154,12 +169,54 @@ fn main() {
     if failures.is_empty() {
         return;
     }
+    for (seed, d) in &failures {
+        capture_divergence(&harness, &args.config, *seed, d);
+    }
     if args.do_shrink {
         for (seed, _) in &failures {
             shrink_and_print(&harness, &args.config, *seed);
         }
     }
     std::process::exit(1);
+}
+
+/// Replays a divergent seed with the `tp-events` bus attached and writes
+/// the Chrome trace capture next to the reproducer output, preserving the
+/// cycles leading up to the divergence. The capture survives a simulator
+/// error or panic mid-replay — that failure point is exactly what the
+/// trace is for.
+fn capture_divergence(harness: &Harness, config: &FuzzConfig, seed: u64, d: &Divergence) {
+    let Some(model) = d.model else {
+        eprintln!("seed {seed}: divergence precedes simulation; no event capture");
+        return;
+    };
+    let ast = generate(config, seed);
+    let name = format!("fuzz-{seed}");
+    let program = match d.isa {
+        Isa::Synth => emit_synth(&ast, &name),
+        Isa::Rv => match emit_rv(&ast, &name) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("seed {seed}: rv emission failed during event capture: {e}");
+                return;
+            }
+        },
+    };
+    let budget = harness.oracle_budget.saturating_add(harness.sim_slack);
+    let cap = capture_program(&program, harness.config(model), budget);
+    let path = format!("divergence-{seed}.trace.json");
+    match std::fs::write(&path, &cap.chrome_json) {
+        Ok(()) => println!(
+            "seed {seed}: event capture at {path} ({} retired, {} cycles{})",
+            cap.retired,
+            cap.cycles,
+            match &cap.error {
+                Some(e) => format!(", run ended: {e}"),
+                None => String::new(),
+            }
+        ),
+        Err(e) => eprintln!("seed {seed}: writing {path}: {e}"),
+    }
 }
 
 /// Shrinks a divergent seed, preserving its first divergence's (isa,

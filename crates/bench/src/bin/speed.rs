@@ -1,7 +1,8 @@
 //! Quick calibration probe: IPC and misprediction profile per workload.
 //!
 //! Usage: `speed [--size tiny|small|full|long] [--suite synth|rv|all]
-//! [--sample] [--ckpt DIR] [--ffwd-bench [--out PATH] [--gate MIN]]`
+//! [--sample] [--ckpt DIR] [--ffwd-bench [--out PATH] [--gate MIN]]
+//! [--events-guard PCT]`
 //!
 //! Default is a full detailed run of each workload under the base model.
 //! `--suite` selects the synthetic kernels, the RV64 corpus, or both
@@ -21,11 +22,19 @@
 //! `tp-bench/sampled/v2` throughput JSON (the CI artifact); `--gate MIN`
 //! exits non-zero if the geometric-mean speedup falls below `MIN` (CI
 //! gates at 1.0: the superblock engine must never be slower).
+//!
+//! `--events-guard PCT` runs the disabled-bus overhead probe instead:
+//! the tiny synthetic suite, bare vs with a `NullSink` attached (empty
+//! interest mask — the compiled-in event bus with every emission site
+//! masked off), alternating repetitions, minimum wall per variant. Exits
+//! non-zero if the attached run is more than `PCT` percent slower (CI
+//! gates at 1.0: the event bus must stay free when nobody listens).
 
 use std::time::Instant;
 use tp_bench::ffwd::{ffwd_to_json, run_ffwd_bench, speedup_geomean};
 use tp_bench::sampled::{default_sample_for, run_sampled_as};
 use tp_bench::speed::{parse_size, SuiteChoice};
+use tp_bench::tap::measure_null_sink_overhead;
 use tp_ckpt::FastForward;
 use tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
 use tp_workloads::Size;
@@ -37,6 +46,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut gate: Option<f64> = None;
     let mut ckpt_dir: Option<String> = None;
+    let mut events_guard: Option<f64> = None;
     let mut suite_choice = SuiteChoice::Synth;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -78,6 +88,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--events-guard" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(p) => events_guard = Some(p),
+                None => {
+                    eprintln!("--events-guard requires a max overhead percentage, e.g. 1.0");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
@@ -87,6 +104,10 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(max_pct) = events_guard {
+        run_events_guard(max_pct);
+        return;
     }
     if ffwd_bench {
         run_ffwd_table(size, suite_choice, out.as_deref(), gate);
@@ -106,6 +127,25 @@ fn main() {
     } else {
         run_detailed_table(size, suite_choice, &cfg);
     }
+}
+
+/// The disabled-bus overhead guard: with only a `NullSink` attached every
+/// emission site is still masked off, so the attached run must track the
+/// bare run to within `max_pct` percent. A small absolute slack floor
+/// absorbs scheduler jitter on the short tiny-suite runs.
+fn run_events_guard(max_pct: f64) {
+    let probe = measure_null_sink_overhead(5);
+    let pct = probe.overhead_pct();
+    println!(
+        "events-guard: tiny suite bare {:.3}s, NullSink attached {:.3}s ({pct:+.2}%)",
+        probe.bare_seconds, probe.attached_seconds
+    );
+    let slack = 0.02; // seconds; tiny runs are short enough to jitter
+    if probe.attached_seconds > probe.bare_seconds * (1.0 + max_pct / 100.0) + slack {
+        eprintln!("events-guard FAILED: NullSink overhead {pct:.2}% > {max_pct:.2}%");
+        std::process::exit(1);
+    }
+    println!("events-guard: OK (<= {max_pct:.1}% + {slack:.2}s slack)");
 }
 
 fn run_ffwd_table(size: Size, suite_choice: SuiteChoice, out: Option<&str>, gate: Option<f64>) {

@@ -1,0 +1,293 @@
+//! Trace tap: run any (workload, model) cell — or resume a TPCK
+//! checkpoint, or replay a fuzzer reproducer — with the `tp-events` bus
+//! attached, and write Chrome trace-event JSON (loads directly in
+//! perfetto / `chrome://tracing`) plus an optional counter timeline.
+//!
+//! ```text
+//! tracetap --workload NAME [--size tiny|small|full|long] [--model M] [--budget N]
+//! tracetap --ckpt PATH [--interval N] [--model M]
+//! tracetap --fuzz-seed S [--isa synth|rv] [--machine paper|small]
+//!          [--config default|small] [--model M] [--budget N]
+//! ```
+//!
+//! Common flags: `--out PATH` (Chrome trace JSON, default
+//! `tracetap.trace.json`) and `--counters PATH` (compact counter-timeline
+//! JSON, only written when requested).
+//!
+//! * `--workload` runs a fresh simulator on a named workload for up to
+//!   `--budget` retired instructions (default 200 000).
+//! * `--ckpt` boots a detailed interval from a TPCK checkpoint (the
+//!   source program is found by fingerprint, the model defaults to the
+//!   checkpoint's warmed selection) and captures `--interval` retired
+//!   instructions (default 10 000).
+//! * `--fuzz-seed` regenerates the fuzzer program for a seed, emits it
+//!   through the chosen frontend, and runs it under the same
+//!   oracle-verified configuration the fuzzer uses — so a divergence
+//!   reported by the `fuzz` binary replays here with full event capture,
+//!   and the capture survives even if the run errors or panics.
+//!
+//! The exit status is non-zero if the captured run ended in a simulator
+//! error; the trace documents are written either way — capturing the
+//! events leading up to a failure is the whole point of the tap.
+
+use tp_bench::speed::{parse_size, size_name};
+use tp_bench::tap::{capture_interval, capture_program, Capture};
+use tp_ckpt::Checkpoint;
+use tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
+use tp_fuzz::harness::{Harness, Isa};
+use tp_fuzz::{emit_rv_source, generate, FuzzConfig};
+use tp_isa::Program;
+use tp_workloads::{all_workloads, Size};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tracetap --workload NAME [--size tiny|small|full|long] [--model M] [--budget N]\n\
+         \x20      tracetap --ckpt PATH [--interval N] [--model M]\n\
+         \x20      tracetap --fuzz-seed S [--isa synth|rv] [--machine paper|small]\n\
+         \x20               [--config default|small] [--model M] [--budget N]\n\
+         common: --out PATH (default tracetap.trace.json), --counters PATH\n\
+         models: base|RET|MLB-RET|FG|FG+MLB-RET"
+    );
+    std::process::exit(2);
+}
+
+fn parse_model(s: &str) -> CiModel {
+    match s {
+        "base" => CiModel::None,
+        "RET" => CiModel::Ret,
+        "MLB-RET" => CiModel::MlbRet,
+        "FG" => CiModel::Fg,
+        "FG+MLB-RET" => CiModel::FgMlbRet,
+        other => {
+            eprintln!("unknown model {other:?} (base|RET|MLB-RET|FG|FG+MLB-RET)");
+            std::process::exit(2);
+        }
+    }
+}
+
+struct Args {
+    workload: Option<String>,
+    size: Size,
+    ckpt: Option<String>,
+    interval: u64,
+    fuzz_seed: Option<u64>,
+    isa: Isa,
+    small_machine: bool,
+    config: FuzzConfig,
+    model: Option<CiModel>,
+    budget: u64,
+    out: String,
+    counters: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: None,
+        size: Size::Tiny,
+        ckpt: None,
+        interval: 10_000,
+        fuzz_seed: None,
+        isa: Isa::Synth,
+        small_machine: false,
+        config: FuzzConfig::default(),
+        model: None,
+        budget: 200_000,
+        out: String::from("tracetap.trace.json"),
+        counters: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--workload" => args.workload = Some(val("--workload")),
+            "--size" => {
+                args.size = parse_size(&val("--size")).unwrap_or_else(|| usage());
+            }
+            "--ckpt" => args.ckpt = Some(val("--ckpt")),
+            "--interval" => {
+                args.interval = val("--interval").parse().expect("--interval: u64");
+            }
+            "--fuzz-seed" => {
+                args.fuzz_seed = Some(val("--fuzz-seed").parse().expect("--fuzz-seed: u64"));
+            }
+            "--isa" => match val("--isa").as_str() {
+                "synth" => args.isa = Isa::Synth,
+                "rv" => args.isa = Isa::Rv,
+                other => {
+                    eprintln!("unknown isa {other:?}; expected synth|rv");
+                    std::process::exit(2);
+                }
+            },
+            "--machine" => match val("--machine").as_str() {
+                "paper" => args.small_machine = false,
+                "small" => args.small_machine = true,
+                other => {
+                    eprintln!("unknown machine {other:?}; expected paper|small");
+                    std::process::exit(2);
+                }
+            },
+            "--config" => match val("--config").as_str() {
+                "default" => args.config = FuzzConfig::default(),
+                "small" => args.config = FuzzConfig::small(),
+                other => {
+                    eprintln!("unknown config {other:?}; expected default|small");
+                    std::process::exit(2);
+                }
+            },
+            "--model" => args.model = Some(parse_model(&val("--model"))),
+            "--budget" => args.budget = val("--budget").parse().expect("--budget: u64"),
+            "--out" => args.out = val("--out"),
+            "--counters" => args.counters = Some(val("--counters")),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn validated_config(model: CiModel) -> TraceProcessorConfig {
+    let cfg = TraceProcessorConfig::paper(model);
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid configuration: {e}");
+        std::process::exit(2);
+    }
+    cfg
+}
+
+fn main() {
+    let args = parse_args();
+    let modes = usize::from(args.workload.is_some())
+        + usize::from(args.ckpt.is_some())
+        + usize::from(args.fuzz_seed.is_some());
+    if modes != 1 {
+        usage();
+    }
+    let (label, cap) = if let Some(name) = &args.workload {
+        run_workload(&args, name)
+    } else if let Some(path) = &args.ckpt {
+        run_checkpoint(&args, path)
+    } else {
+        run_fuzz_seed(&args, args.fuzz_seed.expect("mode checked above"))
+    };
+    write_doc(&args.out, &cap.chrome_json);
+    if let Some(path) = &args.counters {
+        write_doc(path, &cap.counters_json);
+    }
+    println!(
+        "{label}: {} retired, {} cycles{}{}",
+        cap.retired,
+        cap.cycles,
+        if cap.halted { ", halted" } else { "" },
+        match &cap.error {
+            Some(e) => format!(" — run ended in error: {e}"),
+            None => String::new(),
+        }
+    );
+    if cap.error.is_some() {
+        std::process::exit(1);
+    }
+}
+
+fn write_doc(path: &str, body: &str) {
+    std::fs::write(path, body).unwrap_or_else(|e| {
+        eprintln!("writing {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("{path}: {} bytes", body.len());
+}
+
+fn run_workload(args: &Args, name: &str) -> (String, Capture) {
+    let w = tp_workloads::by_name(name, args.size).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let model = args.model.unwrap_or(CiModel::MlbRet);
+    let cfg = validated_config(model);
+    let label = format!("{name}/{} ({}) under {}", size_name(args.size), w.frontend, model.name());
+    (label, capture_program(&w.program, cfg, args.budget))
+}
+
+fn run_checkpoint(args: &Args, path: &str) -> (String, Capture) {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("reading {path}: {e}");
+        std::process::exit(1);
+    });
+    let ckpt = Checkpoint::decode(&bytes).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(1);
+    });
+    let (program, size) = find_program(&ckpt).unwrap_or_else(|| {
+        eprintln!(
+            "{path}: no {} workload matches fingerprint {:016x} (captured from `{}`)",
+            ckpt.frontend, ckpt.program_fingerprint, ckpt.program_name
+        );
+        std::process::exit(1);
+    });
+    // Default the model to the checkpoint's warmed trace selection, the
+    // same derivation `ckpt verify` uses; `--model` overrides it.
+    let model = args.model.unwrap_or(match ckpt.warm.as_ref().map(|w| w.selection) {
+        Some(sel) if sel.fg && sel.ntb => CiModel::FgMlbRet,
+        Some(sel) if sel.fg => CiModel::Fg,
+        Some(sel) if sel.ntb => CiModel::MlbRet,
+        _ => CiModel::None,
+    });
+    let cfg = validated_config(model);
+    let boot = ckpt.boot_image(&program, &cfg).unwrap_or_else(|e| {
+        eprintln!("{path}: boot failed: {e}");
+        std::process::exit(1);
+    });
+    let mut sim = TraceProcessor::from_checkpoint(&program, cfg, boot).unwrap_or_else(|e| {
+        eprintln!("{path}: boot rejected: {e}");
+        std::process::exit(1);
+    });
+    let label = format!(
+        "{}/{} resumed at {} retired under {}",
+        ckpt.program_name,
+        size_name(size),
+        ckpt.retired,
+        model.name()
+    );
+    (label, capture_interval(&mut sim, args.interval))
+}
+
+/// Finds the workload a checkpoint was captured from by fingerprint
+/// search over both suites at every size (frontend-checked).
+fn find_program(ckpt: &Checkpoint) -> Option<(Program, Size)> {
+    for size in [Size::Tiny, Size::Small, Size::Full, Size::Long] {
+        for w in all_workloads(size) {
+            if ckpt.verify_program(&w.program).is_ok() && ckpt.verify_frontend(w.frontend).is_ok() {
+                return Some((w.program, size));
+            }
+        }
+    }
+    None
+}
+
+fn run_fuzz_seed(args: &Args, seed: u64) -> (String, Capture) {
+    let ast = generate(&args.config, seed);
+    let name = format!("fuzz-{seed}");
+    let program = match args.isa {
+        Isa::Synth => tp_fuzz::emit::emit_synth(&ast, &name),
+        Isa::Rv => tp_fuzz::emit::emit_rv(&ast, &name).unwrap_or_else(|e| {
+            eprintln!("seed {seed}: rv emission failed: {e}");
+            eprintln!("--- rv64 rendering ---\n{}", emit_rv_source(&ast));
+            std::process::exit(1);
+        }),
+    };
+    let model = args.model.unwrap_or(CiModel::MlbRet);
+    let harness = Harness { small_machine: args.small_machine, ..Harness::default() };
+    let label = format!(
+        "fuzz seed {seed} ({} frontend, {} machine) under {} (oracle on)",
+        args.isa,
+        if args.small_machine { "small" } else { "paper" },
+        model.name()
+    );
+    (label, capture_program(&program, harness.config(model), args.budget))
+}

@@ -10,6 +10,7 @@ pub mod runner;
 pub mod sampled;
 pub mod speed;
 pub mod sweep;
+pub mod tap;
 
 pub use ffwd::{ffwd_to_json, run_ffwd_bench, speedup_geomean, FfwdBenchCell};
 pub use profile::{profile_branches, BranchClass, BranchProfile};
@@ -20,4 +21,7 @@ pub use sampled::{
 };
 pub use sweep::{
     run_sweep_parallel, run_sweep_sequential, run_sweep_with_threads, SweepJob, SweepResult,
+};
+pub use tap::{
+    capture_interval, capture_program, measure_null_sink_overhead, Capture, OverheadProbe,
 };

@@ -1,0 +1,145 @@
+//! Event capture: attach the `tp-events` sinks to a simulator, run it,
+//! and render the captured documents. Shared by the `tracetap` binary and
+//! the fuzz binary's divergence capture.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tp_core::{TraceProcessor, TraceProcessorConfig};
+use tp_events::{ChromeTraceSink, CounterTimelineSink};
+use tp_isa::Program;
+
+/// A finished event capture: both rendered JSON documents plus the run's
+/// headline numbers.
+#[derive(Clone, Debug)]
+pub struct Capture {
+    /// Chrome trace-event JSON (loads in perfetto / `chrome://tracing`).
+    pub chrome_json: String,
+    /// Compact counter-timeline JSON (`tp-events/counters/v1`).
+    pub counters_json: String,
+    /// How the run ended: `None` for a clean stop, `Some(description)` for
+    /// a simulator error or panic. The capture up to the failure point
+    /// stands either way — that is the whole point of a trace tap.
+    pub error: Option<String>,
+    /// Whether the program halted.
+    pub halted: bool,
+    /// Total retired instructions on the simulator (including any
+    /// checkpointed prefix).
+    pub retired: u64,
+    /// Final cycle count.
+    pub cycles: u64,
+}
+
+/// Attaches Chrome-trace and counter sinks to `sim`, runs up to `interval`
+/// more retired instructions, and renders the capture. The bus is always
+/// released, so a simulator error — or even a panic — mid-run still yields
+/// the events recorded up to that point.
+pub fn capture_interval(sim: &mut TraceProcessor<'_>, interval: u64) -> Capture {
+    sim.attach_event_sink(Box::new(ChromeTraceSink::new()));
+    sim.attach_event_sink(Box::new(CounterTimelineSink::new()));
+    let outcome = catch_unwind(AssertUnwindSafe(|| sim.run_interval(interval)));
+    let error = match outcome {
+        Ok(Ok(_)) => None,
+        Ok(Err(e)) => Some(e.to_string()),
+        Err(p) => Some(format!("simulator panicked: {}", panic_message(&p))),
+    };
+    let mut bus = sim.release_event_bus();
+    let chrome = bus.take::<ChromeTraceSink>().expect("attached above");
+    let counters = bus.take::<CounterTimelineSink>().expect("attached above");
+    Capture {
+        chrome_json: chrome.to_json(),
+        counters_json: counters.to_json(),
+        error,
+        halted: sim.halted(),
+        retired: sim.stats().retired_instrs,
+        cycles: sim.stats().cycles,
+    }
+}
+
+/// Builds a fresh simulator for `program` under `cfg` and captures a run
+/// of up to `budget` retired instructions ([`capture_interval`]).
+pub fn capture_program(program: &Program, cfg: TraceProcessorConfig, budget: u64) -> Capture {
+    let mut sim = TraceProcessor::new(program, cfg);
+    capture_interval(&mut sim, budget)
+}
+
+/// Paired wall-clock measurement for the disabled-bus overhead guard:
+/// the tiny synthetic suite under MLB-RET, run with the bus unattached
+/// and with a [`NullSink`](tp_events::NullSink) attached (empty interest
+/// mask — every emission site stays masked off, but the attach plumbing
+/// is live). Each figure is the minimum over the repetitions, taken in
+/// alternating order so machine drift hits both variants equally.
+#[derive(Clone, Copy, Debug)]
+pub struct OverheadProbe {
+    /// Best wall-clock with no sink attached, in seconds.
+    pub bare_seconds: f64,
+    /// Best wall-clock with a `NullSink` attached, in seconds.
+    pub attached_seconds: f64,
+}
+
+impl OverheadProbe {
+    /// Attached overhead relative to the bare run, in percent (negative
+    /// when the attached run happened to be faster).
+    pub fn overhead_pct(&self) -> f64 {
+        100.0 * (self.attached_seconds / self.bare_seconds - 1.0)
+    }
+}
+
+/// Runs the disabled-bus overhead probe ([`OverheadProbe`]) with `reps`
+/// repetitions per variant.
+pub fn measure_null_sink_overhead(reps: usize) -> OverheadProbe {
+    let workloads = tp_workloads::suite(tp_workloads::Size::Tiny);
+    let cfg = TraceProcessorConfig::paper(tp_core::CiModel::MlbRet);
+    let (mut bare, mut attached) = (f64::MAX, f64::MAX);
+    for rep in 0..reps.max(1) {
+        if rep % 2 == 0 {
+            bare = bare.min(time_tiny_suite(&workloads, &cfg, false));
+            attached = attached.min(time_tiny_suite(&workloads, &cfg, true));
+        } else {
+            attached = attached.min(time_tiny_suite(&workloads, &cfg, true));
+            bare = bare.min(time_tiny_suite(&workloads, &cfg, false));
+        }
+    }
+    OverheadProbe { bare_seconds: bare, attached_seconds: attached }
+}
+
+fn time_tiny_suite(
+    workloads: &[tp_workloads::Workload],
+    cfg: &TraceProcessorConfig,
+    attach: bool,
+) -> f64 {
+    let t = std::time::Instant::now();
+    for w in workloads {
+        let mut sim = TraceProcessor::new(&w.program, cfg.clone());
+        if attach {
+            sim.attach_event_sink(Box::new(tp_events::NullSink));
+        }
+        let r = sim.run(5_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(r.halted, "{} did not halt", w.name);
+    }
+    t.elapsed().as_secs_f64()
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tp_core::CiModel;
+    use tp_workloads::{by_name, Size};
+
+    #[test]
+    fn capture_renders_both_documents() {
+        let w = by_name("compress", Size::Tiny).unwrap();
+        let cfg = TraceProcessorConfig::paper(CiModel::MlbRet);
+        let cap = capture_program(&w.program, cfg, 2_000);
+        assert!(cap.error.is_none(), "{:?}", cap.error);
+        assert!(cap.retired > 0);
+        assert!(cap.chrome_json.contains("\"traceEvents\""));
+        assert!(cap.counters_json.contains("tp-events/counters/v1"));
+    }
+}

@@ -70,6 +70,7 @@ impl TraceProcessor<'_> {
             BusKind::Cache => std::mem::take(&mut self.cache_bus_queue),
             BusKind::Result => std::mem::take(&mut self.result_bus_queue),
         };
+        let waiting_at_start = queue.len();
         // Grant actions may (now or in the future) push *new* requests via
         // push_cache_req/push_result_req while the queue is taken out;
         // resetting the live horizon here and merging it back below keeps
@@ -137,6 +138,20 @@ impl TraceProcessor<'_> {
             }
         }
         self.scratch_grants = granted_per_pe;
+        if waiting_at_start > 0 && self.events.wants(Category::Bus) {
+            let bus = match kind {
+                BusKind::Cache => tp_events::BusChannel::Cache,
+                BusKind::Result => tp_events::BusChannel::Result,
+            };
+            self.events.emit(
+                now,
+                Event::BusSample {
+                    bus,
+                    waiting: waiting_at_start.min(255) as u8,
+                    granted: granted_total.min(255usize) as u8,
+                },
+            );
+        }
     }
 
     fn perform_mem_access(&mut self, pe: usize, slot: usize) {

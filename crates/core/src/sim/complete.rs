@@ -102,13 +102,27 @@ impl TraceProcessor<'_> {
         // Verify control instructions.
         let inst = self.pes[pe].slots[slot].ti.inst;
         if inst.is_cond_branch() {
-            let s = &mut self.pes[pe].slots[slot];
-            let actual = s.outcome.expect("branch executed");
-            s.fault = if Some(actual) != s.ti.embedded_taken {
-                Some(Fault::CondBranch { actual })
-            } else {
-                None
+            let (pc, faulted) = {
+                let s = &mut self.pes[pe].slots[slot];
+                let actual = s.outcome.expect("branch executed");
+                s.fault = if Some(actual) != s.ti.embedded_taken {
+                    Some(Fault::CondBranch { actual })
+                } else {
+                    None
+                };
+                (s.ti.pc, s.fault.is_some())
             };
+            if faulted && self.events.wants(Category::Recovery) {
+                self.events.emit(
+                    now,
+                    Event::MispredictDetected {
+                        pe: pe as u8,
+                        slot: slot.min(255) as u8,
+                        pc,
+                        kind: tp_events::MispredictKind::CondBranch,
+                    },
+                );
+            }
         } else if inst.is_indirect() {
             self.verify_indirect(pe, slot);
         }
@@ -131,6 +145,17 @@ impl TraceProcessor<'_> {
                 let ok = Some(self.pes[succ].trace.id().start()) == actual;
                 self.pes[pe].slots[slot].fault =
                     if ok { None } else { Some(Fault::Indirect { actual }) };
+                if !ok && self.events.wants(Category::Recovery) {
+                    self.events.emit(
+                        self.now,
+                        Event::MispredictDetected {
+                            pe: pe as u8,
+                            slot: slot.min(255) as u8,
+                            pc,
+                            kind: tp_events::MispredictKind::Indirect,
+                        },
+                    );
+                }
             }
             None => {
                 // This PE is the tail: redirect pending fetches if needed.

@@ -194,5 +194,17 @@ impl TraceProcessor<'_> {
             self.index_enqueue(pe, i);
         }
         self.stats.dispatched_traces += 1;
+        if self.events.wants(Category::Trace) {
+            let pc = self.pes[pe].trace.id().start();
+            self.events.emit(
+                ctx.now,
+                Event::TraceDispatched {
+                    pe: pe as u8,
+                    pc,
+                    len: num_slots.min(255) as u8,
+                    cgci_insert: insert_before.is_some(),
+                },
+            );
+        }
     }
 }

@@ -102,6 +102,12 @@ impl TraceProcessor<'_> {
                 // Resolve the pending attempt as re-converged *before*
                 // leaving insertion mode (set_mode treats any still-pending
                 // teardown as a failure).
+                if self.events.wants(Category::Trace) {
+                    for &pe in &preserved {
+                        let pc = self.pes[pe].trace.id().start();
+                        self.events.emit(ctx.now, Event::TracePreserved { pe: pe as u8, pc });
+                    }
+                }
                 let attr = self.cgci_pending.take().map(|p| {
                     self.resolve_cgci(p, RecoveryOutcome::CgciReconverged, preserved.len() as u64)
                 });
@@ -159,6 +165,21 @@ impl TraceProcessor<'_> {
                 (t, ready, FetchSource::Fallback)
             }
         };
+        if self.events.wants(Category::Trace) {
+            let path = match source {
+                FetchSource::PredictedHit => tp_events::FetchPath::PredictedHit,
+                FetchSource::PredictedMiss => tp_events::FetchPath::PredictedMiss,
+                FetchSource::Fallback => tp_events::FetchPath::Fallback,
+            };
+            self.events.emit(
+                ctx.now,
+                Event::TraceFetched {
+                    pc: trace.id().start(),
+                    len: trace.len().min(255) as u8,
+                    source: path,
+                },
+            );
+        }
         // Speculatively maintain the RAS and compute the next expected PC.
         self.expected = self.advance_ras_and_expected(&trace);
         self.fetch_hist.push(trace.id());

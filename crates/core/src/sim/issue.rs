@@ -32,6 +32,8 @@ use tp_isa::Inst;
 impl TraceProcessor<'_> {
     pub(super) fn issue_stage(&mut self, ctx: &CycleCtx) {
         let now = ctx.now;
+        let issued_before = self.stats.issue_events;
+        let reissued_before = self.stats.reissue_events;
         let mut order = std::mem::take(&mut self.scratch_order);
         order.clear();
         order.extend(self.list.iter());
@@ -63,6 +65,19 @@ impl TraceProcessor<'_> {
             }
         }
         self.scratch_order = order;
+        if self.events.wants(Category::Occupancy) {
+            let issued = self.stats.issue_events - issued_before;
+            if issued > 0 {
+                let reissued = self.stats.reissue_events - reissued_before;
+                self.events.emit(
+                    now,
+                    Event::IssueSample {
+                        issued: issued.min(255) as u8,
+                        reissued: reissued.min(255) as u8,
+                    },
+                );
+            }
+        }
     }
 
     fn issue_slot(&mut self, pe: usize, slot: usize) {

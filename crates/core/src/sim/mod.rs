@@ -43,6 +43,7 @@ use std::sync::Arc;
 
 use tp_cache::{Arb, DCache, ICache, SeqHandle, TraceCache};
 use tp_cfg::{CfgAnalysis, ReconvClass};
+use tp_events::{Category, Event, EventBus, EventSink};
 use tp_isa::func::{ArchState, Machine, MachineState};
 use tp_isa::fxhash::FxHashMap;
 use tp_isa::{Addr, Pc, Program, Reg, Word};
@@ -392,6 +393,11 @@ pub struct TraceProcessor<'p> {
     /// Retired mispredicted branches with provenance
     /// ([`TraceProcessorConfig::log_mispredicts`]).
     misp_log: Vec<MispredictRecord>,
+    /// The structured event bus ([`TraceProcessor::attach_event_sink`]).
+    /// Strictly observation-only: every emission site is gated on the
+    /// bus's cached category mask and nothing in the simulator reads the
+    /// bus back, so runs with and without sinks are cycle-identical.
+    events: EventBus,
 }
 
 /// One retired mispredicted branch, with the provenance of its (wrong)
@@ -575,8 +581,41 @@ impl<'p> TraceProcessor<'p> {
             stats: SimStats::default(),
             attribution: RecoveryAttribution::new(),
             misp_log: Vec::new(),
+            events: EventBus::new(),
             cfg,
         }
+    }
+
+    /// Attaches a structured-event sink to the simulator's event bus.
+    /// Sinks observe only: attaching one has zero effect on simulated
+    /// behaviour (golden statistics rows stay byte-identical).
+    pub fn attach_event_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.events.attach(sink);
+    }
+
+    /// Whether any event sink is currently attached.
+    pub fn events_attached(&self) -> bool {
+        self.events.is_attached()
+    }
+
+    /// Detaches and returns the event bus (with its sinks) so captured
+    /// data can be rendered. Before handing it back, a synthetic
+    /// `TraceSquashed { drained: true }` close is emitted for every trace
+    /// still resident in a PE, so each `TraceDispatched` is matched by
+    /// exactly one close even when the run ends mid-flight.
+    pub fn release_event_bus(&mut self) -> EventBus {
+        if self.events.wants(Category::Trace) {
+            let resident: Vec<(u8, u32)> = self
+                .list
+                .iter()
+                .filter(|&pe| self.pes[pe].occupied)
+                .map(|pe| (pe as u8, self.pes[pe].trace.id().start()))
+                .collect();
+            for (pe, pc) in resident {
+                self.events.emit(self.now, Event::TraceSquashed { pe, pc, drained: true });
+            }
+        }
+        std::mem::take(&mut self.events)
     }
 
     /// The simulator's configuration.
@@ -736,6 +775,15 @@ impl<'p> TraceProcessor<'p> {
         self.paranoid_check("dispatch");
         self.issue_stage(&ctx);
         self.bus_stage(&ctx);
+        if self.events.wants(Category::Occupancy) {
+            self.events.emit(
+                ctx.now,
+                Event::WindowSample {
+                    occupied: self.list.len().min(255) as u8,
+                    fetch_queue: self.fetch_queue.len().min(255) as u8,
+                },
+            );
+        }
         self.now += 1;
         self.stats.cycles = self.now;
         Ok(())
@@ -832,6 +880,22 @@ impl<'p> TraceProcessor<'p> {
         cell.traces_squashed += p.squashed;
         cell.traces_preserved += preserved;
         cell.recovery_cycles += self.now.saturating_sub(p.started_at);
+        // This is the single site charging a CGCI attempt to the ledger,
+        // so emitting the close here makes the event-vs-ledger balance
+        // exact by construction: closes per (class, heuristic, outcome)
+        // equal that cell's `events`.
+        if self.events.wants(Category::Cgci) {
+            self.events.emit(
+                self.now,
+                Event::CgciClosed {
+                    class: key.0,
+                    heuristic: key.1,
+                    outcome,
+                    squashed: p.squashed as u32,
+                    preserved: preserved as u32,
+                },
+            );
+        }
         let (pe, slot, pc) = p.fault;
         if self.pes[pe].occupied && self.pes[pe].dispatched_at == p.fault_dispatched_at {
             if let Some(s) = self.pes[pe].slots.get_mut(slot) {
@@ -841,6 +905,14 @@ impl<'p> TraceProcessor<'p> {
             }
         }
         key
+    }
+
+    /// Emits a head-stall sample when an occupancy sink is listening
+    /// (shared by retirement's early-return gates).
+    fn emit_head_stall(&mut self, now: u64, pe: usize, reason: tp_events::StallReason) {
+        if self.events.wants(Category::Occupancy) {
+            self.events.emit(now, Event::HeadStall { pe: pe as u8, reason });
+        }
     }
 
     fn handle(pe: usize, slot: usize) -> SeqHandle {

@@ -138,6 +138,17 @@ impl TraceProcessor<'_> {
                 // Squash everything younger and redirect fetch.
                 self.stats.trace_mispredictions += 1;
                 self.stats.full_squashes += 1;
+                if self.events.wants(Category::Recovery) {
+                    let branch_pc = self.pes[pe].slots[slot].ti.pc;
+                    self.events.emit(
+                        self.now,
+                        Event::RecoveryStarted {
+                            pe: pe as u8,
+                            branch_pc,
+                            plan: tp_events::RecoveryPlan::FullSquash,
+                        },
+                    );
+                }
                 let victims: Vec<usize> = self.list.iter_after(pe).collect();
                 for v in victims {
                     self.squash_pe(v);
@@ -210,6 +221,20 @@ impl TraceProcessor<'_> {
                         squashed,
                         retired_provisionally: false,
                     });
+                    // The attempt is charged to the ledger at resolution
+                    // (`resolve_cgci`, which emits the matching close).
+                    if self.events.wants(Category::Cgci) {
+                        let reconv_pc = self.pes[reconv].trace.id().start();
+                        self.events.emit(
+                            self.now,
+                            Event::CgciOpened {
+                                class,
+                                heuristic: matched,
+                                branch_pc: ti.pc,
+                                reconv_pc,
+                            },
+                        );
+                    }
                     (RecoveryPlan::Cgci, key)
                 } else {
                     self.stats.full_squashes += 1;
@@ -231,6 +256,17 @@ impl TraceProcessor<'_> {
                     // FGCI leaves the window untouched, but pending fetches
                     // were predicted under a stale history.
                     self.fetch_queue.clear();
+                }
+                if self.events.wants(Category::Recovery) {
+                    let event_plan = match plan {
+                        RecoveryPlan::Fgci => tp_events::RecoveryPlan::Fgci,
+                        RecoveryPlan::Cgci => tp_events::RecoveryPlan::Cgci,
+                        RecoveryPlan::Full => tp_events::RecoveryPlan::FullSquash,
+                    };
+                    self.events.emit(
+                        self.now,
+                        Event::RecoveryStarted { pe: pe as u8, branch_pc: ti.pc, plan: event_plan },
+                    );
                 }
                 let gen = self.pes[pe].gen;
                 let started_at = self.now;
@@ -412,6 +448,9 @@ impl TraceProcessor<'_> {
             s.fault.is_none() || (debounce && (s.state != SlotState::Done || s.pending_reissue))
         });
         if stale {
+            if self.events.wants(Category::Recovery) {
+                self.events.emit(self.now, Event::RecoveryAbandoned { pe: pe as u8 });
+            }
             if let FetchMode::CgciInsert { .. } = self.mode {
                 self.set_mode(FetchMode::Normal);
             }
@@ -440,6 +479,13 @@ impl TraceProcessor<'_> {
                 id_branches: self.pes[pe].trace.id().branches(),
                 source: self.pes[pe].source,
             });
+        }
+        let branch_pc = self.pes[pe].slots[rec.slot].ti.pc;
+        if self.events.wants(Category::Recovery) {
+            self.events.emit(self.now, Event::RecoveryApplied { pe: pe as u8, branch_pc });
+        }
+        if self.events.wants(Category::Trace) {
+            self.events.emit(self.now, Event::TraceRepaired { pe: pe as u8, branch_pc });
         }
         // Replace the faulting PE's trace with the repaired one (prefix
         // slots keep their state; suffix slots are squashed and replaced).
@@ -734,6 +780,10 @@ impl TraceProcessor<'_> {
     }
 
     pub(super) fn squash_pe(&mut self, pe: usize) {
+        if self.events.wants(Category::Trace) {
+            let pc = self.pes[pe].trace.id().start();
+            self.events.emit(self.now, Event::TraceSquashed { pe: pe as u8, pc, drained: false });
+        }
         for slot in 0..self.pes[pe].slots.len() {
             self.undo_store_if_performed(pe, slot);
         }

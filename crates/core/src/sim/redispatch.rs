@@ -245,6 +245,10 @@ impl TraceProcessor<'_> {
         self.pes[pe].hist_before = rolling.clone();
         rolling.push(trace.id());
         self.stats.redispatched_traces += 1;
+        if self.events.wants(Category::Trace) {
+            self.events
+                .emit(now, Event::TraceRedispatched { pe: pe as u8, pc: trace.id().start() });
+        }
         if let Some(key) = attr {
             self.attribution.cell_mut(key).traces_redispatched += 1;
         }

@@ -28,18 +28,24 @@ impl TraceProcessor<'_> {
         let Some(head) = self.list.head() else { return Ok(()) };
         self.reground_head(head, ctx);
         let p = &self.pes[head];
-        if !p.occupied || !p.all_complete() {
+        if !p.occupied {
+            return Ok(());
+        }
+        if !p.all_complete() {
+            self.emit_head_stall(ctx.now, head, tp_events::StallReason::Incomplete);
             return Ok(());
         }
         // A head targeted by an in-flight recovery cannot retire.
         if let Some(rec) = &self.recovery {
             if rec.pe == head {
+                self.emit_head_stall(ctx.now, head, tp_events::StallReason::Recovery);
                 return Ok(());
             }
         }
         // A head awaiting a re-dispatch pass cannot retire.
         if let Some(pass) = &self.redispatch {
             if pass.queue.contains(&head) {
+                self.emit_head_stall(ctx.now, head, tp_events::StallReason::Redispatch);
                 return Ok(());
             }
         }
@@ -47,6 +53,7 @@ impl TraceProcessor<'_> {
         // still placing control-dependent traces before it.
         if let FetchMode::CgciInsert { before, .. } = self.mode {
             if before == head {
+                self.emit_head_stall(ctx.now, head, tp_events::StallReason::CgciInsert);
                 return Ok(());
             }
         }
@@ -307,6 +314,16 @@ impl TraceProcessor<'_> {
         // Statistics.
         self.stats.retired_traces += 1;
         self.stats.retired_instrs += self.pes[pe].slots.len() as u64;
+        if self.events.wants(Category::Trace) {
+            self.events.emit(
+                self.now,
+                Event::TraceRetired {
+                    pe: pe as u8,
+                    pc: trace.id().start(),
+                    len: self.pes[pe].slots.len().min(255) as u8,
+                },
+            );
+        }
         if self.pes[pe].source != FetchSource::Fallback {
             self.stats.predicted_traces += 1;
         }

@@ -1,0 +1,152 @@
+//! The event bus: attached sinks plus the cached category mask tested at
+//! every emission site.
+
+use std::any::Any;
+
+use crate::event::{Category, CategoryMask, Event};
+
+/// An attachable event observer.
+///
+/// A sink declares the categories it wants ([`EventSink::interests`]);
+/// the bus caches the union across sinks, so an emission site whose
+/// category nobody wants costs a single mask test. `record` is only
+/// called for events in the sink's own interest set.
+pub trait EventSink: Any + Send {
+    /// The categories this sink wants to receive.
+    fn interests(&self) -> CategoryMask;
+
+    /// Receives one event (already filtered to this sink's interests).
+    fn record(&mut self, cycle: u64, event: &Event);
+
+    /// Upcast for post-run retrieval (see [`EventBus::take`]).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Owned upcast for post-run retrieval (see [`EventBus::take`]).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// A sink with an empty interest mask: attaching it exercises the whole
+/// attach/dispatch plumbing while keeping every emission site masked off
+/// — the measurement vehicle for the disabled-bus overhead guard.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn interests(&self) -> CategoryMask {
+        CategoryMask::NONE
+    }
+
+    fn record(&mut self, _cycle: u64, _event: &Event) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// The bus itself: a list of sinks and the cached union of their
+/// interest masks. `Default` is the unattached bus (mask zero).
+#[derive(Default)]
+pub struct EventBus {
+    sinks: Vec<Box<dyn EventSink>>,
+    mask: CategoryMask,
+}
+
+impl EventBus {
+    /// An empty, unattached bus.
+    pub fn new() -> EventBus {
+        EventBus::default()
+    }
+
+    /// Attaches a sink and folds its interests into the cached mask.
+    pub fn attach(&mut self, sink: Box<dyn EventSink>) {
+        self.mask = self.mask.union(sink.interests());
+        self.sinks.push(sink);
+    }
+
+    /// Whether any attached sink wants `cat`. This is the test every
+    /// emission site performs before constructing an event.
+    #[inline]
+    pub fn wants(&self, cat: Category) -> bool {
+        self.mask.contains(cat)
+    }
+
+    /// Whether any sink is attached at all.
+    pub fn is_attached(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    /// Number of attached sinks.
+    pub fn sink_count(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Delivers one event to every sink interested in its category.
+    pub fn emit(&mut self, cycle: u64, event: Event) {
+        let cat = event.category();
+        for sink in &mut self.sinks {
+            if sink.interests().contains(cat) {
+                sink.record(cycle, &event);
+            }
+        }
+    }
+
+    /// Detaches and returns the first attached sink of concrete type `T`
+    /// (the post-run retrieval path: attach, run, release the bus, take
+    /// each sink back out). The cached mask is recomputed.
+    pub fn take<T: EventSink>(&mut self) -> Option<Box<T>> {
+        let at = self.sinks.iter().position(|s| s.as_any().is::<T>())?;
+        let sink = self.sinks.remove(at);
+        self.mask = self.sinks.iter().fold(CategoryMask::NONE, |m, s| m.union(s.interests()));
+        Some(sink.into_any().downcast::<T>().expect("position() matched this type"))
+    }
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus")
+            .field("sinks", &self.sinks.len())
+            .field("mask", &self.mask)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::RingSink;
+
+    #[test]
+    fn unattached_bus_wants_nothing() {
+        let bus = EventBus::new();
+        assert!(!bus.is_attached());
+        for c in Category::ALL {
+            assert!(!bus.wants(c));
+        }
+    }
+
+    #[test]
+    fn mask_is_union_of_sinks_and_recomputed_on_take() {
+        let mut bus = EventBus::new();
+        bus.attach(Box::new(RingSink::with_interests(64, CategoryMask::of(&[Category::Trace]))));
+        bus.attach(Box::new(NullSink));
+        assert!(bus.wants(Category::Trace));
+        assert!(!bus.wants(Category::Bus));
+        assert_eq!(bus.sink_count(), 2);
+
+        bus.emit(7, Event::TraceRetired { pe: 3, pc: 40, len: 5 });
+        // Filtered: a Bus event reaches nobody.
+        bus.emit(8, Event::BusSample { bus: crate::BusChannel::Cache, waiting: 1, granted: 1 });
+
+        let ring = bus.take::<RingSink>().expect("ring sink attached");
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.events()[0], (7, Event::TraceRetired { pe: 3, pc: 40, len: 5 }));
+        assert!(!bus.wants(Category::Trace), "mask recomputed after take");
+        assert!(bus.take::<RingSink>().is_none());
+        assert!(bus.take::<NullSink>().is_some());
+        assert!(!bus.is_attached());
+    }
+}

@@ -1,0 +1,224 @@
+//! Compact counter-timeline sink: cumulative totals plus a bucketed
+//! timeline, rendered as a small JSON document that slots next to the
+//! existing `cistats`/attribution outputs.
+
+use std::any::Any;
+
+use crate::bus::EventSink;
+use crate::event::{CategoryMask, Event};
+
+/// One accumulator row (totals, and one per touched bucket).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Traces obtained by fetch.
+    pub fetched: u64,
+    /// Traces dispatched into PEs.
+    pub dispatched: u64,
+    /// Traces retired.
+    pub retired: u64,
+    /// Traces squashed (real squashes; run-end drains excluded).
+    pub squashed: u64,
+    /// FGCI in-place repairs.
+    pub repaired: u64,
+    /// Traces preserved across a recovery.
+    pub preserved: u64,
+    /// Traces re-renamed by a re-dispatch pass.
+    pub redispatched: u64,
+    /// Mispredictions detected at execute.
+    pub mispredicts: u64,
+    /// Recoveries started.
+    pub recoveries: u64,
+    /// CGCI attempts opened.
+    pub cgci_opened: u64,
+    /// CGCI attempts closed (reconverged or failed).
+    pub cgci_closed: u64,
+    /// Cycles the window head could not retire.
+    pub head_stalls: u64,
+    /// Instructions issued.
+    pub issued: u64,
+    /// Of which re-issues.
+    pub reissued: u64,
+    /// Sum of per-cycle occupied-PE samples.
+    pub occupancy_sum: u64,
+    /// Number of occupancy samples.
+    pub occupancy_samples: u64,
+    /// Sum of bus requests waiting at grant time.
+    pub bus_waiting: u64,
+    /// Sum of bus grants issued.
+    pub bus_granted: u64,
+}
+
+impl Counts {
+    fn add(&mut self, event: &Event) {
+        match *event {
+            Event::TraceFetched { .. } => self.fetched += 1,
+            Event::TraceDispatched { .. } => self.dispatched += 1,
+            Event::TraceRetired { .. } => self.retired += 1,
+            Event::TraceSquashed { drained, .. } => self.squashed += u64::from(!drained),
+            Event::TraceRepaired { .. } => self.repaired += 1,
+            Event::TracePreserved { .. } => self.preserved += 1,
+            Event::TraceRedispatched { .. } => self.redispatched += 1,
+            Event::MispredictDetected { .. } => self.mispredicts += 1,
+            Event::RecoveryStarted { .. } => self.recoveries += 1,
+            Event::RecoveryApplied { .. } | Event::RecoveryAbandoned { .. } => {}
+            Event::CgciOpened { .. } => self.cgci_opened += 1,
+            Event::CgciClosed { .. } => self.cgci_closed += 1,
+            Event::HeadStall { .. } => self.head_stalls += 1,
+            Event::WindowSample { occupied, .. } => {
+                self.occupancy_sum += occupied as u64;
+                self.occupancy_samples += 1;
+            }
+            Event::IssueSample { issued, reissued } => {
+                self.issued += issued as u64;
+                self.reissued += reissued as u64;
+            }
+            Event::BusSample { waiting, granted, .. } => {
+                self.bus_waiting += waiting as u64;
+                self.bus_granted += granted as u64;
+            }
+        }
+    }
+
+    fn fields_json(&self) -> String {
+        format!(
+            "\"fetched\":{},\"dispatched\":{},\"retired\":{},\"squashed\":{},\
+             \"repaired\":{},\"preserved\":{},\"redispatched\":{},\"mispredicts\":{},\
+             \"recoveries\":{},\"cgci_opened\":{},\"cgci_closed\":{},\"head_stalls\":{},\
+             \"issued\":{},\"reissued\":{},\"occupancy_sum\":{},\"occupancy_samples\":{},\
+             \"bus_waiting\":{},\"bus_granted\":{}",
+            self.fetched,
+            self.dispatched,
+            self.retired,
+            self.squashed,
+            self.repaired,
+            self.preserved,
+            self.redispatched,
+            self.mispredicts,
+            self.recoveries,
+            self.cgci_opened,
+            self.cgci_closed,
+            self.head_stalls,
+            self.issued,
+            self.reissued,
+            self.occupancy_sum,
+            self.occupancy_samples,
+            self.bus_waiting,
+            self.bus_granted,
+        )
+    }
+}
+
+/// The counter-timeline sink: totals plus one [`Counts`] row per touched
+/// `bucket_cycles`-wide cycle bucket.
+#[derive(Debug)]
+pub struct CounterTimelineSink {
+    bucket_cycles: u64,
+    totals: Counts,
+    /// Touched buckets, ascending: (bucket start cycle, counts).
+    buckets: Vec<(u64, Counts)>,
+}
+
+impl CounterTimelineSink {
+    /// The default bucket width, in cycles.
+    pub const DEFAULT_BUCKET: u64 = 1024;
+
+    /// A sink with the default bucket width.
+    pub fn new() -> CounterTimelineSink {
+        CounterTimelineSink::with_bucket(Self::DEFAULT_BUCKET)
+    }
+
+    /// A sink bucketing the timeline every `bucket_cycles` cycles.
+    pub fn with_bucket(bucket_cycles: u64) -> CounterTimelineSink {
+        CounterTimelineSink {
+            bucket_cycles: bucket_cycles.max(1),
+            totals: Counts::default(),
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Cumulative totals over the whole capture.
+    pub fn totals(&self) -> &Counts {
+        &self.totals
+    }
+
+    /// The touched buckets, ascending by start cycle.
+    pub fn buckets(&self) -> &[(u64, Counts)] {
+        &self.buckets
+    }
+
+    /// Renders the `tp-events/counters/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"tp-events/counters/v1\",\n");
+        s.push_str(&format!("  \"bucket_cycles\": {},\n", self.bucket_cycles));
+        s.push_str(&format!("  \"totals\": {{{}}},\n", self.totals.fields_json()));
+        s.push_str("  \"buckets\": [\n");
+        for (i, (start, counts)) in self.buckets.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"start_cycle\":{start},{}}}{}\n",
+                counts.fields_json(),
+                if i + 1 == self.buckets.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+impl Default for CounterTimelineSink {
+    fn default() -> CounterTimelineSink {
+        CounterTimelineSink::new()
+    }
+}
+
+impl EventSink for CounterTimelineSink {
+    fn interests(&self) -> CategoryMask {
+        CategoryMask::ALL
+    }
+
+    fn record(&mut self, cycle: u64, event: &Event) {
+        self.totals.add(event);
+        let start = cycle - cycle % self.bucket_cycles;
+        match self.buckets.last_mut() {
+            Some((s, counts)) if *s == start => counts.add(event),
+            _ => {
+                let mut counts = Counts::default();
+                counts.add(event);
+                self.buckets.push((start, counts));
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_split_on_the_cycle_axis() {
+        let mut sink = CounterTimelineSink::with_bucket(10);
+        sink.record(3, &Event::TraceDispatched { pe: 0, pc: 0, len: 1, cgci_insert: false });
+        sink.record(7, &Event::TraceRetired { pe: 0, pc: 0, len: 1 });
+        sink.record(15, &Event::TraceSquashed { pe: 1, pc: 4, drained: false });
+        sink.record(16, &Event::TraceSquashed { pe: 2, pc: 8, drained: true });
+        assert_eq!(sink.buckets().len(), 2);
+        assert_eq!(sink.buckets()[0].0, 0);
+        assert_eq!(sink.buckets()[1].0, 10);
+        assert_eq!(sink.totals().dispatched, 1);
+        assert_eq!(sink.totals().retired, 1);
+        // Drained run-end closes are not squashes.
+        assert_eq!(sink.totals().squashed, 1);
+        let json = sink.to_json();
+        assert!(json.contains("\"schema\": \"tp-events/counters/v1\""));
+        assert!(json.contains("\"bucket_cycles\": 10"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

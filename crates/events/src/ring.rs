@@ -1,0 +1,95 @@
+//! In-memory ring-buffer sink: keeps the last N events for tests and
+//! ad-hoc analysis.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use crate::bus::EventSink;
+use crate::event::{CategoryMask, Event};
+
+/// A bounded in-memory event buffer. When full, the oldest event is
+/// dropped (and counted), so the sink holds the *last* `capacity` events.
+#[derive(Debug)]
+pub struct RingSink {
+    interests: CategoryMask,
+    capacity: usize,
+    buf: VecDeque<(u64, Event)>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring of `capacity` events subscribed to every category.
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink::with_interests(capacity, CategoryMask::ALL)
+    }
+
+    /// A ring of `capacity` events subscribed to `interests` only.
+    pub fn with_interests(capacity: usize, interests: CategoryMask) -> RingSink {
+        RingSink { interests, capacity: capacity.max(1), buf: VecDeque::new(), dropped: 0 }
+    }
+
+    /// The buffered `(cycle, event)` pairs, oldest first.
+    pub fn events(&self) -> &VecDeque<(u64, Event)> {
+        &self.buf
+    }
+
+    /// Consumes the sink, returning the buffered pairs oldest first.
+    pub fn into_events(self) -> Vec<(u64, Event)> {
+        self.buf.into_iter().collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl EventSink for RingSink {
+    fn interests(&self) -> CategoryMask {
+        self.interests
+    }
+
+    fn record(&mut self, cycle: u64, event: &Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back((cycle, *event));
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_events() {
+        let mut ring = RingSink::new(2);
+        for i in 0..5u64 {
+            ring.record(i, &Event::RecoveryAbandoned { pe: i as u8 });
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let v = ring.into_events();
+        assert_eq!(v[0], (3, Event::RecoveryAbandoned { pe: 3 }));
+        assert_eq!(v[1], (4, Event::RecoveryAbandoned { pe: 4 }));
+    }
+}

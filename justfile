@@ -128,3 +128,17 @@ sample-baseline:
 # with functional warming, then write the versioned binary checkpoint.
 ckpt WORKLOAD="gcc" SIZE="full" FFWD="20000" OUT="ckpt.tpckpt":
     cargo run --release -p tp-bench --bin ckpt -- create --workload {{WORKLOAD}} --size {{SIZE}} --ffwd {{FFWD}} --out {{OUT}}
+
+# Event capture: run WORKLOAD at SIZE under MODEL with the tp-events bus
+# attached and write Chrome trace-event JSON (load OUT in
+# https://ui.perfetto.dev or chrome://tracing) plus a counter timeline.
+# The tracetap bin also resumes TPCK checkpoints (--ckpt PATH) and
+# replays fuzzer reproducers (--fuzz-seed S) — see its --help usage.
+tracetap WORKLOAD="go" SIZE="tiny" MODEL="MLB-RET" BUDGET="50000" OUT="tracetap.trace.json":
+    cargo run --release -p tp-bench --bin tracetap -- --workload {{WORKLOAD}} --size {{SIZE}} --model {{MODEL}} --budget {{BUDGET}} --out {{OUT}} --counters tracetap.counters.json
+
+# Disabled-bus overhead guard, exactly as CI runs it: the event bus must
+# stay free when no sink is attached (tiny suite, bare vs NullSink,
+# attached run <= 1% slower).
+events-guard:
+    cargo run --release -p tp-bench --bin speed -- --events-guard 1.0

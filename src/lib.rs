@@ -21,6 +21,9 @@
 //! * [`tp_core`] — the trace processor itself;
 //! * [`tp_ckpt`] — checkpointed fast-forward and the sampled-simulation
 //!   engine (functional warming, versioned binary checkpoints);
+//! * [`tp_events`] — the attachable structured event bus and its sinks
+//!   (Chrome trace-event JSON for perfetto, counter timelines, ring
+//!   buffer);
 //! * [`tp_stats`] — statistics helpers.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and `DESIGN.md` /
@@ -43,6 +46,7 @@ pub use tp_cache;
 pub use tp_cfg;
 pub use tp_ckpt;
 pub use tp_core;
+pub use tp_events;
 pub use tp_isa;
 pub use tp_predict;
 pub use tp_rv;

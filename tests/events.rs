@@ -1,0 +1,386 @@
+//! The `tp-events` bus contract, from the outside:
+//!
+//! * **Zero behavioral effect** — running the whole tiny suite under all
+//!   five models with a full-interest sink attached reproduces the golden
+//!   `simstats.txt` rows byte for byte. The bus observes; it never
+//!   perturbs.
+//! * **Residency spans balance** — every `TraceDispatched` is closed by
+//!   exactly one `TraceRetired` or `TraceSquashed` (run-end residents are
+//!   closed as synthetic `drained` squashes when the bus is released).
+//! * **The Chrome trace document is schema-valid** — it parses as JSON
+//!   (hand-rolled parser; the build is offline), every `traceEvents`
+//!   element carries the required `ph`/`ts`/`pid`/`tid` fields, `B`/`E`
+//!   spans are stack-balanced per track, and timestamps are monotone
+//!   per track.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use trace_processor::tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
+use trace_processor::tp_events::{Category, CategoryMask, Event, RingSink};
+use trace_processor::tp_workloads::{by_name, suite, Size};
+
+const MODELS: [CiModel; 5] =
+    [CiModel::None, CiModel::Ret, CiModel::MlbRet, CiModel::Fg, CiModel::FgMlbRet];
+
+/// Attaching a sink must not move a single counter: the tiny suite under
+/// all five models, with a full-interest ring attached, must match the
+/// golden `simstats.txt` fixture byte for byte.
+#[test]
+fn attached_bus_leaves_golden_simstats_rows_byte_identical() {
+    let mut actual = String::new();
+    for w in suite(Size::Tiny) {
+        for model in MODELS {
+            let cfg = TraceProcessorConfig::paper(model);
+            let mut sim = TraceProcessor::new(&w.program, cfg);
+            sim.attach_event_sink(Box::new(RingSink::new(4_096)));
+            assert!(sim.events_attached());
+            let r = sim.run(5_000_000).unwrap_or_else(|e| panic!("{} {model:?}: {e}", w.name));
+            assert!(r.halted, "{} {model:?} did not halt", w.name);
+            let _ = writeln!(actual, "{} {model:?} {:?}", w.name, r.stats);
+        }
+    }
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/simstats.txt");
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {path:?}: {e}"));
+    assert_eq!(
+        golden, actual,
+        "attaching an event sink changed simulator behaviour — the bus must be observation-only"
+    );
+}
+
+/// Every dispatched trace is closed by exactly one retire or squash, and
+/// releasing the bus drains still-resident traces so the books always
+/// balance — across models with very different squash/preserve behaviour.
+#[test]
+fn every_dispatch_is_closed_exactly_once() {
+    for (name, model) in [
+        ("compress", CiModel::None),
+        ("go", CiModel::MlbRet),
+        ("li", CiModel::Fg),
+        ("go", CiModel::FgMlbRet),
+    ] {
+        let w = by_name(name, Size::Tiny).unwrap();
+        let cfg = TraceProcessorConfig::paper(model);
+        let mut sim = TraceProcessor::new(&w.program, cfg);
+        sim.attach_event_sink(Box::new(RingSink::with_interests(
+            1 << 22,
+            CategoryMask::of(&[Category::Trace]),
+        )));
+        let r = sim.run(5_000_000).unwrap_or_else(|e| panic!("{name} {model:?}: {e}"));
+        assert!(r.halted, "{name} {model:?} did not halt");
+        let mut bus = sim.release_event_bus();
+        let ring = bus.take::<RingSink>().expect("ring sink attached above");
+        assert_eq!(ring.dropped(), 0, "{name} {model:?}: ring overflowed; grow the capacity");
+
+        let mut open: HashMap<u8, u32> = HashMap::new();
+        let (mut dispatched, mut retired, mut squashed, mut drained) = (0u64, 0u64, 0u64, 0u64);
+        for &(cycle, event) in ring.events() {
+            match event {
+                Event::TraceDispatched { pe, pc, .. } => {
+                    dispatched += 1;
+                    assert_eq!(
+                        open.insert(pe, pc),
+                        None,
+                        "{name} {model:?}: dispatch into occupied PE {pe} at cycle {cycle}"
+                    );
+                }
+                Event::TraceRetired { pe, pc, .. } => {
+                    retired += 1;
+                    assert_eq!(
+                        open.remove(&pe),
+                        Some(pc),
+                        "{name} {model:?}: retire without matching dispatch on PE {pe} at \
+                         cycle {cycle}"
+                    );
+                }
+                Event::TraceSquashed { pe, pc, drained: d } => {
+                    squashed += 1;
+                    drained += u64::from(d);
+                    assert_eq!(
+                        open.remove(&pe),
+                        Some(pc),
+                        "{name} {model:?}: squash without matching dispatch on PE {pe} at \
+                         cycle {cycle}"
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "{name} {model:?}: unclosed residency spans: {open:?}");
+        assert_eq!(dispatched, retired + squashed, "{name} {model:?}: span books out of balance");
+        assert_eq!(
+            retired + squashed - drained,
+            r.stats.retired_traces + r.stats.squashed_traces,
+            "{name} {model:?}: span closes disagree with SimStats"
+        );
+    }
+}
+
+/// The Chrome trace-event document parses as JSON and satisfies the
+/// trace-event schema: required fields on every row, stack-balanced
+/// `B`/`E` spans, and monotone timestamps per (pid, tid) track.
+#[test]
+fn chrome_trace_document_is_schema_valid() {
+    let w = by_name("go", Size::Tiny).unwrap();
+    let cfg = TraceProcessorConfig::paper(CiModel::MlbRet);
+    let cap = tp_bench::capture_program(&w.program, cfg, 20_000);
+    assert!(cap.error.is_none(), "{:?}", cap.error);
+
+    let doc = json::parse(&cap.chrome_json);
+    let rows = doc.get("traceEvents").and_then(Json::as_array).expect("traceEvents array");
+    assert!(rows.len() > 100, "suspiciously small capture: {} rows", rows.len());
+
+    // (pid, tid) -> (open B count, last ts seen on the track).
+    let mut tracks: HashMap<(u64, u64), (u64, f64)> = HashMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        let ph = row.get("ph").and_then(Json::as_str).unwrap_or_else(|| panic!("row {i}: ph"));
+        let ts = row.get("ts").and_then(Json::as_f64).unwrap_or_else(|| panic!("row {i}: ts"));
+        let pid = row.get("pid").and_then(Json::as_u64).unwrap_or_else(|| panic!("row {i}: pid"));
+        let tid = row.get("tid").and_then(Json::as_u64).unwrap_or_else(|| panic!("row {i}: tid"));
+        assert!(ts >= 0.0, "row {i}: negative ts");
+        assert!(
+            matches!(ph, "M" | "B" | "E" | "i" | "C"),
+            "row {i}: unexpected phase {ph:?} (pid {pid})"
+        );
+        // Instants must carry a scope; named phases must carry a name.
+        if ph == "i" {
+            assert_eq!(row.get("s").and_then(Json::as_str), Some("t"), "row {i}: instant scope");
+        }
+        if ph != "E" {
+            assert!(row.get("name").and_then(Json::as_str).is_some(), "row {i}: missing name");
+        }
+        if ph == "M" {
+            continue; // metadata rows sit at ts 0, outside the timeline.
+        }
+        let (depth, last_ts) = tracks.entry((pid, tid)).or_insert((0, 0.0));
+        assert!(
+            ts >= *last_ts,
+            "row {i}: ts {ts} < {last_ts} on track (pid {pid}, tid {tid}) — not monotone"
+        );
+        *last_ts = ts;
+        match ph {
+            "B" => *depth += 1,
+            "E" => {
+                assert!(*depth > 0, "row {i}: E without open B on track (pid {pid}, tid {tid})");
+                *depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    for ((pid, tid), (depth, _)) in tracks {
+        assert_eq!(depth, 0, "unbalanced B/E spans left open on track (pid {pid}, tid {tid})");
+    }
+}
+
+use json::Json;
+
+/// A deliberately minimal JSON parser — just enough to validate the
+/// sink's own output without a dependency (the build is offline). Panics
+/// on malformed input, which *is* the test failure.
+mod json {
+    use std::collections::HashMap;
+
+    #[derive(Debug)]
+    pub enum Json {
+        Null,
+        Bool(#[allow(dead_code)] bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(HashMap<String, Json>),
+    }
+
+    impl Json {
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(m) => m.get(key),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            match self {
+                Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(input: &str) -> Json {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let v = p.value();
+        p.skip_ws();
+        assert_eq!(p.pos, p.bytes.len(), "trailing garbage at byte {}", p.pos);
+        v
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> u8 {
+            *self.bytes.get(self.pos).unwrap_or_else(|| panic!("eof at byte {}", self.pos))
+        }
+
+        fn expect(&mut self, b: u8) {
+            assert_eq!(self.peek(), b, "expected {:?} at byte {}", b as char, self.pos);
+            self.pos += 1;
+        }
+
+        fn value(&mut self) -> Json {
+            self.skip_ws();
+            match self.peek() {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Json::Str(self.string()),
+                b't' => self.literal("true", Json::Bool(true)),
+                b'f' => self.literal("false", Json::Bool(false)),
+                b'n' => self.literal("null", Json::Null),
+                _ => self.number(),
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Json) -> Json {
+            let end = self.pos + word.len();
+            assert_eq!(
+                self.bytes.get(self.pos..end),
+                Some(word.as_bytes()),
+                "bad literal at byte {}",
+                self.pos
+            );
+            self.pos = end;
+            v
+        }
+
+        fn object(&mut self) -> Json {
+            self.expect(b'{');
+            let mut m = HashMap::new();
+            self.skip_ws();
+            if self.peek() == b'}' {
+                self.pos += 1;
+                return Json::Obj(m);
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string();
+                self.skip_ws();
+                self.expect(b':');
+                m.insert(key, self.value());
+                self.skip_ws();
+                match self.peek() {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Json::Obj(m);
+                    }
+                    c => panic!("expected ',' or '}}', got {:?} at byte {}", c as char, self.pos),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Json {
+            self.expect(b'[');
+            let mut v = Vec::new();
+            self.skip_ws();
+            if self.peek() == b']' {
+                self.pos += 1;
+                return Json::Arr(v);
+            }
+            loop {
+                v.push(self.value());
+                self.skip_ws();
+                match self.peek() {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Json::Arr(v);
+                    }
+                    c => panic!("expected ',' or ']', got {:?} at byte {}", c as char, self.pos),
+                }
+            }
+        }
+
+        fn string(&mut self) -> String {
+            self.expect(b'"');
+            let mut s = String::new();
+            loop {
+                match self.peek() {
+                    b'"' => {
+                        self.pos += 1;
+                        return s;
+                    }
+                    b'\\' => {
+                        self.pos += 1;
+                        let c = self.peek();
+                        self.pos += 1;
+                        s.push(match c {
+                            b'"' => '"',
+                            b'\\' => '\\',
+                            b'/' => '/',
+                            b'n' => '\n',
+                            b't' => '\t',
+                            other => {
+                                panic!(
+                                    "unsupported escape \\{} at byte {}",
+                                    other as char, self.pos
+                                )
+                            }
+                        });
+                    }
+                    _ => {
+                        // Consume one UTF-8 scalar (the sink emits plain
+                        // ASCII, but don't split a multi-byte sequence).
+                        let rest = &self.bytes[self.pos..];
+                        let text = std::str::from_utf8(rest).expect("valid utf-8");
+                        let Some(c) = text.chars().next() else { panic!("eof in string") };
+                        s.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Json {
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+            Json::Num(text.parse().unwrap_or_else(|e| panic!("bad number {text:?}: {e}")))
+        }
+    }
+}
