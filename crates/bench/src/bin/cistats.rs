@@ -132,12 +132,20 @@ fn main() {
         let mut rows: Vec<_> = per_pc.into_iter().collect();
         rows.sort_by_key(|&(_, (n, _, _))| std::cmp::Reverse(n));
         println!("hottest mispredicting branches (confirmed recovery events):");
+        let mut t =
+            tp_stats::Table::new("pc", &["events", "beyond-id-depth", "in-fallback-trace", "inst"]);
         for (pc, (n, beyond, fallback)) in rows.iter().take(8) {
-            println!(
-                "  pc {pc:5}  events {n:6}  beyond-id-depth {beyond:6}  in-fallback-trace {fallback:6}  {:?}",
-                w.program.fetch(*pc).expect("logged pc is in the program")
+            t.row_text(
+                format!("{pc}"),
+                &[
+                    n.to_string(),
+                    beyond.to_string(),
+                    fallback.to_string(),
+                    format!("{:?}", w.program.fetch(*pc).expect("logged pc is in the program")),
+                ],
             );
         }
+        print!("{t}");
         return;
     }
     let base = tp_bench::run_selection(&w.program, SelectionConfig::base()).stats;

@@ -1,0 +1,245 @@
+//! Metrics/profiling report and perf-trend regression gate.
+//!
+//! Two modes:
+//!
+//! * **Report** (default): runs the metrics collection grid — every
+//!   selected workload under every selected model with the full-interest
+//!   [`MetricsSink`](tp_metrics::MetricsSink) and the host stage profiler
+//!   attached — and prints per-cell distribution and stage-profile
+//!   tables. `--json PATH` writes the `tp-bench/metrics/v1` document,
+//!   `--md PATH` the markdown report. `--sample` additionally runs each
+//!   cell under sampled simulation and appends the cold/steady/ffwd phase
+//!   series.
+//!
+//! * **Diff** (`--diff OLD NEW`): compares two harness JSON documents
+//!   (`tp-bench/speed/v2` or `tp-bench/metrics/v1`) cell by cell.
+//!   Deterministic simulated figures (IPC, distribution percentiles)
+//!   regress hard; host throughput only warns. `--gate` exits non-zero on
+//!   any regression — the CI perf-trend step runs
+//!   `simprof --diff BENCH_speed.json new.json --gate`. `--ipc-tol PCT`
+//!   adjusts the IPC gate (default 1%), `--md PATH` writes the markdown
+//!   artifact.
+//!
+//! Usage: `simprof [--size tiny|small|full|long] [--suite synth|rv|all]
+//! [--workload NAME] [--model NAME] [--sample] [--json PATH] [--md PATH]`
+//! or `simprof --diff OLD.json NEW.json [--gate] [--ipc-tol PCT]
+//! [--md PATH]`.
+
+use tp_bench::json;
+use tp_bench::metrics::{
+    collect_grid, collect_phases, diff_documents, metrics_to_json, metrics_to_markdown,
+    DiffThresholds, MetricsCell, PhaseReport,
+};
+use tp_bench::sampled::default_sample_for;
+use tp_bench::speed::{parse_size, SuiteChoice, BASELINE_MODELS};
+use tp_core::CiModel;
+use tp_workloads::{by_name, Size};
+
+fn parse_model(s: &str) -> Option<CiModel> {
+    Some(match s {
+        "base" => CiModel::None,
+        "RET" => CiModel::Ret,
+        "MLB-RET" => CiModel::MlbRet,
+        "FG" => CiModel::Fg,
+        "FG+MLB-RET" => CiModel::FgMlbRet,
+        _ => return None,
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simprof [--size tiny|small|full|long] [--suite synth|rv|all] \
+         [--workload NAME] [--model base|RET|MLB-RET|FG|FG+MLB-RET] [--sample] \
+         [--json PATH] [--md PATH]\n\
+         \x20      simprof --diff OLD.json NEW.json [--gate] [--ipc-tol PCT] [--md PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut size = Size::Tiny;
+    let mut suite_choice = SuiteChoice::Synth;
+    let mut workload: Option<String> = None;
+    let mut model: Option<CiModel> = None;
+    let mut sample = false;
+    let mut json_out: Option<String> = None;
+    let mut md_out: Option<String> = None;
+    let mut diff: Option<(String, String)> = None;
+    let mut gate = false;
+    let mut thresholds = DiffThresholds::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--size" => match args.next().as_deref().and_then(parse_size) {
+                Some(s) => size = s,
+                None => usage(),
+            },
+            "--suite" => match args.next().as_deref().and_then(SuiteChoice::parse) {
+                Some(s) => suite_choice = s,
+                None => usage(),
+            },
+            "--workload" => match args.next() {
+                Some(w) => workload = Some(w),
+                None => usage(),
+            },
+            "--model" => match args.next().as_deref().and_then(parse_model) {
+                Some(m) => model = Some(m),
+                None => usage(),
+            },
+            "--sample" => sample = true,
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(p),
+                None => usage(),
+            },
+            "--md" => match args.next() {
+                Some(p) => md_out = Some(p),
+                None => usage(),
+            },
+            "--diff" => match (args.next(), args.next()) {
+                (Some(o), Some(n)) => diff = Some((o, n)),
+                _ => usage(),
+            },
+            "--gate" => gate = true,
+            "--ipc-tol" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(p) => thresholds.ipc_pct = p,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if let Some((old_path, new_path)) = diff {
+        run_diff(&old_path, &new_path, &thresholds, gate, md_out.as_deref());
+        return;
+    }
+    if gate {
+        eprintln!("--gate only applies to --diff");
+        std::process::exit(2);
+    }
+    run_report(size, suite_choice, workload.as_deref(), model, sample, json_out, md_out);
+}
+
+fn run_report(
+    size: Size,
+    suite_choice: SuiteChoice,
+    workload: Option<&str>,
+    model: Option<CiModel>,
+    sample: bool,
+    json_out: Option<String>,
+    md_out: Option<String>,
+) {
+    let workloads = match workload {
+        Some(name) => match by_name(name, size) {
+            Ok(w) => vec![w],
+            Err(e) => {
+                eprintln!("unknown workload {:?}; available: {:?}", e.name, e.available);
+                std::process::exit(2);
+            }
+        },
+        None => suite_choice.workloads(size),
+    };
+    let models: Vec<CiModel> = match model {
+        Some(m) => vec![m],
+        None => BASELINE_MODELS.to_vec(),
+    };
+    let cells: Vec<MetricsCell> = collect_grid(&workloads, &models);
+    let phases: Vec<PhaseReport> = if sample {
+        let sc = default_sample_for(size);
+        workloads.iter().flat_map(|w| models.iter().map(|&m| collect_phases(w, m, &sc))).collect()
+    } else {
+        Vec::new()
+    };
+    for c in &cells {
+        println!(
+            "== {} / {} — IPC {:.3}, {} instrs, {} cycles, {:.2}s host",
+            c.workload,
+            c.model.name(),
+            c.stats.ipc(),
+            c.stats.retired_instrs,
+            c.stats.cycles,
+            c.wall_seconds
+        );
+        print!("{}", c.metrics.table());
+        print!("{}", c.profiler.table());
+    }
+    for p in &phases {
+        let (cold, steady): (Vec<_>, Vec<_>) =
+            p.points.iter().filter(|pt| pt.phase != "ffwd").partition(|pt| pt.phase == "cold");
+        let ipc = |pts: &[&tp_bench::metrics::PhasePoint]| {
+            let (i, c) = pts.iter().fold((0u64, 0u64), |(i, c), p| (i + p.instrs, c + p.cycles));
+            if c == 0 {
+                0.0
+            } else {
+                i as f64 / c as f64
+            }
+        };
+        println!(
+            "== {} / {} phases: cold ipc {:.3} ({} legs), steady ipc {:.3} ({} legs), \
+             {} ffwd legs",
+            p.workload,
+            p.model.name(),
+            ipc(&cold),
+            cold.len(),
+            ipc(&steady),
+            steady.len(),
+            p.points.iter().filter(|pt| pt.phase == "ffwd").count()
+        );
+    }
+    if let Some(path) = json_out {
+        std::fs::write(&path, metrics_to_json(&cells, size, &phases))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+    if let Some(path) = md_out {
+        std::fs::write(&path, metrics_to_markdown(&cells, &phases))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+fn run_diff(
+    old_path: &str,
+    new_path: &str,
+    thresholds: &DiffThresholds,
+    gate: bool,
+    md_out: Option<&str>,
+) {
+    let read = |path: &str| -> json::Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("reading {path}: {e}");
+            std::process::exit(2);
+        });
+        json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("parsing {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (old, new) = (read(old_path), read(new_path));
+    let report = diff_documents(&old, &new, thresholds).unwrap_or_else(|e| {
+        eprintln!("diff failed: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "perf-trend: {} cells compared, {} regressions, {} warnings",
+        report.compared_cells,
+        report.regressions.len(),
+        report.warnings.len()
+    );
+    for r in &report.regressions {
+        println!("REGRESSION {r}");
+    }
+    for w in &report.warnings {
+        println!("warning    {w}");
+    }
+    if let Some(path) = md_out {
+        std::fs::write(path, report.to_markdown())
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+    if gate && !report.gate_ok() {
+        eprintln!("perf-trend gate FAILED: {} regressions", report.regressions.len());
+        std::process::exit(1);
+    }
+    if gate {
+        println!("perf-trend gate: OK");
+    }
+}

@@ -25,13 +25,19 @@
 //!   oracle-verified configuration the fuzzer uses — so a divergence
 //!   reported by the `fuzz` binary replays here with full event capture,
 //!   and the capture survives even if the run errors or panics.
+//! * `--sample` (with `--workload`) captures a *sampled* run instead:
+//!   every detailed interval lands on one coherent timeline — timestamps
+//!   offset by the cycles of earlier legs plus the instructions skipped
+//!   by the functional legs — and each interval is stamped with an
+//!   instant marker carrying its index and retired-instruction offset.
+//!   `--rounds N` bounds the number of intervals (default 16).
 //!
 //! The exit status is non-zero if the captured run ended in a simulator
 //! error; the trace documents are written either way — capturing the
 //! events leading up to a failure is the whole point of the tap.
 
 use tp_bench::speed::{parse_size, size_name};
-use tp_bench::tap::{capture_interval, capture_program, Capture};
+use tp_bench::tap::{capture_interval, capture_program, capture_sampled, Capture};
 use tp_ckpt::Checkpoint;
 use tp_core::{CiModel, TraceProcessor, TraceProcessorConfig};
 use tp_fuzz::harness::{Harness, Isa};
@@ -42,6 +48,7 @@ use tp_workloads::{all_workloads, Size};
 fn usage() -> ! {
     eprintln!(
         "usage: tracetap --workload NAME [--size tiny|small|full|long] [--model M] [--budget N]\n\
+         \x20      tracetap --workload NAME --sample [--rounds N] [--model M]\n\
          \x20      tracetap --ckpt PATH [--interval N] [--model M]\n\
          \x20      tracetap --fuzz-seed S [--isa synth|rv] [--machine paper|small]\n\
          \x20               [--config default|small] [--model M] [--budget N]\n\
@@ -78,6 +85,8 @@ struct Args {
     budget: u64,
     out: String,
     counters: Option<String>,
+    sample: bool,
+    rounds: u64,
 }
 
 fn parse_args() -> Args {
@@ -94,6 +103,8 @@ fn parse_args() -> Args {
         budget: 200_000,
         out: String::from("tracetap.trace.json"),
         counters: None,
+        sample: false,
+        rounds: 16,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -143,6 +154,8 @@ fn parse_args() -> Args {
             "--budget" => args.budget = val("--budget").parse().expect("--budget: u64"),
             "--out" => args.out = val("--out"),
             "--counters" => args.counters = Some(val("--counters")),
+            "--sample" => args.sample = true,
+            "--rounds" => args.rounds = val("--rounds").parse().expect("--rounds: u64"),
             other => {
                 eprintln!("unknown argument {other:?}");
                 usage();
@@ -168,6 +181,14 @@ fn main() {
         + usize::from(args.fuzz_seed.is_some());
     if modes != 1 {
         usage();
+    }
+    if args.sample {
+        let Some(name) = &args.workload else {
+            eprintln!("--sample requires --workload");
+            usage();
+        };
+        run_sampled_capture(&args, name);
+        return;
     }
     let (label, cap) = if let Some(name) = &args.workload {
         run_workload(&args, name)
@@ -201,6 +222,26 @@ fn write_doc(path: &str, body: &str) {
         std::process::exit(1);
     });
     println!("{path}: {} bytes", body.len());
+}
+
+fn run_sampled_capture(args: &Args, name: &str) {
+    let w = tp_workloads::by_name(name, args.size).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let model = args.model.unwrap_or(CiModel::MlbRet);
+    let cfg = validated_config(model);
+    let sample = tp_bench::sampled::default_sample_for(args.size);
+    let cap = capture_sampled(&w.program, w.frontend, &cfg, &sample, args.rounds);
+    write_doc(&args.out, &cap.chrome_json);
+    println!(
+        "{name}/{} under {}: {} sampled intervals, {} instrs covered{}",
+        size_name(args.size),
+        model.name(),
+        cap.intervals,
+        cap.total_instrs,
+        if cap.halted { ", halted" } else { " (round budget reached)" }
+    );
 }
 
 fn run_workload(args: &Args, name: &str) -> (String, Capture) {

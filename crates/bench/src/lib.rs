@@ -4,6 +4,8 @@
 
 pub mod corpus;
 pub mod ffwd;
+pub mod json;
+pub mod metrics;
 pub mod paper;
 pub mod profile;
 pub mod runner;
@@ -23,5 +25,7 @@ pub use sweep::{
     run_sweep_parallel, run_sweep_sequential, run_sweep_with_threads, SweepJob, SweepResult,
 };
 pub use tap::{
-    capture_interval, capture_program, measure_null_sink_overhead, Capture, OverheadProbe,
+    capture_interval, capture_program, capture_sampled, measure_null_sink_overhead,
+    measure_observability_overhead, Capture, ObsVariant, ObservabilityProbe, OverheadProbe,
+    SampledCapture,
 };

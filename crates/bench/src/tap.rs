@@ -4,9 +4,13 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use tp_ckpt::{Checkpoint, FastForward};
 use tp_core::{TraceProcessor, TraceProcessorConfig};
 use tp_events::{ChromeTraceSink, CounterTimelineSink};
-use tp_isa::Program;
+use tp_isa::func::MachineState;
+use tp_isa::{Frontend, Program};
+
+use crate::sampled::SampleConfig;
 
 /// A finished event capture: both rendered JSON documents plus the run's
 /// headline numbers.
@@ -62,6 +66,113 @@ pub fn capture_program(program: &Program, cfg: TraceProcessorConfig, budget: u64
     capture_interval(&mut sim, budget)
 }
 
+/// A sampled-run event capture: one Chrome trace document whose detailed
+/// intervals are laid end to end on a single global timeline.
+#[derive(Clone, Debug)]
+pub struct SampledCapture {
+    /// The Chrome trace-event JSON document.
+    pub chrome_json: String,
+    /// Detailed intervals captured.
+    pub intervals: u64,
+    /// Total program instructions covered (detailed + fast-forwarded).
+    pub total_instrs: u64,
+    /// Whether the program halted.
+    pub halted: bool,
+}
+
+/// Captures a sampled run's events on one coherent timeline.
+///
+/// Mirrors the sampled runner's round structure (checkpoint boot →
+/// warmup → measured interval → fast-forward skip), reusing a *single*
+/// [`ChromeTraceSink`] across the detailed intervals: each interval's
+/// simulator restarts at cycle 0, so before re-attaching the sink its
+/// timeline base is advanced past everything already captured and the
+/// interval is stamped with `(interval index, retired-instruction
+/// offset)` on a dedicated `sampling` track. Fast-forward legs appear as
+/// gaps: the base also advances by one cycle per functionally skipped
+/// instruction (an IPC-1 proxy — the legs execute in the functional
+/// model, which has no cycle clock), so interval spacing reflects skip
+/// lengths without pretending cycle accuracy.
+///
+/// At most `max_rounds` detailed intervals are captured (the trace file
+/// grows with every event; a tap wants the first few intervals, not the
+/// whole run).
+///
+/// # Panics
+///
+/// Panics if the simulator deadlocks or a checkpoint fails to
+/// round-trip — bugs, not results.
+pub fn capture_sampled(
+    program: &Program,
+    frontend: Frontend,
+    cfg: &TraceProcessorConfig,
+    sample: &SampleConfig,
+    max_rounds: u64,
+) -> SampledCapture {
+    let name = program.name().to_string();
+    let mut ff = FastForward::new(program, cfg);
+    ff.set_frontend(frontend);
+    let mut sink = Box::new(ChromeTraceSink::new());
+    let mut base = 0u64;
+    let mut halted = false;
+    let mut round = 0u64;
+    while !halted && !ff.halted() && round < max_rounds {
+        let ckpt = Checkpoint::decode(&ff.checkpoint().encode())
+            .unwrap_or_else(|e| panic!("{name}: checkpoint round-trip failed: {e}"));
+        let boot = ckpt
+            .boot_image(program, cfg)
+            .unwrap_or_else(|e| panic!("{name}: checkpoint boot failed: {e}"));
+        let mut sim = TraceProcessor::from_checkpoint(program, cfg.clone(), boot)
+            .unwrap_or_else(|e| panic!("{name}: boot rejected: {e}"));
+        sink.set_base(base);
+        sink.mark_interval(round, ckpt.retired);
+        sim.attach_event_sink(sink);
+        let this_warmup = if round == 0 { 0 } else { sample.warmup };
+        round += 1;
+        sim.run_interval(this_warmup).unwrap_or_else(|e| panic!("{name} warmup: {e}"));
+        let r = sim.run_interval(sample.interval).unwrap_or_else(|e| panic!("{name}: {e}"));
+        halted = r.halted;
+        base += sim.now();
+        let mut bus = sim.release_event_bus();
+        sink = bus.take::<ChromeTraceSink>().expect("attached above");
+        let (pc, retired_delta) = sim.retired_frontier();
+        let regs = sim.arch_state().regs;
+        let state = MachineState {
+            regs,
+            mem: sim.committed_mem_words().into_iter().collect(),
+            pc,
+            halted,
+            retired: ckpt.retired + retired_delta,
+        };
+        let warm = sim.into_warm();
+        ff.adopt(state, warm);
+        if halted {
+            break;
+        }
+        // Functional skip, mirroring the sampled runner's deterministic
+        // jitter so the captured intervals line up with a sampled run's.
+        let jittered = if sample.skip == 0 {
+            0
+        } else {
+            let h = round.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 33;
+            sample.skip / 2 + h % sample.skip
+        };
+        let before = ff.retired();
+        let s = ff
+            .skip(jittered)
+            .unwrap_or_else(|e| panic!("{name}: fast-forward left the program: {e}"));
+        halted = s.halted;
+        // Lay the skipped leg out as a visible gap at an IPC-1 proxy.
+        base += ff.retired() - before;
+    }
+    SampledCapture {
+        chrome_json: sink.to_json(),
+        intervals: round,
+        total_instrs: ff.retired(),
+        halted: halted || ff.halted(),
+    }
+}
+
 /// Paired wall-clock measurement for the disabled-bus overhead guard:
 /// the tiny synthetic suite under MLB-RET, run with the bus unattached
 /// and with a [`NullSink`](tp_events::NullSink) attached (empty interest
@@ -87,31 +198,118 @@ impl OverheadProbe {
 /// Runs the disabled-bus overhead probe ([`OverheadProbe`]) with `reps`
 /// repetitions per variant.
 pub fn measure_null_sink_overhead(reps: usize) -> OverheadProbe {
-    let workloads = tp_workloads::suite(tp_workloads::Size::Tiny);
-    let cfg = TraceProcessorConfig::paper(tp_core::CiModel::MlbRet);
-    let (mut bare, mut attached) = (f64::MAX, f64::MAX);
-    for rep in 0..reps.max(1) {
-        if rep % 2 == 0 {
-            bare = bare.min(time_tiny_suite(&workloads, &cfg, false));
-            attached = attached.min(time_tiny_suite(&workloads, &cfg, true));
-        } else {
-            attached = attached.min(time_tiny_suite(&workloads, &cfg, true));
-            bare = bare.min(time_tiny_suite(&workloads, &cfg, false));
+    let p = measure_observability_overhead(reps);
+    OverheadProbe { bare_seconds: p.bare_seconds, attached_seconds: p.null_sink_seconds }
+}
+
+/// An observability configuration of the simulator, for paired overhead
+/// timing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObsVariant {
+    /// No sink, no profiler — the production configuration.
+    Bare,
+    /// A `NullSink` attached (empty interest mask: attach plumbing live,
+    /// every emission site masked off).
+    NullSink,
+    /// A full-interest [`MetricsSink`](tp_metrics::MetricsSink) attached.
+    MetricsAttached,
+    /// The host stage profiler enabled.
+    ProfilerEnabled,
+}
+
+impl ObsVariant {
+    /// All variants, in report order.
+    pub const ALL: [ObsVariant; 4] = [
+        ObsVariant::Bare,
+        ObsVariant::NullSink,
+        ObsVariant::MetricsAttached,
+        ObsVariant::ProfilerEnabled,
+    ];
+
+    /// A short stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ObsVariant::Bare => "bare",
+            ObsVariant::NullSink => "null-sink",
+            ObsVariant::MetricsAttached => "metrics-attached",
+            ObsVariant::ProfilerEnabled => "profiler-enabled",
         }
     }
-    OverheadProbe { bare_seconds: bare, attached_seconds: attached }
+}
+
+/// Paired wall-clock figures for every observability configuration, each
+/// the minimum over the repetitions with rotated measurement order.
+///
+/// Only the `NullSink` figure is gated (the disabled-overhead budget):
+/// metrics-attached and profiler-enabled runs *do* pay for observation by
+/// design, so their figures are reported, not gated.
+#[derive(Clone, Copy, Debug)]
+pub struct ObservabilityProbe {
+    /// Best bare wall-clock, seconds.
+    pub bare_seconds: f64,
+    /// Best wall-clock with a `NullSink` attached, seconds.
+    pub null_sink_seconds: f64,
+    /// Best wall-clock with a full-interest `MetricsSink` attached.
+    pub metrics_seconds: f64,
+    /// Best wall-clock with the stage profiler enabled.
+    pub profiler_seconds: f64,
+}
+
+impl ObservabilityProbe {
+    /// A variant's overhead relative to the bare run, in percent.
+    pub fn overhead_pct(&self, v: ObsVariant) -> f64 {
+        100.0 * (self.seconds(v) / self.bare_seconds - 1.0)
+    }
+
+    /// A variant's best wall-clock, seconds.
+    pub fn seconds(&self, v: ObsVariant) -> f64 {
+        match v {
+            ObsVariant::Bare => self.bare_seconds,
+            ObsVariant::NullSink => self.null_sink_seconds,
+            ObsVariant::MetricsAttached => self.metrics_seconds,
+            ObsVariant::ProfilerEnabled => self.profiler_seconds,
+        }
+    }
+}
+
+/// Times the tiny synthetic suite under MLB-RET in every
+/// [`ObsVariant`], `reps` times each with the order rotated per
+/// repetition so machine drift hits all variants equally; each figure is
+/// the per-variant minimum.
+pub fn measure_observability_overhead(reps: usize) -> ObservabilityProbe {
+    let workloads = tp_workloads::suite(tp_workloads::Size::Tiny);
+    let cfg = TraceProcessorConfig::paper(tp_core::CiModel::MlbRet);
+    let mut best = [f64::MAX; 4];
+    for rep in 0..reps.max(1) {
+        for i in 0..ObsVariant::ALL.len() {
+            let v = ObsVariant::ALL[(i + rep) % ObsVariant::ALL.len()];
+            let idx = ObsVariant::ALL.iter().position(|&x| x == v).expect("in ALL");
+            best[idx] = best[idx].min(time_tiny_suite(&workloads, &cfg, v));
+        }
+    }
+    ObservabilityProbe {
+        bare_seconds: best[0],
+        null_sink_seconds: best[1],
+        metrics_seconds: best[2],
+        profiler_seconds: best[3],
+    }
 }
 
 fn time_tiny_suite(
     workloads: &[tp_workloads::Workload],
     cfg: &TraceProcessorConfig,
-    attach: bool,
+    variant: ObsVariant,
 ) -> f64 {
     let t = std::time::Instant::now();
     for w in workloads {
         let mut sim = TraceProcessor::new(&w.program, cfg.clone());
-        if attach {
-            sim.attach_event_sink(Box::new(tp_events::NullSink));
+        match variant {
+            ObsVariant::Bare => {}
+            ObsVariant::NullSink => sim.attach_event_sink(Box::new(tp_events::NullSink)),
+            ObsVariant::MetricsAttached => {
+                sim.attach_event_sink(Box::new(tp_metrics::MetricsSink::new()));
+            }
+            ObsVariant::ProfilerEnabled => sim.attach_stage_profiler(),
         }
         let r = sim.run(5_000_000).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert!(r.halted, "{} did not halt", w.name);

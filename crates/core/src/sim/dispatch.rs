@@ -20,15 +20,18 @@ use crate::pe::Slot;
 use tp_trace::OperandRef;
 
 impl TraceProcessor<'_> {
-    pub(super) fn dispatch_stage(&mut self, ctx: &CycleCtx) {
+    pub(super) fn dispatch_stage(&mut self, ctx: &CycleCtx, prof: Option<&StageProfiler>) {
         if self.halted {
             return;
         }
-        // Re-dispatch passes own the dispatch bus.
+        // Re-dispatch passes own the dispatch bus (and their own timer:
+        // re-dispatch is its own stage module, merely sharing the slot).
         if self.redispatch.is_some() {
+            let _t = ScopedStageTimer::new(prof, Stage::Redispatch);
             self.redispatch_step(ctx);
             return;
         }
+        let _t = ScopedStageTimer::new(prof, Stage::Dispatch);
         let Some(front_ready_at) = self.fetch_queue.front().map(|p| p.ready_at) else { return };
         if ctx.now < front_ready_at {
             return;

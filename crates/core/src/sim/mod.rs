@@ -47,6 +47,7 @@ use tp_events::{Category, Event, EventBus, EventSink};
 use tp_isa::func::{ArchState, Machine, MachineState};
 use tp_isa::fxhash::FxHashMap;
 use tp_isa::{Addr, Pc, Program, Reg, Word};
+use tp_metrics::{ScopedStageTimer, Stage, StageProfiler};
 use tp_predict::{Btb, NextTracePredictor, Ras, TraceHistory, TracePredictorStats};
 use tp_stats::attr::{AttrKey, RecoveryAttribution, RecoveryOutcome};
 use tp_trace::{Bit, EndReason, Selector, Trace};
@@ -188,6 +189,10 @@ struct CgciPending {
     fault_dispatched_at: u64,
     /// Cycle the attempt started (occupancy accounting).
     started_at: u64,
+    /// Start PC of the detected re-convergent trace, reported in the
+    /// closing event so observers can judge the detection against static
+    /// CFG facts.
+    reconv_pc: Pc,
     /// Traces squashed on behalf of this attempt so far.
     squashed: u64,
     /// The faulting branch already retired and was counted under the
@@ -398,6 +403,12 @@ pub struct TraceProcessor<'p> {
     /// bus's cached category mask and nothing in the simulator reads the
     /// bus back, so runs with and without sinks are cycle-identical.
     events: EventBus,
+    /// Host wall-time profiler for the pipeline-stage modules
+    /// ([`TraceProcessor::attach_stage_profiler`]). `None` (the default)
+    /// costs one discriminant test per cycle; attached, each stage call
+    /// is wrapped in a scoped timer. Host-side only — simulated behaviour
+    /// is identical either way.
+    profiler: Option<Box<StageProfiler>>,
 }
 
 /// One retired mispredicted branch, with the provenance of its (wrong)
@@ -582,6 +593,7 @@ impl<'p> TraceProcessor<'p> {
             attribution: RecoveryAttribution::new(),
             misp_log: Vec::new(),
             events: EventBus::new(),
+            profiler: None,
             cfg,
         }
     }
@@ -616,6 +628,28 @@ impl<'p> TraceProcessor<'p> {
             }
         }
         std::mem::take(&mut self.events)
+    }
+
+    /// Attaches a host wall-time stage profiler: from the next cycle on,
+    /// each pipeline-stage call is timed with a scoped host clock.
+    /// Host-side observation only — simulated behaviour and statistics
+    /// are identical with or without it. Idempotent: an already-attached
+    /// profiler keeps accumulating.
+    pub fn attach_stage_profiler(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Box::new(StageProfiler::new()));
+        }
+    }
+
+    /// The attached stage profiler, if any.
+    pub fn stage_profiler(&self) -> Option<&StageProfiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Detaches and returns the stage profiler (subsequent cycles run
+    /// unprofiled).
+    pub fn take_stage_profiler(&mut self) -> Option<Box<StageProfiler>> {
+        self.profiler.take()
     }
 
     /// The simulator's configuration.
@@ -759,22 +793,52 @@ impl<'p> TraceProcessor<'p> {
         if self.load_count > self.loads_gc_at {
             self.gc_loads();
         }
+        // The profiler is taken out for the duration of the stage calls so
+        // the scoped timers can hold a shared borrow while the stages
+        // borrow the processor mutably; restored on every path out.
+        let prof = self.profiler.take();
+        let result = self.run_stages(prof.as_deref());
+        self.profiler = prof;
+        result
+    }
+
+    /// The eight pipeline-stage modules of one cycle, each wrapped in a
+    /// host stage timer (no-ops when `prof` is `None`).
+    fn run_stages(&mut self, prof: Option<&StageProfiler>) -> Result<(), SimError> {
         let ctx = CycleCtx { now: self.now };
-        self.complete_stage(&ctx);
+        {
+            let _t = ScopedStageTimer::new(prof, Stage::Complete);
+            self.complete_stage(&ctx);
+        }
         self.paranoid_check("complete");
-        self.retire_stage(&ctx)?;
+        {
+            let _t = ScopedStageTimer::new(prof, Stage::Retire);
+            self.retire_stage(&ctx)?;
+        }
         self.paranoid_check("retire");
-        self.recovery_stage(&ctx);
+        {
+            let _t = ScopedStageTimer::new(prof, Stage::Recovery);
+            self.recovery_stage(&ctx);
+        }
         self.paranoid_check("recovery");
         if let Some(detail) = self.reconv_oracle_violation.take() {
             return Err(SimError::OracleMismatch { cycle: self.now, detail });
         }
-        self.fetch_stage(&ctx);
+        {
+            let _t = ScopedStageTimer::new(prof, Stage::Fetch);
+            self.fetch_stage(&ctx);
+        }
         self.paranoid_check("fetch");
-        self.dispatch_stage(&ctx);
+        self.dispatch_stage(&ctx, prof);
         self.paranoid_check("dispatch");
-        self.issue_stage(&ctx);
-        self.bus_stage(&ctx);
+        {
+            let _t = ScopedStageTimer::new(prof, Stage::Issue);
+            self.issue_stage(&ctx);
+        }
+        {
+            let _t = ScopedStageTimer::new(prof, Stage::Buses);
+            self.bus_stage(&ctx);
+        }
         if self.events.wants(Category::Occupancy) {
             self.events.emit(
                 ctx.now,
@@ -893,6 +957,8 @@ impl<'p> TraceProcessor<'p> {
                     outcome,
                     squashed: p.squashed as u32,
                     preserved: preserved as u32,
+                    branch_pc: p.fault.2,
+                    reconv_pc: p.reconv_pc,
                 },
             );
         }

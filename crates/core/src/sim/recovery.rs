@@ -218,6 +218,7 @@ impl TraceProcessor<'_> {
                         fault: (pe, slot, ti.pc),
                         fault_dispatched_at: self.pes[pe].dispatched_at,
                         started_at: self.now,
+                        reconv_pc: self.pes[reconv].trace.id().start(),
                         squashed,
                         retired_provisionally: false,
                     });

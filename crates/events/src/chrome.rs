@@ -29,6 +29,8 @@ const FETCH_PID: u64 = 100;
 const CGCI_PID: u64 = 101;
 /// pid hosting the counter tracks.
 const COUNTER_PID: u64 = 102;
+/// pid hosting sampling-phase markers (detailed-interval stamps).
+const SAMPLE_PID: u64 = 103;
 
 /// The Chrome trace-event sink. Collects pre-rendered event objects;
 /// [`ChromeTraceSink::to_json`] wraps them into the final document.
@@ -39,6 +41,11 @@ pub struct ChromeTraceSink {
     open: Vec<Option<(u64, u32)>>,
     /// The open CGCI attempt span, if any (at most one attempt pends).
     cgci_open: bool,
+    /// Offset added to every timestamp ([`ChromeTraceSink::set_base`]).
+    base: u64,
+    /// Whether any interval marker was stamped (adds the sampling pid's
+    /// metadata row).
+    sampled: bool,
 }
 
 impl ChromeTraceSink {
@@ -50,6 +57,35 @@ impl ChromeTraceSink {
     /// Number of trace-event objects collected so far.
     pub fn len(&self) -> usize {
         self.events.len()
+    }
+
+    /// Sets the timeline base: every subsequent timestamp (event cycles
+    /// and interval markers) is reported as `base + cycle`. A sampled run
+    /// reuses one sink across detailed intervals, each of which restarts
+    /// its simulator at cycle 0; advancing the base between intervals
+    /// lays them out on one coherent global timeline instead of
+    /// overlapping at t=0.
+    pub fn set_base(&mut self, base: u64) {
+        self.base = base;
+    }
+
+    /// The current timeline base.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Stamps a detailed-interval marker at the current base: an instant
+    /// on a dedicated `sampling` track carrying the interval index and
+    /// the retired-instruction offset where the interval started.
+    pub fn mark_interval(&mut self, index: u64, start_retired: u64) {
+        self.sampled = true;
+        let ts = self.base;
+        self.instant(
+            ts,
+            SAMPLE_PID,
+            &format!("interval {index}"),
+            &format!("\"interval\":{index},\"start_retired\":{start_retired}"),
+        );
     }
 
     /// Whether nothing has been collected.
@@ -117,6 +153,9 @@ impl ChromeTraceSink {
         rows.push(meta(FETCH_PID, "fetch"));
         rows.push(meta(CGCI_PID, "cgci"));
         rows.push(meta(COUNTER_PID, "counters"));
+        if self.sampled {
+            rows.push(meta(SAMPLE_PID, "sampling"));
+        }
         rows.extend(self.events.iter().cloned());
         let mut s = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
         for (i, row) in rows.iter().enumerate() {
@@ -134,6 +173,9 @@ impl EventSink for ChromeTraceSink {
     }
 
     fn record(&mut self, cycle: u64, event: &Event) {
+        // All timestamps are offset by the timeline base (zero unless a
+        // sampled capture laid intervals end to end).
+        let cycle = self.base + cycle;
         match *event {
             Event::TraceFetched { pc, len, source } => {
                 let name = format!("fetch {}", source.label());
@@ -305,5 +347,21 @@ mod tests {
         sink.record(3, &Event::TraceRetired { pe: 2, pc: 8, len: 2 });
         let json = sink.to_json();
         assert_eq!(json.matches("\"ph\":\"E\"").count(), 0);
+    }
+
+    #[test]
+    fn base_offsets_timestamps_and_interval_marks() {
+        let mut sink = ChromeTraceSink::new();
+        sink.mark_interval(0, 0);
+        sink.record(2, &Event::TraceDispatched { pe: 0, pc: 4, len: 6, cgci_insert: false });
+        sink.record(5, &Event::TraceRetired { pe: 0, pc: 4, len: 6 });
+        sink.set_base(1_000);
+        sink.mark_interval(1, 5_000);
+        sink.record(2, &Event::TraceDispatched { pe: 0, pc: 4, len: 6, cgci_insert: false });
+        let json = sink.to_json();
+        // Second interval's dispatch lands at base + cycle, not back at 2.
+        assert!(json.contains("\"ts\":1002"));
+        assert!(json.contains("\"interval\":1,\"start_retired\":5000"));
+        assert!(json.contains("\"name\":\"sampling\""));
     }
 }

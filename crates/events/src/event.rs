@@ -320,6 +320,11 @@ pub enum Event {
         squashed: u32,
         /// Control-independent traces preserved at re-convergence.
         preserved: u32,
+        /// PC of the mispredicted branch (matches the opening
+        /// `CgciOpened`), for joining closes against static CFG facts.
+        branch_pc: u32,
+        /// Start PC of the re-convergent trace the attempt targeted.
+        reconv_pc: u32,
     },
     /// The window head exists but cannot retire this cycle.
     HeadStall {
@@ -451,6 +456,8 @@ mod tests {
                 outcome: RecoveryOutcome::CgciReconverged,
                 squashed: 0,
                 preserved: 0,
+                branch_pc: 0,
+                reconv_pc: 0,
             },
             Event::HeadStall { pe: 0, reason: StallReason::Incomplete },
             Event::WindowSample { occupied: 0, fetch_queue: 0 },

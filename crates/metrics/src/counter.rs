@@ -1,0 +1,91 @@
+//! Scalar instruments: monotone counters and high-watermark gauges.
+
+/// A monotone event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Folds another counter in (merge across shards/intervals).
+    pub fn merge(&mut self, other: Counter) {
+        self.0 += other.0;
+    }
+}
+
+/// A sampled level with its high watermark.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Gauge {
+    current: u64,
+    max: u64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the current level, updating the watermark.
+    #[inline]
+    pub fn set(&mut self, value: u64) {
+        self.current = value;
+        self.max = self.max.max(value);
+    }
+
+    /// Last level set.
+    pub fn current(self) -> u64 {
+        self.current
+    }
+
+    /// Highest level ever set.
+    pub fn max(self) -> u64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_merges() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        let mut d = Counter::new();
+        d.add(10);
+        c.merge(d);
+        assert_eq!(c.get(), 15);
+    }
+
+    #[test]
+    fn gauge_tracks_watermark() {
+        let mut g = Gauge::new();
+        g.set(3);
+        g.set(9);
+        g.set(2);
+        assert_eq!(g.current(), 2);
+        assert_eq!(g.max(), 9);
+    }
+}

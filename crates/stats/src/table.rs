@@ -62,6 +62,36 @@ impl Table {
         self.rows.push((label.into(), cells.to_vec()));
         self
     }
+
+    /// Number of data rows appended so far.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The table as GitHub-flavored markdown (label column left-aligned,
+    /// value columns right-aligned), so the same table feeds both terminal
+    /// reports (`Display`) and markdown artifacts.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |", self.corner));
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push('\n');
+        out.push_str("|:--|");
+        for _ in &self.columns {
+            out.push_str("--:|");
+        }
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("| {label} |"));
+            for cell in cells {
+                out.push_str(&format!(" {cell} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
 }
 
 impl fmt::Display for Table {
@@ -134,5 +164,17 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("", &["a", "b"]);
         t.row("x", &[1.0]);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("cell", &["ipc", "d%"]);
+        t.row("go/FG", &[1.5, -0.25]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| cell | ipc | d% |");
+        assert_eq!(lines[1], "|:--|--:|--:|");
+        assert_eq!(lines[2], "| go/FG | 1.50 | -0.25 |");
+        assert_eq!(t.row_count(), 1);
     }
 }

@@ -139,6 +139,24 @@ tracetap WORKLOAD="go" SIZE="tiny" MODEL="MLB-RET" BUDGET="50000" OUT="tracetap.
 
 # Disabled-bus overhead guard, exactly as CI runs it: the event bus must
 # stay free when no sink is attached (tiny suite, bare vs NullSink,
-# attached run <= 1% slower).
+# attached run <= 1% slower). Also prints the metrics-attached and
+# profiler-enabled figures for the record (reported, never gated — those
+# configurations pay for observation by design).
 events-guard:
     cargo run --release -p tp-bench --bin speed -- --events-guard 1.0
+
+# Metrics/profiling report: every workload of SIZE under all five models
+# with the full-interest MetricsSink (reconv distances joined against
+# tp-cfg's static ipdoms) and the host stage profiler attached. Add
+# `--json PATH` / `--md PATH` for the tp-bench/metrics/v1 document or
+# the markdown report, `--sample` for cold/steady/ffwd phase series.
+simprof SIZE="tiny" SUITE="synth":
+    cargo run --release -p tp-bench --bin simprof -- --size {{SIZE}} --suite {{SUITE}}
+
+# Perf-trend gate, exactly as CI runs it: regenerate a smoke speed grid
+# and diff it against the checked-in BENCH_speed.json. Deterministic
+# figures (IPC, percentiles) regress hard; host throughput only warns —
+# so a different machine never trips the gate, a behaviour change does.
+perf-trend BASELINE="BENCH_speed.json":
+    cargo run --release -p tp-bench --bin baseline -- --size full --suite all --out BENCH_speed_new.json
+    cargo run --release -p tp-bench --bin simprof -- --diff {{BASELINE}} BENCH_speed_new.json --gate --md perf-trend.md

@@ -24,6 +24,9 @@
 //! * [`tp_events`] — the attachable structured event bus and its sinks
 //!   (Chrome trace-event JSON for perfetto, counter timelines, ring
 //!   buffer);
+//! * [`tp_metrics`] — the histogram/time-series metrics layer: derived
+//!   distributions over the event stream and the host-side pipeline-stage
+//!   profiler;
 //! * [`tp_stats`] — statistics helpers.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and `DESIGN.md` /
@@ -48,6 +51,7 @@ pub use tp_ckpt;
 pub use tp_core;
 pub use tp_events;
 pub use tp_isa;
+pub use tp_metrics;
 pub use tp_predict;
 pub use tp_rv;
 pub use tp_stats;
